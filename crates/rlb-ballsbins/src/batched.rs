@@ -1,0 +1,106 @@
+//! Batched allocations: stale load information.
+//!
+//! In the paper's model up to `m` requests arrive *within one step*; a
+//! router that only sees queue states from the start of the step is
+//! working with stale information — exactly the *batched* balls-and-bins
+//! model (Berenbrink et al.; Los & Sauerwald, SPAA '23 — the paper's
+//! reference \[21\]): balls arrive in batches of `b`, and the strategy
+//! sees bin loads updated only between batches. The gap degrades
+//! gracefully from `O(log log m)` at `b = 1` toward one-choice behaviour
+//! as `b` grows past `m` — quantifying how much the *online within-step*
+//! information (which the paper's greedy uses) is worth.
+
+use crate::strategies::Strategy;
+use rlb_hash::Rng;
+
+/// Places `balls` balls into `m` bins in batches of `batch`; the
+/// strategy sees only the loads as of the last batch boundary. Returns
+/// the final gap `max load − balls/m`.
+///
+/// # Panics
+/// Panics if `m == 0` or `batch == 0`.
+pub fn batched_gap<S: Strategy, R: Rng>(
+    strategy: &S,
+    m: usize,
+    balls: usize,
+    batch: usize,
+    rng: &mut R,
+) -> i64 {
+    assert!(m > 0, "need at least one bin");
+    assert!(batch > 0, "batch must be positive");
+    let mut true_loads = vec![0u32; m];
+    let mut stale_loads = vec![0u32; m];
+    let mut cand = vec![0u32; strategy.choices()];
+    let mut since_sync = 0usize;
+    for _ in 0..balls {
+        strategy.draw(rng, m, &mut cand);
+        let bin = strategy.place(&cand, &stale_loads);
+        true_loads[bin as usize] += 1;
+        since_sync += 1;
+        if since_sync == batch {
+            stale_loads.copy_from_slice(&true_loads);
+            since_sync = 0;
+        }
+    }
+    let max = true_loads.into_iter().max().unwrap_or(0);
+    max as i64 - (balls / m) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::single_round_max_load;
+    use crate::strategies::{GreedyD, OneChoice};
+    use rlb_hash::Pcg64;
+
+    #[test]
+    fn batch_one_matches_sequential_greedy() {
+        let m = 1024;
+        let mut rng_a = Pcg64::new(1, 0);
+        let mut rng_b = Pcg64::new(1, 0);
+        let gap = batched_gap(&GreedyD::new(2), m, m, 1, &mut rng_a);
+        let max = single_round_max_load(&GreedyD::new(2), m, m, &mut rng_b);
+        assert_eq!(gap + 1, max as i64, "balls/m = 1 so gap = max - 1");
+    }
+
+    #[test]
+    fn staleness_degrades_two_choice() {
+        let m = 1024;
+        let balls = 16 * m;
+        let mut rng = Pcg64::new(2, 0);
+        let fresh = batched_gap(&GreedyD::new(2), m, balls, 1, &mut rng);
+        let stale: i64 = (0..3)
+            .map(|_| batched_gap(&GreedyD::new(2), m, balls, 4 * m, &mut rng))
+            .max()
+            .unwrap();
+        assert!(
+            stale > fresh,
+            "stale gap {stale} should exceed fresh gap {fresh}"
+        );
+    }
+
+    #[test]
+    fn one_choice_is_indifferent_to_staleness() {
+        let m = 512;
+        let balls = 8 * m;
+        let mut rng = Pcg64::new(3, 0);
+        let g1 = batched_gap(&OneChoice, m, balls, 1, &mut rng);
+        let mut rng = Pcg64::new(3, 0);
+        let g2 = batched_gap(&OneChoice, m, balls, balls, &mut rng);
+        // Identical randomness, load-oblivious strategy: same outcome.
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn huge_batch_approaches_one_choice_scale() {
+        let m = 1024;
+        let balls = 8 * m;
+        let mut rng = Pcg64::new(4, 0);
+        // One giant batch: choices are two fresh bins but loads are all
+        // zero, so placement is effectively "first candidate" = random.
+        let blind = batched_gap(&GreedyD::new(2), m, balls, balls, &mut rng);
+        let fresh = batched_gap(&GreedyD::new(2), m, balls, 1, &mut rng);
+        assert!(blind >= fresh, "blind {blind} vs fresh {fresh}");
+        assert!(blind >= 5, "blind gap {blind} should be one-choice scale");
+    }
+}

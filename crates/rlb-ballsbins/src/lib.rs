@@ -1,0 +1,23 @@
+//! Classical balls-and-bins substrate.
+//!
+//! The paper's analysis and lower bounds lean on classical balls-and-bins
+//! results: Azar et al.'s power of `d` choices, Vöcking's
+//! `Ω(log log m)` lower bound for *any* online `d`-choice strategy
+//! (Theorem 5.1 reinterprets it as a queue-length lower bound), and
+//! Berenbrink et al.'s heavily-loaded gap theorem (used inside
+//! Lemma 4.4). This crate implements those strategies and the experiment
+//! drivers that exhibit each phenomenon, including the *reappearance*
+//! twist: reusing the same choice sets across rounds (the paper's core
+//! difficulty) versus drawing fresh choices every round.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod batched;
+pub mod rounds;
+pub mod strategies;
+
+pub use batched::batched_gap;
+pub use rounds::{heavily_loaded_gap, single_round_max_load, RoundsReport};
+pub use strategies::{AlwaysGoLeft, GreedyD, OneChoice, Strategy};

@@ -1,0 +1,223 @@
+//! Round-based balls-and-bins experiments.
+//!
+//! Three drivers:
+//!
+//! * [`single_round_max_load`] — throw `k` balls into `m` bins once; the
+//!   max load of any online `d`-choice strategy is `Ω(log log m)`
+//!   (Vöcking's lower bound, reused as the paper's Theorem 5.1).
+//! * [`heavily_loaded_gap`] — throw `h·m` balls with 2 choices; the gap
+//!   `max load − h` stays `O(log log m)` (Berenbrink et al.), the fact
+//!   invoked by Lemma 4.4.
+//! * [`repeated_choice_rounds`] — the *reappearance* variant: fix each
+//!   ball's choice set once, then re-place the same balls for `r` rounds
+//!   (decrementing loads between rounds models the servers' processing).
+//!   With per-round-online strategies, some bin accumulates load — the
+//!   phenomenon behind Lemma 5.3 / Corollary 5.4.
+
+use crate::strategies::Strategy;
+use rlb_hash::Rng;
+
+/// Outcome of a multi-round experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundsReport {
+    /// Maximum end-of-round load observed in any round.
+    pub max_load: u32,
+    /// Maximum *average-per-round* load of any single bin, where the
+    /// average counts the balls routed to the bin each round (the
+    /// quantity bounded by Lemma 5.3).
+    pub max_avg_arrivals: f64,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+/// Throws `k` balls into `m` bins in one round with fresh choices and
+/// returns the maximum load.
+///
+/// ```
+/// use rlb_ballsbins::{single_round_max_load, GreedyD, OneChoice};
+/// use rlb_hash::Pcg64;
+///
+/// let m = 1 << 14;
+/// let mut rng = Pcg64::new(1, 0);
+/// let two = single_round_max_load(&GreedyD::new(2), m, m, &mut rng);
+/// let one = single_round_max_load(&OneChoice, m, m, &mut rng);
+/// assert!(two < one); // the power of two choices
+/// ```
+///
+/// # Panics
+/// Panics if `m == 0` or the strategy draws more choices than bins.
+pub fn single_round_max_load<S: Strategy, R: Rng>(
+    strategy: &S,
+    m: usize,
+    k: usize,
+    rng: &mut R,
+) -> u32 {
+    assert!(m > 0, "need at least one bin");
+    let mut loads = vec![0u32; m];
+    let mut cand = vec![0u32; strategy.choices()];
+    for _ in 0..k {
+        strategy.draw(rng, m, &mut cand);
+        let bin = strategy.place(&cand, &loads);
+        loads[bin as usize] += 1;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Heavily-loaded regime: throws `h * m` balls (fresh choices each) and
+/// returns `max load − h` — the gap that Berenbrink et al. prove is
+/// `O(log log m)` for 2-choice greedy, independent of `h`.
+pub fn heavily_loaded_gap<S: Strategy, R: Rng>(
+    strategy: &S,
+    m: usize,
+    h: usize,
+    rng: &mut R,
+) -> i64 {
+    let max = single_round_max_load(strategy, m, h * m, rng);
+    max as i64 - h as i64
+}
+
+/// The reappearance experiment: `k` balls with choice sets fixed **once**
+/// are placed per round by the (per-round-online) strategy; after each
+/// round every bin's load decreases by `drain` (its processing rate).
+///
+/// `isolated` = the strategy only sees the loads accumulated *within*
+/// the current round (time-step-isolated routing, Lemma 5.3);
+/// otherwise it sees the carried-over loads (stateful routing).
+pub fn repeated_choice_rounds<S: Strategy, R: Rng>(
+    strategy: &S,
+    m: usize,
+    k: usize,
+    rounds: usize,
+    drain: u32,
+    isolated: bool,
+    rng: &mut R,
+) -> RoundsReport {
+    assert!(m > 0, "need at least one bin");
+    // Fix the choice sets once: the reappearance dependency.
+    let c = strategy.choices();
+    let mut choice_sets = vec![0u32; k * c];
+    for ball in 0..k {
+        strategy.draw(rng, m, &mut choice_sets[ball * c..(ball + 1) * c]);
+    }
+    let mut carried = vec![0u32; m];
+    let mut round_arrivals = vec![0u32; m];
+    let mut total_arrivals = vec![u64::MIN; m];
+    let mut max_load = 0u32;
+    for _ in 0..rounds {
+        round_arrivals.fill(0);
+        for ball in 0..k {
+            let cand = &choice_sets[ball * c..(ball + 1) * c];
+            let bin = if isolated {
+                strategy.place(cand, &round_arrivals)
+            } else {
+                // Stateful: decisions see carried + this round's arrivals.
+                // We fold arrivals into `carried` eagerly below, so
+                // `carried` is already the live view.
+                strategy.place(cand, &carried)
+            };
+            round_arrivals[bin as usize] += 1;
+            total_arrivals[bin as usize] += 1;
+            if !isolated {
+                carried[bin as usize] += 1;
+            }
+        }
+        if isolated {
+            for (cv, &a) in carried.iter_mut().zip(round_arrivals.iter()) {
+                *cv += a;
+            }
+        }
+        max_load = max_load.max(carried.iter().copied().max().unwrap_or(0));
+        for l in carried.iter_mut() {
+            *l = l.saturating_sub(drain);
+        }
+    }
+    let max_avg_arrivals = total_arrivals
+        .iter()
+        .map(|&t| t as f64 / rounds as f64)
+        .fold(0.0f64, f64::max);
+    RoundsReport {
+        max_load,
+        max_avg_arrivals,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{AlwaysGoLeft, GreedyD, OneChoice};
+    use rlb_hash::Pcg64;
+
+    #[test]
+    fn one_choice_single_round_is_loglog_separated_from_greedy() {
+        let m = 4096;
+        let mut rng = Pcg64::new(1, 0);
+        let one: u32 = (0..5)
+            .map(|_| single_round_max_load(&OneChoice, m, m, &mut rng))
+            .max()
+            .unwrap();
+        let two: u32 = (0..5)
+            .map(|_| single_round_max_load(&GreedyD::new(2), m, m, &mut rng))
+            .max()
+            .unwrap();
+        // Θ(log m / log log m) vs log log m + Θ(1): a clear gap at 4096.
+        assert!(one >= two + 2, "one-choice {one} vs two-choice {two}");
+        assert!(two <= 6, "two-choice max load {two} too large");
+    }
+
+    #[test]
+    fn greedy_max_load_grows_very_slowly_with_m() {
+        let mut rng = Pcg64::new(2, 0);
+        let small = single_round_max_load(&GreedyD::new(2), 1 << 8, 1 << 8, &mut rng);
+        let large = single_round_max_load(&GreedyD::new(2), 1 << 15, 1 << 15, &mut rng);
+        // log log growth: going from 2^8 to 2^15 should add at most ~2.
+        assert!(large <= small + 2, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn always_go_left_is_no_worse_than_greedy() {
+        let m = 1 << 14;
+        let mut rng = Pcg64::new(3, 0);
+        let agl = single_round_max_load(&AlwaysGoLeft::new(2), m, m, &mut rng);
+        let greedy = single_round_max_load(&GreedyD::new(2), m, m, &mut rng);
+        assert!(agl <= greedy + 1, "agl {agl} vs greedy {greedy}");
+    }
+
+    #[test]
+    fn heavily_loaded_gap_is_small_and_h_independent() {
+        let m = 512;
+        let mut rng = Pcg64::new(4, 0);
+        let gap_small_h = heavily_loaded_gap(&GreedyD::new(2), m, 4, &mut rng);
+        let gap_large_h = heavily_loaded_gap(&GreedyD::new(2), m, 32, &mut rng);
+        assert!((0..=8).contains(&gap_small_h), "gap {gap_small_h}");
+        assert!((0..=8).contains(&gap_large_h), "gap {gap_large_h}");
+    }
+
+    #[test]
+    fn isolated_rounds_accumulate_hotspots() {
+        // With fixed choice sets, isolated per-round routing sends the
+        // same expected arrivals to an unlucky bin every round, so with
+        // drain == 1 its backlog grows; stateful routing equalizes.
+        let m = 1024;
+        let rounds = 200;
+        let mut rng = Pcg64::new(5, 0);
+        let iso = repeated_choice_rounds(&GreedyD::new(2), m, m, rounds, 1, true, &mut rng);
+        let mut rng = Pcg64::new(5, 0);
+        let stateful =
+            repeated_choice_rounds(&GreedyD::new(2), m, m, rounds, 1, false, &mut rng);
+        assert!(
+            iso.max_load > stateful.max_load.saturating_mul(3),
+            "isolated {} vs stateful {}",
+            iso.max_load,
+            stateful.max_load
+        );
+    }
+
+    #[test]
+    fn report_counts_rounds() {
+        let mut rng = Pcg64::new(6, 0);
+        let r = repeated_choice_rounds(&OneChoice, 16, 16, 7, 1, false, &mut rng);
+        assert_eq!(r.rounds, 7);
+        assert!(r.max_avg_arrivals >= 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Online ball-placement strategies.
+//!
+//! A [`Strategy`] sees a ball's candidate bins and the current bin loads,
+//! and must choose one bin irrevocably — the same online constraint the
+//! paper imposes on request routing. Implementations:
+//!
+//! * [`OneChoice`] — d = 1; the classical `Θ(log m / log log m)` max load.
+//! * [`GreedyD`] — Azar et al.: least-loaded of `d` uniform choices,
+//!   `log log m / log d + Θ(1)` max load.
+//! * [`AlwaysGoLeft`] — Vöcking: bins split into `d` groups, one choice
+//!   per group, ties broken to the leftmost group; improves the constant
+//!   to `log log m / (d·ln φ_d)` and is the strategy whose lower bound
+//!   (his Theorem 2) underlies the paper's Theorem 5.1.
+
+use rlb_hash::Rng;
+
+/// An online placement strategy for one ball given its candidate bins.
+pub trait Strategy {
+    /// Number of candidate bins the strategy consumes per ball.
+    fn choices(&self) -> usize;
+
+    /// Draws the candidate bins for a fresh ball into `out`
+    /// (`out.len() == self.choices()`), given `num_bins` total bins.
+    fn draw<R: Rng>(&self, rng: &mut R, num_bins: usize, out: &mut [u32]);
+
+    /// Picks the bin for a ball with candidates `candidates` under
+    /// current `loads`. Must return one of the candidates.
+    fn place(&self, candidates: &[u32], loads: &[u32]) -> u32;
+}
+
+/// d = 1: a single uniform choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneChoice;
+
+impl Strategy for OneChoice {
+    fn choices(&self) -> usize {
+        1
+    }
+
+    fn draw<R: Rng>(&self, rng: &mut R, num_bins: usize, out: &mut [u32]) {
+        out[0] = rng.gen_index(num_bins) as u32;
+    }
+
+    fn place(&self, candidates: &[u32], _loads: &[u32]) -> u32 {
+        candidates[0]
+    }
+}
+
+/// Azar et al.'s greedy: least-loaded of `d` uniform choices, first
+/// minimum wins ties.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyD {
+    /// Number of uniform choices per ball.
+    pub d: usize,
+}
+
+impl GreedyD {
+    /// Creates a greedy strategy with `d` choices.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "d must be positive");
+        Self { d }
+    }
+}
+
+impl Strategy for GreedyD {
+    fn choices(&self) -> usize {
+        self.d
+    }
+
+    fn draw<R: Rng>(&self, rng: &mut R, num_bins: usize, out: &mut [u32]) {
+        for slot in out.iter_mut() {
+            *slot = rng.gen_index(num_bins) as u32;
+        }
+    }
+
+    fn place(&self, candidates: &[u32], loads: &[u32]) -> u32 {
+        let mut best = candidates[0];
+        let mut best_load = loads[best as usize];
+        for &c in &candidates[1..] {
+            let l = loads[c as usize];
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+}
+
+/// Vöcking's Always-Go-Left: the bins are partitioned into `d` contiguous
+/// groups; each ball draws one uniform candidate *per group*; the ball
+/// goes to the least-loaded candidate, breaking ties toward the leftmost
+/// (lowest-index) group.
+#[derive(Debug, Clone, Copy)]
+pub struct AlwaysGoLeft {
+    /// Number of groups (choices per ball).
+    pub d: usize,
+}
+
+impl AlwaysGoLeft {
+    /// Creates an always-go-left strategy with `d` groups.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "d must be positive");
+        Self { d }
+    }
+}
+
+impl Strategy for AlwaysGoLeft {
+    fn choices(&self) -> usize {
+        self.d
+    }
+
+    fn draw<R: Rng>(&self, rng: &mut R, num_bins: usize, out: &mut [u32]) {
+        // Group i covers [i*num_bins/d, (i+1)*num_bins/d).
+        let d = self.d;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let lo = (i * num_bins) / d;
+            let hi = ((i + 1) * num_bins) / d;
+            debug_assert!(hi > lo, "empty group: need num_bins >= d");
+            *slot = (lo + rng.gen_index(hi - lo)) as u32;
+        }
+    }
+
+    fn place(&self, candidates: &[u32], loads: &[u32]) -> u32 {
+        // Strictly-less comparison walking left to right implements the
+        // leftmost tie-break.
+        let mut best = candidates[0];
+        let mut best_load = loads[best as usize];
+        for &c in &candidates[1..] {
+            let l = loads[c as usize];
+            if l < best_load {
+                best = c;
+                best_load = l;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_hash::Pcg64;
+
+    #[test]
+    fn one_choice_places_its_candidate() {
+        let s = OneChoice;
+        assert_eq!(s.choices(), 1);
+        assert_eq!(s.place(&[7], &[0; 10]), 7);
+    }
+
+    #[test]
+    fn greedy_picks_least_loaded() {
+        let s = GreedyD::new(3);
+        let loads = [5u32, 2, 9, 2];
+        // First minimum wins ties: candidates 3 and 1 both have load 2.
+        assert_eq!(s.place(&[0, 3, 1], &loads), 3);
+        assert_eq!(s.place(&[2, 0], &loads), 0);
+    }
+
+    #[test]
+    fn always_go_left_draws_one_per_group() {
+        let s = AlwaysGoLeft::new(4);
+        let mut rng = Pcg64::new(1, 0);
+        let mut out = [0u32; 4];
+        for _ in 0..100 {
+            s.draw(&mut rng, 100, &mut out);
+            for (i, &c) in out.iter().enumerate() {
+                let lo = (i * 100) / 4;
+                let hi = ((i + 1) * 100) / 4;
+                assert!((c as usize) >= lo && (c as usize) < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn always_go_left_breaks_ties_left() {
+        let s = AlwaysGoLeft::new(2);
+        let loads = [3u32, 3, 3, 3];
+        // Candidates from group 0 and group 1, equal loads: group 0 wins.
+        assert_eq!(s.place(&[1, 2], &loads), 1);
+    }
+
+    #[test]
+    fn greedy_draw_is_in_range() {
+        let s = GreedyD::new(2);
+        let mut rng = Pcg64::new(2, 0);
+        let mut out = [0u32; 2];
+        for _ in 0..100 {
+            s.draw(&mut rng, 17, &mut out);
+            assert!(out.iter().all(|&c| (c as usize) < 17));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be positive")]
+    fn zero_d_panics() {
+        let _ = GreedyD::new(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Balls-and-bins strategy costs: one-step placement and the
+//! heavily-loaded regime that Lemma 4.4 builds on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlb_ballsbins::{heavily_loaded_gap, single_round_max_load, AlwaysGoLeft, GreedyD, OneChoice};
+use rlb_hash::Pcg64;
+
+fn bench_single_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ballsbins_single_round");
+    for m in [4096usize, 65536] {
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("one_choice", m), &m, |b, &m| {
+            let mut rng = Pcg64::new(1, 1);
+            b.iter(|| single_round_max_load(&OneChoice, m, m, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy2", m), &m, |b, &m| {
+            let mut rng = Pcg64::new(2, 2);
+            b.iter(|| single_round_max_load(&GreedyD::new(2), m, m, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("go_left2", m), &m, |b, &m| {
+            let mut rng = Pcg64::new(3, 3);
+            b.iter(|| single_round_max_load(&AlwaysGoLeft::new(2), m, m, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ballsbins_heavy");
+    let m = 1024usize;
+    for h in [8usize, 64] {
+        group.throughput(Throughput::Elements((m * h) as u64));
+        group.bench_with_input(BenchmarkId::new("greedy2_gap", h), &h, |b, &h| {
+            let mut rng = Pcg64::new(4, h as u64);
+            b.iter(|| heavily_loaded_gap(&GreedyD::new(2), m, h, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_round, bench_heavy);
+criterion_main!(benches);

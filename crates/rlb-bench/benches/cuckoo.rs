@@ -1,0 +1,76 @@
+//! Cuckoo allocator costs: exact (peeling) vs random-walk, and the
+//! Lemma 4.2 tripartite routing-table build that delayed cuckoo routing
+//! performs once per simulated step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlb_cuckoo::{Choices, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner};
+use rlb_hash::{Pcg64, Rng};
+
+fn random_items(m: usize, k: usize, seed: u64) -> Vec<Choices> {
+    let mut rng = Pcg64::new(seed, 0xbe);
+    (0..k)
+        .map(|_| Choices::new(rng.gen_index(m) as u32, rng.gen_index(m) as u32))
+        .collect()
+}
+
+fn bench_allocators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo_allocators");
+    for m in [1024usize, 8192] {
+        let third = random_items(m, m / 3, 11);
+        group.throughput(Throughput::Elements((m / 3) as u64));
+        group.bench_with_input(BenchmarkId::new("exact_third_load", m), &m, |b, &m| {
+            b.iter(|| OfflineAssignment::assign_exact(m, &third))
+        });
+        group.bench_with_input(BenchmarkId::new("random_walk_third_load", m), &m, |b, &m| {
+            let alloc = RandomWalkAllocator::new(64);
+            let mut rng = Pcg64::new(5, 5);
+            b.iter(|| alloc.assign(m, &third, &mut rng))
+        });
+        let full = random_items(m, m, 13);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("tripartite_full_step", m), &m, |b, &m| {
+            b.iter(|| RoutingTable::build(m, &full, TripartiteAssigner::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_table(c: &mut Criterion) {
+    use rlb_cuckoo::{BfsCuckoo, OnlineCuckoo};
+    let mut group = c.benchmark_group("cuckoo_online");
+    let cap = 4096usize;
+    group.throughput(Throughput::Elements((cap / 3) as u64));
+    group.bench_function("insert_third_load", |b| {
+        b.iter(|| {
+            let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 7);
+            for k in 0..(cap as u64 / 3) {
+                t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
+            }
+            t.len()
+        })
+    });
+    group.bench_function("bfs_insert_third_load", |b| {
+        b.iter(|| {
+            let mut t: BfsCuckoo<u64> = BfsCuckoo::new(cap, 8, 7);
+            for k in 0..(cap as u64 / 3) {
+                t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
+            }
+            t.len()
+        })
+    });
+    group.bench_function("lookup_hit", |b| {
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 7);
+        for k in 0..(cap as u64 / 3) {
+            t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % (cap as u64 / 3);
+            t.get(i.wrapping_mul(0x9e37_79b9) + 1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators, bench_online_table);
+criterion_main!(benches);

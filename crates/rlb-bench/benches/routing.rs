@@ -1,0 +1,50 @@
+//! Per-step routing throughput of every policy at full load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlb_bench::bench_config;
+use rlb_core::policies::{
+    DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
+};
+use rlb_core::{Policy, Simulation, Workload};
+use rlb_workloads::RepeatedSet;
+
+fn run_steps<P: Policy>(m: usize, policy: P, steps: u64) -> u64 {
+    let config = bench_config(m, 42);
+    let mut sim = Simulation::new(config, policy);
+    let mut workload = RepeatedSet::first_k(m as u32, 7);
+    sim.run(&mut workload as &mut dyn Workload, steps);
+    sim.finish().arrived
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let m = 1024usize;
+    let steps = 8u64;
+    let mut group = c.benchmark_group("routing_per_policy");
+    group.throughput(Throughput::Elements(m as u64 * steps));
+    group.bench_function(BenchmarkId::new("greedy", m), |b| {
+        b.iter(|| run_steps(m, Greedy::new(), steps))
+    });
+    group.bench_function(BenchmarkId::new("delayed-cuckoo", m), |b| {
+        b.iter(|| {
+            let config = bench_config(m, 42);
+            let policy = DelayedCuckoo::new(&config);
+            run_steps(m, policy, steps)
+        })
+    });
+    group.bench_function(BenchmarkId::new("one-choice", m), |b| {
+        b.iter(|| run_steps(m, OneChoice::new(), steps))
+    });
+    group.bench_function(BenchmarkId::new("uniform-random", m), |b| {
+        b.iter(|| run_steps(m, UniformRandom::new(3), steps))
+    });
+    group.bench_function(BenchmarkId::new("round-robin", m), |b| {
+        b.iter(|| run_steps(m, RoundRobin::new(4 * m), steps))
+    });
+    group.bench_function(BenchmarkId::new("step-isolated", m), |b| {
+        b.iter(|| run_steps(m, TimeStepIsolated::new(m), steps))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Engine scaling: cost of a full simulated step as m grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rlb_bench::bench_config;
+use rlb_core::policies::{DelayedCuckoo, Greedy};
+use rlb_core::{Simulation, Workload};
+use rlb_workloads::{FreshRandom, RepeatedSet};
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step_scaling");
+    for m in [256usize, 1024, 4096] {
+        group.throughput(Throughput::Elements(m as u64 * 4));
+        group.bench_with_input(BenchmarkId::new("greedy_repeated", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sim = Simulation::new(bench_config(m, 1), Greedy::new());
+                let mut w = RepeatedSet::first_k(m as u32, 2);
+                sim.run(&mut w as &mut dyn Workload, 4);
+                sim.finish().arrived
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dcr_repeated", m), &m, |b, &m| {
+            b.iter(|| {
+                let config = bench_config(m, 1);
+                let policy = DelayedCuckoo::new(&config);
+                let mut sim = Simulation::new(config, policy);
+                let mut w = RepeatedSet::first_k(m as u32, 2);
+                sim.run(&mut w as &mut dyn Workload, 4);
+                sim.finish().arrived
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_fresh", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sim = Simulation::new(bench_config(m, 1), Greedy::new());
+                let mut w = FreshRandom::new(4 * m as u64, m, 3);
+                sim.run(&mut w as &mut dyn Workload, 4);
+                sim.finish().arrived
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration_baseline(c: &mut Criterion) {
+    use rlb_core::migration::{MigrationConfig, MigrationSim};
+    let mut group = c.benchmark_group("migration_baseline");
+    for m in [1024usize, 4096] {
+        group.throughput(Throughput::Elements(m as u64 * 8));
+        group.bench_with_input(BenchmarkId::new("d1_migrating", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sim = MigrationSim::new(MigrationConfig {
+                    num_servers: m,
+                    num_chunks: 4 * m,
+                    process_rate: 2,
+                    queue_capacity: 8,
+                    budget_per_step: 4,
+                    seed: 1,
+                });
+                let mut w = RepeatedSet::first_k(m as u32, 2);
+                sim.run(&mut w as &mut dyn Workload, 8).migrations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_ballsbins(c: &mut Criterion) {
+    use rlb_ballsbins::{batched_gap, GreedyD};
+    use rlb_hash::Pcg64;
+    let mut group = c.benchmark_group("batched_ballsbins");
+    let m = 4096usize;
+    for batch in [1usize, m] {
+        group.throughput(Throughput::Elements((8 * m) as u64));
+        group.bench_with_input(BenchmarkId::new("greedy2", batch), &batch, |b, &batch| {
+            let mut rng = Pcg64::new(3, batch as u64);
+            b.iter(|| batched_gap(&GreedyD::new(2), m, 8 * m, batch, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_scaling,
+    bench_migration_baseline,
+    bench_batched_ballsbins
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `routing` — per-request routing cost of every policy.
+//! * `simulation` — full-step cost of the engine across cluster sizes.
+//! * `cuckoo` — offline allocators and the Lemma 4.2 tripartite build.
+//! * `ballsbins` — classical strategies at one-step and heavy load.
+//! * `experiments` — wall-clock of the per-theorem experiment suite in
+//!   quick mode (regression guard for the reproduction harness itself).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rlb_core::{DrainMode, SimConfig};
+
+/// A standard benchmark configuration for `m` servers.
+pub fn bench_config(m: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        num_servers: m,
+        num_chunks: 4 * m,
+        replication: 2,
+        process_rate: 16,
+        queue_capacity: 16,
+        flush_interval: None,
+        drain_mode: DrainMode::EndOfStep,
+        seed,
+        safety_check_every: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_valid() {
+        bench_config(64, 1).validate().unwrap();
+    }
+}

@@ -1,0 +1,504 @@
+//! Library backing the `rlb-sim` command-line simulator.
+//!
+//! Everything the binary does — argument parsing, policy dispatch, run
+//! execution, report rendering — lives here so it can be unit-tested;
+//! `main.rs` is a thin shell.
+//!
+//! ```text
+//! rlb-sim [OPTIONS]
+//!
+//!   --policy NAME        greedy | delayed-cuckoo | one-choice |
+//!                        uniform-random | round-robin | step-isolated
+//!                        (default greedy)
+//!   --servers M          cluster size (default 1024)
+//!   --chunks N           chunk universe (default 4*M)
+//!   --replication D      replicas per chunk (default 2)
+//!   --rate G             requests processed per server per step (default 16)
+//!   --queue Q            queue capacity (default 16)
+//!   --steps T            steps to simulate (default 200)
+//!   --seed S             master seed (default 0)
+//!   --workload SPEC      repeated:K | fresh:K | partial:P,K |
+//!                        zipf:ALPHA,K |
+//!                        phased:W,K,T | burst:B,T,LB,LT (default repeated:M)
+//!   --flush T            flush queues every T steps (default never)
+//!   --interleaved        use sub-step (interleaved) draining
+//!   --json               emit the full report as JSON
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rlb_core::policies::{
+    DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
+};
+use rlb_core::{DrainMode, RunReport, SimConfig, Simulation};
+use rlb_workloads::{Trace, WorkloadSpec};
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// Policy name (validated at run time).
+    pub policy: String,
+    /// Simulation configuration.
+    pub config: SimConfig,
+    /// Steps to run.
+    pub steps: u64,
+    /// Workload description.
+    pub workload: WorkloadSpec,
+    /// Emit JSON instead of the text report.
+    pub json: bool,
+    /// Write the generated request trace to this file (JSON).
+    pub record_trace: Option<String>,
+    /// Replay a previously recorded trace instead of generating one.
+    pub replay_trace: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        let m = 1024;
+        Self {
+            policy: "greedy".into(),
+            config: SimConfig {
+                num_servers: m,
+                num_chunks: 4 * m,
+                replication: 2,
+                process_rate: 16,
+                queue_capacity: 16,
+                flush_interval: None,
+                drain_mode: DrainMode::EndOfStep,
+                seed: 0,
+                safety_check_every: Some(1),
+            },
+            steps: 200,
+            workload: WorkloadSpec::Repeated { k: m as u32 },
+            json: false,
+            record_trace: None,
+            replay_trace: None,
+        }
+    }
+}
+
+/// Parses command-line arguments (without the program name).
+///
+/// # Errors
+/// Returns a usage-style message on malformed input.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut servers_set = false;
+    let mut chunks_set = false;
+    let mut workload_arg: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--policy" => opts.policy = value("--policy")?,
+            "--config" => {
+                let path = value("--config")?;
+                let json = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read config {path:?}: {e}"))?;
+                opts.config = serde_json::from_str(&json)
+                    .map_err(|e| format!("bad config {path:?}: {e}"))?;
+                servers_set = true;
+                chunks_set = true;
+            }
+            "--servers" => {
+                opts.config.num_servers = value("--servers")?
+                    .parse()
+                    .map_err(|_| "--servers: not a number")?;
+                servers_set = true;
+            }
+            "--chunks" => {
+                opts.config.num_chunks = value("--chunks")?
+                    .parse()
+                    .map_err(|_| "--chunks: not a number")?;
+                chunks_set = true;
+            }
+            "--replication" => {
+                opts.config.replication = value("--replication")?
+                    .parse()
+                    .map_err(|_| "--replication: not a number")?
+            }
+            "--rate" => {
+                opts.config.process_rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate: not a number")?
+            }
+            "--queue" => {
+                opts.config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: not a number")?
+            }
+            "--steps" => {
+                opts.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| "--steps: not a number")?
+            }
+            "--seed" => {
+                opts.config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not a number")?
+            }
+            "--flush" => {
+                opts.config.flush_interval = Some(
+                    value("--flush")?
+                        .parse()
+                        .map_err(|_| "--flush: not a number")?,
+                )
+            }
+            "--workload" => workload_arg = Some(value("--workload")?),
+            "--record-trace" => opts.record_trace = Some(value("--record-trace")?),
+            "--replay-trace" => opts.replay_trace = Some(value("--replay-trace")?),
+            "--interleaved" => opts.config.drain_mode = DrainMode::Interleaved,
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if servers_set && !chunks_set {
+        opts.config.num_chunks = 4 * opts.config.num_servers;
+    }
+    let default_universe = opts.config.num_chunks as u64;
+    opts.workload = match workload_arg {
+        Some(s) => WorkloadSpec::parse_cli(&s, default_universe)?,
+        None => WorkloadSpec::Repeated {
+            k: opts.config.num_servers as u32,
+        },
+    };
+    if opts.workload.universe() > opts.config.num_chunks as u64 {
+        return Err(format!(
+            "workload universe {} exceeds --chunks {}",
+            opts.workload.universe(),
+            opts.config.num_chunks
+        ));
+    }
+    opts.config.validate()?;
+    Ok(opts)
+}
+
+/// A trace replayer that owns its trace (the borrowing replayer in
+/// `rlb-workloads` cannot cross the `Box<dyn Workload>` boundary).
+struct OwnedReplayer {
+    trace: Trace,
+}
+
+impl rlb_core::Workload for OwnedReplayer {
+    fn next_step(&mut self, step: u64, out: &mut Vec<u32>) {
+        if self.trace.is_empty() {
+            return;
+        }
+        let idx = (step % self.trace.len() as u64) as usize;
+        out.extend_from_slice(self.trace.step(idx));
+    }
+}
+
+/// Runs the described simulation.
+///
+/// # Errors
+/// Returns a message for an unknown policy name or a policy/config
+/// mismatch caught before the run.
+pub fn run(opts: &CliOptions) -> Result<RunReport, String> {
+    let config = opts.config.clone();
+    let steps = opts.steps;
+    // Resolve the request source: a recorded trace, or a generator
+    // (optionally materialized to a trace so it can be archived).
+    let trace: Option<Trace> = match (&opts.replay_trace, &opts.record_trace) {
+        (Some(path), _) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace {path:?}: {e}"))?;
+            Some(Trace::from_json(&json).map_err(|e| format!("bad trace {path:?}: {e}"))?)
+        }
+        (None, Some(path)) => {
+            let mut generator = opts.workload.build(config.seed ^ 0x5eed);
+            let t = Trace::record(generator.as_mut(), steps);
+            std::fs::write(path, t.to_json())
+                .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+            Some(t)
+        }
+        (None, None) => None,
+    };
+    let mut workload: Box<dyn rlb_core::Workload + Send> = match &trace {
+        Some(t) => {
+            // Validate the trace against the chunk universe up front.
+            for i in 0..t.len() {
+                if let Some(&c) = t.step(i).iter().max() {
+                    if c as usize >= config.num_chunks {
+                        return Err(format!(
+                            "trace step {i} references chunk {c} >= --chunks {}",
+                            config.num_chunks
+                        ));
+                    }
+                }
+            }
+            Box::new(OwnedReplayer { trace: t.clone() })
+        }
+        None => opts.workload.build(config.seed ^ 0x5eed),
+    };
+    let report = match opts.policy.as_str() {
+        "greedy" => {
+            let mut sim = Simulation::new(config, Greedy::new());
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        "delayed-cuckoo" | "dcr" => {
+            if config.replication != 2 {
+                return Err("delayed-cuckoo requires --replication 2".into());
+            }
+            let policy = DelayedCuckoo::new(&config);
+            let mut sim = Simulation::new(config, policy);
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        "one-choice" => {
+            let mut sim = Simulation::new(config, OneChoice::new());
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        "uniform-random" => {
+            let policy = UniformRandom::new(config.seed ^ 0xa7);
+            let mut sim = Simulation::new(config, policy);
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        "round-robin" => {
+            let policy = RoundRobin::new(config.num_chunks);
+            let mut sim = Simulation::new(config, policy);
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        "step-isolated" => {
+            let policy = TimeStepIsolated::new(config.num_servers);
+            let mut sim = Simulation::new(config, policy);
+            sim.run(workload.as_mut(), steps);
+            sim.finish()
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    Ok(report)
+}
+
+/// Renders a run report as the human-readable text block.
+pub fn render_text(opts: &CliOptions, report: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "policy {} | m={} n={} d={} g={} q={} | {} steps | workload {:?}",
+        opts.policy,
+        opts.config.num_servers,
+        opts.config.num_chunks,
+        opts.config.replication,
+        opts.config.process_rate,
+        opts.config.queue_capacity,
+        report.steps,
+        opts.workload,
+    );
+    let _ = writeln!(out, "arrived            {}", report.arrived);
+    let _ = writeln!(
+        out,
+        "rejection rate     {:.3e}  (policy {}, table {}, overflow {}, flush {}, down {})",
+        report.rejection_rate,
+        report.rejected_policy,
+        report.rejected_table,
+        report.rejected_overflow,
+        report.rejected_flush,
+        report.rejected_down
+    );
+    let _ = writeln!(
+        out,
+        "latency steps      avg {:.3}  p99 {}  max {}",
+        report.avg_latency, report.p99_latency, report.max_latency
+    );
+    let _ = writeln!(
+        out,
+        "backlog            mean {:.3}  max {}  within-step peak {}",
+        report.mean_backlog, report.max_backlog, report.peak_backlog
+    );
+    let _ = writeln!(
+        out,
+        "safety (Def 3.2)   {}/{} samples violated  worst ratio {:.3}",
+        report.safety_violations, report.safety_samples, report.worst_safety_ratio
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_and_run() {
+        let opts = parse_args(&[]).unwrap();
+        assert_eq!(opts.policy, "greedy");
+        assert_eq!(opts.config.num_servers, 1024);
+    }
+
+    #[test]
+    fn full_option_set_parses() {
+        let opts = parse_args(&args(
+            "--policy dcr --servers 128 --replication 2 --rate 16 --queue 8 \
+             --steps 50 --seed 7 --workload zipf:0.9,64 --interleaved --json",
+        ))
+        .unwrap();
+        assert_eq!(opts.policy, "dcr");
+        assert_eq!(opts.config.num_servers, 128);
+        assert_eq!(opts.config.num_chunks, 512, "chunks default to 4m");
+        assert_eq!(opts.config.drain_mode, DrainMode::Interleaved);
+        assert!(opts.json);
+        assert_eq!(
+            opts.workload,
+            WorkloadSpec::Zipf {
+                universe: 512,
+                per_step: 64,
+                alpha: 0.9
+            }
+        );
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse_args(&args("--bogus")).is_err());
+        assert!(parse_args(&args("--servers")).is_err());
+        assert!(parse_args(&args("--servers abc")).is_err());
+        assert!(parse_args(&args("--workload nope:1")).is_err());
+        // Workload universe larger than the chunk space.
+        assert!(parse_args(&args("--servers 8 --chunks 4 --workload repeated:100")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_all_policies() {
+        for policy in [
+            "greedy",
+            "delayed-cuckoo",
+            "one-choice",
+            "uniform-random",
+            "round-robin",
+            "step-isolated",
+        ] {
+            let opts = parse_args(&args(&format!(
+                "--policy {policy} --servers 64 --steps 20 --workload repeated:64"
+            )))
+            .unwrap();
+            let report = run(&opts).unwrap_or_else(|e| panic!("{policy}: {e}"));
+            report.check_conservation().unwrap();
+            assert_eq!(report.steps, 20);
+            let text = render_text(&opts, &report);
+            assert!(text.contains("rejection rate"));
+        }
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        let mut opts = parse_args(&[]).unwrap();
+        opts.policy = "wat".into();
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn dcr_requires_d2() {
+        let opts = parse_args(&args(
+            "--policy dcr --servers 32 --replication 3 --steps 5",
+        ))
+        .unwrap();
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn json_report_is_valid() {
+        let opts = parse_args(&args("--servers 32 --steps 10")).unwrap();
+        let report = run(&opts).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(value.get("rejection_rate").is_some());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_reproduces_the_run() {
+        let dir = std::env::temp_dir().join("rlb_cli_trace_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut rec_opts = parse_args(
+            &["--servers", "64", "--steps", "25", "--workload", "fresh:64", "--record-trace", &path_str]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        rec_opts.policy = "greedy".into();
+        let recorded = run(&rec_opts).unwrap();
+
+        let replay_opts = parse_args(
+            &["--servers", "64", "--steps", "25", "--replay-trace", &path_str]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let replayed = run(&replay_opts).unwrap();
+        assert_eq!(recorded.arrived, replayed.arrived);
+        assert_eq!(recorded.accepted, replayed.accepted);
+        assert_eq!(recorded.completed, replayed.completed);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_of_missing_file_errors() {
+        let mut opts = parse_args(&[]).unwrap();
+        opts.replay_trace = Some("/nonexistent/definitely/missing.json".into());
+        assert!(run(&opts).is_err());
+    }
+
+    #[test]
+    fn config_file_is_loaded() {
+        let dir = std::env::temp_dir().join("rlb_cli_cfg_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cfg.json");
+        let cfg = rlb_core::SimConfig::baseline(48).with_seed(9);
+        std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        let opts = parse_args(
+            &["--config", path.to_str().unwrap(), "--steps", "5"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(opts.config.num_servers, 48);
+        assert_eq!(opts.config.seed, 9);
+        let report = run(&opts).unwrap();
+        assert_eq!(report.steps, 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_rejects_out_of_universe_trace() {
+        let dir = std::env::temp_dir().join("rlb_cli_trace_test2");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bad.json");
+        let mut t = Trace::new();
+        t.push_step(vec![999_999]);
+        std::fs::write(&path, t.to_json()).unwrap();
+        let mut opts = parse_args(
+            &["--servers", "8", "--steps", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        opts.replay_trace = Some(path.to_str().unwrap().to_string());
+        assert!(run(&opts).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,47 @@
+//! `rlb-sim`: command-line front end (see `rlb_cli` for the options).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "rlb-sim: simulate a load-balanced distributed KV store\n\n\
+             options:\n\
+             \x20 --policy NAME     greedy | delayed-cuckoo | one-choice | uniform-random | round-robin | step-isolated\n\
+             \x20 --servers M       cluster size (default 1024)\n\
+             \x20 --chunks N        chunk universe (default 4*M)\n\
+             \x20 --replication D   replicas per chunk (default 2)\n\
+             \x20 --rate G          per-server processing rate (default 16)\n\
+             \x20 --queue Q         queue capacity (default 16)\n\
+             \x20 --steps T         steps (default 200)\n\
+             \x20 --seed S          master seed (default 0)\n\
+             \x20 --workload SPEC   repeated:K | fresh:K | partial:P,K | zipf:A,K | phased:W,K,T | burst:B,T,LB,LT\n\
+             \x20 --flush T         flush every T steps\n\
+             \x20 --interleaved     sub-step draining\n\
+             \x20 --json            JSON report"
+        );
+        return;
+    }
+    let opts = match rlb_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n(run with --help for usage)");
+            std::process::exit(2);
+        }
+    };
+    match rlb_cli::run(&opts) {
+        Ok(report) => {
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            } else {
+                print!("{}", rlb_cli::render_text(&opts, &report));
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

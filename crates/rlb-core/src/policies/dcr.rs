@@ -1,0 +1,410 @@
+//! Delayed cuckoo routing (§4 of the paper — the main algorithm).
+//!
+//! Uses replication `d = 2` and per-server queues of size only
+//! `Θ(log log m)` — optimal by Theorem 5.1 — while keeping rejection
+//! rate `O(1/m^c)` and expected average latency `O(1)` (Theorem 4.3).
+//!
+//! Time is divided into **phases** of `Θ(log log m)` steps. Each server
+//! runs four queues, each draining `g/4` per step:
+//!
+//! | class | name | role |
+//! |---|---|---|
+//! | 0 | `Q`  | first access of a chunk in the phase: two-choice greedy |
+//! | 1 | `P`  | repeat access: routed by the *delayed* cuckoo table |
+//! | 2 | `Q'` | previous phase's residual `Q`, drained to empty |
+//! | 3 | `P'` | previous phase's residual `P`, drained to empty |
+//!
+//! After each step `t`, the policy builds the cuckoo assignment `T_t`
+//! over the step's request set `S_t` (Lemma 4.2 via
+//! [`rlb_cuckoo::RoutingTable`]): every server receives `O(1)` of `S_t`.
+//! `T_t` cannot help at step `t` (it needs all of `S_t`), but when a
+//! chunk `x ∈ S_t` is requested again at `t'' > t` in the same phase, it
+//! is sent to `P_{T_t(x)}` — a queue that deterministically receives only
+//! `O(log log m)` requests per phase (Lemma 4.5). If `T_t` failed (the
+//! Lemma 4.2 stash-overflow event, probability `O(1/m^c)`), the repeat is
+//! rejected.
+
+use crate::config::SimConfig;
+use crate::policy::{Decision, Policy, RejectReason, RouteCtx, StepOps};
+use crate::queue::ClassSpec;
+use crate::view::ClusterView;
+use rlb_cuckoo::{Choices, RoutingTable, TripartiteAssigner};
+
+/// Queue class indices.
+const Q: u8 = 0;
+const P: u8 = 1;
+const Q_PREV: usize = 2;
+const P_PREV: usize = 3;
+
+/// Sentinel for "never accessed".
+const NEVER: u64 = u64::MAX;
+
+/// Tunable parameters of delayed cuckoo routing.
+#[derive(Debug, Clone, Copy)]
+pub struct DcrParams {
+    /// Steps per phase (`Θ(log log m)`).
+    pub phase_length: u64,
+    /// Stash bound per cuckoo group before a table is declared failed.
+    pub max_stash_per_group: usize,
+}
+
+impl DcrParams {
+    /// Defaults scaled for `m` servers: phase length
+    /// `2·⌈log2 log2 m⌉` (min 2) and stash bound 4.
+    pub fn for_servers(m: usize) -> Self {
+        let loglog = (m.max(4) as f64).log2().log2().ceil().max(1.0) as u64;
+        Self {
+            phase_length: (2 * loglog).max(2),
+            max_stash_per_group: 4,
+        }
+    }
+}
+
+/// Per-step routing table: chunk → assigned server, plus failure flag.
+#[derive(Debug, Clone, Default)]
+struct StepTable {
+    /// `(chunk, server)` pairs sorted by chunk.
+    pairs: Vec<(u32, u32)>,
+    failed: bool,
+    /// Step this table was built for (guards stale slots).
+    step: u64,
+}
+
+impl StepTable {
+    fn lookup(&self, chunk: u32) -> Option<u32> {
+        self.pairs
+            .binary_search_by_key(&chunk, |&(c, _)| c)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+}
+
+/// Counters exposed for experiments and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DcrDiagnostics {
+    /// Repeat requests rejected because their table had failed.
+    pub table_failure_rejects: u64,
+    /// First-access requests rejected with both `Q` queues full.
+    pub q_rejects: u64,
+    /// Repeat requests routed to `P`.
+    pub p_routed: u64,
+    /// First accesses routed to `Q`.
+    pub q_routed: u64,
+    /// Tables built.
+    pub tables_built: u64,
+    /// Tables that experienced the Lemma 4.2 failure event.
+    pub tables_failed: u64,
+    /// Phases started.
+    pub phases: u64,
+}
+
+/// The delayed cuckoo routing policy.
+#[derive(Debug, Clone)]
+pub struct DelayedCuckoo {
+    params: DcrParams,
+    /// Last step each chunk was requested (`NEVER` if none).
+    last_access: Vec<u64>,
+    /// Tables for steps of the current phase, indexed by `step % L`.
+    tables: Vec<StepTable>,
+    /// Requests seen this step: `(chunk, h1, h2)`.
+    step_records: Vec<(u32, Choices)>,
+    current_phase: u64,
+    diagnostics: DcrDiagnostics,
+    num_servers: usize,
+    started: bool,
+}
+
+impl DelayedCuckoo {
+    /// Creates the policy for the given config, deriving phase length
+    /// from `config.num_servers`.
+    pub fn new(config: &SimConfig) -> Self {
+        Self::with_params(config, DcrParams::for_servers(config.num_servers))
+    }
+
+    /// Creates the policy with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if the phase length is zero or replication is not 2.
+    pub fn with_params(config: &SimConfig, params: DcrParams) -> Self {
+        assert!(params.phase_length > 0, "phase length must be positive");
+        assert_eq!(
+            config.replication, 2,
+            "delayed cuckoo routing requires d = 2"
+        );
+        Self {
+            params,
+            last_access: vec![NEVER; config.num_chunks],
+            tables: vec![StepTable::default(); params.phase_length as usize],
+            step_records: Vec::with_capacity(config.num_servers),
+            current_phase: 0,
+            diagnostics: DcrDiagnostics::default(),
+            num_servers: config.num_servers,
+            started: false,
+        }
+    }
+
+    /// Runtime counters.
+    pub fn diagnostics(&self) -> DcrDiagnostics {
+        self.diagnostics
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> DcrParams {
+        self.params
+    }
+
+    #[inline]
+    fn phase_of(&self, step: u64) -> u64 {
+        step / self.params.phase_length
+    }
+
+    /// Two-choice greedy on the Q queues (first access in a phase, or
+    /// the fallback when a repeat's preplanned server is down).
+    fn route_first_access(
+        &mut self,
+        h1: u32,
+        h2: u32,
+        view: &ClusterView<'_>,
+    ) -> Decision {
+        let avail1 = view.is_available(h1, Q as usize);
+        let avail2 = view.is_available(h2, Q as usize);
+        let server = match (avail1, avail2) {
+            (false, false) => {
+                self.diagnostics.q_rejects += 1;
+                return Decision::Reject(RejectReason::Policy);
+            }
+            (true, false) => h1,
+            (false, true) => h2,
+            (true, true) => {
+                if view.class_backlog(h2, Q as usize) < view.class_backlog(h1, Q as usize) {
+                    h2
+                } else {
+                    h1
+                }
+            }
+        };
+        self.diagnostics.q_routed += 1;
+        Decision::Route { server, class: Q }
+    }
+}
+
+impl Policy for DelayedCuckoo {
+    fn name(&self) -> &'static str {
+        "delayed-cuckoo"
+    }
+
+    fn queue_classes(&self, config: &SimConfig) -> Vec<ClassSpec> {
+        // Four queues, each draining g/4 (min 1) per step.
+        let drain = (config.process_rate / 4).max(1);
+        let spec = ClassSpec {
+            capacity: config.queue_capacity,
+            drain_per_step: drain,
+        };
+        vec![spec; 4]
+    }
+
+    fn on_step_begin(&mut self, step: u64, ops: &mut dyn StepOps) {
+        let phase = self.phase_of(step);
+        if phase != self.current_phase || !self.started {
+            if self.started {
+                // Phase boundary: carry residuals to the primed queues.
+                // The drain budget guarantees Q'/P' emptied during the
+                // previous phase, so the migration cannot overflow.
+                ops.migrate_class(Q as usize, Q_PREV);
+                ops.migrate_class(P as usize, P_PREV);
+            }
+            self.current_phase = phase;
+            self.diagnostics.phases += 1;
+            self.started = true;
+            // Stale tables from the previous phase must not be consulted;
+            // the `step` guard in StepTable handles it, but clearing
+            // keeps memory tidy.
+            for t in &mut self.tables {
+                t.pairs.clear();
+                t.failed = false;
+                t.step = u64::MAX;
+            }
+        }
+    }
+
+    fn route(&mut self, ctx: RouteCtx<'_>, view: &ClusterView<'_>) -> Decision {
+        debug_assert_eq!(ctx.replicas.len(), 2, "DCR requires d = 2");
+        let (h1, h2) = (ctx.replicas[0], ctx.replicas[1]);
+        let chunk = ctx.chunk;
+        self.step_records.push((chunk, Choices::new(h1, h2)));
+
+        let prev = self.last_access[chunk as usize];
+        self.last_access[chunk as usize] = ctx.step;
+
+        let is_repeat = prev != NEVER && self.phase_of(prev) == self.current_phase;
+        if is_repeat {
+            // Route by the table built after the previous access.
+            let slot = (prev % self.params.phase_length) as usize;
+            let table = &self.tables[slot];
+            debug_assert_eq!(table.step, prev, "table slot mismatch for repeat access");
+            if table.failed {
+                self.diagnostics.table_failure_rejects += 1;
+                return Decision::Reject(RejectReason::TableFailed);
+            }
+            match table.lookup(chunk) {
+                Some(server) => {
+                    if !view.is_up(server) {
+                        // The preplanned server is down; fall back to
+                        // the live Q path (the repeat loses its table
+                        // guarantee but the request survives).
+                        return self.route_first_access(h1, h2, view);
+                    }
+                    self.diagnostics.p_routed += 1;
+                    Decision::Route { server, class: P }
+                }
+                None => {
+                    // The chunk was requested at `prev`, so it must be in
+                    // T_prev; absence indicates a bookkeeping bug.
+                    debug_assert!(false, "repeat chunk {chunk} missing from table");
+                    self.diagnostics.table_failure_rejects += 1;
+                    Decision::Reject(RejectReason::TableFailed)
+                }
+            }
+        } else {
+            self.route_first_access(h1, h2, view)
+        }
+    }
+
+    fn on_step_end(&mut self, step: u64, _chunks: &[u32], _view: &ClusterView<'_>) {
+        // Build T_step over the chunks requested this step.
+        let slot = (step % self.params.phase_length) as usize;
+        let items: Vec<Choices> = self.step_records.iter().map(|&(_, c)| c).collect();
+        let table = RoutingTable::build(
+            self.num_servers,
+            &items,
+            TripartiteAssigner {
+                max_stash_per_group: self.params.max_stash_per_group,
+            },
+        );
+        self.diagnostics.tables_built += 1;
+        if table.failed() {
+            self.diagnostics.tables_failed += 1;
+        }
+        let entry = &mut self.tables[slot];
+        entry.pairs.clear();
+        entry
+            .pairs
+            .extend(
+                self.step_records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(chunk, _))| (chunk, table.server_of(i))),
+            );
+        entry.pairs.sort_unstable_by_key(|&(c, _)| c);
+        entry.failed = table.failed();
+        entry.step = step;
+        self.step_records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrainMode;
+    use crate::sim::{Simulation, Workload};
+
+    fn dcr_config(m: usize) -> SimConfig {
+        SimConfig {
+            num_servers: m,
+            num_chunks: 4 * m,
+            replication: 2,
+            process_rate: 16,
+            queue_capacity: 16,
+            flush_interval: None,
+            drain_mode: DrainMode::EndOfStep,
+            seed: 3,
+            safety_check_every: Some(1),
+        }
+    }
+
+    fn repeated_workload(k: u32) -> impl Workload {
+        move |_step: u64, out: &mut Vec<u32>| out.extend(0..k)
+    }
+
+    #[test]
+    fn repeated_set_is_mostly_routed_to_p() {
+        let cfg = dcr_config(64);
+        let policy = DelayedCuckoo::new(&cfg);
+        let mut sim = Simulation::new(cfg, policy);
+        sim.run(&mut repeated_workload(64), 40);
+        let diag = sim.policy().diagnostics();
+        // Only the first access of each phase is a Q access.
+        assert!(diag.p_routed > diag.q_routed, "{diag:?}");
+        assert!(diag.tables_built >= 40);
+        let report = sim.finish();
+        report.check_conservation().unwrap();
+        assert_eq!(report.rejected_total, 0, "no rejections expected");
+    }
+
+    #[test]
+    fn fresh_chunks_always_use_q() {
+        let cfg = dcr_config(64);
+        let policy = DelayedCuckoo::new(&cfg);
+        let mut sim = Simulation::new(cfg, policy);
+        // Different chunk range each step: no repeats within a phase.
+        let mut step_counter = 0u32;
+        let mut workload = move |_s: u64, out: &mut Vec<u32>| {
+            let base = (step_counter * 16) % 192;
+            out.extend(base..base + 16);
+            step_counter += 3; // stride avoids revisits within a phase
+        };
+        sim.run(&mut workload, 12);
+        let diag = sim.policy().diagnostics();
+        assert_eq!(diag.table_failure_rejects, 0);
+        let report = sim.finish();
+        report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn phase_bookkeeping_counts_phases() {
+        let cfg = dcr_config(64);
+        let policy = DelayedCuckoo::with_params(
+            &cfg,
+            DcrParams {
+                phase_length: 5,
+                max_stash_per_group: 4,
+            },
+        );
+        let mut sim = Simulation::new(cfg, policy);
+        sim.run(&mut repeated_workload(32), 23);
+        // Steps 0..23 with phase length 5 -> phases 0..4 => 5 phases.
+        assert_eq!(sim.policy().diagnostics().phases, 5);
+    }
+
+    #[test]
+    fn full_load_repeated_set_stays_bounded() {
+        // m requests per step to the same m chunks: the paper's hard
+        // case. Queues must stay within O(log log m)-scale capacity and
+        // rejections must be essentially absent.
+        let cfg = dcr_config(256);
+        let policy = DelayedCuckoo::new(&cfg);
+        let mut sim = Simulation::new(cfg, policy);
+        sim.run(&mut repeated_workload(256), 60);
+        let report = sim.finish();
+        report.check_conservation().unwrap();
+        assert_eq!(report.rejected_total, 0, "rejections: {report:?}");
+        assert!(report.max_backlog <= 4 * 16, "max backlog {}", report.max_backlog);
+    }
+
+    #[test]
+    fn requires_replication_two() {
+        let mut cfg = dcr_config(16);
+        cfg.replication = 3;
+        let result = std::panic::catch_unwind(|| DelayedCuckoo::new(&cfg));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn queue_classes_are_four_way_split() {
+        let cfg = dcr_config(64);
+        let classes = DelayedCuckoo::new(&cfg).queue_classes(&cfg);
+        assert_eq!(classes.len(), 4);
+        assert!(classes.iter().all(|c| c.drain_per_step == 4));
+        assert!(classes.iter().all(|c| c.capacity == 16));
+    }
+}

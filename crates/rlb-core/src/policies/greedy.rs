@@ -1,0 +1,155 @@
+//! The greedy algorithm (§3 of the paper).
+//!
+//! Each request goes to the queue with the least backlog among the `d`
+//! replicas of its chunk, ties broken toward the earlier replica. If
+//! every replica's queue is full, the request is rejected. Combined with
+//! queue capacity `q = log2(m) + 1` and periodic flushes every `m^c`
+//! steps (configured via [`crate::SimConfig`]), Theorem 3.1 gives
+//! expected rejection rate `O(1/m^{c−1})`, maximum latency `O(log m)`,
+//! and expected average latency `O(1)`.
+
+use crate::config::SimConfig;
+use crate::policy::{Decision, Policy, RejectReason, RouteCtx};
+use crate::queue::ClassSpec;
+use crate::view::ClusterView;
+
+/// Greedy least-backlog routing over the `d` replicas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Greedy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Policy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn queue_classes(&self, config: &SimConfig) -> Vec<ClassSpec> {
+        vec![ClassSpec {
+            capacity: config.queue_capacity,
+            drain_per_step: config.process_rate,
+        }]
+    }
+
+    fn route(&mut self, ctx: RouteCtx<'_>, view: &ClusterView<'_>) -> Decision {
+        let mut best: Option<u32> = None;
+        let mut best_backlog = u32::MAX;
+        for &server in ctx.replicas {
+            if !view.is_available(server, 0) {
+                continue;
+            }
+            let b = view.backlog(server);
+            if b < best_backlog {
+                best = Some(server);
+                best_backlog = b;
+            }
+        }
+        match best {
+            Some(server) => Decision::Route { server, class: 0 },
+            None => Decision::Reject(RejectReason::Policy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueArray;
+
+    fn view_with(backlogs: &[(u32, u32)], cap: u32) -> QueueArray {
+        let m = backlogs.iter().map(|&(s, _)| s + 1).max().unwrap_or(1) as usize;
+        let mut q = QueueArray::new(
+            m.max(4),
+            &[ClassSpec {
+                capacity: cap,
+                drain_per_step: 1,
+            }],
+        );
+        for &(server, n) in backlogs {
+            for _ in 0..n {
+                q.enqueue(server, 0, 0).unwrap();
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn routes_to_least_backlogged() {
+        let q = view_with(&[(0, 3), (1, 1), (2, 2)], 8);
+        let view = ClusterView::new(&q);
+        let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1, 2],
+            },
+            &view,
+        );
+        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+    }
+
+    #[test]
+    fn ties_break_to_first_replica() {
+        let q = view_with(&[(0, 2), (1, 2)], 8);
+        let view = ClusterView::new(&q);
+        let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[1, 0],
+            },
+            &view,
+        );
+        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+    }
+
+    #[test]
+    fn skips_full_queues() {
+        // Server 0 full (cap 2); server 1 has the higher usable backlog
+        // but is the only open option.
+        let q = view_with(&[(0, 2), (1, 1)], 2);
+        let view = ClusterView::new(&q);
+        let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
+        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+    }
+
+    #[test]
+    fn rejects_when_all_full() {
+        let q = view_with(&[(0, 2), (1, 2)], 2);
+        let view = ClusterView::new(&q);
+        let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
+        assert_eq!(d, Decision::Reject(RejectReason::Policy));
+    }
+
+    #[test]
+    fn queue_classes_use_config() {
+        let cfg = SimConfig::baseline(16);
+        let classes = Greedy::new().queue_classes(&cfg);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].capacity, cfg.queue_capacity);
+        assert_eq!(classes[0].drain_per_step, cfg.process_rate);
+    }
+}

@@ -1,0 +1,29 @@
+//! Routing policies: the paper's algorithms and the baselines they are
+//! compared against.
+//!
+//! * [`Greedy`] — §3: least-backlogged of the `d` replicas.
+//! * [`DelayedCuckoo`] — §4: the paper's main algorithm.
+//! * [`OneChoice`] — route to the first replica only (the `d = 1`
+//!   regime of Wang et al. \[34\], provably Θ(1) rejection).
+//! * [`UniformRandom`] — a random replica, ignoring queue state.
+//! * [`RoundRobin`] — per-chunk rotation over replicas.
+//! * [`TimeStepIsolated`] — greedy over *within-step* arrival counts
+//!   only (the strategy class ruled out by Lemma 5.3 / Corollary 5.4).
+//! * [`GreedyShedding`] — greedy plus the model's third knob: voluntary
+//!   rejection above a backlog threshold (latency flooring).
+
+mod dcr;
+mod greedy;
+mod isolated;
+mod one_choice;
+mod round_robin;
+mod shedding;
+mod uniform_random;
+
+pub use dcr::{DcrDiagnostics, DelayedCuckoo, DcrParams};
+pub use greedy::Greedy;
+pub use isolated::TimeStepIsolated;
+pub use one_choice::OneChoice;
+pub use round_robin::RoundRobin;
+pub use shedding::GreedyShedding;
+pub use uniform_random::UniformRandom;

@@ -1,0 +1,112 @@
+//! The routing-policy interface.
+//!
+//! A policy is the paper's "second and most important knob" (§2): it sees
+//! each request *online* — one at a time, no knowledge of the rest of the
+//! step — and must irrevocably route it to one of the chunk's `d` replica
+//! servers (and to one of the server's queue classes), or reject it.
+
+use crate::config::SimConfig;
+use crate::queue::ClassSpec;
+use crate::view::ClusterView;
+
+/// Why a request was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The policy declined the request (e.g. greedy with all `d` queues
+    /// full, or the third knob of §2: voluntary rejection).
+    Policy,
+    /// Delayed cuckoo routing: the routing table of the previous access
+    /// experienced the Lemma 4.2 failure event.
+    TableFailed,
+    /// The policy chose a server whose class queue was full (engine-level
+    /// overflow).
+    Overflow,
+    /// Dropped after acceptance by a voluntary queue reset: the periodic
+    /// flush (greedy's `m^c`-step reset) or a phase-migration overflow
+    /// (only possible outside the Theorem 4.3 parameter regime).
+    Flush,
+    /// The chosen (or only) server is down per the outage schedule.
+    ServerDown,
+}
+
+/// Number of [`RejectReason`] variants (sizes the per-cause counters).
+pub const NUM_REJECT_REASONS: usize = 5;
+
+/// A routing decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Enqueue at `server` in queue class `class`.
+    Route {
+        /// Target server (must be one of the request's replicas).
+        server: u32,
+        /// Target queue class.
+        class: u8,
+    },
+    /// Reject the request.
+    Reject(RejectReason),
+}
+
+/// Context handed to the policy for each request.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteCtx<'a> {
+    /// Current time step.
+    pub step: u64,
+    /// The chunk being requested.
+    pub chunk: u32,
+    /// The chunk's replica servers (length `d`).
+    pub replicas: &'a [u32],
+}
+
+/// A load-balancing policy.
+///
+/// Lifecycle per step: `on_step_begin` → `route` for each request (in
+/// arrival order, interleaved with drains under
+/// [`crate::config::DrainMode::Interleaved`]) → `on_step_end` with the
+/// full request set of the step (a policy may use it to precompute state
+/// for *future* steps — the delayed table `T_t` — but never to revisit
+/// decisions already made).
+pub trait Policy {
+    /// Short identifier used in tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// The queue classes this policy uses, derived from the config.
+    /// Capacities and drain rates must be positive; drains should sum to
+    /// (at most) `config.process_rate`.
+    fn queue_classes(&self, config: &SimConfig) -> Vec<ClassSpec>;
+
+    /// Called at the beginning of each step, before any request arrives.
+    /// `ops` allows structural queue operations (class migration).
+    fn on_step_begin(&mut self, _step: u64, _ops: &mut dyn StepOps) {}
+
+    /// Routes one request. Must return a replica of `ctx.chunk` or a
+    /// rejection.
+    fn route(&mut self, ctx: RouteCtx<'_>, view: &ClusterView<'_>) -> Decision;
+
+    /// Called at the end of each step with the chunks requested during
+    /// it (in arrival order).
+    fn on_step_end(&mut self, _step: u64, _chunks: &[u32], _view: &ClusterView<'_>) {}
+}
+
+/// Structural queue operations available to a policy at step boundaries.
+pub trait StepOps {
+    /// Moves all contents of queue class `from` into class `to` on every
+    /// server, preserving FIFO order.
+    fn migrate_class(&mut self, from: usize, to: usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_equality() {
+        assert_eq!(
+            Decision::Route { server: 1, class: 0 },
+            Decision::Route { server: 1, class: 0 }
+        );
+        assert_ne!(
+            Decision::Reject(RejectReason::Policy),
+            Decision::Reject(RejectReason::Flush)
+        );
+    }
+}

@@ -1,0 +1,409 @@
+//! Bounded multi-class FIFO queues, stored flat for the whole cluster.
+//!
+//! Each server owns `K` queue *classes* (greedy uses one; delayed cuckoo
+//! routing uses four: `Q`, `P`, `Q'`, `P'`), each a bounded ring buffer of
+//! request arrival steps. All buffers for all servers live in one flat
+//! allocation — the routing hot loop touches only a few cache lines per
+//! request and performs no allocation.
+
+/// Specification of one queue class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSpec {
+    /// Maximum entries per server in this class.
+    pub capacity: u32,
+    /// Requests consumed per server per time step from this class.
+    pub drain_per_step: u32,
+}
+
+/// Error returned by [`QueueArray::enqueue`] when the class is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// Flat storage of all (server × class) bounded FIFO queues.
+#[derive(Debug, Clone)]
+pub struct QueueArray {
+    /// Entry payload: the arrival step of each queued request.
+    buf: Vec<u32>,
+    /// Ring-buffer heads, indexed by `server * K + class`.
+    head: Vec<u32>,
+    /// Ring-buffer lengths, indexed by `server * K + class`.
+    len: Vec<u32>,
+    /// Aggregate backlog per server (sum of class lengths).
+    backlog: Vec<u32>,
+    /// Per-class capacity.
+    caps: Vec<u32>,
+    /// Byte offset of class `c` inside a server's segment.
+    class_offset: Vec<u32>,
+    /// Total capacity per server (sum of class capacities).
+    per_server: u32,
+    num_servers: usize,
+}
+
+impl QueueArray {
+    /// Creates queues for `num_servers` servers with the given classes.
+    ///
+    /// # Panics
+    /// Panics if `classes` is empty or any capacity is zero.
+    pub fn new(num_servers: usize, classes: &[ClassSpec]) -> Self {
+        assert!(!classes.is_empty(), "need at least one queue class");
+        assert!(
+            classes.iter().all(|c| c.capacity > 0),
+            "class capacities must be positive"
+        );
+        let caps: Vec<u32> = classes.iter().map(|c| c.capacity).collect();
+        let mut class_offset = Vec::with_capacity(caps.len());
+        let mut acc = 0u32;
+        for &c in &caps {
+            class_offset.push(acc);
+            acc += c;
+        }
+        let per_server = acc;
+        let k = caps.len();
+        Self {
+            buf: vec![0; num_servers * per_server as usize],
+            head: vec![0; num_servers * k],
+            len: vec![0; num_servers * k],
+            backlog: vec![0; num_servers],
+            caps,
+            class_offset,
+            per_server,
+            num_servers,
+        }
+    }
+
+    /// Number of queue classes per server.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Number of servers.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Capacity of class `class`.
+    #[inline]
+    pub fn capacity(&self, class: usize) -> u32 {
+        self.caps[class]
+    }
+
+    /// Total backlog (all classes) of `server`.
+    #[inline]
+    pub fn backlog(&self, server: u32) -> u32 {
+        self.backlog[server as usize]
+    }
+
+    /// Backlog of one class of one server.
+    #[inline]
+    pub fn class_backlog(&self, server: u32, class: usize) -> u32 {
+        self.len[server as usize * self.num_classes() + class]
+    }
+
+    /// Whether `class` at `server` is full.
+    #[inline]
+    pub fn is_full(&self, server: u32, class: usize) -> bool {
+        self.class_backlog(server, class) >= self.caps[class]
+    }
+
+    /// Base index of `(server, class)` in `buf`.
+    #[inline]
+    fn base(&self, server: u32, class: usize) -> usize {
+        server as usize * self.per_server as usize + self.class_offset[class] as usize
+    }
+
+    /// Enqueues a request (by arrival step) into `(server, class)`.
+    ///
+    /// # Errors
+    /// Returns [`QueueFull`] if the class is at capacity; the queue is
+    /// unchanged.
+    #[inline]
+    pub fn enqueue(&mut self, server: u32, class: usize, arrival_step: u32) -> Result<(), QueueFull> {
+        let k = self.num_classes();
+        let idx = server as usize * k + class;
+        let cap = self.caps[class];
+        if self.len[idx] >= cap {
+            return Err(QueueFull);
+        }
+        let base = self.base(server, class);
+        let pos = (self.head[idx] + self.len[idx]) % cap;
+        self.buf[base + pos as usize] = arrival_step;
+        self.len[idx] += 1;
+        self.backlog[server as usize] += 1;
+        Ok(())
+    }
+
+    /// Dequeues up to `count` requests from `(server, class)` in FIFO
+    /// order, invoking `on_complete(arrival_step)` for each. Returns the
+    /// number dequeued.
+    #[inline]
+    pub fn dequeue_up_to(
+        &mut self,
+        server: u32,
+        class: usize,
+        count: u32,
+        mut on_complete: impl FnMut(u32),
+    ) -> u32 {
+        let k = self.num_classes();
+        let idx = server as usize * k + class;
+        let cap = self.caps[class];
+        let base = self.base(server, class);
+        let n = count.min(self.len[idx]);
+        for _ in 0..n {
+            on_complete(self.buf[base + self.head[idx] as usize]);
+            self.head[idx] = (self.head[idx] + 1) % cap;
+            self.len[idx] -= 1;
+        }
+        self.backlog[server as usize] -= n;
+        n
+    }
+
+    /// Moves the entire contents of class `from` into class `to` for
+    /// every server, preserving FIFO order (the delayed-cuckoo phase
+    /// boundary: `Q → Q'`, `P → P'`).
+    ///
+    /// Entries that do not fit in the destination are **dropped** (the
+    /// server voluntarily rejects them — the model's third knob),
+    /// invoking `on_drop(arrival_step)` for each; the number dropped is
+    /// returned. With parameters in the Theorem 4.3 regime (`g` large
+    /// enough that carry-over classes empty within a phase) no drop ever
+    /// occurs — the DCR experiments assert this.
+    ///
+    /// # Panics
+    /// Panics if `from == to`.
+    pub fn migrate_class(
+        &mut self,
+        from: usize,
+        to: usize,
+        mut on_drop: impl FnMut(u32),
+    ) -> u64 {
+        assert_ne!(from, to, "cannot migrate a class onto itself");
+        let k = self.num_classes();
+        let mut dropped = 0u64;
+        for server in 0..self.num_servers as u32 {
+            let from_idx = server as usize * k + from;
+            let pending = self.len[from_idx];
+            if pending == 0 {
+                continue;
+            }
+            let to_idx = server as usize * k + to;
+            let room = self.caps[to] - self.len[to_idx];
+            let moved = pending.min(room);
+            let from_cap = self.caps[from];
+            let from_base = self.base(server, from);
+            let to_cap = self.caps[to];
+            let to_base = self.base(server, to);
+            for _ in 0..moved {
+                let v = self.buf[from_base + self.head[from_idx] as usize];
+                self.head[from_idx] = (self.head[from_idx] + 1) % from_cap;
+                let pos = (self.head[to_idx] + self.len[to_idx]) % to_cap;
+                self.buf[to_base + pos as usize] = v;
+                self.len[to_idx] += 1;
+            }
+            for _ in moved..pending {
+                let v = self.buf[from_base + self.head[from_idx] as usize];
+                self.head[from_idx] = (self.head[from_idx] + 1) % from_cap;
+                on_drop(v);
+                dropped += 1;
+            }
+            self.len[from_idx] = 0;
+            self.backlog[server as usize] -= pending - moved;
+        }
+        dropped
+    }
+
+    /// Empties every queue, invoking `on_drop(arrival_step)` for each
+    /// dropped request. Returns the number dropped. Used for the greedy
+    /// algorithm's periodic flush (requests count as rejections).
+    pub fn flush_all(&mut self, mut on_drop: impl FnMut(u32)) -> u64 {
+        let k = self.num_classes();
+        let mut dropped = 0u64;
+        for server in 0..self.num_servers as u32 {
+            for class in 0..k {
+                let idx = server as usize * k + class;
+                let cap = self.caps[class];
+                let base = self.base(server, class);
+                let n = self.len[idx];
+                for _ in 0..n {
+                    on_drop(self.buf[base + self.head[idx] as usize]);
+                    self.head[idx] = (self.head[idx] + 1) % cap;
+                }
+                self.len[idx] = 0;
+                dropped += n as u64;
+            }
+            self.backlog[server as usize] = 0;
+        }
+        dropped
+    }
+
+    /// Copies all per-server total backlogs into `out` (length must be
+    /// `num_servers`).
+    pub fn backlogs(&self) -> &[u32] {
+        &self.backlog
+    }
+
+    /// Total requests queued across the cluster.
+    pub fn total_backlog(&self) -> u64 {
+        self.backlog.iter().map(|&b| b as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class() -> QueueArray {
+        QueueArray::new(
+            3,
+            &[
+                ClassSpec {
+                    capacity: 2,
+                    drain_per_step: 1,
+                },
+                ClassSpec {
+                    capacity: 4,
+                    drain_per_step: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn enqueue_dequeue_fifo_order() {
+        let mut q = two_class();
+        q.enqueue(1, 0, 10).unwrap();
+        q.enqueue(1, 0, 11).unwrap();
+        assert_eq!(q.backlog(1), 2);
+        assert_eq!(q.class_backlog(1, 0), 2);
+        let mut seen = Vec::new();
+        let n = q.dequeue_up_to(1, 0, 5, |a| seen.push(a));
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![10, 11]);
+        assert_eq!(q.backlog(1), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_class() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 1).unwrap();
+        q.enqueue(0, 0, 2).unwrap();
+        assert_eq!(q.enqueue(0, 0, 3), Err(QueueFull));
+        assert!(q.is_full(0, 0));
+        // Other class unaffected.
+        assert!(!q.is_full(0, 1));
+        q.enqueue(0, 1, 4).unwrap();
+        assert_eq!(q.backlog(0), 3);
+    }
+
+    #[test]
+    fn ring_buffer_wraps_correctly() {
+        let mut q = two_class();
+        for round in 0..10u32 {
+            q.enqueue(2, 0, round * 2).unwrap();
+            q.enqueue(2, 0, round * 2 + 1).unwrap();
+            let mut seen = Vec::new();
+            q.dequeue_up_to(2, 0, 2, |a| seen.push(a));
+            assert_eq!(seen, vec![round * 2, round * 2 + 1]);
+        }
+    }
+
+    #[test]
+    fn servers_are_independent() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 1).unwrap();
+        q.enqueue(2, 0, 2).unwrap();
+        assert_eq!(q.backlog(0), 1);
+        assert_eq!(q.backlog(1), 0);
+        assert_eq!(q.backlog(2), 1);
+        let mut seen = Vec::new();
+        q.dequeue_up_to(1, 0, 3, |a| seen.push(a));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn migrate_preserves_order_and_backlog() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 5).unwrap();
+        q.enqueue(0, 0, 6).unwrap();
+        q.enqueue(0, 1, 1).unwrap();
+        let dropped = q.migrate_class(0, 1, |_| {});
+        assert_eq!(dropped, 0);
+        assert_eq!(q.class_backlog(0, 0), 0);
+        assert_eq!(q.class_backlog(0, 1), 3);
+        assert_eq!(q.backlog(0), 3);
+        let mut seen = Vec::new();
+        q.dequeue_up_to(0, 1, 10, |a| seen.push(a));
+        assert_eq!(seen, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn migrate_overflow_drops_excess_fifo() {
+        let mut q = QueueArray::new(
+            1,
+            &[
+                ClassSpec {
+                    capacity: 3,
+                    drain_per_step: 1,
+                },
+                ClassSpec {
+                    capacity: 2,
+                    drain_per_step: 1,
+                },
+            ],
+        );
+        for v in 0..3 {
+            q.enqueue(0, 0, v).unwrap();
+        }
+        let mut dropped_vals = Vec::new();
+        let dropped = q.migrate_class(0, 1, |v| dropped_vals.push(v));
+        assert_eq!(dropped, 1);
+        // Oldest entries are preserved; the newest is dropped.
+        assert_eq!(dropped_vals, vec![2]);
+        assert_eq!(q.class_backlog(0, 1), 2);
+        assert_eq!(q.backlog(0), 2);
+        let mut seen = Vec::new();
+        q.dequeue_up_to(0, 1, 10, |a| seen.push(a));
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 1).unwrap();
+        q.enqueue(1, 1, 2).unwrap();
+        q.enqueue(2, 0, 3).unwrap();
+        let mut dropped = Vec::new();
+        let n = q.flush_all(|a| dropped.push(a));
+        assert_eq!(n, 3);
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![1, 2, 3]);
+        assert_eq!(q.total_backlog(), 0);
+        // Still usable after flush.
+        q.enqueue(0, 0, 9).unwrap();
+        assert_eq!(q.backlog(0), 1);
+    }
+
+    #[test]
+    fn total_backlog_sums_servers() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 1).unwrap();
+        q.enqueue(1, 0, 1).unwrap();
+        q.enqueue(1, 1, 1).unwrap();
+        assert_eq!(q.total_backlog(), 3);
+        assert_eq!(q.backlogs(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn dequeue_from_empty_is_zero() {
+        let mut q = two_class();
+        assert_eq!(q.dequeue_up_to(0, 0, 4, |_| panic!("no entries")), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot migrate")]
+    fn migrate_same_class_panics() {
+        let mut q = two_class();
+        q.migrate_class(1, 1, |_| {});
+    }
+}

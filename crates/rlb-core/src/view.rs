@@ -1,0 +1,132 @@
+//! Read-only view of cluster state exposed to policies and observers.
+
+use crate::queue::QueueArray;
+
+/// A read-only window onto the cluster's queues.
+///
+/// Policies receive a `ClusterView` when routing; it intentionally
+/// exposes only queue-occupancy information — a policy cannot see the
+/// identity of queued requests, matching the model (routing decisions
+/// depend on backlogs, not on which chunks are waiting).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    queues: &'a QueueArray,
+    /// Per-server liveness (`None` = every server up).
+    up: Option<&'a [bool]>,
+}
+
+impl<'a> ClusterView<'a> {
+    /// Wraps a queue array with every server up.
+    pub(crate) fn new(queues: &'a QueueArray) -> Self {
+        Self { queues, up: None }
+    }
+
+    /// Wraps a queue array with an explicit liveness mask.
+    pub(crate) fn with_liveness(queues: &'a QueueArray, up: &'a [bool]) -> Self {
+        Self {
+            queues,
+            up: Some(up),
+        }
+    }
+
+    /// Whether `server` is currently serving (failure-detector view).
+    #[inline]
+    pub fn is_up(&self, server: u32) -> bool {
+        self.up.is_none_or(|u| u[server as usize])
+    }
+
+    /// Whether `server` can accept a request into `class`: up and not
+    /// full. The standard availability predicate for policies.
+    #[inline]
+    pub fn is_available(&self, server: u32, class: usize) -> bool {
+        self.is_up(server) && !self.queues.is_full(server, class)
+    }
+
+    /// Total backlog (all classes) of `server`.
+    #[inline]
+    pub fn backlog(&self, server: u32) -> u32 {
+        self.queues.backlog(server)
+    }
+
+    /// Backlog of one queue class of `server`.
+    #[inline]
+    pub fn class_backlog(&self, server: u32, class: usize) -> u32 {
+        self.queues.class_backlog(server, class)
+    }
+
+    /// Whether `class` at `server` is at capacity.
+    #[inline]
+    pub fn is_full(&self, server: u32, class: usize) -> bool {
+        self.queues.is_full(server, class)
+    }
+
+    /// Capacity of queue class `class`.
+    #[inline]
+    pub fn capacity(&self, class: usize) -> u32 {
+        self.queues.capacity(class)
+    }
+
+    /// Number of servers.
+    #[inline]
+    pub fn num_servers(&self) -> usize {
+        self.queues.num_servers()
+    }
+
+    /// Number of queue classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.queues.num_classes()
+    }
+
+    /// Per-server total backlogs.
+    #[inline]
+    pub fn backlogs(&self) -> &[u32] {
+        self.queues.backlogs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ClassSpec;
+
+    #[test]
+    fn view_reflects_queue_state() {
+        let mut q = QueueArray::new(
+            2,
+            &[ClassSpec {
+                capacity: 2,
+                drain_per_step: 1,
+            }],
+        );
+        q.enqueue(1, 0, 7).unwrap();
+        let v = ClusterView::new(&q);
+        assert_eq!(v.backlog(0), 0);
+        assert_eq!(v.backlog(1), 1);
+        assert_eq!(v.class_backlog(1, 0), 1);
+        assert!(!v.is_full(1, 0));
+        assert_eq!(v.capacity(0), 2);
+        assert_eq!(v.num_servers(), 2);
+        assert_eq!(v.num_classes(), 1);
+        assert_eq!(v.backlogs(), &[0, 1]);
+        assert!(v.is_up(0));
+        assert!(v.is_available(0, 0));
+    }
+
+    #[test]
+    fn liveness_mask_gates_availability() {
+        let q = QueueArray::new(
+            2,
+            &[ClassSpec {
+                capacity: 2,
+                drain_per_step: 1,
+            }],
+        );
+        let up = [true, false];
+        let v = ClusterView::with_liveness(&q, &up);
+        assert!(v.is_up(0));
+        assert!(!v.is_up(1));
+        assert!(v.is_available(0, 0));
+        assert!(!v.is_available(1, 0), "down server is unavailable even when empty");
+    }
+}

@@ -1,0 +1,123 @@
+//! Integration tests for server-outage injection.
+
+use rlb_core::policies::{DelayedCuckoo, Greedy, OneChoice};
+use rlb_core::{DrainMode, OutageSchedule, SimConfig, Simulation, Workload};
+
+fn config(m: usize, d: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        num_servers: m,
+        num_chunks: 4 * m,
+        replication: d,
+        process_rate: 16,
+        queue_capacity: 16,
+        flush_interval: None,
+        drain_mode: DrainMode::EndOfStep,
+        seed,
+        safety_check_every: Some(1),
+    }
+}
+
+fn repeated(m: usize) -> impl Workload {
+    move |_s: u64, out: &mut Vec<u32>| out.extend(0..m as u32)
+}
+
+#[test]
+fn no_outage_schedule_changes_nothing() {
+    let run = |with_empty: bool| {
+        let mut sim = Simulation::new(config(64, 2, 1), Greedy::new());
+        if with_empty {
+            sim = sim.with_outages(OutageSchedule::none());
+        }
+        sim.run(&mut repeated(64), 40);
+        let r = sim.finish();
+        (r.accepted, r.completed, r.rejected_total)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn one_choice_loses_down_servers_traffic() {
+    let m = 128;
+    let steps = 60u64;
+    let outage = OutageSchedule::mass_failure(32, 0, steps); // 25% down whole run
+    let mut sim = Simulation::new(config(m, 1, 2), OneChoice::new()).with_outages(outage);
+    sim.run(&mut repeated(m), steps);
+    let r = sim.finish();
+    r.check_conservation().unwrap();
+    assert!(r.rejected_down > 0);
+    // Roughly a quarter of requests map to the down prefix.
+    let frac = r.rejected_down as f64 / r.arrived as f64;
+    assert!((0.1..0.45).contains(&frac), "down fraction {frac}");
+}
+
+#[test]
+fn greedy_d2_routes_around_single_failures() {
+    let m = 128;
+    let steps = 60u64;
+    // One server down the whole run: every chunk it holds has a live
+    // replica elsewhere, so nothing should be rejected.
+    let mut s = OutageSchedule::none();
+    s.push(7, 0, steps);
+    let mut sim = Simulation::new(config(m, 2, 3), Greedy::new()).with_outages(s);
+    sim.run(&mut repeated(m), steps);
+    let r = sim.finish();
+    r.check_conservation().unwrap();
+    assert_eq!(r.rejected_total, 0, "{r:?}");
+}
+
+#[test]
+fn dcr_falls_back_when_preplanned_server_is_down() {
+    let m = 128;
+    let steps = 60u64;
+    let cfg = config(m, 2, 4);
+    let policy = DelayedCuckoo::new(&cfg);
+    // 10% of servers down for the middle of the run: repeats whose table
+    // points at a down server must fall back to the Q path, not die.
+    let outage = OutageSchedule::mass_failure(12, 20, 40);
+    let mut sim = Simulation::new(cfg, policy).with_outages(outage);
+    sim.run(&mut repeated(m), steps);
+    let r = sim.finish();
+    r.check_conservation().unwrap();
+    // Double failures at 10% of a 128-server cluster are possible but
+    // rare; losses must be far below the 10% a non-replicated system
+    // would see.
+    assert!(
+        (r.rejected_total as f64) < 0.02 * r.arrived as f64,
+        "rejected {} of {}",
+        r.rejected_total,
+        r.arrived
+    );
+}
+
+#[test]
+fn queues_freeze_during_outage_and_drain_after() {
+    let m = 16;
+    let mut cfg = config(m, 2, 5);
+    // Tight rate so backlog is still queued when the outage starts.
+    cfg.process_rate = 1;
+    // All servers down in the middle: queued requests must survive and
+    // complete after recovery (crash-recover durability model).
+    let outage = OutageSchedule::mass_failure(m as u32, 10, 20);
+    let mut sim = Simulation::new(cfg, Greedy::new()).with_outages(outage);
+    // Requests only before the outage.
+    let mut w = move |step: u64, out: &mut Vec<u32>| {
+        if step < 10 {
+            out.extend(0..m as u32);
+        }
+    };
+    sim.run(&mut w, 40);
+    let r = sim.finish();
+    r.check_conservation().unwrap();
+    assert_eq!(r.in_flight, 0, "queues should fully drain after recovery");
+    assert_eq!(r.completed + r.rejected_total, r.arrived);
+    // Some completions were delayed across the outage window.
+    assert!(r.max_latency >= 10, "max latency {}", r.max_latency);
+}
+
+#[test]
+#[should_panic]
+fn out_of_range_outage_server_panics() {
+    let mut s = OutageSchedule::none();
+    s.push(999, 0, 10);
+    let _ = Simulation::new(config(8, 2, 6), Greedy::new()).with_outages(s);
+}

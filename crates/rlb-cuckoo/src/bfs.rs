@@ -1,0 +1,293 @@
+//! BFS-based online cuckoo insertion.
+//!
+//! The random-walk insertion of [`crate::OnlineCuckoo`] follows one
+//! eviction chain and may wander; breadth-first-search insertion instead
+//! finds a **shortest** eviction path from either candidate slot to a
+//! free slot, touching the minimum number of entries (Fotakis et al.'s
+//! "space efficient hash tables" technique). Below the load threshold
+//! the expected path length is O(1), and the worst case is
+//! O(log n) whp — making BFS the better choice when displacement cost
+//! matters (e.g. entries are large).
+//!
+//! This table exists as a substrate peer of the random-walk variant; the
+//! benchmarks compare them, and the property tests hold both to the same
+//! contract.
+
+use rlb_hash::mix;
+
+/// Maximum BFS frontier before declaring the insertion failed.
+const MAX_FRONTIER: usize = 512;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry<V> {
+    key: u64,
+    value: V,
+}
+
+/// A fixed-capacity online cuckoo table with BFS insertion and a stash.
+#[derive(Debug, Clone)]
+pub struct BfsCuckoo<V> {
+    slots: Vec<Option<Entry<V>>>,
+    stash: Vec<Entry<V>>,
+    max_stash: usize,
+    seed: u64,
+    len: usize,
+}
+
+/// Error returned when an insertion cannot complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfsInsertError {
+    /// No augmenting path within the search budget and the stash is full.
+    Full,
+}
+
+impl<V: Copy> BfsCuckoo<V> {
+    /// Creates a table with `capacity` slots and a stash of `max_stash`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, max_stash: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            slots: vec![None; capacity],
+            stash: Vec::with_capacity(max_stash),
+            max_stash,
+            seed,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn hashes(&self, key: u64) -> (u32, u32) {
+        let n = self.slots.len() as u64;
+        (
+            mix::hash_to_range(self.seed, 0, key, n) as u32,
+            mix::hash_to_range(self.seed, 1, key, n) as u32,
+        )
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current stash occupancy.
+    #[inline]
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &self.slots[slot as usize] {
+                if e.key == key {
+                    return Some(e.value);
+                }
+            }
+        }
+        self.stash.iter().find(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// Inserts or updates `key`; returns the previous value if present.
+    ///
+    /// # Errors
+    /// Returns [`BfsInsertError::Full`] if no eviction path exists within
+    /// the search budget and the stash is full (table unchanged).
+    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>, BfsInsertError> {
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &mut self.slots[slot as usize] {
+                if e.key == key {
+                    let old = e.value;
+                    e.value = value;
+                    return Ok(Some(old));
+                }
+            }
+        }
+        if let Some(e) = self.stash.iter_mut().find(|e| e.key == key) {
+            let old = e.value;
+            e.value = value;
+            return Ok(Some(old));
+        }
+        // BFS over slots: frontier entries are (slot, parent index in the
+        // visit log). A free slot terminates; walk parents back shifting
+        // entries one hop along the path, freeing a candidate of `key`.
+        let mut visits: Vec<(u32, i32)> = Vec::with_capacity(64);
+        for root in [a, b] {
+            if self.slots[root as usize].is_none() {
+                self.slots[root as usize] = Some(Entry { key, value });
+                self.len += 1;
+                return Ok(None);
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(128);
+        visits.push((a, -1));
+        seen.insert(a);
+        if seen.insert(b) {
+            visits.push((b, -1));
+        }
+        let mut head = 0usize;
+        let mut free_at: Option<usize> = None;
+        while head < visits.len() && visits.len() < MAX_FRONTIER {
+            let (slot, _) = visits[head];
+            let occupant = self.slots[slot as usize].expect("occupied by invariant");
+            let (oa, ob) = self.hashes(occupant.key);
+            let other = if oa == slot { ob } else { oa };
+            if self.slots[other as usize].is_none() {
+                // Found a free slot: record the terminal hop.
+                visits.push((other, head as i32));
+                free_at = Some(visits.len() - 1);
+                break;
+            }
+            if seen.insert(other) {
+                visits.push((other, head as i32));
+            }
+            head += 1;
+        }
+        match free_at {
+            Some(mut idx) => {
+                // Shift entries backward along the parent chain: each
+                // parent's occupant moves into its child slot.
+                loop {
+                    let (slot, parent) = visits[idx];
+                    if parent < 0 {
+                        // Root slot is now free: place the new entry.
+                        debug_assert!(self.slots[slot as usize].is_none());
+                        self.slots[slot as usize] = Some(Entry { key, value });
+                        break;
+                    }
+                    let parent_slot = visits[parent as usize].0;
+                    let moved = self.slots[parent_slot as usize]
+                        .take()
+                        .expect("parent occupied");
+                    debug_assert!(self.slots[slot as usize].is_none());
+                    self.slots[slot as usize] = Some(moved);
+                    idx = parent as usize;
+                }
+                self.len += 1;
+                Ok(None)
+            }
+            None => {
+                if self.stash.len() < self.max_stash {
+                    self.stash.push(Entry { key, value });
+                    self.len += 1;
+                    Ok(None)
+                } else {
+                    Err(BfsInsertError::Full)
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &self.slots[slot as usize] {
+                if e.key == key {
+                    let v = e.value;
+                    self.slots[slot as usize] = None;
+                    self.len -= 1;
+                    return Some(v);
+                }
+            }
+        }
+        if let Some(i) = self.stash.iter().position(|e| e.key == key) {
+            let v = self.stash.swap_remove(i).value;
+            self.len -= 1;
+            return Some(v);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: BfsCuckoo<u32> = BfsCuckoo::new(64, 4, 1);
+        assert_eq!(t.insert(10, 100).unwrap(), None);
+        assert_eq!(t.insert(20, 200).unwrap(), None);
+        assert_eq!(t.get(10), Some(100));
+        assert_eq!(t.get(20), Some(200));
+        assert_eq!(t.remove(10), Some(100));
+        assert_eq!(t.get(10), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t: BfsCuckoo<u32> = BfsCuckoo::new(16, 2, 2);
+        t.insert(5, 1).unwrap();
+        assert_eq!(t.insert(5, 2).unwrap(), Some(1));
+        assert_eq!(t.get(5), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dense_load_preserves_membership() {
+        // 45% load: BFS should place everything with a tiny stash.
+        let cap = 2000;
+        let mut t: BfsCuckoo<u64> = BfsCuckoo::new(cap, 8, 3);
+        let n = (cap as f64 * 0.45) as u64;
+        for k in 0..n {
+            t.insert(k * 11 + 3, k).unwrap();
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.stash_len() <= 2, "stash {}", t.stash_len());
+        for k in 0..n {
+            assert_eq!(t.get(k * 11 + 3), Some(k), "key {k} lost");
+        }
+    }
+
+    #[test]
+    fn churn_agrees_with_reference_map() {
+        use rlb_hash::{Pcg64, Rng};
+        let mut t: BfsCuckoo<u64> = BfsCuckoo::new(256, 8, 4);
+        let mut reference = std::collections::HashMap::new();
+        let mut rng = Pcg64::new(9, 0);
+        for i in 0..3000u64 {
+            let key = rng.gen_range(400);
+            if rng.gen_bool(0.55) && reference.len() < 100 {
+                if t.insert(key, i).is_ok() {
+                    reference.insert(key, i);
+                }
+            } else {
+                assert_eq!(t.remove(key), reference.remove(&key), "step {i}");
+            }
+        }
+        for (&k, &v) in &reference {
+            assert_eq!(t.get(k), Some(v));
+        }
+        assert_eq!(t.len(), reference.len());
+    }
+
+    #[test]
+    fn overfull_insertion_errors_and_leaves_table_usable() {
+        let mut t: BfsCuckoo<u64> = BfsCuckoo::new(8, 1, 5);
+        let mut stored = Vec::new();
+        let mut failed = 0;
+        for k in 0..32u64 {
+            match t.insert(k, k * 10) {
+                Ok(None) => stored.push(k),
+                Ok(Some(_)) => unreachable!("fresh keys"),
+                Err(BfsInsertError::Full) => failed += 1,
+            }
+        }
+        assert!(failed > 0);
+        for &k in &stored {
+            assert_eq!(t.get(k), Some(k * 10));
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Offline cuckoo allocators.
+//!
+//! [`OfflineAssignment::assign_exact`] places a batch of two-choice items
+//! into positions with **provably minimal stash** (equal to
+//! [`crate::CuckooGraph::optimal_stash_size`]), using linear-time peeling
+//! plus unicyclic orientation. This is the allocator used by the delayed
+//! cuckoo routing policy to build each step's routing table `T_t`
+//! (Lemma 4.2): the paper only needs *existence* of a good assignment
+//! (Theorem 4.1) and permits the algorithm to compute it offline, after
+//! the step's request set is known.
+//!
+//! [`RandomWalkAllocator`] is the classical random-walk insertion
+//! heuristic with a kick budget; it is kept as an alternative allocator
+//! for cross-validation and benchmarking (it may stash more than the
+//! optimum, never less).
+
+use crate::Choices;
+use rlb_hash::Rng;
+
+/// The result of an offline assignment: each item is either placed at one
+/// of its two candidate positions (at most one item per position) or
+/// stashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfflineAssignment {
+    /// `slot_of[item]` = position the item was placed at, or `None` if
+    /// the item is in the stash.
+    slot_of: Vec<Option<u32>>,
+    /// Item indices that were stashed.
+    stash: Vec<u32>,
+}
+
+impl OfflineAssignment {
+    /// Computes a minimal-stash assignment of `items` into
+    /// `num_positions` positions.
+    ///
+    /// Runs in `O(items + num_positions)` time.
+    ///
+    /// ```
+    /// use rlb_cuckoo::{Choices, OfflineAssignment};
+    ///
+    /// // A 4-cycle: fully placeable, one item per position.
+    /// let items = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    ///     .map(|(a, b)| Choices::new(a, b));
+    /// let a = OfflineAssignment::assign_exact(4, &items);
+    /// assert_eq!(a.placed(), 4);
+    /// assert!(a.stash().is_empty());
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any choice is out of range.
+    pub fn assign_exact(num_positions: usize, items: &[Choices]) -> Self {
+        assert!(num_positions > 0, "need at least one position");
+        for c in items {
+            assert!(
+                (c.h1 as usize) < num_positions && (c.h2 as usize) < num_positions,
+                "choice out of range"
+            );
+        }
+        Solver::new(num_positions, items).run()
+    }
+
+    /// Position assigned to `item`, or `None` if stashed.
+    #[inline]
+    pub fn position_of(&self, item: usize) -> Option<u32> {
+        self.slot_of[item]
+    }
+
+    /// The stashed item indices.
+    #[inline]
+    pub fn stash(&self) -> &[u32] {
+        &self.stash
+    }
+
+    /// Number of items placed (not stashed).
+    pub fn placed(&self) -> usize {
+        self.slot_of.len() - self.stash.len()
+    }
+
+    /// Total number of items in the assignment.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Whether the assignment covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+}
+
+/// Peeling + unicyclic-orientation solver.
+struct Solver<'a> {
+    items: &'a [Choices],
+    n: usize,
+    /// CSR adjacency: edge ids incident to each vertex (self-loops once).
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    /// Cursor into each vertex's adjacency list, skipping dead edges.
+    cursor: Vec<u32>,
+    /// Remaining degree (self-loops count 2).
+    deg: Vec<u32>,
+    alive: Vec<bool>,
+    occupied: Vec<bool>,
+    slot_of: Vec<Option<u32>>,
+    stash: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(n: usize, items: &'a [Choices]) -> Self {
+        let mut deg = vec![0u32; n];
+        let mut list_len = vec![0u32; n];
+        for c in items {
+            deg[c.h1 as usize] += 1;
+            deg[c.h2 as usize] += 1;
+            list_len[c.h1 as usize] += 1;
+            if c.h1 != c.h2 {
+                list_len[c.h2 as usize] += 1;
+            }
+        }
+        let mut adj_off = vec![0u32; n + 1];
+        for v in 0..n {
+            adj_off[v + 1] = adj_off[v] + list_len[v];
+        }
+        let mut fill = adj_off.clone();
+        let mut adj = vec![0u32; adj_off[n] as usize];
+        for (e, c) in items.iter().enumerate() {
+            adj[fill[c.h1 as usize] as usize] = e as u32;
+            fill[c.h1 as usize] += 1;
+            if c.h1 != c.h2 {
+                adj[fill[c.h2 as usize] as usize] = e as u32;
+                fill[c.h2 as usize] += 1;
+            }
+        }
+        let cursor = adj_off[..n].to_vec();
+        Self {
+            items,
+            n,
+            adj_off,
+            adj,
+            cursor,
+            deg,
+            alive: vec![true; items.len()],
+            occupied: vec![false; n],
+            slot_of: vec![None; items.len()],
+            stash: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Finds an alive edge incident to `v` (amortized O(1) via cursor).
+    fn find_alive_edge(&mut self, v: u32) -> Option<u32> {
+        let end = self.adj_off[v as usize + 1];
+        let mut cur = self.cursor[v as usize];
+        while cur < end {
+            let e = self.adj[cur as usize];
+            if self.alive[e as usize] {
+                self.cursor[v as usize] = cur;
+                return Some(e);
+            }
+            cur += 1;
+        }
+        self.cursor[v as usize] = cur;
+        None
+    }
+
+    /// Assigns alive edge `e` to position `v` and removes it.
+    fn place(&mut self, e: u32, v: u32) {
+        debug_assert!(self.alive[e as usize]);
+        debug_assert!(!self.occupied[v as usize]);
+        self.slot_of[e as usize] = Some(v);
+        self.occupied[v as usize] = true;
+        self.kill(e);
+    }
+
+    /// Removes edge `e`, updating degrees and the peel queue.
+    fn kill(&mut self, e: u32) {
+        debug_assert!(self.alive[e as usize]);
+        self.alive[e as usize] = false;
+        let c = self.items[e as usize];
+        for endpoint in [c.h1, c.h2] {
+            self.deg[endpoint as usize] -= 1;
+            if self.deg[endpoint as usize] == 1 && !self.occupied[endpoint as usize] {
+                self.queue.push(endpoint);
+            }
+        }
+    }
+
+    /// Drains the peel queue: every unoccupied degree-1 vertex takes its
+    /// unique remaining edge.
+    fn peel(&mut self) {
+        while let Some(v) = self.queue.pop() {
+            if self.deg[v as usize] != 1 || self.occupied[v as usize] {
+                continue;
+            }
+            if let Some(e) = self.find_alive_edge(v) {
+                self.place(e, v);
+            }
+        }
+    }
+
+    fn run(mut self) -> OfflineAssignment {
+        // Initial peel of all degree-1 vertices.
+        for v in 0..self.n as u32 {
+            if self.deg[v as usize] == 1 {
+                self.queue.push(v);
+            }
+        }
+        self.peel();
+
+        // Remaining alive edges live in components of min degree >= 2.
+        let mut comp_mark = vec![false; self.n];
+        let mut edge_seen = vec![false; self.items.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_nontree: Vec<u32> = Vec::new();
+        for root in 0..self.n as u32 {
+            if self.deg[root as usize] < 2 || comp_mark[root as usize] {
+                continue;
+            }
+            // Discover the component: vertices + alive edges, classifying
+            // tree vs non-tree edges via DFS.
+            comp_nontree.clear();
+            stack.clear();
+            stack.push(root);
+            comp_mark[root as usize] = true;
+            while let Some(v) = stack.pop() {
+                let (start, end) = (
+                    self.adj_off[v as usize] as usize,
+                    self.adj_off[v as usize + 1] as usize,
+                );
+                for i in start..end {
+                    let e = self.adj[i];
+                    if !self.alive[e as usize] || edge_seen[e as usize] {
+                        continue;
+                    }
+                    edge_seen[e as usize] = true;
+                    let c = self.items[e as usize];
+                    let other = if c.h1 == v { c.h2 } else { c.h1 };
+                    if comp_mark[other as usize] {
+                        comp_nontree.push(e);
+                    } else {
+                        comp_mark[other as usize] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+            // Keep one non-tree edge (closing the unicyclic subgraph);
+            // stash the rest. A component reached here always has at
+            // least one non-tree edge (min degree >= 2 implies e >= v).
+            for &e in comp_nontree.iter().skip(1) {
+                self.stash.push(e);
+                self.kill(e);
+            }
+            // Prune tree branches hanging off the cycle.
+            self.peel();
+            // Break the unique remaining cycle: assign any alive edge to
+            // one unoccupied endpoint and let peeling propagate around.
+            if let Some(&e0) = comp_nontree.first() {
+                if self.alive[e0 as usize] {
+                    let c = self.items[e0 as usize];
+                    let target = if !self.occupied[c.h2 as usize] {
+                        c.h2
+                    } else {
+                        c.h1
+                    };
+                    if !self.occupied[target as usize] {
+                        self.place(e0, target);
+                        self.peel();
+                    }
+                }
+            }
+        }
+
+        // Defensive fallback: anything still alive goes to an unoccupied
+        // endpoint if possible, else the stash. With the processing above
+        // this loop places or stashes nothing extra beyond the optimum
+        // (asserted by property tests).
+        for e in 0..self.items.len() as u32 {
+            if !self.alive[e as usize] {
+                continue;
+            }
+            let c = self.items[e as usize];
+            if !self.occupied[c.h1 as usize] {
+                self.place(e, c.h1);
+            } else if !self.occupied[c.h2 as usize] {
+                self.place(e, c.h2);
+            } else {
+                self.stash.push(e);
+                self.kill(e);
+            }
+        }
+
+        self.stash.sort_unstable();
+        OfflineAssignment {
+            slot_of: self.slot_of,
+            stash: self.stash,
+        }
+    }
+}
+
+/// Classical random-walk cuckoo insertion with a kick budget.
+///
+/// Kept as an alternative allocator: simpler, cache-friendly, but only
+/// approximately optimal — it may stash items the exact solver would
+/// place. `max_kicks` of `Θ(log n)` is the standard choice.
+#[derive(Debug, Clone)]
+pub struct RandomWalkAllocator {
+    max_kicks: usize,
+}
+
+impl RandomWalkAllocator {
+    /// Creates an allocator with the given kick budget per insertion.
+    pub fn new(max_kicks: usize) -> Self {
+        Self { max_kicks }
+    }
+
+    /// Assigns `items` into `num_positions` positions; over-budget
+    /// insertions are stashed.
+    pub fn assign<R: Rng>(
+        &self,
+        num_positions: usize,
+        items: &[Choices],
+        rng: &mut R,
+    ) -> OfflineAssignment {
+        assert!(num_positions > 0, "need at least one position");
+        let mut slot: Vec<Option<u32>> = vec![None; num_positions];
+        let mut slot_of: Vec<Option<u32>> = vec![None; items.len()];
+        let mut stash: Vec<u32> = Vec::new();
+        for (idx, &choice) in items.iter().enumerate() {
+            let mut item = idx as u32;
+            let mut c = choice;
+            // Start at a random candidate.
+            let mut pos = if rng.gen_bool(0.5) { c.h1 } else { c.h2 };
+            let mut placed = false;
+            for _ in 0..=self.max_kicks {
+                match slot[pos as usize] {
+                    None => {
+                        slot[pos as usize] = Some(item);
+                        slot_of[item as usize] = Some(pos);
+                        placed = true;
+                        break;
+                    }
+                    Some(victim) => {
+                        // Evict the occupant and send it to its other slot.
+                        slot[pos as usize] = Some(item);
+                        slot_of[item as usize] = Some(pos);
+                        slot_of[victim as usize] = None;
+                        item = victim;
+                        c = items[victim as usize];
+                        pos = c.other(pos);
+                    }
+                }
+            }
+            if !placed {
+                stash.push(item);
+            }
+        }
+        stash.sort_unstable();
+        OfflineAssignment { slot_of, stash }
+    }
+}
+
+/// Validates that an assignment is consistent with its inputs: every
+/// placed item sits at one of its candidates, no position holds two
+/// items, and stash + placed partition the items. Used by tests and by
+/// the experiment harness as a runtime self-check.
+pub fn validate_assignment(
+    num_positions: usize,
+    items: &[Choices],
+    a: &OfflineAssignment,
+) -> Result<(), String> {
+    if a.len() != items.len() {
+        return Err(format!("length mismatch: {} vs {}", a.len(), items.len()));
+    }
+    let mut used = vec![false; num_positions];
+    let mut stashed = vec![false; items.len()];
+    for &s in a.stash() {
+        if s as usize >= items.len() {
+            return Err(format!("stash item {s} out of range"));
+        }
+        stashed[s as usize] = true;
+    }
+    for (i, c) in items.iter().enumerate() {
+        match a.position_of(i) {
+            Some(p) => {
+                if stashed[i] {
+                    return Err(format!("item {i} both placed and stashed"));
+                }
+                if !c.contains(p) {
+                    return Err(format!("item {i} placed at non-candidate {p}"));
+                }
+                if used[p as usize] {
+                    return Err(format!("position {p} holds two items"));
+                }
+                used[p as usize] = true;
+            }
+            None => {
+                if !stashed[i] {
+                    return Err(format!("item {i} neither placed nor stashed"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CuckooGraph;
+    use rlb_hash::Pcg64;
+
+    fn choices(edges: &[(u32, u32)]) -> Vec<Choices> {
+        edges.iter().map(|&(a, b)| Choices::new(a, b)).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = OfflineAssignment::assign_exact(4, &[]);
+        assert!(a.is_empty());
+        assert!(a.stash().is_empty());
+        assert_eq!(a.placed(), 0);
+    }
+
+    #[test]
+    fn single_item_is_placed() {
+        let items = choices(&[(0, 1)]);
+        let a = OfflineAssignment::assign_exact(2, &items);
+        validate_assignment(2, &items, &a).unwrap();
+        assert_eq!(a.placed(), 1);
+        assert!(a.stash().is_empty());
+    }
+
+    #[test]
+    fn path_places_all() {
+        let items = choices(&[(0, 1), (1, 2), (2, 3)]);
+        let a = OfflineAssignment::assign_exact(4, &items);
+        validate_assignment(4, &items, &a).unwrap();
+        assert_eq!(a.placed(), 3);
+    }
+
+    #[test]
+    fn full_cycle_places_all() {
+        let items = choices(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let a = OfflineAssignment::assign_exact(4, &items);
+        validate_assignment(4, &items, &a).unwrap();
+        assert_eq!(a.placed(), 4);
+        assert!(a.stash().is_empty());
+    }
+
+    #[test]
+    fn triple_edge_stashes_exactly_one() {
+        let items = choices(&[(0, 1), (0, 1), (0, 1)]);
+        let a = OfflineAssignment::assign_exact(2, &items);
+        validate_assignment(2, &items, &a).unwrap();
+        assert_eq!(a.placed(), 2);
+        assert_eq!(a.stash().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_cases() {
+        // Lone self-loop: placeable.
+        let items = choices(&[(0, 0)]);
+        let a = OfflineAssignment::assign_exact(1, &items);
+        validate_assignment(1, &items, &a).unwrap();
+        assert_eq!(a.placed(), 1);
+
+        // Two self-loops on one vertex: one stashed.
+        let items = choices(&[(0, 0), (0, 0)]);
+        let a = OfflineAssignment::assign_exact(1, &items);
+        validate_assignment(1, &items, &a).unwrap();
+        assert_eq!(a.stash().len(), 1);
+
+        // Self-loop + incident edge: both placeable.
+        let items = choices(&[(0, 0), (0, 1)]);
+        let a = OfflineAssignment::assign_exact(2, &items);
+        validate_assignment(2, &items, &a).unwrap();
+        assert_eq!(a.placed(), 2);
+    }
+
+    #[test]
+    fn clique_with_excess() {
+        // K4 has 4 vertices, 6 edges: exactly 2 must be stashed.
+        let items = choices(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let a = OfflineAssignment::assign_exact(4, &items);
+        validate_assignment(4, &items, &a).unwrap();
+        assert_eq!(a.placed(), 4);
+        assert_eq!(a.stash().len(), 2);
+    }
+
+    #[test]
+    fn exact_solver_matches_graph_optimum_on_random_inputs() {
+        let mut rng = Pcg64::new(7, 0);
+        for trial in 0..200 {
+            use rlb_hash::Rng as _;
+            let n = 2 + rng.gen_index(40);
+            let k = rng.gen_index(60);
+            let items: Vec<Choices> = (0..k)
+                .map(|_| Choices::new(rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+                .collect();
+            let a = OfflineAssignment::assign_exact(n, &items);
+            validate_assignment(n, &items, &a)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let optimal = CuckooGraph::from_items(n, &items).optimal_stash_size();
+            assert_eq!(
+                a.stash().len(),
+                optimal,
+                "trial {trial}: solver stash {} != optimal {optimal} (n={n}, items={items:?})",
+                a.stash().len()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_at_paper_load_has_empty_stash() {
+        // m/3 items into m positions (Theorem 4.1's regime): stash should
+        // be empty at practical sizes for almost every seed.
+        let mut rng = Pcg64::new(11, 0);
+        use rlb_hash::Rng as _;
+        let m = 9000;
+        let items: Vec<Choices> = (0..m / 3)
+            .map(|_| Choices::new(rng.gen_index(m) as u32, rng.gen_index(m) as u32))
+            .collect();
+        let a = OfflineAssignment::assign_exact(m, &items);
+        validate_assignment(m, &items, &a).unwrap();
+        assert!(a.stash().len() <= 1, "stash = {}", a.stash().len());
+    }
+
+    #[test]
+    fn random_walk_is_valid_and_no_better_than_exact() {
+        let mut rng = Pcg64::new(3, 0);
+        use rlb_hash::Rng as _;
+        for trial in 0..50 {
+            let n = 4 + rng.gen_index(40);
+            let k = rng.gen_index(n); // below capacity
+            let items: Vec<Choices> = (0..k)
+                .map(|_| Choices::new(rng.gen_index(n) as u32, rng.gen_index(n) as u32))
+                .collect();
+            let rw = RandomWalkAllocator::new(64).assign(n, &items, &mut rng);
+            validate_assignment(n, &items, &rw)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let exact = OfflineAssignment::assign_exact(n, &items);
+            assert!(rw.stash().len() >= exact.stash().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "choice out of range")]
+    fn out_of_range_panics() {
+        let _ = OfflineAssignment::assign_exact(2, &choices(&[(0, 5)]));
+    }
+}

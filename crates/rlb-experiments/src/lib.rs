@@ -1,0 +1,187 @@
+//! Experiment harness: every theorem and lemma of the paper, regenerated
+//! as a table.
+//!
+//! The paper is a theory paper with no empirical section, so the
+//! "tables and figures" deliverable is the suite below: one experiment
+//! per result, each producing (a) paper-style tables and (b) explicit
+//! *shape checks* — the qualitative predictions of the theory (who wins,
+//! what scales like `log m` vs `log log m`, which impossibility bites)
+//! evaluated against the measured numbers. `EXPERIMENTS.md` records the
+//! outputs.
+//!
+//! | id | paper result | module |
+//! |----|--------------|--------|
+//! | E1 | Thm 3.1 greedy guarantees | [`e01_greedy`] |
+//! | E2 | Def 3.2 / Lemma 3.4 safe distribution | [`e02_safety`] |
+//! | E3 | Thm 4.3 delayed cuckoo routing guarantees | [`e03_dcr`] |
+//! | E4 | queue-size frontier (Thm 3.1 vs Thm 4.3/5.1) | [`e04_frontier`] |
+//! | E5 | d = 1 impossibility (\[34\], §1) vs d ≥ 2 | [`e05_replication`] |
+//! | E6 | Thm 5.1 / Vöcking one-step max load | [`e06_one_step`] |
+//! | E7 | Thm 5.2 rejection lower bound | [`e07_collision`] |
+//! | E8 | Lemma 5.3 / Cor 5.4 time-step isolation | [`e08_isolated`] |
+//! | E9 | Lemma 4.8 P-queue arrival tail | [`e09_ptail`] |
+//! | E10 | Thm 4.1 / Lemma 4.2 cuckoo substrate | [`e10_cuckoo`] |
+//! | E11 | Berenbrink heavily-loaded gap (Lemma 4.4) | [`e11_heavy`] |
+//! | E12 | load/throughput frontier across policies | [`e12_load`] |
+//! | E13 | ablation: small queues without the delayed table | [`e13_smallq`] |
+//! | E14 | ablation: greedy flush interval (Thm 3.1 proof) | [`e14_flush`] |
+//! | E15 | extension: outage resilience through replication | [`e15_outage`] |
+//! | E16 | extension: robustness to popularity skew | [`e16_skew`] |
+//! | E17 | extension: within-step information value (batched model, ref \[21\]) | [`e17_batched`] |
+//! | E18 | DCR latency anatomy by queue class (Prop. 4.9) | [`e18_class_latency`] |
+//! | E19 | related work: migration (Wang et al. \[34\]) vs replication | [`e19_migration`] |
+//! | E20 | ablation: DCR phase length | [`e20_phase`] |
+//! | E21 | extension: queues as burst absorbers | [`e21_burst`] |
+//! | E22 | the model's third knob: voluntary rejection / latency flooring | [`e22_shedding`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e01_greedy;
+pub mod e02_safety;
+pub mod e03_dcr;
+pub mod e04_frontier;
+pub mod e05_replication;
+pub mod e06_one_step;
+pub mod e07_collision;
+pub mod e08_isolated;
+pub mod e09_ptail;
+pub mod e10_cuckoo;
+pub mod e11_heavy;
+pub mod e12_load;
+pub mod e13_smallq;
+pub mod e14_flush;
+pub mod e15_outage;
+pub mod e16_skew;
+pub mod e17_batched;
+pub mod e18_class_latency;
+pub mod e19_migration;
+pub mod e20_phase;
+pub mod e21_burst;
+pub mod e22_shedding;
+pub mod theory;
+
+use rlb_metrics::Table;
+use serde::Serialize;
+
+/// A shape check: a qualitative prediction of the theory, evaluated.
+#[derive(Debug, Clone, Serialize)]
+pub struct Check {
+    /// What the theory predicts.
+    pub name: String,
+    /// Whether the measurement matched.
+    pub passed: bool,
+    /// The numbers behind the verdict.
+    pub detail: String,
+}
+
+impl Check {
+    /// Builds a check.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutput {
+    /// Experiment id (`"E1"`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Shape checks.
+    pub checks: Vec<Check>,
+}
+
+impl ExperimentOutput {
+    /// Whether every shape check passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Renders tables and checks to a string.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n\n", self.id, self.title);
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for c in &self.checks {
+            out.push_str(&format!(
+                "[{}] {} — {}\n",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.name,
+                c.detail
+            ));
+        }
+        out
+    }
+}
+
+/// One registry entry: `(id, title, runner)`.
+pub type ExperimentEntry = (&'static str, &'static str, fn(bool) -> ExperimentOutput);
+
+/// The experiment registry.
+pub fn registry() -> Vec<ExperimentEntry> {
+    vec![
+        ("e1", "Theorem 3.1: greedy guarantees", e01_greedy::run),
+        ("e2", "Definition 3.2 / Lemma 3.4: safe distribution", e02_safety::run),
+        ("e3", "Theorem 4.3: delayed cuckoo routing", e03_dcr::run),
+        ("e4", "Queue-size frontier: greedy vs DCR", e04_frontier::run),
+        ("e5", "d = 1 impossibility vs d >= 2", e05_replication::run),
+        ("e6", "Theorem 5.1: one-step max load lower bound", e06_one_step::run),
+        ("e7", "Theorem 5.2: rejection-rate lower bound", e07_collision::run),
+        ("e8", "Lemma 5.3 / Corollary 5.4: time-step isolation", e08_isolated::run),
+        ("e9", "Lemma 4.8: P-queue arrival tail", e09_ptail::run),
+        ("e10", "Theorem 4.1 / Lemma 4.2: cuckoo substrate", e10_cuckoo::run),
+        ("e11", "Heavily-loaded gap (Lemma 4.4 ingredient)", e11_heavy::run),
+        ("e12", "Load/throughput frontier across policies", e12_load::run),
+        ("e13", "Ablation: DCR g-constant at small queues", e13_smallq::run),
+        ("e14", "Ablation: greedy flush interval", e14_flush::run),
+        ("e15", "Extension: outage resilience through replication", e15_outage::run),
+        ("e16", "Extension: robustness to popularity skew", e16_skew::run),
+        ("e17", "Extension: the value of within-step information", e17_batched::run),
+        ("e18", "DCR latency anatomy by queue class (Prop. 4.9)", e18_class_latency::run),
+        ("e19", "Related work: migration (Wang et al.) vs replication", e19_migration::run),
+        ("e20", "Ablation: DCR phase length", e20_phase::run),
+        ("e21", "Extension: queues as burst absorbers", e21_burst::run),
+        ("e22", "The third knob: voluntary rejection (latency flooring)", e22_shedding::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = registry().iter().map(|&(id, _, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), registry().len());
+    }
+
+    #[test]
+    fn check_rendering() {
+        let out = ExperimentOutput {
+            id: "E0",
+            title: "demo",
+            tables: vec![],
+            checks: vec![
+                Check::new("a", true, "ok"),
+                Check::new("b", false, "bad"),
+            ],
+        };
+        assert!(!out.all_passed());
+        let s = out.render();
+        assert!(s.contains("[PASS] a"));
+        assert!(s.contains("[FAIL] b"));
+    }
+}

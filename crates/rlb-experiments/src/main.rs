@@ -1,0 +1,90 @@
+//! Experiment harness CLI.
+//!
+//! ```text
+//! experiments [IDS...] [--quick] [--json] [--out-dir DIR]
+//!
+//!   IDS        experiment ids (e1..e20) or "all" (default: all)
+//!   --quick    reduced sizes/trials for a fast smoke run
+//!   --json     print results as a JSON array instead of text
+//!   --out-dir  additionally write per-experiment .txt and .json files
+//! ```
+//!
+//! Prints each experiment's tables and shape checks; exits non-zero if
+//! any check fails.
+
+use rlb_experiments::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mut skip_next = false;
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out-dir" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .map(|a| a.to_lowercase())
+        .collect();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("cannot create --out-dir");
+    }
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+
+    let reg = registry();
+    let selected: Vec<_> = reg
+        .iter()
+        .filter(|(id, _, _)| run_all || wanted.iter().any(|w| w == id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "no matching experiments; known ids: {}",
+            reg.iter().map(|&(id, _, _)| id).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    let mut collected = Vec::new();
+    for (id, title, runner) in selected {
+        eprintln!("running {id}: {title}{}", if quick { " (quick)" } else { "" });
+        let started = std::time::Instant::now();
+        let out = runner(quick);
+        if !json {
+            println!("{}", out.render());
+        }
+        if let Some(dir) = &out_dir {
+            let txt = format!("{dir}/{id}.txt");
+            std::fs::write(&txt, out.render()).expect("write .txt output");
+            let js = format!("{dir}/{id}.json");
+            std::fs::write(&js, serde_json::to_string_pretty(&out).expect("serialize"))
+                .expect("write .json output");
+        }
+        eprintln!("{id} finished in {:.1?}\n", started.elapsed());
+        if !out.all_passed() {
+            failures += 1;
+        }
+        collected.push(out);
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&collected).expect("serialize results")
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had failing shape checks");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Sampling utilities shared by workload generators and experiments.
+
+use crate::Rng;
+
+/// In-place Fisher–Yates shuffle.
+pub fn shuffle<T, R: Rng>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_index(i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Partial Fisher–Yates: after the call, `items[..k]` holds a uniform
+/// random `k`-subset of the original slice in uniform random order.
+///
+/// # Panics
+/// Panics if `k > items.len()`.
+pub fn partial_shuffle<T, R: Rng>(rng: &mut R, items: &mut [T], k: usize) {
+    assert!(k <= items.len(), "k exceeds slice length");
+    for i in 0..k {
+        let j = i + rng.gen_index(items.len() - i);
+        items.swap(i, j);
+    }
+}
+
+/// Samples `k` distinct values uniformly from `[0, n)`.
+///
+/// Uses Floyd's algorithm (O(k) expected, no O(n) allocation), so it is
+/// cheap even when `n` is huge (e.g. a chunk universe of `m^3`).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_k_distinct<R: Rng>(rng: &mut R, n: u64, k: usize) -> Vec<u64> {
+    assert!(k as u64 <= n, "cannot sample {k} distinct values from {n}");
+    // Floyd's algorithm: for j in n-k..n, pick t in [0, j]; insert t unless
+    // already present, else insert j.
+    let mut chosen: Vec<u64> = Vec::with_capacity(k);
+    let mut set = std::collections::HashSet::with_capacity(k * 2);
+    for j in (n - k as u64)..n {
+        let t = rng.gen_range(j + 1);
+        let v = if set.insert(t) { t } else { j };
+        if v != t {
+            set.insert(v);
+        }
+        chosen.push(v);
+    }
+    shuffle(rng, &mut chosen);
+    chosen
+}
+
+/// A precomputed Zipf(α) sampler over `[0, n)` using the alias method,
+/// giving O(1) sampling after O(n) setup.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler with `P(i) ∝ 1/(i+1)^alpha` over `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be >= 0");
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(alpha)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Builds an alias table from arbitrary non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if weights are empty, contain negatives/NaN, or sum to zero.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be non-negative, finite, and not all zero"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws one sample.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let i = rng.gen_index(self.prob.len());
+        if rng.gen_f64() < self.prob[i] {
+            i as u64
+        } else {
+            self.alias[i] as u64
+        }
+    }
+
+    /// Domain size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the domain is empty (never true post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pcg64;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg64::new(1, 0);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_prefix_is_subset() {
+        let mut rng = Pcg64::new(2, 0);
+        let mut v: Vec<u32> = (0..50).collect();
+        partial_shuffle(&mut rng, &mut v, 10);
+        let prefix: std::collections::HashSet<u32> = v[..10].iter().copied().collect();
+        assert_eq!(prefix.len(), 10);
+        assert!(prefix.iter().all(|&x| x < 50));
+    }
+
+    #[test]
+    fn sample_k_distinct_is_distinct() {
+        let mut rng = Pcg64::new(3, 0);
+        for _ in 0..20 {
+            let s = sample_k_distinct(&mut rng, 1_000_000_000, 100);
+            let set: std::collections::HashSet<u64> = s.iter().copied().collect();
+            assert_eq!(set.len(), 100);
+            assert!(s.iter().all(|&x| x < 1_000_000_000));
+        }
+    }
+
+    #[test]
+    fn sample_k_distinct_full_domain() {
+        let mut rng = Pcg64::new(4, 0);
+        let mut s = sample_k_distinct(&mut rng, 10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_k_distinct_is_roughly_uniform() {
+        let mut rng = Pcg64::new(5, 0);
+        let mut counts = [0u32; 10];
+        for _ in 0..4000 {
+            for v in sample_k_distinct(&mut rng, 10, 3) {
+                counts[v as usize] += 1;
+            }
+        }
+        // Each value appears with probability 3/10 per trial => ~1200.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((900..1500).contains(&c), "value {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let mut rng = Pcg64::new(6, 0);
+        let z = ZipfSampler::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Head should dominate tail; rank 0 >> rank 50.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // All mass within domain accounted for.
+        assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), 200_000);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let mut rng = Pcg64::new(7, 0);
+        let z = ZipfSampler::new(16, 0.0);
+        let mut counts = [0u32; 16];
+        for _ in 0..160_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8500..11500).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn alias_from_weights_respects_ratios() {
+        let mut rng = Pcg64::new(8, 0);
+        let z = ZipfSampler::from_weights(&[1.0, 3.0]);
+        let mut ones = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / n as f64;
+        assert!((0.72..0.78).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be non-negative")]
+    fn alias_rejects_all_zero() {
+        let _ = ZipfSampler::from_weights(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Statistical acceptance tests for the PRNGs.
+//!
+//! Not a BigCrush replacement — quick equidistribution, serial
+//! correlation, and stream-independence checks that would catch gross
+//! regressions (a broken multiplier, a truncated rotate) immediately.
+
+use rlb_hash::{mix, Pcg64, Rng, SplitMix64};
+
+/// Chi-squared statistic over `buckets` equal cells.
+fn chi2(counts: &[u32], expected: f64) -> f64 {
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn pcg_equidistribution_256_cells() {
+    let mut rng = Pcg64::new(0xdead, 1);
+    let cells = 256usize;
+    let n = 256_000u32;
+    let mut counts = vec![0u32; cells];
+    for _ in 0..n {
+        counts[rng.gen_index(cells)] += 1;
+    }
+    let stat = chi2(&counts, n as f64 / cells as f64);
+    // 255 dof: mean 255, sd ~22.6; 5 sigma ≈ 368.
+    assert!(stat < 368.0, "chi2 = {stat}");
+}
+
+#[test]
+fn splitmix_equidistribution_256_cells() {
+    let mut rng = SplitMix64::new(0xbeef);
+    let cells = 256usize;
+    let n = 256_000u32;
+    let mut counts = vec![0u32; cells];
+    for _ in 0..n {
+        counts[rng.gen_index(cells)] += 1;
+    }
+    let stat = chi2(&counts, n as f64 / cells as f64);
+    assert!(stat < 368.0, "chi2 = {stat}");
+}
+
+#[test]
+fn pcg_serial_correlation_is_negligible() {
+    let mut rng = Pcg64::new(7, 7);
+    let n = 100_000;
+    let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let cov = xs
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    let rho = cov / var;
+    // Standard error is ~1/sqrt(n) ≈ 0.0032; allow 5 sigma.
+    assert!(rho.abs() < 0.016, "serial correlation {rho}");
+}
+
+#[test]
+fn pcg_streams_are_pairwise_decorrelated() {
+    for (s1, s2) in [(0u64, 1u64), (1, 2), (0, 0xffff)] {
+        let mut a = Pcg64::new(99, s1);
+        let mut b = Pcg64::new(99, s2);
+        let mut agree = 0u32;
+        let rounds = 256;
+        for _ in 0..rounds {
+            agree += (!(a.next_u64() ^ b.next_u64())).count_ones();
+        }
+        let frac = agree as f64 / (rounds * 64) as f64;
+        assert!(
+            (0.46..0.54).contains(&frac),
+            "streams {s1}/{s2} bit agreement {frac}"
+        );
+    }
+}
+
+#[test]
+fn hash_to_range_has_no_obvious_linear_structure() {
+    // Hash consecutive integers; the low bit of the output should be
+    // unbiased and uncorrelated with the input parity.
+    let n = 64_000u64;
+    let mut agree = 0u64;
+    let mut ones = 0u64;
+    for x in 0..n {
+        let bit = mix::hash_to_range(3, 0, x, 2);
+        ones += bit;
+        if bit == x % 2 {
+            agree += 1;
+        }
+    }
+    let ones_frac = ones as f64 / n as f64;
+    let agree_frac = agree as f64 / n as f64;
+    assert!((0.48..0.52).contains(&ones_frac), "ones {ones_frac}");
+    assert!((0.48..0.52).contains(&agree_frac), "parity agreement {agree_frac}");
+}
+
+#[test]
+fn gen_range_boundary_values_are_reachable() {
+    let mut rng = Pcg64::new(1, 1);
+    let bound = 7u64;
+    let mut seen_min = false;
+    let mut seen_max = false;
+    for _ in 0..10_000 {
+        match rng.gen_range(bound) {
+            0 => seen_min = true,
+            x if x == bound - 1 => seen_max = true,
+            _ => {}
+        }
+    }
+    assert!(seen_min && seen_max);
+}
+
+#[test]
+fn coupon_collector_completes_in_expected_time() {
+    // All 1000 values should appear within ~3x the coupon-collector
+    // expectation (n ln n ≈ 6900).
+    let mut rng = Pcg64::new(5, 5);
+    let n = 1000usize;
+    let mut seen = vec![false; n];
+    let mut remaining = n;
+    let mut draws = 0u64;
+    while remaining > 0 {
+        draws += 1;
+        assert!(draws < 25_000, "coupon collection too slow");
+        let v = rng.gen_index(n);
+        if !seen[v] {
+            seen[v] = true;
+            remaining -= 1;
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The KV-store façade: keys in, metrics out.
+//!
+//! [`KvCluster`] wraps a [`Simulation`] behind a key-oriented API. Client
+//! `get`s accumulate into the current time step; [`KvCluster::commit_step`]
+//! advances the simulated cluster by one step. Requests to keys whose
+//! chunk is already being fetched this step are *coalesced* (a chunk read
+//! serves every key inside the chunk — this is also how the model's
+//! distinct-chunks-per-step constraint manifests in a real store).
+
+use crate::directory::ChunkDirectory;
+use rlb_core::{Decision, Observer, Policy, RunReport, SimConfig, Simulation, Workload};
+
+/// Per-step accounting returned by [`KvCluster::commit_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepSummary {
+    /// Step index just executed.
+    pub step: u64,
+    /// Distinct chunk requests issued this step.
+    pub chunk_requests: u64,
+    /// Key requests coalesced into an already-pending chunk request.
+    pub coalesced_keys: u64,
+    /// Chunk requests rejected this step (all causes).
+    pub rejected: u64,
+}
+
+/// One-shot workload feeding a prepared request set into the engine.
+struct OneShot<'a> {
+    chunks: &'a [u32],
+}
+
+impl Workload for OneShot<'_> {
+    fn next_step(&mut self, _step: u64, out: &mut Vec<u32>) {
+        out.extend_from_slice(self.chunks);
+    }
+}
+
+/// A simulated distributed KV store.
+///
+/// ```
+/// use rlb_core::{SimConfig, policies::Greedy};
+/// use rlb_kv::KvCluster;
+///
+/// let mut kv = KvCluster::new(SimConfig::baseline(16).with_seed(1), Greedy::new());
+/// for key in 0..40u64 {
+///     kv.get(key);
+/// }
+/// let step = kv.commit_step();
+/// assert!(step.chunk_requests > 0);
+/// kv.idle(8);
+/// let report = kv.finish();
+/// assert_eq!(report.in_flight, 0);
+/// ```
+pub struct KvCluster<P: Policy> {
+    sim: Simulation<P>,
+    directory: ChunkDirectory,
+    pending: Vec<u32>,
+    pending_set: std::collections::HashSet<u32>,
+    coalesced_this_step: u64,
+}
+
+impl<P: Policy> KvCluster<P> {
+    /// Builds a cluster from a simulation config and a policy. The key
+    /// directory is salted from the config seed.
+    pub fn new(config: SimConfig, policy: P) -> Self {
+        let directory = ChunkDirectory::new(config.num_chunks, config.seed ^ 0x6b76, 64);
+        let sim = Simulation::new(config, policy);
+        Self {
+            sim,
+            directory,
+            pending: Vec::new(),
+            pending_set: std::collections::HashSet::new(),
+            coalesced_this_step: 0,
+            step_owner: std::collections::HashMap::new(),
+            tenant_stats: Vec::new(),
+        }
+    }
+
+    /// The key directory (e.g. for pinning keys).
+    pub fn directory_mut(&mut self) -> &mut ChunkDirectory {
+        &mut self.directory
+    }
+
+    /// The key directory, read-only.
+    pub fn directory(&self) -> &ChunkDirectory {
+        &self.directory
+    }
+
+    /// The underlying simulation (read-only; e.g. policy diagnostics).
+    pub fn simulation(&self) -> &Simulation<P> {
+        &self.sim
+    }
+
+    /// Issues a `get` for `key` in the current step. Returns `true` if a
+    /// new chunk request was created, `false` if it coalesced into an
+    /// existing one. Attributed to tenant 0.
+    pub fn get(&mut self, key: u64) -> bool {
+        self.get_for(0, key)
+    }
+
+    /// Issues a `get` on behalf of `tenant` (multi-tenant accounting:
+    /// per-tenant accepted/rejected/coalesced counters, readable via
+    /// [`KvCluster::tenant_stats`]). A chunk request is attributed to the
+    /// tenant whose key created it; coalesced followers are counted per
+    /// their own tenant.
+    pub fn get_for(&mut self, tenant: u16, key: u64) -> bool {
+        if self.tenant_stats.len() <= tenant as usize {
+            self.tenant_stats
+                .resize(tenant as usize + 1, TenantStats::default());
+        }
+        self.tenant_stats[tenant as usize].key_requests += 1;
+        let chunk = self.directory.chunk_of(key);
+        if self.pending_set.insert(chunk) {
+            self.pending.push(chunk);
+            self.step_owner.insert(chunk, tenant);
+            true
+        } else {
+            self.coalesced_this_step += 1;
+            self.tenant_stats[tenant as usize].coalesced += 1;
+            false
+        }
+    }
+
+    /// Accounting for `tenant` so far (zeros if the tenant never issued
+    /// a request).
+    pub fn tenant_stats(&self, tenant: u16) -> TenantStats {
+        self.tenant_stats
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Chunk requests currently queued for the next commit.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Executes one time step with the accumulated requests.
+    pub fn commit_step(&mut self) -> StepSummary {
+        let step = self.sim.step_count();
+        let rejected_before = self.sim.stats().rejected_total();
+        let chunk_requests = self.pending.len() as u64;
+        {
+            let mut oneshot = OneShot {
+                chunks: &self.pending,
+            };
+            let mut attribution = TenantAttribution {
+                owner_of_chunk: &self.step_owner,
+                stats: &mut self.tenant_stats,
+            };
+            self.sim.run_observed(&mut oneshot, 1, &mut attribution);
+        }
+        let rejected = self.sim.stats().rejected_total() - rejected_before;
+        let summary = StepSummary {
+            step,
+            chunk_requests,
+            coalesced_keys: self.coalesced_this_step,
+            rejected,
+        };
+        self.pending.clear();
+        self.pending_set.clear();
+        self.step_owner.clear();
+        self.coalesced_this_step = 0;
+        summary
+    }
+
+    /// Advances `steps` idle steps (no new requests; queues drain).
+    pub fn idle(&mut self, steps: u64) {
+        let mut empty = OneShot { chunks: &[] };
+        self.sim.run(&mut empty, steps);
+    }
+
+    /// Finishes the run and returns the full report.
+    pub fn finish(self) -> RunReport {
+        self.sim.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_core::policies::Greedy;
+
+    fn cluster() -> KvCluster<Greedy> {
+        let config = SimConfig::baseline(16).with_seed(5);
+        KvCluster::new(config, Greedy::new())
+    }
+
+    #[test]
+    fn gets_accumulate_and_commit() {
+        let mut kv = cluster();
+        for key in 0..20u64 {
+            kv.get(key);
+        }
+        let n = kv.pending_requests();
+        assert!(n > 0 && n <= 20);
+        let summary = kv.commit_step();
+        assert_eq!(summary.chunk_requests, n as u64);
+        assert_eq!(summary.step, 0);
+        assert_eq!(kv.pending_requests(), 0);
+    }
+
+    #[test]
+    fn same_chunk_keys_coalesce() {
+        let mut kv = cluster();
+        // Pin two keys to the same chunk to force coalescing.
+        kv.directory_mut().pin(1, 3).unwrap();
+        kv.directory_mut().pin(2, 3).unwrap();
+        assert!(kv.get(1));
+        assert!(!kv.get(2));
+        let summary = kv.commit_step();
+        assert_eq!(summary.chunk_requests, 1);
+        assert_eq!(summary.coalesced_keys, 1);
+    }
+
+    #[test]
+    fn idle_steps_drain_queues() {
+        let mut kv = cluster();
+        for key in 0..200u64 {
+            kv.get(key);
+        }
+        kv.commit_step();
+        kv.idle(16);
+        let report = kv.finish();
+        report.check_conservation().unwrap();
+        assert_eq!(report.in_flight, 0, "queues should fully drain");
+        assert_eq!(report.completed + report.rejected_total, report.arrived);
+    }
+
+    #[test]
+    fn tenant_accounting_splits_traffic() {
+        let mut kv = cluster();
+        for step in 0..20u64 {
+            // Tenant 1: fixed hot keys; tenant 2: churning keys.
+            for key in 0..20u64 {
+                kv.get_for(1, key);
+            }
+            for key in 0..20u64 {
+                kv.get_for(2, 1000 + key * 7 + step * 131);
+            }
+            kv.commit_step();
+        }
+        let t1 = kv.tenant_stats(1);
+        let t2 = kv.tenant_stats(2);
+        assert_eq!(t1.key_requests, 20 * 20);
+        assert_eq!(t2.key_requests, 20 * 20);
+        // Every key request is accounted as a new chunk, a coalesce, or
+        // (after commit) an accepted/rejected chunk request.
+        assert_eq!(t1.accepted + t1.rejected + t1.coalesced, t1.key_requests);
+        assert_eq!(t2.accepted + t2.rejected + t2.coalesced, t2.key_requests);
+        // Unknown tenants read as zeros.
+        assert_eq!(kv.tenant_stats(9), TenantStats::default());
+        let report = kv.finish();
+        report.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn default_get_is_tenant_zero() {
+        let mut kv = cluster();
+        kv.get(7);
+        kv.commit_step();
+        let t0 = kv.tenant_stats(0);
+        assert_eq!(t0.key_requests, 1);
+        assert_eq!(t0.accepted + t0.rejected, 1);
+    }
+
+    #[test]
+    fn repeated_key_traffic_is_handled() {
+        let mut kv = cluster();
+        for step in 0..30 {
+            for key in 0..64u64 {
+                kv.get(key);
+            }
+            let s = kv.commit_step();
+            assert_eq!(s.step, step);
+        }
+        let report = kv.finish();
+        report.check_conservation().unwrap();
+        assert!(report.rejection_rate < 0.05, "rate {}", report.rejection_rate);
+    }
+}

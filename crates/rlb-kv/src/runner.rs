@@ -1,0 +1,121 @@
+//! Parallel multi-trial runner.
+//!
+//! Experiments estimate probabilities (rejection rates of `1/poly m`,
+//! safety-violation frequencies) by running many independent seeded
+//! trials. Trials share nothing, so the natural parallelism is *across*
+//! trials: a crossbeam scope with a work-stealing index. Per the model,
+//! a single simulation is inherently sequential (requests are routed
+//! online, one at a time), so no intra-trial parallelism is attempted.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The result of one trial, tagged with its index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome<T> {
+    /// Trial index in `0..trials`.
+    pub index: usize,
+    /// The trial's result.
+    pub value: T,
+}
+
+/// Runs `trials` independent trials of `f` across up to `threads`
+/// worker threads, returning results ordered by trial index.
+///
+/// `f` receives the trial index and should derive all randomness from it
+/// (e.g. `seed = base_seed + index as u64`).
+///
+/// # Panics
+/// Panics if `trials == 0` is fine (returns empty); panics in `f`
+/// propagate.
+pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, trials);
+    if workers == 1 {
+        return (0..trials).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..trials).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let value = f(i);
+                results.lock()[i] = Some(value);
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every trial index claimed exactly once"))
+        .collect()
+}
+
+/// Convenience: number of worker threads to use by default — the
+/// available parallelism minus one (leave a core for the harness), at
+/// least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_ordered_by_index() {
+        let out = run_trials(100, 8, |i| i * 3);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn single_thread_path_matches() {
+        let a = run_trials(20, 1, |i| i + 1);
+        let b = run_trials(20, 4, |i| i + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let out: Vec<u32> = run_trials(0, 4, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_simulations_are_reproducible() {
+        use rlb_core::{policies::Greedy, SimConfig, Simulation};
+        let run_all = || {
+            run_trials(8, 4, |i| {
+                let config = SimConfig::baseline(32).with_seed(i as u64);
+                let mut sim = Simulation::new(config, Greedy::new());
+                let mut workload = |_s: u64, out: &mut Vec<u32>| out.extend(0..32);
+                sim.run(&mut workload, 20);
+                let r = sim.finish();
+                (r.accepted, r.completed, r.rejected_total)
+            })
+        };
+        assert_eq!(run_all(), run_all());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

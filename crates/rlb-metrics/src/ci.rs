@@ -1,0 +1,119 @@
+//! Confidence intervals for measured rates.
+//!
+//! Rejection rates in this workspace are binomial proportions (k
+//! rejections out of n requests), often extremely small (`1/poly m`), so
+//! the naive normal approximation is useless near 0. The Wilson score
+//! interval behaves correctly across the whole range, including `k = 0`
+//! (where it yields the familiar "rule of three" upper bound ≈ `3/n` at
+//! 95%), and is what the experiment tables use to report uncertainty.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionCi {
+    /// Point estimate `k / n`.
+    pub estimate: f64,
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+}
+
+/// Wilson score interval for `k` successes in `n` trials at confidence
+/// governed by the normal quantile `z` (1.96 ≈ 95%).
+///
+/// # Panics
+/// Panics if `k > n`, `n == 0`, or `z <= 0`.
+pub fn wilson(k: u64, n: u64, z: f64) -> ProportionCi {
+    assert!(n > 0, "need at least one trial");
+    assert!(k <= n, "successes exceed trials");
+    assert!(z > 0.0, "z must be positive");
+    let n_f = n as f64;
+    let p = k as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n_f) + z2 / (4.0 * n_f * n_f)).sqrt();
+    ProportionCi {
+        estimate: p,
+        low: (center - half).max(0.0),
+        high: (center + half).min(1.0),
+    }
+}
+
+/// Wilson interval at 95% confidence.
+///
+/// ```
+/// use rlb_metrics::wilson95;
+///
+/// // 0 rejections out of 10^6 requests: the rate is below ~4e-6 at 95%.
+/// let ci = wilson95(0, 1_000_000);
+/// assert!(ci.high < 4e-6);
+/// assert!(ci.contains(0.0));
+/// ```
+pub fn wilson95(k: u64, n: u64) -> ProportionCi {
+    wilson(k, n, 1.959_963_985)
+}
+
+impl ProportionCi {
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low && value <= self.high
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let ci = wilson95(13, 100);
+        assert!(ci.low < ci.estimate && ci.estimate < ci.high);
+        assert!(ci.contains(0.13));
+    }
+
+    #[test]
+    fn zero_successes_gives_rule_of_three() {
+        let ci = wilson95(0, 1000);
+        assert_eq!(ci.estimate, 0.0);
+        assert!(ci.low < 1e-12, "low = {}", ci.low);
+        // Rule of three: upper ≈ 3/n = 0.003 (Wilson gives ~0.0038).
+        assert!(ci.high > 0.002 && ci.high < 0.005, "high = {}", ci.high);
+    }
+
+    #[test]
+    fn all_successes_is_symmetric_to_none() {
+        let none = wilson95(0, 500);
+        let all = wilson95(500, 500);
+        assert!((none.high - (1.0 - all.low)).abs() < 1e-12);
+        assert_eq!(all.high, 1.0);
+    }
+
+    #[test]
+    fn width_shrinks_with_n() {
+        let small = wilson95(5, 50);
+        let large = wilson95(500, 5000);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn known_value_half() {
+        // k = n/2, large n: interval ≈ p ± z*sqrt(p(1-p)/n).
+        let ci = wilson95(5000, 10000);
+        let expected_half = 1.96 * (0.25f64 / 10000.0).sqrt();
+        assert!((ci.high - 0.5 - expected_half).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn k_above_n_panics() {
+        let _ = wilson95(5, 4);
+    }
+}

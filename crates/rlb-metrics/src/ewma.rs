@@ -1,0 +1,113 @@
+//! Exponentially weighted moving averages.
+//!
+//! Used for live dashboards over long simulations (e.g. the KV example's
+//! rolling rejection rate) where a full time series is overkill.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (higher = more reactive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with the given smoothing factor.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Creates an EWMA whose weight halves every `halflife` samples.
+    ///
+    /// # Panics
+    /// Panics if `halflife` is not positive and finite.
+    pub fn with_halflife(halflife: f64) -> Self {
+        assert!(halflife > 0.0 && halflife.is_finite());
+        Self::new(1.0 - 0.5f64.powf(1.0 / halflife))
+    }
+
+    /// Feeds one observation and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// The current average, if any observation has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Resets to the empty state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        e.update(0.0);
+        for _ in 0..200 {
+            e.update(5.0);
+        }
+        assert!((e.value().unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(7.0);
+        assert_eq!(e.value(), Some(7.0));
+    }
+
+    #[test]
+    fn halflife_semantics() {
+        // After `h` updates from v0 toward 0, the distance halves.
+        let h = 10.0;
+        let mut e = Ewma::with_halflife(h);
+        e.update(1.0);
+        for _ in 0..10 {
+            e.update(0.0);
+        }
+        let v = e.value().unwrap();
+        assert!((v - 0.5).abs() < 0.02, "value after one halflife: {v}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Exact integer histograms for latency and load distributions.
+//!
+//! Latencies and backlogs in this workspace are small integers (the paper
+//! proves they are `O(log m)` or `O(log log m)`), so an exact dense count
+//! vector is both faster and more precise than a bucketed sketch. The
+//! vector grows geometrically on demand; recording is O(1) amortized and
+//! allocation-free once the maximum observed value has been seen.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact histogram over `u64` sample values.
+///
+/// ```
+/// use rlb_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for latency in [0, 0, 1, 1, 1, 2, 5] {
+///     h.record(latency);
+/// }
+/// assert_eq!(h.mean(), Some(10.0 / 7.0));
+/// assert_eq!(h.quantile(0.5), Some(1));
+/// assert_eq!(h.max(), Some(5));
+/// assert_eq!(h.count_above(1), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty histogram with space for values up to `max_value`.
+    pub fn with_capacity(max_value: usize) -> Self {
+        Self {
+            counts: vec![0; max_value + 1],
+            ..Self::default()
+        }
+    }
+
+    /// Records one occurrence of `value`.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            let new_len = (idx + 1).max(self.counts.len() * 2).max(8);
+            self.counts.resize(new_len, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, &c) in other.counts.iter().enumerate() {
+            if c > 0 {
+                self.record_n(v as u64, c);
+            }
+        }
+    }
+
+    /// Total number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples have been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Count recorded at exactly `value`.
+    #[inline]
+    pub fn count_at(&self, value: u64) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of samples with value strictly greater than `value`.
+    pub fn count_above(&self, value: u64) -> u64 {
+        let start = (value as usize).saturating_add(1);
+        if start >= self.counts.len() {
+            return 0;
+        }
+        self.counts[start..].iter().sum()
+    }
+
+    /// Mean of the samples; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Maximum recorded value; `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) using the nearest-rank method;
+    /// `None` if empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(v as u64);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero count.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u64, c))
+    }
+
+    /// Clears all samples but keeps the allocated capacity.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count_above(0), 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(h.max(), Some(10));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let mut h = Histogram::new();
+        for v in [0u64, 0, 1, 5, 5, 5, 9, 20] {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let q = h.quantile(i as f64 / 100.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn count_above_matches_naive() {
+        let mut h = Histogram::new();
+        let samples = [0u64, 1, 1, 3, 7, 7, 7, 15];
+        for &v in &samples {
+            h.record(v);
+        }
+        for threshold in 0..20u64 {
+            let naive = samples.iter().filter(|&&v| v > threshold).count() as u64;
+            assert_eq!(h.count_above(threshold), naive, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_totals() {
+        let mut a = Histogram::new();
+        a.record_n(2, 3);
+        let mut b = Histogram::new();
+        b.record_n(2, 1);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.count_at(2), 4);
+        assert_eq!(a.max(), Some(5));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut h = Histogram::with_capacity(64);
+        h.record(64);
+        let cap = h.counts.len();
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.counts.len(), cap);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(5, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (3, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_out_of_range_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.quantile(1.5);
+    }
+}

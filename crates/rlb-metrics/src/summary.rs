@@ -1,0 +1,203 @@
+//! Streaming summary statistics (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming accumulator for mean / variance / min / max of `f64`
+/// samples, numerically stable under long streams.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finalizes into [`SummaryStats`]; `None` if no samples were added.
+    pub fn finish(&self) -> Option<SummaryStats> {
+        if self.count == 0 {
+            return None;
+        }
+        let variance = if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        };
+        Some(SummaryStats {
+            count: self.count,
+            mean: self.mean,
+            std_dev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
+
+/// Point-in-time summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics of a slice in one pass.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn of(samples: &[f64]) -> Option<Self> {
+        let mut acc = Accumulator::new();
+        for &s in samples {
+            acc.add(s);
+        }
+        acc.finish()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_finishes_none() {
+        assert!(Accumulator::new().finish().is_none());
+        assert!(SummaryStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = SummaryStats::of(&[5.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = SummaryStats::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Accumulator::new();
+        for &x in &xs {
+            all.add(x);
+        }
+        let mut a = Accumulator::new();
+        let mut b = Accumulator::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        let sa = all.finish().unwrap();
+        let sm = a.finish().unwrap();
+        assert_eq!(sa.count, sm.count);
+        assert!((sa.mean - sm.mean).abs() < 1e-9);
+        assert!((sa.std_dev - sm.std_dev).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Accumulator::new();
+        a.add(1.0);
+        a.add(2.0);
+        let before = a.finish().unwrap();
+        a.merge(&Accumulator::new());
+        assert_eq!(a.finish().unwrap(), before);
+
+        let mut e = Accumulator::new();
+        let mut b = Accumulator::new();
+        b.add(3.0);
+        e.merge(&b);
+        assert_eq!(e.finish().unwrap().mean, 3.0);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_n() {
+        let few = SummaryStats::of(&[1.0, 2.0, 3.0]).unwrap();
+        let many: Vec<f64> = (0..300).map(|i| (i % 3) as f64 + 1.0).collect();
+        let many = SummaryStats::of(&many).unwrap();
+        assert!(many.std_error() < few.std_error());
+    }
+}

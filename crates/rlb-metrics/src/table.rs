@@ -1,0 +1,171 @@
+//! Plain-text table formatting for experiment output.
+//!
+//! The experiment harness prints paper-style tables to stdout; this module
+//! keeps the formatting in one place: right-aligned numeric columns,
+//! left-aligned labels, a rule under the header, and helpers for scientific
+//! notation (rejection rates span many orders of magnitude).
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A simple text table builder.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let _ = write!(line, "{:>width$}", h, width = widths[i]);
+        }
+        let _ = writeln!(out, "{line}");
+        let _ = writeln!(out, "{}", "-".repeat(line.len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:>width$}", row[i], width = widths[i]);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        out
+    }
+}
+
+/// Formats a probability/rate compactly: scientific below 1e-3, fixed
+/// otherwise, `"0"` for exact zero.
+pub fn fmt_rate(r: f64) -> String {
+    if r == 0.0 {
+        "0".to_string()
+    } else if r.abs() < 1e-3 {
+        format!("{r:.2e}")
+    } else {
+        format!("{r:.4}")
+    }
+}
+
+/// Formats a float with `prec` decimal places.
+pub fn fmt_f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats an integer count with no decoration.
+pub fn fmt_u(v: u64) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["m", "rate"]);
+        t.row(vec!["256".into(), "0.0100".into()]);
+        t.row(vec!["65536".into(), "0".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        // Right alignment: the short cell is padded.
+        assert!(lines[3].starts_with("  256"));
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]).note("hello");
+        assert!(t.render().contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_rate_switches_notation() {
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(0.25), "0.2500");
+        assert!(fmt_rate(1e-6).contains('e'));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("x", &["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

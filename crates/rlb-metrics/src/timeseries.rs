@@ -1,0 +1,120 @@
+//! A bounded-memory time series recorder.
+//!
+//! Experiments run for up to `m^c` steps; storing every per-step sample
+//! would be wasteful. [`TimeSeries`] keeps at most `2 * capacity` points by
+//! doubling its sampling stride whenever it fills: surviving points remain
+//! an evenly spaced subsample of the full stream, which is exactly what a
+//! convergence plot needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A self-downsampling time series of `(step, value)` points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(u64, f64)>,
+    capacity: usize,
+    stride: u64,
+    next_index: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series that retains at most `2 * capacity` points.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            points: Vec::with_capacity(2 * capacity),
+            capacity,
+            stride: 1,
+            next_index: 0,
+        }
+    }
+
+    /// Appends a sample; the recorder decides whether to keep it.
+    pub fn push(&mut self, value: f64) {
+        let index = self.next_index;
+        self.next_index += 1;
+        if !index.is_multiple_of(self.stride) {
+            return;
+        }
+        self.points.push((index, value));
+        if self.points.len() >= 2 * self.capacity {
+            // Double the stride and drop every other retained point.
+            self.stride *= 2;
+            let stride = self.stride;
+            self.points.retain(|&(i, _)| i % stride == 0);
+        }
+    }
+
+    /// The retained points as `(step_index, value)` pairs, in order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples pushed (not retained).
+    pub fn pushed(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Current sampling stride.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Latest retained value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_series_keeps_everything() {
+        let mut ts = TimeSeries::new(100);
+        for i in 0..50 {
+            ts.push(i as f64);
+        }
+        assert_eq!(ts.points().len(), 50);
+        assert_eq!(ts.stride(), 1);
+        assert_eq!(ts.last(), Some(49.0));
+    }
+
+    #[test]
+    fn long_series_stays_bounded() {
+        let mut ts = TimeSeries::new(64);
+        for i in 0..100_000 {
+            ts.push(i as f64);
+        }
+        assert!(ts.points().len() < 2 * 64);
+        assert_eq!(ts.pushed(), 100_000);
+        // Retained points are evenly strided.
+        let stride = ts.stride();
+        for &(i, v) in ts.points() {
+            assert_eq!(i % stride, 0);
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn points_are_ordered_and_unique() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..1000 {
+            ts.push((i * i) as f64);
+        }
+        let pts = ts.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the metrics crate.
+
+use proptest::prelude::*;
+use rlb_metrics::{wilson95, Accumulator, Ewma, Histogram, SummaryStats, TimeSeries};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Merging split accumulators equals accumulating the whole stream.
+    #[test]
+    fn accumulator_merge_is_stream_equivalent(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..split] {
+            left.add(x);
+        }
+        for &x in &xs[split..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        let a = whole.finish().unwrap();
+        let b = left.finish().unwrap();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert!((a.mean - b.mean).abs() < 1e-6 * a.mean.abs().max(1.0));
+        prop_assert!((a.std_dev - b.std_dev).abs() < 1e-5 * a.std_dev.abs().max(1.0));
+    }
+
+    /// Histogram merge equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        xs in proptest::collection::vec(0u64..500, 0..100),
+        ys in proptest::collection::vec(0u64..500, 0..100),
+    ) {
+        let mut a = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+        }
+        let mut b = Histogram::new();
+        for &y in &ys {
+            b.record(y);
+        }
+        a.merge(&b);
+        let mut both = Histogram::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            both.record(v);
+        }
+        // Structural equality may differ (growth leaves different spare
+        // capacity); compare the observable contents.
+        prop_assert_eq!(a.count(), both.count());
+        prop_assert_eq!(a.mean(), both.mean());
+        prop_assert_eq!(a.max(), both.max());
+        prop_assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            both.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Summary statistics bound the sample range.
+    #[test]
+    fn summary_bounds_hold(xs in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+        let s = SummaryStats::of(&xs).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    /// Wilson intervals always bracket the point estimate and stay in
+    /// [0, 1].
+    #[test]
+    fn wilson_is_well_formed(n in 1u64..100_000, frac in 0.0f64..1.0) {
+        let k = ((n as f64) * frac) as u64;
+        let ci = wilson95(k, n);
+        prop_assert!(ci.low >= 0.0 && ci.high <= 1.0);
+        prop_assert!(ci.low <= ci.estimate + 1e-12);
+        prop_assert!(ci.high >= ci.estimate - 1e-12);
+        prop_assert!(ci.contains(ci.estimate));
+    }
+
+    /// EWMA output is always within the range of inputs seen so far.
+    #[test]
+    fn ewma_stays_in_input_hull(
+        alpha in 0.01f64..1.0,
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut e = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let v = e.update(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// The time series keeps an evenly strided subsample with correct
+    /// values.
+    #[test]
+    fn timeseries_subsample_is_faithful(n in 1usize..5000, cap in 1usize..64) {
+        let mut ts = TimeSeries::new(cap);
+        for i in 0..n {
+            ts.push(i as f64 * 2.0);
+        }
+        prop_assert!(ts.points().len() <= 2 * cap);
+        prop_assert_eq!(ts.pushed(), n as u64);
+        for &(i, v) in ts.points() {
+            prop_assert_eq!(v, i as f64 * 2.0);
+            prop_assert_eq!(i % ts.stride(), 0);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Core workload generators.
+
+use rlb_core::Workload;
+use rlb_hash::{sample, Pcg64, Rng};
+
+/// The same fixed set of chunks requested on every step — the paper's
+/// canonical hard workload ("the same set S of m items is accessed on
+/// every time step", §1). Arrival order is reshuffled each step by
+/// default so policies cannot benefit from a fixed order.
+#[derive(Debug, Clone)]
+pub struct RepeatedSet {
+    chunks: Vec<u32>,
+    shuffle_each_step: bool,
+    rng: Pcg64,
+}
+
+impl RepeatedSet {
+    /// Requests `chunks` every step (order reshuffled per step).
+    ///
+    /// # Panics
+    /// Panics if `chunks` contains duplicates.
+    pub fn new(chunks: Vec<u32>, seed: u64) -> Self {
+        let mut sorted = chunks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), chunks.len(), "chunk set contains duplicates");
+        Self {
+            chunks,
+            shuffle_each_step: true,
+            rng: Pcg64::new(seed, 0x5e7),
+        }
+    }
+
+    /// Uses the first `k` chunks of the universe (`0..k`).
+    pub fn first_k(k: u32, seed: u64) -> Self {
+        Self::new((0..k).collect(), seed)
+    }
+
+    /// Draws a random `k`-subset of a universe of `n` chunks.
+    pub fn random_subset(n: u64, k: usize, seed: u64) -> Self {
+        let mut rng = Pcg64::new(seed, 0x5e8);
+        let chunks = sample::sample_k_distinct(&mut rng, n, k)
+            .into_iter()
+            .map(|c| c as u32)
+            .collect();
+        Self::new(chunks, seed)
+    }
+
+    /// Disables the per-step reshuffle (fixed arrival order).
+    pub fn fixed_order(mut self) -> Self {
+        self.shuffle_each_step = false;
+        self
+    }
+}
+
+impl Workload for RepeatedSet {
+    fn next_step(&mut self, _step: u64, out: &mut Vec<u32>) {
+        if self.shuffle_each_step {
+            sample::shuffle(&mut self.rng, &mut self.chunks);
+        }
+        out.extend_from_slice(&self.chunks);
+    }
+}
+
+/// Fresh uniform chunks every step: `k` distinct chunks drawn from
+/// `[0, n)` independently per step. No reappearance dependencies beyond
+/// chance collisions across steps.
+#[derive(Debug, Clone)]
+pub struct FreshRandom {
+    universe: u64,
+    per_step: usize,
+    rng: Pcg64,
+}
+
+impl FreshRandom {
+    /// Draws `per_step` distinct chunks from `[0, universe)` each step.
+    ///
+    /// # Panics
+    /// Panics if `per_step > universe`.
+    pub fn new(universe: u64, per_step: usize, seed: u64) -> Self {
+        assert!(per_step as u64 <= universe, "per_step exceeds universe");
+        Self {
+            universe,
+            per_step,
+            rng: Pcg64::new(seed, 0xf5e5),
+        }
+    }
+}
+
+impl Workload for FreshRandom {
+    fn next_step(&mut self, _step: u64, out: &mut Vec<u32>) {
+        for c in sample::sample_k_distinct(&mut self.rng, self.universe, self.per_step) {
+            out.push(c as u32);
+        }
+    }
+}
+
+/// Interpolates between [`RepeatedSet`] and [`FreshRandom`]: each step
+/// keeps each member of the previous step's set with probability
+/// `repeat_prob` and fills the remainder with fresh distinct chunks.
+#[derive(Debug, Clone)]
+pub struct PartialRepeat {
+    universe: u64,
+    per_step: usize,
+    repeat_prob: f64,
+    previous: Vec<u32>,
+    rng: Pcg64,
+}
+
+impl PartialRepeat {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    /// Panics if `repeat_prob ∉ [0, 1]` or `per_step > universe`.
+    pub fn new(universe: u64, per_step: usize, repeat_prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&repeat_prob), "repeat_prob in [0,1]");
+        assert!(per_step as u64 <= universe, "per_step exceeds universe");
+        Self {
+            universe,
+            per_step,
+            repeat_prob,
+            previous: Vec::new(),
+            rng: Pcg64::new(seed, 0xaa17),
+        }
+    }
+}
+
+impl Workload for PartialRepeat {
+    fn next_step(&mut self, _step: u64, out: &mut Vec<u32>) {
+        let mut kept: Vec<u32> = self
+            .previous
+            .iter()
+            .copied()
+            .filter(|_| self.rng.gen_bool(self.repeat_prob))
+            .collect();
+        let mut present: std::collections::HashSet<u32> = kept.iter().copied().collect();
+        while kept.len() < self.per_step {
+            let c = self.rng.gen_range(self.universe) as u32;
+            if present.insert(c) {
+                kept.push(c);
+            }
+        }
+        sample::shuffle(&mut self.rng, &mut kept);
+        out.extend_from_slice(&kept);
+        self.previous = kept;
+    }
+}
+
+/// Rotates among `w` fixed working sets, switching every
+/// `steps_per_phase` steps — a diurnal / tenant-shift pattern. Each
+/// working set individually behaves like a [`RepeatedSet`].
+#[derive(Debug, Clone)]
+pub struct PhasedWorkingSets {
+    sets: Vec<Vec<u32>>,
+    steps_per_phase: u64,
+    rng: Pcg64,
+}
+
+impl PhasedWorkingSets {
+    /// Creates `w` random disjoint working sets of `k` chunks each from
+    /// a universe of `n`, switching every `steps_per_phase` steps.
+    ///
+    /// # Panics
+    /// Panics if `w * k > n` or any parameter is zero.
+    pub fn random(n: u64, w: usize, k: usize, steps_per_phase: u64, seed: u64) -> Self {
+        assert!(w > 0 && k > 0 && steps_per_phase > 0, "zero parameter");
+        assert!((w * k) as u64 <= n, "working sets exceed universe");
+        let mut rng = Pcg64::new(seed, 0x9a5e);
+        let all = sample::sample_k_distinct(&mut rng, n, w * k);
+        let sets = all
+            .chunks(k)
+            .map(|s| s.iter().map(|&c| c as u32).collect())
+            .collect();
+        Self {
+            sets,
+            steps_per_phase,
+            rng,
+        }
+    }
+
+    /// Creates the generator from explicit sets.
+    ///
+    /// # Panics
+    /// Panics if any set contains duplicates or `sets` is empty.
+    pub fn new(sets: Vec<Vec<u32>>, steps_per_phase: u64, seed: u64) -> Self {
+        assert!(!sets.is_empty(), "need at least one working set");
+        assert!(steps_per_phase > 0, "steps_per_phase must be positive");
+        for (i, s) in sets.iter().enumerate() {
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), s.len(), "working set {i} has duplicates");
+        }
+        Self {
+            sets,
+            steps_per_phase,
+            rng: Pcg64::new(seed, 0x9a5f),
+        }
+    }
+}
+
+impl Workload for PhasedWorkingSets {
+    fn next_step(&mut self, step: u64, out: &mut Vec<u32>) {
+        let idx = ((step / self.steps_per_phase) % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[idx];
+        sample::shuffle(&mut self.rng, set);
+        out.extend_from_slice(set);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_step<W: Workload>(w: &mut W, step: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        w.next_step(step, &mut out);
+        out
+    }
+
+    fn assert_distinct(v: &[u32]) {
+        let set: std::collections::HashSet<u32> = v.iter().copied().collect();
+        assert_eq!(set.len(), v.len(), "duplicates in step: {v:?}");
+    }
+
+    #[test]
+    fn repeated_set_is_same_set_every_step() {
+        let mut w = RepeatedSet::first_k(10, 1);
+        let mut first = collect_step(&mut w, 0);
+        assert_distinct(&first);
+        first.sort_unstable();
+        for step in 1..5 {
+            let mut s = collect_step(&mut w, step);
+            s.sort_unstable();
+            assert_eq!(s, first);
+        }
+    }
+
+    #[test]
+    fn repeated_set_shuffles_order() {
+        let mut w = RepeatedSet::first_k(100, 2);
+        let a = collect_step(&mut w, 0);
+        let b = collect_step(&mut w, 1);
+        assert_ne!(a, b, "order should differ between steps (whp)");
+    }
+
+    #[test]
+    fn fixed_order_is_stable() {
+        let mut w = RepeatedSet::first_k(20, 3).fixed_order();
+        let a = collect_step(&mut w, 0);
+        let b = collect_step(&mut w, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn repeated_set_rejects_duplicates() {
+        let _ = RepeatedSet::new(vec![1, 2, 2], 0);
+    }
+
+    #[test]
+    fn random_subset_draws_from_universe() {
+        let w = RepeatedSet::random_subset(1000, 50, 4);
+        let mut w = w;
+        let s = collect_step(&mut w, 0);
+        assert_eq!(s.len(), 50);
+        assert_distinct(&s);
+        assert!(s.iter().all(|&c| c < 1000));
+    }
+
+    #[test]
+    fn fresh_random_differs_between_steps() {
+        let mut w = FreshRandom::new(1_000_000, 64, 5);
+        let a = collect_step(&mut w, 0);
+        let b = collect_step(&mut w, 1);
+        assert_distinct(&a);
+        assert_distinct(&b);
+        let overlap = a.iter().filter(|c| b.contains(c)).count();
+        assert!(overlap < 4, "overlap {overlap} suspiciously high");
+    }
+
+    #[test]
+    fn partial_repeat_extremes_match_neighbors() {
+        // p = 1.0 behaves like a repeated set after the first step.
+        let mut w = PartialRepeat::new(10_000, 32, 1.0, 6);
+        let mut a = collect_step(&mut w, 0);
+        let mut b = collect_step(&mut w, 1);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // p = 0.0 behaves like fresh random.
+        let mut w = PartialRepeat::new(1_000_000, 32, 0.0, 7);
+        let a = collect_step(&mut w, 0);
+        let b = collect_step(&mut w, 1);
+        let overlap = a.iter().filter(|c| b.contains(c)).count();
+        assert!(overlap < 4);
+    }
+
+    #[test]
+    fn partial_repeat_steps_are_distinct_and_sized() {
+        let mut w = PartialRepeat::new(500, 64, 0.5, 8);
+        for step in 0..10 {
+            let s = collect_step(&mut w, step);
+            assert_eq!(s.len(), 64);
+            assert_distinct(&s);
+        }
+    }
+
+    #[test]
+    fn phased_sets_rotate() {
+        let mut w = PhasedWorkingSets::new(vec![vec![0, 1], vec![10, 11]], 3, 9);
+        for step in 0..12 {
+            let mut s = collect_step(&mut w, step);
+            s.sort_unstable();
+            let expect: Vec<u32> = if (step / 3) % 2 == 0 {
+                vec![0, 1]
+            } else {
+                vec![10, 11]
+            };
+            assert_eq!(s, expect, "step {step}");
+        }
+    }
+
+    #[test]
+    fn phased_random_sets_are_disjoint() {
+        let w = PhasedWorkingSets::random(10_000, 4, 100, 5, 10);
+        let mut all: Vec<u32> = w.sets.iter().flatten().copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = FreshRandom::new(1000, 16, 42);
+        let mut b = FreshRandom::new(1000, 16, 42);
+        for step in 0..5 {
+            assert_eq!(collect_step(&mut a, step), collect_step(&mut b, step));
+        }
+    }
+}
+
+/// On/off bursty traffic: alternates between a *burst* load and a
+/// *trough* load on a fixed cycle — the classic diurnal/batch-job shape.
+/// During bursts, `burst_per_step` distinct chunks are requested per
+/// step; during troughs, `trough_per_step`. The chunk population is a
+/// fixed working set (reappearance pressure persists across the cycle).
+#[derive(Debug, Clone)]
+pub struct OnOffBurst {
+    working_set: Vec<u32>,
+    burst_per_step: usize,
+    trough_per_step: usize,
+    burst_len: u64,
+    trough_len: u64,
+    rng: Pcg64,
+}
+
+impl OnOffBurst {
+    /// Creates the generator over working set `0..universe`.
+    ///
+    /// # Panics
+    /// Panics if either per-step count exceeds `universe`, or a cycle
+    /// phase has zero length.
+    pub fn new(
+        universe: u32,
+        burst_per_step: usize,
+        trough_per_step: usize,
+        burst_len: u64,
+        trough_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(burst_per_step <= universe as usize, "burst exceeds universe");
+        assert!(trough_per_step <= universe as usize, "trough exceeds universe");
+        assert!(burst_len > 0 && trough_len > 0, "cycle phases must be non-empty");
+        Self {
+            working_set: (0..universe).collect(),
+            burst_per_step,
+            trough_per_step,
+            burst_len,
+            trough_len,
+            rng: Pcg64::new(seed, 0xb0b0),
+        }
+    }
+
+    /// Whether `step` falls in the burst phase of the cycle.
+    pub fn is_burst_step(&self, step: u64) -> bool {
+        step % (self.burst_len + self.trough_len) < self.burst_len
+    }
+}
+
+impl Workload for OnOffBurst {
+    fn next_step(&mut self, step: u64, out: &mut Vec<u32>) {
+        let k = if self.is_burst_step(step) {
+            self.burst_per_step
+        } else {
+            self.trough_per_step
+        };
+        sample::partial_shuffle(&mut self.rng, &mut self.working_set, k);
+        out.extend_from_slice(&self.working_set[..k]);
+    }
+}
+
+#[cfg(test)]
+mod burst_tests {
+    use super::*;
+    use rlb_core::Workload as _;
+
+    #[test]
+    fn burst_cycle_alternates_sizes() {
+        let mut w = OnOffBurst::new(100, 80, 10, 3, 2, 1);
+        let mut out = Vec::new();
+        for step in 0..10u64 {
+            out.clear();
+            w.next_step(step, &mut out);
+            let expected = if step % 5 < 3 { 80 } else { 10 };
+            assert_eq!(out.len(), expected, "step {step}");
+            let set: std::collections::HashSet<u32> = out.iter().copied().collect();
+            assert_eq!(set.len(), out.len(), "step {step} duplicates");
+        }
+    }
+
+    #[test]
+    fn burst_draws_from_working_set() {
+        let mut w = OnOffBurst::new(50, 25, 5, 2, 2, 2);
+        let mut out = Vec::new();
+        for step in 0..8u64 {
+            out.clear();
+            w.next_step(step, &mut out);
+            assert!(out.iter().all(|&c| c < 50));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst exceeds universe")]
+    fn oversized_burst_panics() {
+        let _ = OnOffBurst::new(10, 11, 1, 1, 1, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Request-trace recording and replay.
+//!
+//! A [`Trace`] is an explicit list of per-step request sets. Traces make
+//! experiments exactly repeatable across policies (replay the same
+//! adversary against greedy and delayed-cuckoo), and serialize to JSON
+//! for archival alongside experiment outputs.
+
+use rlb_core::Workload;
+use serde::{Deserialize, Serialize};
+
+/// A fully materialized request trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    steps: Vec<Vec<u32>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `steps` steps of `workload` into a trace.
+    pub fn record(workload: &mut dyn Workload, steps: u64) -> Self {
+        let mut trace = Self::new();
+        let mut buf = Vec::new();
+        for step in 0..steps {
+            buf.clear();
+            workload.next_step(step, &mut buf);
+            trace.steps.push(buf.clone());
+        }
+        trace
+    }
+
+    /// Appends one step's request set.
+    ///
+    /// # Panics
+    /// Panics if the set contains duplicates (model constraint).
+    pub fn push_step(&mut self, chunks: Vec<u32>) {
+        let mut sorted = chunks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), chunks.len(), "step contains duplicate chunks");
+        self.steps.push(chunks);
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The request set of step `i`.
+    pub fn step(&self, i: usize) -> &[u32] {
+        &self.steps[i]
+    }
+
+    /// Total requests across all steps.
+    pub fn total_requests(&self) -> u64 {
+        self.steps.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// A replaying [`Workload`]. Steps beyond the trace length cycle
+    /// back to the beginning (so a finite trace can drive a run of any
+    /// length).
+    pub fn replayer(&self) -> TraceReplayer<'_> {
+        TraceReplayer { trace: self }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    /// Returns the underlying serde error message.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// Replays a [`Trace`] as a [`Workload`], cycling past the end.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceReplayer<'a> {
+    trace: &'a Trace,
+}
+
+impl Workload for TraceReplayer<'_> {
+    fn next_step(&mut self, step: u64, out: &mut Vec<u32>) {
+        if self.trace.steps.is_empty() {
+            return;
+        }
+        let idx = (step % self.trace.steps.len() as u64) as usize;
+        out.extend_from_slice(&self.trace.steps[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::FreshRandom;
+
+    #[test]
+    fn record_and_replay_match() {
+        let mut w = FreshRandom::new(1000, 16, 11);
+        let trace = Trace::record(&mut w, 8);
+        assert_eq!(trace.len(), 8);
+        assert_eq!(trace.total_requests(), 8 * 16);
+        let mut replay = trace.replayer();
+        for step in 0..8u64 {
+            let mut out = Vec::new();
+            replay.next_step(step, &mut out);
+            assert_eq!(out.as_slice(), trace.step(step as usize));
+        }
+    }
+
+    #[test]
+    fn replay_cycles_past_end() {
+        let mut trace = Trace::new();
+        trace.push_step(vec![1, 2]);
+        trace.push_step(vec![3]);
+        let mut replay = trace.replayer();
+        let mut out = Vec::new();
+        replay.next_step(5, &mut out); // 5 % 2 == 1
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut w = FreshRandom::new(100, 8, 13);
+        let trace = Trace::record(&mut w, 4);
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate chunks")]
+    fn push_step_rejects_duplicates() {
+        let mut t = Trace::new();
+        t.push_step(vec![4, 4]);
+    }
+
+    #[test]
+    fn empty_trace_replayer_is_silent() {
+        let t = Trace::new();
+        let mut r = t.replayer();
+        let mut out = Vec::new();
+        r.next_step(0, &mut out);
+        assert!(out.is_empty());
+    }
+}

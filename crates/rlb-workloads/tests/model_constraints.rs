@@ -1,0 +1,100 @@
+//! Every workload generator must respect the model's constraints (§2):
+//! chunks within a step are distinct and inside the declared universe.
+
+use proptest::prelude::*;
+use rlb_core::Workload;
+use rlb_workloads::{FreshRandom, PartialRepeat, PhasedWorkingSets, RepeatedSet, ZipfDistinct};
+
+fn check_steps(workload: &mut dyn Workload, universe: u64, steps: u64) {
+    let mut out = Vec::new();
+    for step in 0..steps {
+        out.clear();
+        workload.next_step(step, &mut out);
+        let mut seen = std::collections::HashSet::new();
+        for &c in &out {
+            assert!((c as u64) < universe, "step {step}: chunk {c} out of range");
+            assert!(seen.insert(c), "step {step}: duplicate chunk {c}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repeated_set_respects_model(k in 1u32..200, seed in any::<u64>()) {
+        let mut w = RepeatedSet::first_k(k, seed);
+        check_steps(&mut w, k as u64, 20);
+    }
+
+    #[test]
+    fn fresh_random_respects_model(
+        universe in 1u64..5000,
+        seed in any::<u64>(),
+        frac in 1u64..100,
+    ) {
+        let per_step = ((universe * frac) / 100).max(1) as usize;
+        let mut w = FreshRandom::new(universe, per_step, seed);
+        check_steps(&mut w, universe, 20);
+    }
+
+    #[test]
+    fn partial_repeat_respects_model(
+        universe in 10u64..5000,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let per_step = (universe / 2).max(1) as usize;
+        let mut w = PartialRepeat::new(universe, per_step, p, seed);
+        check_steps(&mut w, universe, 20);
+    }
+
+    #[test]
+    fn zipf_respects_model(
+        universe in 2usize..3000,
+        alpha in 0.0f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let per_step = (universe / 2).max(1);
+        let mut w = ZipfDistinct::new(universe, per_step, alpha, seed);
+        check_steps(&mut w, universe as u64, 15);
+    }
+
+    #[test]
+    fn phased_sets_respect_model(
+        w_count in 1usize..5,
+        k in 1usize..50,
+        phase in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let universe = (w_count * k * 4) as u64;
+        let mut w = PhasedWorkingSets::random(universe, w_count, k, phase, seed);
+        check_steps(&mut w, universe, 30);
+    }
+
+    /// Partial repeat actually repeats: the expected overlap between
+    /// consecutive steps tracks p.
+    #[test]
+    fn partial_repeat_overlap_tracks_p(p in 0.1f64..0.9) {
+        let universe = 100_000u64;
+        let per_step = 2000usize;
+        let mut w = PartialRepeat::new(universe, per_step, p, 7);
+        let mut prev: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut total_overlap = 0usize;
+        let mut out = Vec::new();
+        let rounds = 10;
+        for step in 0..=rounds {
+            out.clear();
+            w.next_step(step, &mut out);
+            if step > 0 {
+                total_overlap += out.iter().filter(|c| prev.contains(c)).count();
+            }
+            prev = out.iter().copied().collect();
+        }
+        let mean_overlap = total_overlap as f64 / (rounds as f64 * per_step as f64);
+        prop_assert!(
+            (mean_overlap - p).abs() < 0.08,
+            "overlap {mean_overlap} vs p {p}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Why replication saves the day: the d = 1 collapse.
+//!
+//! Reproduces the paper's §1 motivating story (and the Wang et al.
+//! PPoPP '23 impossibility): under a repeated request set, a cluster
+//! with no replication rejects a constant fraction of requests forever —
+//! the servers oversubscribed at step 1 stay oversubscribed at every
+//! step. One extra replica (d = 2) with greedy routing fixes it.
+//!
+//! ```text
+//! cargo run --release --example adversarial_replication
+//! ```
+
+use reappearance_lb::core::policies::Greedy;
+use reappearance_lb::core::{DrainMode, SimConfig, Simulation};
+use reappearance_lb::workloads::RepeatedSet;
+
+fn main() {
+    let m = 2048usize;
+    let steps = 300u64;
+    let g = 2u32;
+    println!(
+        "m = {m} servers, g = {g} requests/step each, the same {m} chunks every step\n"
+    );
+    println!("{:>3}  {:>12}  {:>10}  {:>11}", "d", "reject-rate", "avg-lat", "max-backlog");
+    for d in [1usize, 2, 3, 4] {
+        let config = SimConfig {
+            num_servers: m,
+            num_chunks: 4 * m,
+            replication: d,
+            process_rate: g,
+            queue_capacity: 12,
+            flush_interval: None,
+            drain_mode: DrainMode::EndOfStep,
+            seed: 7 + d as u64,
+            safety_check_every: Some(4),
+        };
+        let mut sim = Simulation::new(config, Greedy::new());
+        let mut workload = RepeatedSet::first_k(m as u32, 13);
+        sim.run(&mut workload, steps);
+        let r = sim.finish();
+        println!(
+            "{d:>3}  {:>12.4}  {:>10.2}  {:>11}",
+            r.rejection_rate, r.avg_latency, r.max_backlog
+        );
+    }
+    println!(
+        "\nWith d = 1, the set of servers holding more than g chunks of the fixed\n\
+         request set is trapped: their queues fill and reject every step (a Θ(1)\n\
+         rejection rate no queue size can fix). From d = 2 on, greedy routing\n\
+         drains the same workload with essentially no rejections — the power of\n\
+         two choices survives reappearance dependencies."
+    );
+}

@@ -1,0 +1,79 @@
+//! Failure injection: replication as fault tolerance.
+//!
+//! Takes down 10% of the cluster for the middle third of the run and
+//! watches each policy ride through it. The `d` replicas the paper uses
+//! for *load balancing* double as failure masking: with `d = 2`, a
+//! request is lost only when both replicas are down.
+//!
+//! ```text
+//! cargo run --release --example failure_injection
+//! ```
+
+use reappearance_lb::core::policies::{DelayedCuckoo, Greedy, OneChoice};
+use reappearance_lb::core::{
+    DrainMode, OutageSchedule, RunReport, SimConfig, Simulation, Workload,
+};
+use reappearance_lb::workloads::RepeatedSet;
+
+fn config(m: usize, d: usize) -> SimConfig {
+    SimConfig {
+        num_servers: m,
+        num_chunks: 4 * m,
+        replication: d,
+        process_rate: 16,
+        queue_capacity: 16,
+        flush_interval: None,
+        drain_mode: DrainMode::EndOfStep,
+        seed: 11,
+        safety_check_every: Some(4),
+    }
+}
+
+fn report_line(name: &str, r: &RunReport) {
+    println!(
+        "{:>22}  reject {:>8.2e}  (down: {:>6}, overflow: {:>4}, policy: {:>4})  avg-lat {:>5.2}",
+        name, r.rejection_rate, r.rejected_down, r.rejected_overflow, r.rejected_policy, r.avg_latency
+    );
+}
+
+fn main() {
+    let m = 1024usize;
+    let steps = 300u64;
+    let down = (m / 10) as u32;
+    let outage = OutageSchedule::mass_failure(down, steps / 3, 2 * steps / 3);
+    println!(
+        "m = {m} servers; servers 0..{down} down for steps {}..{}\n\
+         workload: the same {m} chunks every step\n",
+        steps / 3,
+        2 * steps / 3
+    );
+
+    {
+        let mut sim =
+            Simulation::new(config(m, 1), OneChoice::new()).with_outages(outage.clone());
+        let mut w = RepeatedSet::first_k(m as u32, 3);
+        sim.run(&mut w as &mut dyn Workload, steps);
+        report_line("one-choice (d=1)", &sim.finish());
+    }
+    {
+        let mut sim = Simulation::new(config(m, 2), Greedy::new()).with_outages(outage.clone());
+        let mut w = RepeatedSet::first_k(m as u32, 3);
+        sim.run(&mut w as &mut dyn Workload, steps);
+        report_line("greedy (d=2)", &sim.finish());
+    }
+    {
+        let cfg = config(m, 2);
+        let policy = DelayedCuckoo::new(&cfg);
+        let mut sim = Simulation::new(cfg, policy).with_outages(outage);
+        let mut w = RepeatedSet::first_k(m as u32, 3);
+        sim.run(&mut w as &mut dyn Workload, steps);
+        report_line("delayed-cuckoo (d=2)", &sim.finish());
+    }
+
+    println!(
+        "\nWith d = 1 every request to a chunk on a down server is lost (~10% of\n\
+         traffic for a third of the run). With d = 2 the surviving replica\n\
+         absorbs it; losses drop to the double-failure scale, and the\n\
+         load-aware policies spread the displaced traffic without queue blowup."
+    );
+}

@@ -1,0 +1,69 @@
+//! A key-value store serving skewed client traffic.
+//!
+//! Drives the [`reappearance_lb::kv::KvCluster`] façade the way a
+//! downstream system would: client keys hash into chunks, hot keys
+//! follow a Zipf popularity curve (the access pattern measured for
+//! production KV stores), per-step key requests to the same chunk
+//! coalesce, and the delayed-cuckoo load balancer routes chunk requests
+//! to replicas.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use reappearance_lb::core::policies::DelayedCuckoo;
+use reappearance_lb::core::SimConfig;
+use reappearance_lb::hash::{sample::ZipfSampler, Pcg64};
+use reappearance_lb::kv::KvCluster;
+
+fn main() {
+    let m = 512usize;
+    let steps = 400u64;
+    let keys_per_step = 3 * m;
+    let key_universe = 100_000usize;
+
+    let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(99);
+    let policy = DelayedCuckoo::new(&config);
+    let mut kv = KvCluster::new(config, policy);
+
+    // Zipf(0.99) key popularity — the classic YCSB-style skew.
+    let zipf = ZipfSampler::new(key_universe, 0.99);
+    let mut rng = Pcg64::new(2024, 0);
+
+    let mut total_keys = 0u64;
+    let mut total_coalesced = 0u64;
+    let mut total_chunk_requests = 0u64;
+    for step in 0..steps {
+        for _ in 0..keys_per_step {
+            let key = zipf.sample(&mut rng);
+            kv.get(key);
+            total_keys += 1;
+        }
+        let summary = kv.commit_step();
+        total_coalesced += summary.coalesced_keys;
+        total_chunk_requests += summary.chunk_requests;
+        if step % 100 == 99 {
+            println!(
+                "step {:>4}: {} chunk requests, {} keys coalesced, {} rejected",
+                step + 1,
+                summary.chunk_requests,
+                summary.coalesced_keys,
+                summary.rejected
+            );
+        }
+    }
+    kv.idle(32); // let the queues drain
+    let report = kv.finish();
+
+    println!("\n== {steps}-step summary ==");
+    println!("client key requests   : {total_keys}");
+    println!(
+        "coalesced into chunks : {total_coalesced} ({:.1}% saved by chunk locality)",
+        100.0 * total_coalesced as f64 / total_keys as f64
+    );
+    println!("chunk requests issued : {total_chunk_requests}");
+    println!("rejection rate        : {:.2e}", report.rejection_rate);
+    println!("average latency       : {:.2} steps", report.avg_latency);
+    println!("p99 latency           : {} steps", report.p99_latency);
+    println!("max latency           : {} steps", report.max_latency);
+}

@@ -1,0 +1,82 @@
+//! Multi-tenant accounting: who gets hurt when the cluster is tight?
+//!
+//! Two tenants share one cluster: tenant A hammers a fixed hot key set
+//! (maximal reappearance pressure), tenant B issues churning uniform
+//! traffic. Per-tenant accounting shows whether the load balancer
+//! isolates them — under greedy `d = 2` routing, neither tenant's
+//! traffic is rejected even though A's chunks are the adversarial case.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant
+//! ```
+
+use reappearance_lb::core::policies::Greedy;
+use reappearance_lb::core::{DrainMode, SimConfig};
+use reappearance_lb::hash::{Pcg64, Rng};
+use reappearance_lb::kv::KvCluster;
+
+const TENANT_A: u16 = 1; // hot, repeated keys
+const TENANT_B: u16 = 2; // uniform churn
+
+fn main() {
+    let m = 512usize;
+    let steps = 300u64;
+    let config = SimConfig {
+        num_servers: m,
+        num_chunks: 4 * m,
+        replication: 2,
+        process_rate: 2,
+        queue_capacity: 12,
+        flush_interval: None,
+        drain_mode: DrainMode::EndOfStep,
+        seed: 77,
+        safety_check_every: Some(4),
+    };
+    let mut kv = KvCluster::new(config, Greedy::new());
+    let mut rng = Pcg64::new(5, 5);
+    for _ in 0..steps {
+        // Tenant A: the same 400 keys every step.
+        for key in 0..400u64 {
+            kv.get_for(TENANT_A, key);
+        }
+        // Tenant B: 400 fresh uniform keys.
+        for _ in 0..400 {
+            kv.get_for(TENANT_B, 10_000 + rng.gen_range(1_000_000));
+        }
+        kv.commit_step();
+    }
+    kv.idle(16);
+
+    println!("== per-tenant accounting after {steps} steps ==\n");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>10}  {:>10}  {:>12}",
+        "tenant", "key reqs", "coalesced", "accepted", "rejected", "reject rate"
+    );
+    for (name, t) in [("A (hot)", TENANT_A), ("B (cold)", TENANT_B)] {
+        let s = kv.tenant_stats(t);
+        let issued = s.accepted + s.rejected;
+        println!(
+            "{:>8}  {:>12}  {:>10}  {:>10}  {:>10}  {:>12.2e}",
+            name,
+            s.key_requests,
+            s.coalesced,
+            s.accepted,
+            s.rejected,
+            if issued > 0 {
+                s.rejected as f64 / issued as f64
+            } else {
+                0.0
+            }
+        );
+    }
+    let report = kv.finish();
+    println!(
+        "\ncluster-wide: rejection {:.2e}, avg latency {:.2}, max backlog {}",
+        report.rejection_rate, report.avg_latency, report.max_backlog
+    );
+    println!(
+        "\nTenant A's fixed keys are the paper's adversarial reappearance case,\n\
+         yet d = 2 greedy absorbs both tenants without cross-tenant damage —\n\
+         the isolation replication buys a shared store."
+    );
+}

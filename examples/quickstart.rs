@@ -1,0 +1,70 @@
+//! Quickstart: run both of the paper's algorithms on the adversarial
+//! repeated-set workload and print their headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [m]
+//! ```
+
+use reappearance_lb::core::policies::{DelayedCuckoo, Greedy};
+use reappearance_lb::core::{RunReport, SimConfig, Simulation};
+use reappearance_lb::workloads::RepeatedSet;
+
+fn print_report(name: &str, q: u32, report: &RunReport) {
+    println!("{name}");
+    println!("  queue capacity       : {q}");
+    println!("  requests arrived     : {}", report.arrived);
+    println!("  rejection rate       : {:.2e}", report.rejection_rate);
+    println!("  average latency      : {:.2} steps", report.avg_latency);
+    println!("  p99 latency          : {} steps", report.p99_latency);
+    println!("  max latency          : {} steps", report.max_latency);
+    println!("  mean backlog         : {:.2}", report.mean_backlog);
+    println!("  max backlog          : {}", report.max_backlog);
+    println!();
+}
+
+fn main() {
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
+    let steps = 300u64;
+    println!(
+        "Cluster: {m} servers; workload: the same {m} chunks every step for {steps} steps\n\
+         (maximal reappearance dependencies — the paper's hard case)\n"
+    );
+
+    // §3: greedy with q = log2(m)+1, at the theorem's generous constants.
+    let config = SimConfig::greedy_theorem(m, 4, 8, 2.0).with_seed(1);
+    let q = config.queue_capacity;
+    let mut sim = Simulation::new(config, Greedy::new());
+    let mut workload = RepeatedSet::first_k(m as u32, 2);
+    sim.run(&mut workload, steps);
+    print_report("greedy (Theorem 3.1: d=4, g=8, q=log2 m + 1)", q, &sim.finish());
+
+    // Same algorithm at a tight processing rate (g=2, load factor 1/2):
+    // the queues now actually fill and drain, yet the guarantees hold.
+    let config = SimConfig::greedy_theorem(m, 2, 2, 2.0).with_seed(1);
+    let q = config.queue_capacity;
+    let mut sim = Simulation::new(config, Greedy::new());
+    let mut workload = RepeatedSet::first_k(m as u32, 2);
+    sim.run(&mut workload, steps);
+    print_report("greedy, tight rate (d=2, g=2)", q, &sim.finish());
+
+    // §4: delayed cuckoo routing with q = Θ(log log m).
+    let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(1);
+    let q = config.queue_capacity;
+    let policy = DelayedCuckoo::new(&config);
+    let mut sim = Simulation::new(config, policy);
+    let mut workload = RepeatedSet::first_k(m as u32, 2);
+    sim.run(&mut workload, steps);
+    print_report(
+        "delayed cuckoo routing (Theorem 4.3: d=2, g=16, q=4*loglog m)",
+        q,
+        &sim.finish(),
+    );
+
+    println!(
+        "Note how DCR matches greedy's rejection/latency profile while its\n\
+         queues are only Θ(log log m) deep — optimal per Theorem 5.1."
+    );
+}

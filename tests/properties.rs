@@ -1,0 +1,166 @@
+//! Property-based tests over the public API (proptest).
+
+use proptest::prelude::*;
+use reappearance_lb::core::policies::{Greedy, UniformRandom};
+use reappearance_lb::core::{DrainMode, SimConfig, Simulation};
+use reappearance_lb::cuckoo::offline::validate_assignment;
+use reappearance_lb::cuckoo::{Choices, CuckooGraph, OfflineAssignment};
+use reappearance_lb::hash::placement::ReplicaPlacement;
+use reappearance_lb::metrics::{BacklogSnapshot, Histogram};
+use reappearance_lb::workloads::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact cuckoo allocator is valid and optimal for arbitrary
+    /// (possibly degenerate) inputs.
+    #[test]
+    fn cuckoo_exact_is_valid_and_optimal(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+    ) {
+        let items: Vec<Choices> = edges
+            .into_iter()
+            .map(|(a, b)| Choices::new(a % n as u32, b % n as u32))
+            .collect();
+        let a = OfflineAssignment::assign_exact(n, &items);
+        prop_assert!(validate_assignment(n, &items, &a).is_ok());
+        let optimal = CuckooGraph::from_items(n, &items).optimal_stash_size();
+        prop_assert_eq!(a.stash().len(), optimal);
+    }
+
+    /// Engine conservation laws hold for arbitrary configurations and
+    /// request streams.
+    #[test]
+    fn simulation_conserves_requests(
+        m in 1usize..24,
+        d in 1usize..4,
+        g in 1u32..6,
+        q in 1u32..8,
+        steps in 1u64..30,
+        flush in proptest::option::of(1u64..10),
+        interleaved in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let d = d.min(m);
+        let config = SimConfig {
+            num_servers: m,
+            num_chunks: 4 * m,
+            replication: d,
+            process_rate: g,
+            queue_capacity: q,
+            flush_interval: flush,
+            drain_mode: if interleaved { DrainMode::Interleaved } else { DrainMode::EndOfStep },
+            seed,
+            safety_check_every: Some(1),
+        };
+        let mut sim = Simulation::new(config, Greedy::new());
+        // Saturating workload: every chunk id below min(4m, m) requested.
+        let k = m as u32;
+        let mut workload = move |_s: u64, out: &mut Vec<u32>| out.extend(0..k);
+        sim.run(&mut workload, steps);
+        let report = sim.finish();
+        prop_assert!(report.check_conservation().is_ok(), "{:?}", report.check_conservation());
+        prop_assert_eq!(report.arrived, steps * k as u64);
+        // Latency can never exceed the run length.
+        prop_assert!(report.max_latency <= steps);
+    }
+
+    /// Random-replica routing also conserves and respects replica sets.
+    #[test]
+    fn random_policy_conserves(
+        m in 2usize..16,
+        steps in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let config = SimConfig {
+            num_servers: m,
+            num_chunks: 2 * m,
+            replication: 2,
+            process_rate: 2,
+            queue_capacity: 3,
+            flush_interval: None,
+            drain_mode: DrainMode::EndOfStep,
+            seed,
+            safety_check_every: None,
+        };
+        let mut sim = Simulation::new(config, UniformRandom::new(seed ^ 1));
+        let k = m as u32;
+        let mut workload = move |_s: u64, out: &mut Vec<u32>| out.extend(0..k);
+        sim.run(&mut workload, steps);
+        prop_assert!(sim.finish().check_conservation().is_ok());
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = h.quantile(0.0).unwrap();
+        for i in 1..=20 {
+            let q = h.quantile(i as f64 / 20.0).unwrap();
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+        prop_assert_eq!(h.quantile(1.0).unwrap(), *values.iter().max().unwrap());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Backlog snapshots agree with a naive tail count.
+    #[test]
+    fn backlog_snapshot_matches_naive(backlogs in proptest::collection::vec(0u64..30, 1..64)) {
+        let s = BacklogSnapshot::from_backlogs(&backlogs);
+        for j in 0..32u64 {
+            let naive = backlogs.iter().filter(|&&b| b > j).count() as u64;
+            prop_assert_eq!(s.servers_above(j), naive);
+        }
+        let report = s.safety(1.0);
+        // Re-derive the worst ratio naively.
+        let m = backlogs.len() as f64;
+        let jmax = (m.log2().floor() as u64).max(1);
+        let mut worst: f64 = 0.0;
+        for j in 1..=jmax {
+            let above = backlogs.iter().filter(|&&b| b > j).count() as f64;
+            worst = worst.max(above / (m / 2f64.powi(j as i32)));
+        }
+        prop_assert!((report.worst_ratio - worst).abs() < 1e-9);
+    }
+
+    /// Placements always produce d distinct in-range servers, and the
+    /// placement is a pure function of the seed.
+    #[test]
+    fn placement_is_distinct_and_deterministic(
+        m in 2usize..64,
+        d in 1usize..5,
+        n in 1usize..128,
+        seed in any::<u64>(),
+    ) {
+        let d = d.min(m);
+        let a = ReplicaPlacement::random(n, m, d, seed);
+        let b = ReplicaPlacement::random(n, m, d, seed);
+        prop_assert_eq!(&a, &b);
+        for c in 0..n as u32 {
+            let r = a.replicas(c);
+            for (i, &s) in r.iter().enumerate() {
+                prop_assert!((s as usize) < m);
+                prop_assert!(!r[..i].contains(&s));
+            }
+        }
+    }
+
+    /// Traces survive a JSON round trip for arbitrary distinct-step data.
+    #[test]
+    fn trace_json_round_trip(steps in proptest::collection::vec(
+        proptest::collection::hash_set(0u32..1000, 0..32),
+        0..16,
+    )) {
+        let mut t = Trace::new();
+        for s in &steps {
+            t.push_step(s.iter().copied().collect());
+        }
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+}
