@@ -203,8 +203,7 @@ mod tests {
         let mut rng = Pcg64::new(5, 0);
         let iso = repeated_choice_rounds(&GreedyD::new(2), m, m, rounds, 1, true, &mut rng);
         let mut rng = Pcg64::new(5, 0);
-        let stateful =
-            repeated_choice_rounds(&GreedyD::new(2), m, m, rounds, 1, false, &mut rng);
+        let stateful = repeated_choice_rounds(&GreedyD::new(2), m, m, rounds, 1, false, &mut rng);
         assert!(
             iso.max_load > stateful.max_load.saturating_mul(3),
             "isolated {} vs stateful {}",

@@ -1,42 +1,44 @@
 //! Balls-and-bins strategy costs: one-step placement and the
 //! heavily-loaded regime that Lemma 4.4 builds on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rlb_ballsbins::{heavily_loaded_gap, single_round_max_load, AlwaysGoLeft, GreedyD, OneChoice};
+use rlb_bench::wallclock::Harness;
 use rlb_hash::Pcg64;
 
-fn bench_single_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ballsbins_single_round");
+fn main() {
+    let mut h = Harness::new();
     for m in [4096usize, 65536] {
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::new("one_choice", m), &m, |b, &m| {
-            let mut rng = Pcg64::new(1, 1);
-            b.iter(|| single_round_max_load(&OneChoice, m, m, &mut rng))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy2", m), &m, |b, &m| {
-            let mut rng = Pcg64::new(2, 2);
-            b.iter(|| single_round_max_load(&GreedyD::new(2), m, m, &mut rng))
-        });
-        group.bench_with_input(BenchmarkId::new("go_left2", m), &m, |b, &m| {
-            let mut rng = Pcg64::new(3, 3);
-            b.iter(|| single_round_max_load(&AlwaysGoLeft::new(2), m, m, &mut rng))
-        });
+        let elements = Some(m as u64);
+        let mut rng = Pcg64::new(1, 1);
+        h.bench(
+            "ballsbins_single_round",
+            &format!("one_choice/{m}"),
+            elements,
+            move || single_round_max_load(&OneChoice, m, m, &mut rng),
+        );
+        let mut rng = Pcg64::new(2, 2);
+        h.bench(
+            "ballsbins_single_round",
+            &format!("greedy2/{m}"),
+            elements,
+            move || single_round_max_load(&GreedyD::new(2), m, m, &mut rng),
+        );
+        let mut rng = Pcg64::new(3, 3);
+        h.bench(
+            "ballsbins_single_round",
+            &format!("go_left2/{m}"),
+            elements,
+            move || single_round_max_load(&AlwaysGoLeft::new(2), m, m, &mut rng),
+        );
     }
-    group.finish();
-}
-
-fn bench_heavy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ballsbins_heavy");
     let m = 1024usize;
-    for h in [8usize, 64] {
-        group.throughput(Throughput::Elements((m * h) as u64));
-        group.bench_with_input(BenchmarkId::new("greedy2_gap", h), &h, |b, &h| {
-            let mut rng = Pcg64::new(4, h as u64);
-            b.iter(|| heavily_loaded_gap(&GreedyD::new(2), m, h, &mut rng))
-        });
+    for hload in [8usize, 64] {
+        let mut rng = Pcg64::new(4, hload as u64);
+        h.bench(
+            "ballsbins_heavy",
+            &format!("greedy2_gap/{hload}"),
+            Some((m * hload) as u64),
+            move || heavily_loaded_gap(&GreedyD::new(2), m, hload, &mut rng),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_single_round, bench_heavy);
-criterion_main!(benches);

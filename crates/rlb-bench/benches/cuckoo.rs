@@ -2,8 +2,10 @@
 //! Lemma 4.2 tripartite routing-table build that delayed cuckoo routing
 //! performs once per simulated step.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rlb_cuckoo::{Choices, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner};
+use rlb_bench::wallclock::Harness;
+use rlb_cuckoo::{
+    Choices, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner,
+};
 use rlb_hash::{Pcg64, Rng};
 
 fn random_items(m: usize, k: usize, seed: u64) -> Vec<Choices> {
@@ -13,64 +15,73 @@ fn random_items(m: usize, k: usize, seed: u64) -> Vec<Choices> {
         .collect()
 }
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cuckoo_allocators");
+fn bench_allocators(h: &mut Harness) {
     for m in [1024usize, 8192] {
         let third = random_items(m, m / 3, 11);
-        group.throughput(Throughput::Elements((m / 3) as u64));
-        group.bench_with_input(BenchmarkId::new("exact_third_load", m), &m, |b, &m| {
-            b.iter(|| OfflineAssignment::assign_exact(m, &third))
-        });
-        group.bench_with_input(BenchmarkId::new("random_walk_third_load", m), &m, |b, &m| {
+        let elements = Some((m / 3) as u64);
+        {
+            let third = third.clone();
+            h.bench(
+                "cuckoo_allocators",
+                &format!("exact_third_load/{m}"),
+                elements,
+                move || OfflineAssignment::assign_exact(m, &third),
+            );
+        }
+        {
+            let third = third.clone();
             let alloc = RandomWalkAllocator::new(64);
             let mut rng = Pcg64::new(5, 5);
-            b.iter(|| alloc.assign(m, &third, &mut rng))
-        });
+            h.bench(
+                "cuckoo_allocators",
+                &format!("random_walk_third_load/{m}"),
+                elements,
+                move || alloc.assign(m, &third, &mut rng),
+            );
+        }
         let full = random_items(m, m, 13);
-        group.throughput(Throughput::Elements(m as u64));
-        group.bench_with_input(BenchmarkId::new("tripartite_full_step", m), &m, |b, &m| {
-            b.iter(|| RoutingTable::build(m, &full, TripartiteAssigner::default()))
-        });
+        h.bench(
+            "cuckoo_allocators",
+            &format!("tripartite_full_step/{m}"),
+            Some(m as u64),
+            move || RoutingTable::build(m, &full, TripartiteAssigner::default()),
+        );
     }
-    group.finish();
 }
 
-fn bench_online_table(c: &mut Criterion) {
+fn bench_online_table(h: &mut Harness) {
     use rlb_cuckoo::{BfsCuckoo, OnlineCuckoo};
-    let mut group = c.benchmark_group("cuckoo_online");
     let cap = 4096usize;
-    group.throughput(Throughput::Elements((cap / 3) as u64));
-    group.bench_function("insert_third_load", |b| {
-        b.iter(|| {
-            let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 7);
-            for k in 0..(cap as u64 / 3) {
-                t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
-            }
-            t.len()
-        })
+    let elements = Some((cap / 3) as u64);
+    h.bench("cuckoo_online", "insert_third_load", elements, || {
+        let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 7);
+        for k in 0..(cap as u64 / 3) {
+            t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
+        }
+        t.len()
     });
-    group.bench_function("bfs_insert_third_load", |b| {
-        b.iter(|| {
-            let mut t: BfsCuckoo<u64> = BfsCuckoo::new(cap, 8, 7);
-            for k in 0..(cap as u64 / 3) {
-                t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
-            }
-            t.len()
-        })
+    h.bench("cuckoo_online", "bfs_insert_third_load", elements, || {
+        let mut t: BfsCuckoo<u64> = BfsCuckoo::new(cap, 8, 7);
+        for k in 0..(cap as u64 / 3) {
+            t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
+        }
+        t.len()
     });
-    group.bench_function("lookup_hit", |b| {
+    {
         let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(cap, 8, 7);
         for k in 0..(cap as u64 / 3) {
             t.insert(k.wrapping_mul(0x9e37_79b9) + 1, k).unwrap();
         }
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("cuckoo_online", "lookup_hit", Some(1), move || {
             i = (i + 1) % (cap as u64 / 3);
             t.get(i.wrapping_mul(0x9e37_79b9) + 1)
-        })
-    });
-    group.finish();
+        });
+    }
 }
 
-criterion_group!(benches, bench_allocators, bench_online_table);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_allocators(&mut h);
+    bench_online_table(&mut h);
+}

@@ -3,31 +3,24 @@
 //! Each entry runs one experiment in quick mode — this is the harness
 //! that regenerates the paper's "tables and figures" (see
 //! `rlb-experiments`), so keeping its runtime tracked keeps the full
-//! reproduction loop usable. Sample counts are deliberately low: these
-//! are second-scale benchmarks.
+//! reproduction loop usable. These are second-scale benchmarks, so each
+//! is measured over the default window without extra repetition.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rlb_bench::wallclock::Harness;
 use rlb_experiments::registry;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments_quick");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new();
     // A representative spread: positive result, substrate, lower bound.
     for id in ["e5", "e6", "e10", "e11"] {
         let (_, _, runner) = *registry()
             .iter()
             .find(|&&(rid, _, _)| rid == id)
             .expect("registry id");
-        group.bench_function(id, |b| {
-            b.iter(|| {
-                let out = runner(true);
-                assert!(out.all_passed());
-                out.tables.len()
-            })
+        h.bench("experiments_quick", id, None, || {
+            let out = runner(true);
+            assert!(out.all_passed());
+            out.tables.len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Per-step routing throughput of every policy at full load.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rlb_bench::bench_config;
+use rlb_bench::wallclock::Harness;
 use rlb_core::policies::{
     DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
 };
@@ -16,35 +16,49 @@ fn run_steps<P: Policy>(m: usize, policy: P, steps: u64) -> u64 {
     sim.finish().arrived
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let m = 1024usize;
     let steps = 8u64;
-    let mut group = c.benchmark_group("routing_per_policy");
-    group.throughput(Throughput::Elements(m as u64 * steps));
-    group.bench_function(BenchmarkId::new("greedy", m), |b| {
-        b.iter(|| run_steps(m, Greedy::new(), steps))
-    });
-    group.bench_function(BenchmarkId::new("delayed-cuckoo", m), |b| {
-        b.iter(|| {
+    let elements = Some(m as u64 * steps);
+    let mut h = Harness::new();
+    h.bench(
+        "routing_per_policy",
+        &format!("greedy/{m}"),
+        elements,
+        || run_steps(m, Greedy::new(), steps),
+    );
+    h.bench(
+        "routing_per_policy",
+        &format!("delayed-cuckoo/{m}"),
+        elements,
+        || {
             let config = bench_config(m, 42);
             let policy = DelayedCuckoo::new(&config);
             run_steps(m, policy, steps)
-        })
-    });
-    group.bench_function(BenchmarkId::new("one-choice", m), |b| {
-        b.iter(|| run_steps(m, OneChoice::new(), steps))
-    });
-    group.bench_function(BenchmarkId::new("uniform-random", m), |b| {
-        b.iter(|| run_steps(m, UniformRandom::new(3), steps))
-    });
-    group.bench_function(BenchmarkId::new("round-robin", m), |b| {
-        b.iter(|| run_steps(m, RoundRobin::new(4 * m), steps))
-    });
-    group.bench_function(BenchmarkId::new("step-isolated", m), |b| {
-        b.iter(|| run_steps(m, TimeStepIsolated::new(m), steps))
-    });
-    group.finish();
+        },
+    );
+    h.bench(
+        "routing_per_policy",
+        &format!("one-choice/{m}"),
+        elements,
+        || run_steps(m, OneChoice::new(), steps),
+    );
+    h.bench(
+        "routing_per_policy",
+        &format!("uniform-random/{m}"),
+        elements,
+        || run_steps(m, UniformRandom::new(3), steps),
+    );
+    h.bench(
+        "routing_per_policy",
+        &format!("round-robin/{m}"),
+        elements,
+        || run_steps(m, RoundRobin::new(4 * m), steps),
+    );
+    h.bench(
+        "routing_per_policy",
+        &format!("step-isolated/{m}"),
+        elements,
+        || run_steps(m, TimeStepIsolated::new(m), steps),
+    );
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

@@ -1,52 +1,74 @@
-//! Engine scaling: cost of a full simulated step as m grows.
+//! Engine scaling: cost of a full simulated step as m grows, plus the
+//! light/heavy/interleaved perf-gate scenarios at m ∈ {1k, 8k, 64k}.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rlb_bench::bench_config;
+use rlb_bench::wallclock::Harness;
+use rlb_bench::{bench_config, engine};
 use rlb_core::policies::{DelayedCuckoo, Greedy};
 use rlb_core::{Simulation, Workload};
 use rlb_workloads::{FreshRandom, RepeatedSet};
 
-fn bench_engine_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_step_scaling");
+fn bench_engine_scaling(h: &mut Harness) {
     for m in [256usize, 1024, 4096] {
-        group.throughput(Throughput::Elements(m as u64 * 4));
-        group.bench_with_input(BenchmarkId::new("greedy_repeated", m), &m, |b, &m| {
-            b.iter(|| {
+        let elements = Some(m as u64 * 4);
+        h.bench(
+            "engine_step_scaling",
+            &format!("greedy_repeated/{m}"),
+            elements,
+            || {
                 let mut sim = Simulation::new(bench_config(m, 1), Greedy::new());
                 let mut w = RepeatedSet::first_k(m as u32, 2);
                 sim.run(&mut w as &mut dyn Workload, 4);
                 sim.finish().arrived
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("dcr_repeated", m), &m, |b, &m| {
-            b.iter(|| {
+            },
+        );
+        h.bench(
+            "engine_step_scaling",
+            &format!("dcr_repeated/{m}"),
+            elements,
+            || {
                 let config = bench_config(m, 1);
                 let policy = DelayedCuckoo::new(&config);
                 let mut sim = Simulation::new(config, policy);
                 let mut w = RepeatedSet::first_k(m as u32, 2);
                 sim.run(&mut w as &mut dyn Workload, 4);
                 sim.finish().arrived
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("greedy_fresh", m), &m, |b, &m| {
-            b.iter(|| {
+            },
+        );
+        h.bench(
+            "engine_step_scaling",
+            &format!("greedy_fresh/{m}"),
+            elements,
+            || {
                 let mut sim = Simulation::new(bench_config(m, 1), Greedy::new());
                 let mut w = FreshRandom::new(4 * m as u64, m, 3);
                 sim.run(&mut w as &mut dyn Workload, 4);
                 sim.finish().arrived
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_migration_baseline(c: &mut Criterion) {
+/// The perf-gate matrix: light/heavy/interleaved at m ∈ {1k, 8k, 64k}.
+/// These are single measured runs (not harness-repeated) because the
+/// large sizes are second-scale; `rlb-sim bench` emits the same numbers
+/// machine-readably as `BENCH_engine.json`.
+fn bench_engine_gate() {
+    for r in engine::run_gate(&engine::GATE_SIZES).results {
+        println!(
+            "engine_gate/{:<24} {:>12.1} steps/s, {:>14.1} requests/s ({} steps)",
+            r.name, r.steps_per_sec, r.requests_per_sec, r.steps
+        );
+    }
+}
+
+fn bench_migration_baseline(h: &mut Harness) {
     use rlb_core::migration::{MigrationConfig, MigrationSim};
-    let mut group = c.benchmark_group("migration_baseline");
     for m in [1024usize, 4096] {
-        group.throughput(Throughput::Elements(m as u64 * 8));
-        group.bench_with_input(BenchmarkId::new("d1_migrating", m), &m, |b, &m| {
-            b.iter(|| {
+        h.bench(
+            "migration_baseline",
+            &format!("d1_migrating/{m}"),
+            Some(m as u64 * 8),
+            || {
                 let mut sim = MigrationSim::new(MigrationConfig {
                     num_servers: m,
                     num_chunks: 4 * m,
@@ -57,31 +79,30 @@ fn bench_migration_baseline(c: &mut Criterion) {
                 });
                 let mut w = RepeatedSet::first_k(m as u32, 2);
                 sim.run(&mut w as &mut dyn Workload, 8).migrations
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_batched_ballsbins(c: &mut Criterion) {
+fn bench_batched_ballsbins(h: &mut Harness) {
     use rlb_ballsbins::{batched_gap, GreedyD};
     use rlb_hash::Pcg64;
-    let mut group = c.benchmark_group("batched_ballsbins");
     let m = 4096usize;
     for batch in [1usize, m] {
-        group.throughput(Throughput::Elements((8 * m) as u64));
-        group.bench_with_input(BenchmarkId::new("greedy2", batch), &batch, |b, &batch| {
-            let mut rng = Pcg64::new(3, batch as u64);
-            b.iter(|| batched_gap(&GreedyD::new(2), m, 8 * m, batch, &mut rng))
-        });
+        let mut rng = Pcg64::new(3, batch as u64);
+        h.bench(
+            "batched_ballsbins",
+            &format!("greedy2/{batch}"),
+            Some((8 * m) as u64),
+            move || batched_gap(&GreedyD::new(2), m, 8 * m, batch, &mut rng),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_engine_scaling,
-    bench_migration_baseline,
-    bench_batched_ballsbins
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_engine_scaling(&mut h);
+    bench_migration_baseline(&mut h);
+    bench_batched_ballsbins(&mut h);
+    bench_engine_gate();
+}

@@ -1,0 +1,210 @@
+//! Engine benchmark scenarios shared by the `simulation` bench target
+//! and the `rlb-sim bench` perf gate.
+//!
+//! Three scenarios per cluster size `m`:
+//!
+//! * `light` — `m/64` fresh requests per step, end-of-step drain. Most
+//!   servers are idle, so this isolates the per-step overhead that the
+//!   occupancy index is designed to eliminate.
+//! * `heavy` — `m` repeated requests per step (saturating), end-of-step
+//!   drain. Dominated by real routing and dequeue work.
+//! * `interleaved` — light load under `DrainMode::Interleaved`
+//!   (`process_rate` sub-steps per step). This is the gated scenario:
+//!   a naive engine pays the full `O(m · classes)` scan once per
+//!   sub-step even when almost every queue is empty.
+
+use crate::wallclock::BenchRecord;
+use rlb_core::policies::Greedy;
+use rlb_core::{DrainMode, SimConfig, Simulation, Workload};
+use rlb_workloads::{FreshRandom, RepeatedSet};
+use std::time::Instant;
+
+/// One engine benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct EngineScenario {
+    /// Scenario kind: `"light"`, `"heavy"`, or `"interleaved"`.
+    pub kind: String,
+    /// Cluster size.
+    pub m: usize,
+    /// Requests issued per step.
+    pub per_step: usize,
+    /// Drain mode under test.
+    pub drain_mode: DrainMode,
+    /// Simulated steps per measurement run.
+    pub steps: u64,
+}
+
+/// The standard scenario matrix over the given cluster sizes.
+pub fn scenarios(sizes: &[usize]) -> Vec<EngineScenario> {
+    let mut out = Vec::new();
+    for &m in sizes {
+        let light = (m / 64).max(1);
+        out.push(EngineScenario {
+            kind: "light".into(),
+            m,
+            per_step: light,
+            drain_mode: DrainMode::EndOfStep,
+            steps: 256,
+        });
+        out.push(EngineScenario {
+            kind: "heavy".into(),
+            m,
+            per_step: m,
+            drain_mode: DrainMode::EndOfStep,
+            steps: 64,
+        });
+        out.push(EngineScenario {
+            kind: "interleaved".into(),
+            m,
+            per_step: light,
+            drain_mode: DrainMode::Interleaved,
+            steps: 64,
+        });
+    }
+    out
+}
+
+/// The sizes used by the `BENCH_engine.json` perf gate.
+pub const GATE_SIZES: [usize; 3] = [1024, 8192, 65536];
+
+/// One measured scenario, as recorded in `BENCH_engine.json`.
+#[derive(Debug, Clone)]
+pub struct EngineBenchResult {
+    /// `"<kind>/m<m>"`, e.g. `"interleaved/m65536"`.
+    pub name: String,
+    /// Scenario kind.
+    pub kind: String,
+    /// Cluster size.
+    pub m: u64,
+    /// Requests issued per step.
+    pub per_step: u64,
+    /// Steps simulated during measurement.
+    pub steps: u64,
+    /// Requests routed during measurement.
+    pub requests: u64,
+    /// Wall-clock nanoseconds for the measured run.
+    pub elapsed_nanos: u64,
+    /// Simulated steps per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Requests routed per wall-clock second.
+    pub requests_per_sec: f64,
+}
+
+rlb_json::json_struct!(EngineBenchResult {
+    name,
+    kind,
+    m,
+    per_step,
+    steps,
+    requests,
+    elapsed_nanos,
+    steps_per_sec,
+    requests_per_sec,
+});
+
+/// The full machine-readable perf-gate report.
+#[derive(Debug, Clone)]
+pub struct EngineBenchReport {
+    /// One entry per scenario.
+    pub results: Vec<EngineBenchResult>,
+}
+
+rlb_json::json_struct!(EngineBenchReport { results });
+
+fn build_sim(s: &EngineScenario) -> (Simulation<Greedy>, Box<dyn Workload + Send>) {
+    let config = SimConfig {
+        num_servers: s.m,
+        num_chunks: 4 * s.m,
+        replication: 2,
+        process_rate: 16,
+        queue_capacity: 16,
+        flush_interval: None,
+        drain_mode: s.drain_mode,
+        seed: 42,
+        safety_check_every: None,
+    };
+    let sim = Simulation::new(config, Greedy::new());
+    let workload: Box<dyn Workload + Send> = if s.kind == "heavy" {
+        Box::new(RepeatedSet::first_k(s.per_step as u32, 7))
+    } else {
+        Box::new(FreshRandom::new(4 * s.m as u64, s.per_step, 7))
+    };
+    (sim, workload)
+}
+
+/// Runs one scenario (after one untimed warmup run) and measures it.
+pub fn run_scenario(s: &EngineScenario) -> EngineBenchResult {
+    // Warmup: build once and run a few steps so allocation and placement
+    // setup are out of the timed region's first iteration.
+    {
+        let (mut sim, mut w) = build_sim(s);
+        sim.run(w.as_mut(), s.steps.min(8));
+        std::hint::black_box(sim.finish());
+    }
+    let (mut sim, mut w) = build_sim(s);
+    let start = Instant::now();
+    sim.run(w.as_mut(), s.steps);
+    let elapsed = start.elapsed();
+    let report = sim.finish();
+    let secs = elapsed.as_secs_f64().max(1e-12);
+    EngineBenchResult {
+        name: format!("{}/m{}", s.kind, s.m),
+        kind: s.kind.clone(),
+        m: s.m as u64,
+        per_step: s.per_step as u64,
+        steps: s.steps,
+        requests: report.arrived,
+        elapsed_nanos: elapsed.as_nanos() as u64,
+        steps_per_sec: s.steps as f64 / secs,
+        requests_per_sec: report.arrived as f64 / secs,
+    }
+}
+
+/// Runs the full perf-gate matrix (`GATE_SIZES` × three scenarios).
+pub fn run_gate(sizes: &[usize]) -> EngineBenchReport {
+    let results = scenarios(sizes).iter().map(run_scenario).collect();
+    EngineBenchReport { results }
+}
+
+/// Converts a result into a [`BenchRecord`] for harness-style display.
+pub fn to_record(r: &EngineBenchResult) -> BenchRecord {
+    BenchRecord {
+        group: "engine_gate".into(),
+        name: r.name.clone(),
+        iters: r.steps,
+        nanos_per_iter: r.elapsed_nanos as f64 / r.steps as f64,
+        elements_per_sec: Some(r.requests_per_sec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_matrix_has_all_scenarios() {
+        let s = scenarios(&[64, 128]);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().any(|x| x.kind == "interleaved" && x.m == 128));
+    }
+
+    #[test]
+    fn run_scenario_produces_sane_numbers() {
+        let s = EngineScenario {
+            kind: "light".into(),
+            m: 64,
+            per_step: 4,
+            drain_mode: DrainMode::EndOfStep,
+            steps: 16,
+        };
+        let r = run_scenario(&s);
+        assert_eq!(r.requests, 16 * 4);
+        assert!(r.steps_per_sec > 0.0);
+        assert!(r.requests_per_sec > 0.0);
+        // The report serializes and parses back.
+        let report = EngineBenchReport { results: vec![r] };
+        let json = rlb_json::to_string(&report);
+        let back: EngineBenchReport = rlb_json::from_str(&json).unwrap();
+        assert_eq!(back.results.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! A small wall-clock benchmarking harness.
+//!
+//! Each benchmark closure is warmed up once, then run in growing batches
+//! until a minimum measuring window has elapsed; the reported figure is
+//! the mean wall time per iteration over the measured batches. This is
+//! deliberately simple — the workspace has no external dependencies, and
+//! PR-over-PR trends only need stable relative numbers, not
+//! statistically rigorous confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Logical group (e.g. `"engine_step_scaling"`).
+    pub group: String,
+    /// Benchmark name within the group (e.g. `"greedy_repeated/1024"`).
+    pub name: String,
+    /// Iterations actually measured.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub nanos_per_iter: f64,
+    /// Declared elements per iteration divided by per-iteration seconds,
+    /// if a throughput element count was given.
+    pub elements_per_sec: Option<f64>,
+}
+
+/// Runs benchmarks and accumulates [`BenchRecord`]s.
+pub struct Harness {
+    records: Vec<BenchRecord>,
+    window: Duration,
+}
+
+impl Harness {
+    /// A harness with the measuring window taken from `RLB_BENCH_MIN_MS`
+    /// (default 200 ms per benchmark).
+    pub fn new() -> Self {
+        let ms = std::env::var("RLB_BENCH_MIN_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self::with_window(Duration::from_millis(ms))
+    }
+
+    /// A harness with an explicit per-benchmark measuring window.
+    pub fn with_window(window: Duration) -> Self {
+        Self {
+            records: Vec::new(),
+            window,
+        }
+    }
+
+    /// Measures `f`, printing the result line immediately.
+    ///
+    /// `elements` declares how many logical items one iteration
+    /// processes (for throughput reporting), mirroring criterion's
+    /// `Throughput::Elements`.
+    pub fn bench<R>(
+        &mut self,
+        group: &str,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) {
+        // One untimed warmup to populate caches and lazy state.
+        std::hint::black_box(f());
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        let mut batch = 1u64;
+        while elapsed < self.window {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let nanos_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let elements_per_sec = elements.map(|e| e as f64 * 1e9 / nanos_per_iter);
+        let record = BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            iters,
+            nanos_per_iter,
+            elements_per_sec,
+        };
+        println!("{}", render_line(&record));
+        self.records.push(record);
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// A rendered summary of every record.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&render_line(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn render_line(r: &BenchRecord) -> String {
+    let mut line = format!(
+        "{}/{:<40} {:>12} ns/iter ({} iters)",
+        r.group,
+        r.name,
+        format_nanos(r.nanos_per_iter),
+        r.iters
+    );
+    if let Some(t) = r.elements_per_sec {
+        line.push_str(&format!(", {} elem/s", format_rate(t)));
+    }
+    line
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+fn format_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}

@@ -23,6 +23,12 @@
 //!   --flush T            flush queues every T steps (default never)
 //!   --interleaved        use sub-step (interleaved) draining
 //!   --json               emit the full report as JSON
+//!
+//! rlb-sim bench [--out PATH] [--sizes M1,M2,...]
+//!
+//!   Runs the engine perf gate (light/heavy/interleaved scenarios per
+//!   cluster size; default sizes 1024,8192,65536) and writes the
+//!   machine-readable results to PATH (default BENCH_engine.json).
 //! ```
 
 #![forbid(unsafe_code)]
@@ -100,8 +106,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 let path = value("--config")?;
                 let json = std::fs::read_to_string(&path)
                     .map_err(|e| format!("cannot read config {path:?}: {e}"))?;
-                opts.config = serde_json::from_str(&json)
-                    .map_err(|e| format!("bad config {path:?}: {e}"))?;
+                opts.config =
+                    rlb_json::from_str(&json).map_err(|e| format!("bad config {path:?}: {e}"))?;
                 servers_set = true;
                 chunks_set = true;
             }
@@ -324,6 +330,58 @@ pub fn render_text(opts: &CliOptions, report: &RunReport) -> String {
     out
 }
 
+/// Runs the engine perf gate (`rlb-sim bench`) and writes the results
+/// as JSON. Returns a human-readable summary.
+///
+/// Arguments (after the `bench` subcommand):
+/// `--out PATH` (default `BENCH_engine.json`) and
+/// `--sizes M1,M2,...` (default `1024,8192,65536`).
+///
+/// # Errors
+/// Returns a message on malformed arguments or an unwritable output
+/// path.
+pub fn run_bench(args: &[String]) -> Result<String, String> {
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut sizes: Vec<usize> = rlb_bench::engine::GATE_SIZES.to_vec();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = it.next().ok_or("--out requires a path")?.clone();
+            }
+            "--sizes" => {
+                let spec = it.next().ok_or("--sizes requires a list, e.g. 1024,8192")?;
+                sizes = spec
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--sizes: not a number: {s:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if sizes.is_empty() {
+                    return Err("--sizes: empty list".into());
+                }
+            }
+            other => return Err(format!("unknown bench option {other:?}")),
+        }
+    }
+    let report = rlb_bench::engine::run_gate(&sizes);
+    let json = rlb_json::to_string_pretty(&report);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    use std::fmt::Write as _;
+    let mut summary = String::new();
+    for r in &report.results {
+        let _ = writeln!(
+            summary,
+            "{:<24} {:>12.1} steps/s  {:>14.1} requests/s",
+            r.name, r.steps_per_sec, r.requests_per_sec
+        );
+    }
+    let _ = writeln!(summary, "wrote {out_path}");
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,10 +460,8 @@ mod tests {
 
     #[test]
     fn dcr_requires_d2() {
-        let opts = parse_args(&args(
-            "--policy dcr --servers 32 --replication 3 --steps 5",
-        ))
-        .unwrap();
+        let opts =
+            parse_args(&args("--policy dcr --servers 32 --replication 3 --steps 5")).unwrap();
         assert!(run(&opts).is_err());
     }
 
@@ -413,8 +469,8 @@ mod tests {
     fn json_report_is_valid() {
         let opts = parse_args(&args("--servers 32 --steps 10")).unwrap();
         let report = run(&opts).unwrap();
-        let json = serde_json::to_string(&report).unwrap();
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let json = rlb_json::to_string(&report);
+        let value = rlb_json::Json::parse(&json).unwrap();
         assert!(value.get("rejection_rate").is_some());
     }
 }
@@ -431,20 +487,36 @@ mod trace_tests {
         let path_str = path.to_str().unwrap().to_string();
 
         let mut rec_opts = parse_args(
-            &["--servers", "64", "--steps", "25", "--workload", "fresh:64", "--record-trace", &path_str]
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &[
+                "--servers",
+                "64",
+                "--steps",
+                "25",
+                "--workload",
+                "fresh:64",
+                "--record-trace",
+                &path_str,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         rec_opts.policy = "greedy".into();
         let recorded = run(&rec_opts).unwrap();
 
         let replay_opts = parse_args(
-            &["--servers", "64", "--steps", "25", "--replay-trace", &path_str]
-                .iter()
-                .map(|s| s.to_string())
-                .collect::<Vec<_>>(),
+            &[
+                "--servers",
+                "64",
+                "--steps",
+                "25",
+                "--replay-trace",
+                &path_str,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         let replayed = run(&replay_opts).unwrap();
@@ -467,7 +539,7 @@ mod trace_tests {
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("cfg.json");
         let cfg = rlb_core::SimConfig::baseline(48).with_seed(9);
-        std::fs::write(&path, serde_json::to_string(&cfg).unwrap()).unwrap();
+        std::fs::write(&path, rlb_json::to_string(&cfg)).unwrap();
         let opts = parse_args(
             &["--config", path.to_str().unwrap(), "--steps", "5"]
                 .iter()

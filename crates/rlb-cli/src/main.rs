@@ -2,6 +2,16 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        match rlb_cli::run_bench(&args[1..]) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "rlb-sim: simulate a load-balanced distributed KV store\n\n\
@@ -17,7 +27,10 @@ fn main() {
              \x20 --workload SPEC   repeated:K | fresh:K | partial:P,K | zipf:A,K | phased:W,K,T | burst:B,T,LB,LT\n\
              \x20 --flush T         flush every T steps\n\
              \x20 --interleaved     sub-step draining\n\
-             \x20 --json            JSON report"
+             \x20 --json            JSON report\n\n\
+             subcommands:\n\
+             \x20 bench [--out PATH] [--sizes M1,M2,...]\n\
+             \x20                   run the engine perf gate and write BENCH_engine.json"
         );
         return;
     }
@@ -31,10 +44,7 @@ fn main() {
     match rlb_cli::run(&opts) {
         Ok(report) => {
             if opts.json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&report).expect("report serializes")
-                );
+                println!("{}", rlb_json::to_string_pretty(&report));
             } else {
                 print!("{}", rlb_cli::render_text(&opts, &report));
             }

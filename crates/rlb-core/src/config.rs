@@ -1,9 +1,7 @@
 //! Simulation configuration: the model parameters of §2.
 
-use serde::{Deserialize, Serialize};
-
 /// How arrivals and processing interleave within a time step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DrainMode {
     /// All of the step's requests are routed first, then every queue
     /// class drains its full per-step rate. The natural systems reading
@@ -16,7 +14,7 @@ pub enum DrainMode {
 }
 
 /// Parameters of the simulated cluster (the paper's `m, n, d, g, q`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Number of servers `m`.
     pub num_servers: usize,
@@ -156,6 +154,22 @@ impl SimConfig {
     }
 }
 
+rlb_json::json_unit_enum!(DrainMode {
+    EndOfStep,
+    Interleaved
+});
+rlb_json::json_struct!(SimConfig {
+    num_servers,
+    num_chunks,
+    replication,
+    process_rate,
+    queue_capacity,
+    flush_interval,
+    drain_mode,
+    seed,
+    safety_check_every,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,7 +183,9 @@ mod tests {
 
     #[test]
     fn theorem_constructors_are_valid() {
-        SimConfig::greedy_theorem(256, 4, 8, 1.5).validate().unwrap();
+        SimConfig::greedy_theorem(256, 4, 8, 1.5)
+            .validate()
+            .unwrap();
         SimConfig::dcr_theorem(256, 8, 2).validate().unwrap();
     }
 
@@ -214,22 +230,22 @@ mod tests {
 }
 
 #[cfg(test)]
-mod serde_tests {
+mod json_tests {
     use super::*;
 
     #[test]
     fn config_json_round_trip() {
         let cfg = SimConfig::greedy_theorem(512, 4, 8, 1.5).with_seed(99);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        let json = rlb_json::to_string(&cfg);
+        let back: SimConfig = rlb_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
         assert!(json.contains("\"num_servers\":512"));
     }
 
     #[test]
     fn drain_mode_variants_serialize_distinctly() {
-        let a = serde_json::to_string(&DrainMode::EndOfStep).unwrap();
-        let b = serde_json::to_string(&DrainMode::Interleaved).unwrap();
+        let a = rlb_json::to_string(&DrainMode::EndOfStep);
+        let b = rlb_json::to_string(&DrainMode::Interleaved);
         assert_ne!(a, b);
     }
 }

@@ -39,8 +39,8 @@
 
 pub mod config;
 pub mod migration;
-pub mod policies;
 pub mod outage;
+pub mod policies;
 pub mod policy;
 pub mod queue;
 pub mod sim;

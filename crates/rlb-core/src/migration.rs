@@ -149,12 +149,16 @@ impl MigrationSim {
                 let mut hottest: Option<(usize, f64)> = None;
                 for s in 0..m {
                     let rate = self.rate[s].value().unwrap_or(0.0);
-                    if rate > g as f64 && self.hot_chunk[s].is_some()
-                        && hottest.is_none_or(|(_, hr)| rate > hr) {
-                            hottest = Some((s, rate));
-                        }
+                    if rate > g as f64
+                        && self.hot_chunk[s].is_some()
+                        && hottest.is_none_or(|(_, hr)| rate > hr)
+                    {
+                        hottest = Some((s, rate));
+                    }
                 }
-                let Some((src, src_rate)) = hottest else { break };
+                let Some((src, src_rate)) = hottest else {
+                    break;
+                };
                 // Coldest destination.
                 let (dst, dst_rate) = (0..m)
                     .map(|s| (s, self.rate[s].value().unwrap_or(0.0)))

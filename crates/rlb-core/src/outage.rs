@@ -14,10 +14,8 @@
 //!   [`crate::ClusterView::is_up`], modelling a standard failure
 //!   detector.
 
-use serde::{Deserialize, Serialize};
-
 /// One planned outage: `server` is down for steps in `[from, until)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outage {
     /// Affected server.
     pub server: u32,
@@ -38,7 +36,7 @@ pub struct Outage {
 /// assert!(!s.is_up(3, 15));
 /// assert!(s.is_up(3, 20));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OutageSchedule {
     outages: Vec<Outage>,
 }
@@ -113,6 +111,13 @@ impl OutageSchedule {
     }
 }
 
+rlb_json::json_struct!(Outage {
+    server,
+    from,
+    until
+});
+rlb_json::json_struct!(OutageSchedule { outages });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +161,11 @@ mod tests {
         for step in 0..6 {
             s.fill_up_mask(step, &mut up);
             for server in 0..3u32 {
-                assert_eq!(up[server as usize], s.is_up(server, step), "s{server}@{step}");
+                assert_eq!(
+                    up[server as usize],
+                    s.is_up(server, step),
+                    "s{server}@{step}"
+                );
             }
         }
     }

@@ -160,12 +160,7 @@ impl DelayedCuckoo {
 
     /// Two-choice greedy on the Q queues (first access in a phase, or
     /// the fallback when a repeat's preplanned server is down).
-    fn route_first_access(
-        &mut self,
-        h1: u32,
-        h2: u32,
-        view: &ClusterView<'_>,
-    ) -> Decision {
+    fn route_first_access(&mut self, h1: u32, h2: u32, view: &ClusterView<'_>) -> Decision {
         let avail1 = view.is_available(h1, Q as usize);
         let avail2 = view.is_available(h2, Q as usize);
         let server = match (avail1, avail2) {
@@ -287,14 +282,12 @@ impl Policy for DelayedCuckoo {
         }
         let entry = &mut self.tables[slot];
         entry.pairs.clear();
-        entry
-            .pairs
-            .extend(
-                self.step_records
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &(chunk, _))| (chunk, table.server_of(i))),
-            );
+        entry.pairs.extend(
+            self.step_records
+                .iter()
+                .enumerate()
+                .map(|(i, &(chunk, _))| (chunk, table.server_of(i))),
+        );
         entry.pairs.sort_unstable_by_key(|&(c, _)| c);
         entry.failed = table.failed();
         entry.step = step;
@@ -388,7 +381,11 @@ mod tests {
         let report = sim.finish();
         report.check_conservation().unwrap();
         assert_eq!(report.rejected_total, 0, "rejections: {report:?}");
-        assert!(report.max_backlog <= 4 * 16, "max backlog {}", report.max_backlog);
+        assert!(
+            report.max_backlog <= 4 * 16,
+            "max backlog {}",
+            report.max_backlog
+        );
     }
 
     #[test]

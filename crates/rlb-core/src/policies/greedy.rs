@@ -91,7 +91,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
+        );
     }
 
     #[test]
@@ -107,7 +113,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
+        );
     }
 
     #[test]
@@ -125,7 +137,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
+        );
     }
 
     #[test]

@@ -114,7 +114,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 0, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 0,
+                class: 0
+            }
+        );
     }
 
     #[test]
@@ -159,10 +165,30 @@ mod tests {
         let view = ClusterView::new(&q);
         let mut p = TimeStepIsolated::new(2);
         p.on_step_begin(0, &mut NoOps);
-        let _ = p.route(RouteCtx { step: 0, chunk: 0, replicas: &[0, 1] }, &view);
+        let _ = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
         p.on_step_begin(1, &mut NoOps);
         // Fresh counts: picks the first replica again.
-        let d = p.route(RouteCtx { step: 1, chunk: 0, replicas: &[0, 1] }, &view);
-        assert_eq!(d, Decision::Route { server: 0, class: 0 });
+        let d = p.route(
+            RouteCtx {
+                step: 1,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 0,
+                class: 0
+            }
+        );
     }
 }

@@ -70,7 +70,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 2, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 2,
+                class: 0
+            }
+        );
     }
 
     #[test]

@@ -103,10 +103,36 @@ mod tests {
         let mut p = RoundRobin::new(8);
         let r0 = [0u32, 1];
         let r1 = [2u32, 3];
-        let d0 = p.route(RouteCtx { step: 0, chunk: 0, replicas: &r0 }, &view);
-        let d1 = p.route(RouteCtx { step: 0, chunk: 1, replicas: &r1 }, &view);
-        assert_eq!(d0, Decision::Route { server: 0, class: 0 });
-        assert_eq!(d1, Decision::Route { server: 2, class: 0 });
+        let d0 = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &r0,
+            },
+            &view,
+        );
+        let d1 = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 1,
+                replicas: &r1,
+            },
+            &view,
+        );
+        assert_eq!(
+            d0,
+            Decision::Route {
+                server: 0,
+                class: 0
+            }
+        );
+        assert_eq!(
+            d1,
+            Decision::Route {
+                server: 2,
+                class: 0
+            }
+        );
     }
 
     #[test]
@@ -129,6 +155,12 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 2, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 2,
+                class: 0
+            }
+        );
     }
 }

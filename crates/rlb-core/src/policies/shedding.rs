@@ -60,9 +60,7 @@ impl Policy for GreedyShedding {
             }
         }
         match best {
-            Some(server) if best_backlog < self.threshold => {
-                Decision::Route { server, class: 0 }
-            }
+            Some(server) if best_backlog < self.threshold => Decision::Route { server, class: 0 },
             // Voluntary shed (third knob) or all replicas unavailable.
             _ => Decision::Reject(RejectReason::Policy),
         }
@@ -103,7 +101,13 @@ mod tests {
             },
             &view,
         );
-        assert_eq!(d, Decision::Route { server: 1, class: 0 });
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
+        );
     }
 
     #[test]

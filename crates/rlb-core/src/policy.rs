@@ -101,8 +101,14 @@ mod tests {
     #[test]
     fn decision_equality() {
         assert_eq!(
-            Decision::Route { server: 1, class: 0 },
-            Decision::Route { server: 1, class: 0 }
+            Decision::Route {
+                server: 1,
+                class: 0
+            },
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
         );
         assert_ne!(
             Decision::Reject(RejectReason::Policy),

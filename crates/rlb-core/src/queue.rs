@@ -19,7 +19,19 @@ pub struct ClassSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
+/// Sentinel in `occ_slot` for "this (server, class) queue is empty".
+const NOT_OCCUPIED: u32 = u32::MAX;
+
 /// Flat storage of all (server × class) bounded FIFO queues.
+///
+/// Besides the ring buffers themselves, the array maintains an
+/// *occupancy index*: for every class, an unordered list of the servers
+/// whose queue in that class is non-empty, with a per-(server, class)
+/// slot back-pointer so membership updates are O(1) swap-removes. Bulk
+/// operations ([`QueueArray::migrate_class`], [`QueueArray::flush_all`])
+/// and the engine's drain loop visit only occupied servers, so their
+/// cost scales with the number of servers holding work rather than with
+/// cluster size.
 #[derive(Debug, Clone)]
 pub struct QueueArray {
     /// Entry payload: the arrival step of each queued request.
@@ -34,6 +46,14 @@ pub struct QueueArray {
     caps: Vec<u32>,
     /// Byte offset of class `c` inside a server's segment.
     class_offset: Vec<u32>,
+    /// Per class: servers with a non-empty queue in that class
+    /// (unordered; membership maintained by swap-remove).
+    occupied: Vec<Vec<u32>>,
+    /// Position of `server` in `occupied[class]`, indexed by
+    /// `server * K + class`; [`NOT_OCCUPIED`] when the queue is empty.
+    occ_slot: Vec<u32>,
+    /// Cluster-wide queued total, maintained incrementally.
+    total: u64,
     /// Total capacity per server (sum of class capacities).
     per_server: u32,
     num_servers: usize,
@@ -66,8 +86,38 @@ impl QueueArray {
             backlog: vec![0; num_servers],
             caps,
             class_offset,
+            occupied: vec![Vec::new(); k],
+            occ_slot: vec![NOT_OCCUPIED; num_servers * k],
+            total: 0,
             per_server,
             num_servers,
+        }
+    }
+
+    /// Marks `(server, class)` occupied (its queue just became
+    /// non-empty).
+    #[inline]
+    fn occ_insert(&mut self, server: u32, class: usize) {
+        let idx = server as usize * self.caps.len() + class;
+        debug_assert_eq!(self.occ_slot[idx], NOT_OCCUPIED);
+        self.occ_slot[idx] = self.occupied[class].len() as u32;
+        self.occupied[class].push(server);
+    }
+
+    /// Marks `(server, class)` unoccupied (its queue just emptied); the
+    /// last list entry swaps into the vacated slot.
+    #[inline]
+    fn occ_remove(&mut self, server: u32, class: usize) {
+        let k = self.caps.len();
+        let idx = server as usize * k + class;
+        let slot = self.occ_slot[idx] as usize;
+        debug_assert_ne!(slot as u32, NOT_OCCUPIED);
+        self.occ_slot[idx] = NOT_OCCUPIED;
+        let list = &mut self.occupied[class];
+        let last = list.pop().expect("occupancy slot points into list");
+        if last != server {
+            list[slot] = last;
+            self.occ_slot[last as usize * k + class] = slot as u32;
         }
     }
 
@@ -119,18 +169,32 @@ impl QueueArray {
     /// Returns [`QueueFull`] if the class is at capacity; the queue is
     /// unchanged.
     #[inline]
-    pub fn enqueue(&mut self, server: u32, class: usize, arrival_step: u32) -> Result<(), QueueFull> {
+    pub fn enqueue(
+        &mut self,
+        server: u32,
+        class: usize,
+        arrival_step: u32,
+    ) -> Result<(), QueueFull> {
         let k = self.num_classes();
         let idx = server as usize * k + class;
         let cap = self.caps[class];
-        if self.len[idx] >= cap {
+        let len = self.len[idx];
+        if len >= cap {
             return Err(QueueFull);
         }
         let base = self.base(server, class);
-        let pos = (self.head[idx] + self.len[idx]) % cap;
+        // head < cap and len < cap, so one conditional subtraction wraps.
+        let mut pos = self.head[idx] + len;
+        if pos >= cap {
+            pos -= cap;
+        }
         self.buf[base + pos as usize] = arrival_step;
-        self.len[idx] += 1;
+        self.len[idx] = len + 1;
         self.backlog[server as usize] += 1;
+        self.total += 1;
+        if len == 0 {
+            self.occ_insert(server, class);
+        }
         Ok(())
     }
 
@@ -149,14 +213,34 @@ impl QueueArray {
         let idx = server as usize * k + class;
         let cap = self.caps[class];
         let base = self.base(server, class);
-        let n = count.min(self.len[idx]);
-        for _ in 0..n {
-            on_complete(self.buf[base + self.head[idx] as usize]);
-            self.head[idx] = (self.head[idx] + 1) % cap;
-            self.len[idx] -= 1;
+        let len = self.len[idx];
+        let n = count.min(len);
+        if n == 0 {
+            return 0;
         }
+        let mut h = self.head[idx];
+        for _ in 0..n {
+            on_complete(self.buf[base + h as usize]);
+            h += 1;
+            if h == cap {
+                h = 0;
+            }
+        }
+        self.head[idx] = h;
+        self.len[idx] = len - n;
         self.backlog[server as usize] -= n;
+        self.total -= n as u64;
+        if len == n {
+            self.occ_remove(server, class);
+        }
         n
+    }
+
+    /// Servers whose `class` queue is currently non-empty, in
+    /// unspecified order. O(1); backed by the occupancy index.
+    #[inline]
+    pub fn occupied_servers(&self, class: usize) -> &[u32] {
+        &self.occupied[class]
     }
 
     /// Moves the entire contents of class `from` into class `to` for
@@ -172,44 +256,65 @@ impl QueueArray {
     ///
     /// # Panics
     /// Panics if `from == to`.
-    pub fn migrate_class(
-        &mut self,
-        from: usize,
-        to: usize,
-        mut on_drop: impl FnMut(u32),
-    ) -> u64 {
+    pub fn migrate_class(&mut self, from: usize, to: usize, mut on_drop: impl FnMut(u32)) -> u64 {
         assert_ne!(from, to, "cannot migrate a class onto itself");
         let k = self.num_classes();
         let mut dropped = 0u64;
-        for server in 0..self.num_servers as u32 {
+        // Visit only servers with pending `from` entries; every one of
+        // them leaves the `from` occupancy list, so the list is detached
+        // wholesale and its allocation reused.
+        let movers = std::mem::take(&mut self.occupied[from]);
+        for &server in &movers {
             let from_idx = server as usize * k + from;
             let pending = self.len[from_idx];
-            if pending == 0 {
-                continue;
-            }
+            debug_assert!(pending > 0, "occupancy lists only hold non-empty queues");
             let to_idx = server as usize * k + to;
-            let room = self.caps[to] - self.len[to_idx];
+            let to_len = self.len[to_idx];
+            let room = self.caps[to] - to_len;
             let moved = pending.min(room);
             let from_cap = self.caps[from];
             let from_base = self.base(server, from);
             let to_cap = self.caps[to];
             let to_base = self.base(server, to);
+            let mut from_h = self.head[from_idx];
+            let mut to_pos = self.head[to_idx] + to_len;
+            if to_pos >= to_cap {
+                to_pos -= to_cap;
+            }
             for _ in 0..moved {
-                let v = self.buf[from_base + self.head[from_idx] as usize];
-                self.head[from_idx] = (self.head[from_idx] + 1) % from_cap;
-                let pos = (self.head[to_idx] + self.len[to_idx]) % to_cap;
-                self.buf[to_base + pos as usize] = v;
-                self.len[to_idx] += 1;
+                self.buf[to_base + to_pos as usize] = self.buf[from_base + from_h as usize];
+                from_h += 1;
+                if from_h == from_cap {
+                    from_h = 0;
+                }
+                to_pos += 1;
+                if to_pos == to_cap {
+                    to_pos = 0;
+                }
             }
             for _ in moved..pending {
-                let v = self.buf[from_base + self.head[from_idx] as usize];
-                self.head[from_idx] = (self.head[from_idx] + 1) % from_cap;
-                on_drop(v);
+                on_drop(self.buf[from_base + from_h as usize]);
+                from_h += 1;
+                if from_h == from_cap {
+                    from_h = 0;
+                }
                 dropped += 1;
             }
+            self.head[from_idx] = from_h;
             self.len[from_idx] = 0;
+            self.occ_slot[from_idx] = NOT_OCCUPIED;
+            self.len[to_idx] = to_len + moved;
+            if to_len == 0 && moved > 0 {
+                self.occ_insert(server, to);
+            }
             self.backlog[server as usize] -= pending - moved;
+            self.total -= (pending - moved) as u64;
         }
+        self.occupied[from] = {
+            let mut v = movers;
+            v.clear();
+            v
+        };
         dropped
     }
 
@@ -219,33 +324,47 @@ impl QueueArray {
     pub fn flush_all(&mut self, mut on_drop: impl FnMut(u32)) -> u64 {
         let k = self.num_classes();
         let mut dropped = 0u64;
-        for server in 0..self.num_servers as u32 {
-            for class in 0..k {
+        for class in 0..k {
+            let cap = self.caps[class];
+            let servers = std::mem::take(&mut self.occupied[class]);
+            for &server in &servers {
                 let idx = server as usize * k + class;
-                let cap = self.caps[class];
                 let base = self.base(server, class);
                 let n = self.len[idx];
+                let mut h = self.head[idx];
                 for _ in 0..n {
-                    on_drop(self.buf[base + self.head[idx] as usize]);
-                    self.head[idx] = (self.head[idx] + 1) % cap;
+                    on_drop(self.buf[base + h as usize]);
+                    h += 1;
+                    if h == cap {
+                        h = 0;
+                    }
                 }
+                self.head[idx] = h;
                 self.len[idx] = 0;
+                self.occ_slot[idx] = NOT_OCCUPIED;
+                self.backlog[server as usize] -= n;
                 dropped += n as u64;
             }
-            self.backlog[server as usize] = 0;
+            self.occupied[class] = {
+                let mut v = servers;
+                v.clear();
+                v
+            };
         }
+        self.total = 0;
         dropped
     }
 
-    /// Copies all per-server total backlogs into `out` (length must be
+    /// Per-server total backlogs, indexed by server id (length
     /// `num_servers`).
     pub fn backlogs(&self) -> &[u32] {
         &self.backlog
     }
 
-    /// Total requests queued across the cluster.
+    /// Total requests queued across the cluster. O(1); maintained
+    /// incrementally by every mutation.
     pub fn total_backlog(&self) -> u64 {
-        self.backlog.iter().map(|&b| b as u64).sum()
+        self.total
     }
 }
 
@@ -405,5 +524,78 @@ mod tests {
     fn migrate_same_class_panics() {
         let mut q = two_class();
         q.migrate_class(1, 1, |_| {});
+    }
+
+    fn occupied_sorted(q: &QueueArray, class: usize) -> Vec<u32> {
+        let mut v = q.occupied_servers(class).to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn occupancy_tracks_enqueue_and_dequeue() {
+        let mut q = two_class();
+        assert!(q.occupied_servers(0).is_empty());
+        q.enqueue(2, 0, 1).unwrap();
+        q.enqueue(0, 0, 2).unwrap();
+        q.enqueue(0, 0, 3).unwrap();
+        q.enqueue(1, 1, 4).unwrap();
+        assert_eq!(occupied_sorted(&q, 0), vec![0, 2]);
+        assert_eq!(occupied_sorted(&q, 1), vec![1]);
+        // Partial dequeue keeps membership; emptying removes it.
+        q.dequeue_up_to(0, 0, 1, |_| {});
+        assert_eq!(occupied_sorted(&q, 0), vec![0, 2]);
+        q.dequeue_up_to(0, 0, 1, |_| {});
+        assert_eq!(occupied_sorted(&q, 0), vec![2]);
+        q.dequeue_up_to(2, 0, 9, |_| {});
+        assert!(q.occupied_servers(0).is_empty());
+        assert_eq!(occupied_sorted(&q, 1), vec![1]);
+    }
+
+    #[test]
+    fn occupancy_tracks_migrate_and_flush() {
+        let mut q = two_class();
+        q.enqueue(0, 0, 1).unwrap();
+        q.enqueue(2, 0, 2).unwrap();
+        q.enqueue(2, 1, 3).unwrap();
+        q.migrate_class(0, 1, |_| {});
+        assert!(q.occupied_servers(0).is_empty());
+        assert_eq!(occupied_sorted(&q, 1), vec![0, 2]);
+        q.flush_all(|_| {});
+        assert!(q.occupied_servers(0).is_empty());
+        assert!(q.occupied_servers(1).is_empty());
+        assert_eq!(q.total_backlog(), 0);
+        // Usable again after the index was cleared.
+        q.enqueue(1, 1, 9).unwrap();
+        assert_eq!(occupied_sorted(&q, 1), vec![1]);
+        assert_eq!(q.total_backlog(), 1);
+    }
+
+    #[test]
+    fn migrate_into_full_destination_keeps_source_unoccupied() {
+        // Destination completely full: everything in `from` drops, so
+        // `from` leaves the occupancy list and `to` membership persists.
+        let mut q = QueueArray::new(
+            1,
+            &[
+                ClassSpec {
+                    capacity: 2,
+                    drain_per_step: 1,
+                },
+                ClassSpec {
+                    capacity: 1,
+                    drain_per_step: 1,
+                },
+            ],
+        );
+        q.enqueue(0, 1, 7).unwrap();
+        q.enqueue(0, 0, 8).unwrap();
+        q.enqueue(0, 0, 9).unwrap();
+        let mut dropped = Vec::new();
+        assert_eq!(q.migrate_class(0, 1, |v| dropped.push(v)), 2);
+        assert_eq!(dropped, vec![8, 9]);
+        assert!(q.occupied_servers(0).is_empty());
+        assert_eq!(q.occupied_servers(1), &[0]);
+        assert_eq!(q.total_backlog(), 1);
     }
 }

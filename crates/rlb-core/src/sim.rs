@@ -92,7 +92,9 @@ impl<P: Policy> Simulation<P> {
     /// Panics if the config is invalid or the policy's queue classes are
     /// inconsistent with it.
     pub fn new(config: SimConfig, policy: P) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         let placement = ReplicaPlacement::random(
             config.num_chunks,
             config.num_servers,
@@ -108,10 +110,24 @@ impl<P: Policy> Simulation<P> {
     /// # Panics
     /// Panics on config/placement mismatch.
     pub fn with_placement(config: SimConfig, policy: P, placement: ReplicaPlacement) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
-        assert_eq!(placement.num_chunks(), config.num_chunks, "placement chunk count");
-        assert_eq!(placement.num_servers(), config.num_servers, "placement server count");
-        assert_eq!(placement.replication(), config.replication, "placement degree");
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
+        assert_eq!(
+            placement.num_chunks(),
+            config.num_chunks,
+            "placement chunk count"
+        );
+        assert_eq!(
+            placement.num_servers(),
+            config.num_servers,
+            "placement server count"
+        );
+        assert_eq!(
+            placement.replication(),
+            config.replication,
+            "placement degree"
+        );
         let classes = policy.queue_classes(&config);
         assert!(!classes.is_empty(), "policy declared no queue classes");
         let queues = QueueArray::new(config.num_servers, &classes);
@@ -170,10 +186,10 @@ impl<P: Policy> Simulation<P> {
 
     /// Discards the statistics collected so far (queues and policy state
     /// are untouched). Use after a warmup period so the final report
-    /// covers only steady state. Requests accepted before the reset
-    /// complete without statistical effect afterwards: their completions
-    /// and flush drops are suppressed so conservation holds within the
-    /// measured window.
+    /// covers only steady state. Requests still queued at the reset are
+    /// re-counted as arrived-and-accepted in the new window, so their
+    /// later completions (or flush drops) land against that carried
+    /// backlog and conservation holds within the measured window.
     pub fn reset_stats(&mut self) {
         self.stats = RunStats::new();
         // Requests currently queued were accepted before the window;
@@ -208,7 +224,11 @@ impl<P: Policy> Simulation<P> {
         let step = self.step;
         self.chunk_scratch.clear();
         workload.next_step(step, &mut self.chunk_scratch);
-        self.outages.fill_up_mask(step, &mut self.up_mask);
+        // With no scheduled outages the mask stays the all-true value it
+        // was initialized with; skip the O(m) per-step refill.
+        if !self.outages.is_empty() {
+            self.outages.fill_up_mask(step, &mut self.up_mask);
+        }
         debug_assert!(
             {
                 let mut set = std::collections::HashSet::new();
@@ -228,10 +248,12 @@ impl<P: Policy> Simulation<P> {
         let n = self.chunk_scratch.len();
         match self.config.drain_mode {
             DrainMode::EndOfStep => {
-                for i in 0..n {
-                    self.route_one(i, step, observer);
-                }
-                self.drain(self.config.process_rate, 1, 1, step);
+                self.route_range(0, n, step, observer);
+                // The single drain is sub-step 0 of 1. (Passing index 1
+                // here happens to yield the same quota only because the
+                // cumulative split is exact for one sub-step; see the
+                // `end_of_step_drains_exactly_rate_per_server` test.)
+                self.drain(0, 1, step);
             }
             DrainMode::Interleaved => {
                 // g sub-steps; arrivals split evenly; each class drains a
@@ -241,10 +263,8 @@ impl<P: Policy> Simulation<P> {
                 for s in 0..substeps {
                     let lo = n * s / substeps;
                     let hi = n * (s + 1) / substeps;
-                    for i in lo..hi {
-                        self.route_one(i, step, observer);
-                    }
-                    self.drain(self.config.process_rate, s as u32, substeps as u32, step);
+                    self.route_range(lo, hi, step, observer);
+                    self.drain(s as u32, substeps as u32, step);
                 }
             }
         }
@@ -280,49 +300,69 @@ impl<P: Policy> Simulation<P> {
         self.step += 1;
     }
 
-    #[inline]
-    fn route_one(&mut self, index: usize, step: u64, observer: &mut dyn Observer) {
-        let chunk = self.chunk_scratch[index];
-        let replicas = self.placement.replicas(chunk);
-        self.stats.arrived += 1;
-        let ctx = RouteCtx {
-            step,
-            chunk,
-            replicas,
-        };
-        let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
-        let mut decision = self.policy.route(ctx, &view);
-        match decision {
-            Decision::Route { server, class } => {
-                debug_assert!(
-                    replicas.contains(&server),
-                    "policy routed chunk {chunk} to non-replica server {server}"
-                );
-                if !self.up_mask[server as usize] {
-                    decision = Decision::Reject(RejectReason::ServerDown);
-                    self.stats.record_reject(RejectReason::ServerDown);
-                    observer.on_route(step, chunk, decision);
-                    return;
-                }
-                match self.queues.enqueue(server, class as usize, step as u32) {
-                    Ok(()) => {
-                        self.stats.accepted += 1;
-                        self.stats
-                            .record_enqueue_backlog(self.queues.backlog(server));
+    /// Routes the requests at `chunk_scratch[lo..hi]`, in arrival order.
+    ///
+    /// The arrival counter and scratch-slice borrow are hoisted out of
+    /// the per-request loop. The [`ClusterView`] handed to the policy is
+    /// a two-pointer wrapper rebuilt per request by necessity: every
+    /// accepted enqueue changes the backlogs the *next* routing decision
+    /// must observe.
+    fn route_range(&mut self, lo: usize, hi: usize, step: u64, observer: &mut dyn Observer) {
+        // Detach the scratch list so a slice over it can coexist with
+        // queue mutations; reattached (untouched) at the end.
+        let chunks = std::mem::take(&mut self.chunk_scratch);
+        self.stats.arrived += (hi - lo) as u64;
+        for &chunk in &chunks[lo..hi] {
+            let replicas = self.placement.replicas(chunk);
+            let ctx = RouteCtx {
+                step,
+                chunk,
+                replicas,
+            };
+            let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
+            let mut decision = self.policy.route(ctx, &view);
+            match decision {
+                Decision::Route { server, class } => {
+                    debug_assert!(
+                        replicas.contains(&server),
+                        "policy routed chunk {chunk} to non-replica server {server}"
+                    );
+                    if !self.up_mask[server as usize] {
+                        decision = Decision::Reject(RejectReason::ServerDown);
+                        self.stats.record_reject(RejectReason::ServerDown);
+                        observer.on_route(step, chunk, decision);
+                        continue;
                     }
-                    Err(_) => {
-                        decision = Decision::Reject(RejectReason::Overflow);
-                        self.stats.record_reject(RejectReason::Overflow);
+                    match self.queues.enqueue(server, class as usize, step as u32) {
+                        Ok(()) => {
+                            self.stats.accepted += 1;
+                            self.stats
+                                .record_enqueue_backlog(self.queues.backlog(server));
+                        }
+                        Err(_) => {
+                            decision = Decision::Reject(RejectReason::Overflow);
+                            self.stats.record_reject(RejectReason::Overflow);
+                        }
                     }
                 }
+                Decision::Reject(reason) => self.stats.record_reject(reason),
             }
-            Decision::Reject(reason) => self.stats.record_reject(reason),
+            observer.on_route(step, chunk, decision);
         }
-        observer.on_route(step, chunk, decision);
+        self.chunk_scratch = chunks;
     }
 
     /// Drains each class by its share for sub-step `s` of `substeps`.
-    fn drain(&mut self, _g: u32, s: u32, substeps: u32, step: u64) {
+    ///
+    /// When a class is sparsely occupied, only servers holding queued
+    /// work are visited, via the queue array's occupancy index — the
+    /// per-sub-step cost is proportional to occupied state, not to
+    /// cluster size. Once at least half the servers hold work, a plain
+    /// sequential sweep wins on cache locality and is used instead.
+    /// Visit order differs between the two paths, but every
+    /// per-completion statistic is an order-independent accumulation, so
+    /// reports are bit-identical either way.
+    fn drain(&mut self, s: u32, substeps: u32, step: u64) {
         let stats = &mut self.stats;
         for (class, spec) in self.classes.iter().enumerate() {
             let rate = spec.drain_per_step;
@@ -332,13 +372,38 @@ impl<P: Policy> Simulation<P> {
             if take == 0 {
                 continue;
             }
-            for server in 0..self.config.num_servers as u32 {
+            let m = self.config.num_servers;
+            if self.queues.occupied_servers(class).len() * 2 >= m {
+                // Dense: most servers hold work, so a sequential sweep
+                // beats list order on cache locality (empty queues cost
+                // one length check).
+                for server in 0..m as u32 {
+                    if !self.up_mask[server as usize] {
+                        continue;
+                    }
+                    self.queues.dequeue_up_to(server, class, take, |arrival| {
+                        stats.record_completion_in_class(class, step - arrival as u64);
+                    });
+                }
+                continue;
+            }
+            let mut i = 0;
+            while i < self.queues.occupied_servers(class).len() {
+                let server = self.queues.occupied_servers(class)[i];
                 if !self.up_mask[server as usize] {
+                    i += 1;
                     continue;
                 }
                 self.queues.dequeue_up_to(server, class, take, |arrival| {
                     stats.record_completion_in_class(class, step - arrival as u64);
                 });
+                // An emptied server is swap-removed from the occupancy
+                // list, pulling an unvisited candidate into slot `i`;
+                // advance only while `server` kept its slot.
+                let occ = self.queues.occupied_servers(class);
+                if i < occ.len() && occ[i] == server {
+                    i += 1;
+                }
             }
         }
     }
@@ -399,7 +464,11 @@ mod tests {
         sim.run(&mut fixed_workload(4), 100);
         let report = sim.finish();
         assert_eq!(report.rejected_total, 0);
-        assert!(report.avg_latency <= 1.0, "avg latency {}", report.avg_latency);
+        assert!(
+            report.avg_latency <= 1.0,
+            "avg latency {}",
+            report.avg_latency
+        );
     }
 
     #[test]
@@ -461,6 +530,27 @@ mod tests {
     }
 
     #[test]
+    fn end_of_step_drains_exactly_rate_per_server() {
+        // Regression guard against a silent double-drain: the end-of-step
+        // drain used to be invoked as sub-step 1 of 1, which only yields
+        // the right quota because the cumulative split is exact when
+        // `substeps == 1`. Pin the actual budget: under saturating load
+        // with full queues, each extra step completes exactly
+        // `num_servers * process_rate` requests — a mis-indexed quota
+        // (e.g. cumulative across calls) would complete twice that.
+        let mut cfg = small_config();
+        cfg.process_rate = 2; // 32 arrivals/step vs 8 * 2 drained
+        let completed_after = |steps: u64| {
+            let mut sim = Simulation::new(cfg.clone(), Greedy::new());
+            sim.run(&mut fixed_workload(32), steps);
+            sim.finish().completed
+        };
+        let warm = 10;
+        let delta = completed_after(warm + 1) - completed_after(warm);
+        assert_eq!(delta, 8 * 2, "one saturated step must drain m * g");
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let run = || {
             let mut sim = Simulation::new(small_config(), Greedy::new());
@@ -486,7 +576,10 @@ mod tests {
             }
         }
         let mut sim = Simulation::new(small_config(), Greedy::new());
-        let mut obs = Counter { routes: 0, steps: 0 };
+        let mut obs = Counter {
+            routes: 0,
+            steps: 0,
+        };
         sim.run_observed(&mut fixed_workload(8), 10, &mut obs);
         assert_eq!(obs.routes, 80);
         assert_eq!(obs.steps, 10);

@@ -7,7 +7,6 @@
 
 use crate::policy::RejectReason;
 use rlb_metrics::{BacklogSnapshot, Histogram, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// Mutable statistics accumulated during a run.
 #[derive(Debug, Clone)]
@@ -97,8 +96,7 @@ impl RunStats {
     #[inline]
     pub fn record_completion_in_class(&mut self, class: usize, latency: u64) {
         if self.latency_by_class.len() <= class {
-            self.latency_by_class
-                .resize_with(class + 1, Histogram::new);
+            self.latency_by_class.resize_with(class + 1, Histogram::new);
         }
         self.latency_by_class[class].record(latency);
         self.record_completion(latency);
@@ -167,7 +165,7 @@ impl RunStats {
 }
 
 /// Immutable summary of a finished run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Steps simulated.
     pub steps: u64,
@@ -245,6 +243,33 @@ impl RunReport {
         Ok(())
     }
 }
+
+rlb_json::json_struct!(RunReport {
+    steps,
+    arrived,
+    accepted,
+    rejected_policy,
+    rejected_table,
+    rejected_overflow,
+    rejected_flush,
+    rejected_down,
+    rejected_total,
+    completed,
+    in_flight,
+    rejection_rate,
+    avg_latency,
+    p99_latency,
+    max_latency,
+    latency,
+    latency_by_class,
+    mean_backlog,
+    max_backlog,
+    peak_backlog,
+    safety_samples,
+    safety_violations,
+    worst_safety_ratio,
+    backlog_series,
+});
 
 #[cfg(test)]
 mod tests {

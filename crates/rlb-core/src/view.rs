@@ -83,6 +83,14 @@ impl<'a> ClusterView<'a> {
     pub fn backlogs(&self) -> &[u32] {
         self.queues.backlogs()
     }
+
+    /// Servers whose `class` queue is non-empty, in unspecified order
+    /// (the queue array's occupancy index). Lets observers and policies
+    /// scan occupied state without an O(num_servers) sweep.
+    #[inline]
+    pub fn occupied_servers(&self, class: usize) -> &[u32] {
+        self.queues.occupied_servers(class)
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +135,9 @@ mod tests {
         assert!(v.is_up(0));
         assert!(!v.is_up(1));
         assert!(v.is_available(0, 0));
-        assert!(!v.is_available(1, 0), "down server is unavailable even when empty");
+        assert!(
+            !v.is_available(1, 0),
+            "down server is unavailable even when empty"
+        );
     }
 }

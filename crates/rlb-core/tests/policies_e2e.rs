@@ -44,12 +44,8 @@ impl Observer for ReplicaChecker {
 }
 
 fn run_policy_checked<P: Policy>(cfg: SimConfig, policy: P) -> (u64, u64) {
-    let placement_copy = ReplicaPlacement::random(
-        cfg.num_chunks,
-        cfg.num_servers,
-        cfg.replication,
-        cfg.seed,
-    );
+    let placement_copy =
+        ReplicaPlacement::random(cfg.num_chunks, cfg.num_servers, cfg.replication, cfg.seed);
     let m = cfg.num_servers as u32;
     let mut sim = Simulation::new(cfg, policy);
     let mut checker = ReplicaChecker {
@@ -62,7 +58,10 @@ fn run_policy_checked<P: Policy>(cfg: SimConfig, policy: P) -> (u64, u64) {
     let report = sim.finish();
     report.check_conservation().unwrap();
     assert_eq!(checker.routes, report.accepted);
-    assert_eq!(checker.rejects, report.rejected_total - report.rejected_flush);
+    assert_eq!(
+        checker.rejects,
+        report.rejected_total - report.rejected_flush
+    );
     (checker.routes, checker.rejects)
 }
 

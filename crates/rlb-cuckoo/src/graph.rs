@@ -203,7 +203,13 @@ mod tests {
         let graph = g(4, &[(0, 1), (1, 2), (2, 3)]);
         let stats = graph.component_stats();
         assert_eq!(stats.len(), 1);
-        assert_eq!(stats[0], ComponentStats { vertices: 4, edges: 3 });
+        assert_eq!(
+            stats[0],
+            ComponentStats {
+                vertices: 4,
+                edges: 3
+            }
+        );
         assert!(graph.is_fully_placeable());
     }
 

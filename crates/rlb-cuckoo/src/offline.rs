@@ -498,8 +498,7 @@ mod tests {
                 .map(|_| Choices::new(rng.gen_index(n) as u32, rng.gen_index(n) as u32))
                 .collect();
             let a = OfflineAssignment::assign_exact(n, &items);
-            validate_assignment(n, &items, &a)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            validate_assignment(n, &items, &a).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             let optimal = CuckooGraph::from_items(n, &items).optimal_stash_size();
             assert_eq!(
                 a.stash().len(),
@@ -536,8 +535,7 @@ mod tests {
                 .map(|_| Choices::new(rng.gen_index(n) as u32, rng.gen_index(n) as u32))
                 .collect();
             let rw = RandomWalkAllocator::new(64).assign(n, &items, &mut rng);
-            validate_assignment(n, &items, &rw)
-                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            validate_assignment(n, &items, &rw).unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             let exact = OfflineAssignment::assign_exact(n, &items);
             assert!(rw.stash().len() >= exact.stash().len());
         }

@@ -1,79 +1,99 @@
-//! Heavy property tests for the cuckoo allocators.
+//! Heavy property tests for the cuckoo allocators, swept over
+//! deterministic PCG-generated cases.
 
-use proptest::prelude::*;
 use rlb_cuckoo::offline::validate_assignment;
 use rlb_cuckoo::{
-    Choices, CuckooGraph, OfflineAssignment, RandomWalkAllocator, RoutingTable,
-    TripartiteAssigner,
+    Choices, CuckooGraph, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner,
 };
 use rlb_hash::{Pcg64, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Exact allocator: valid and stash-optimal for arbitrary multigraphs
-    /// including self-loops, parallel edges, and isolated vertices.
-    #[test]
-    fn exact_allocator_is_optimal(
-        n in 1usize..120,
-        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..240),
-    ) {
-        let items: Vec<Choices> = edges
-            .into_iter()
-            .map(|(a, b)| Choices::new(a % n as u32, b % n as u32))
+fn case_rng(property: u64, case: u64) -> Pcg64 {
+    Pcg64::new(0x636b6f6f ^ (property << 32) ^ case, property)
+}
+
+/// Exact allocator: valid and stash-optimal for arbitrary multigraphs
+/// including self-loops, parallel edges, and isolated vertices.
+#[test]
+fn exact_allocator_is_optimal() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let n = 1 + rng.gen_index(119);
+        let num_edges = rng.gen_index(240);
+        let items: Vec<Choices> = (0..num_edges)
+            .map(|_| {
+                let a = rng.next_u64() as u32;
+                let b = rng.next_u64() as u32;
+                Choices::new(a % n as u32, b % n as u32)
+            })
             .collect();
         let a = OfflineAssignment::assign_exact(n, &items);
-        prop_assert!(validate_assignment(n, &items, &a).is_ok());
+        assert!(validate_assignment(n, &items, &a).is_ok(), "case {case}");
         let opt = CuckooGraph::from_items(n, &items).optimal_stash_size();
-        prop_assert_eq!(a.stash().len(), opt);
-        prop_assert_eq!(a.placed() + a.stash().len(), items.len());
+        assert_eq!(a.stash().len(), opt, "case {case}");
+        assert_eq!(a.placed() + a.stash().len(), items.len(), "case {case}");
     }
+}
 
-    /// Random-walk allocator: always valid, never beats the optimum.
-    #[test]
-    fn random_walk_is_valid_and_dominated(
-        n in 1usize..80,
-        edges in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120),
-        seed in any::<u64>(),
-        kicks in 1usize..64,
-    ) {
-        let items: Vec<Choices> = edges
-            .into_iter()
-            .map(|(a, b)| Choices::new(a % n as u32, b % n as u32))
+/// Random-walk allocator: always valid, never beats the optimum.
+#[test]
+fn random_walk_is_valid_and_dominated() {
+    for case in 0..CASES {
+        let mut case_r = case_rng(2, case);
+        let n = 1 + case_r.gen_index(79);
+        let num_edges = case_r.gen_index(120);
+        let items: Vec<Choices> = (0..num_edges)
+            .map(|_| {
+                let a = case_r.next_u64() as u32;
+                let b = case_r.next_u64() as u32;
+                Choices::new(a % n as u32, b % n as u32)
+            })
             .collect();
+        let seed = case_r.next_u64();
+        let kicks = 1 + case_r.gen_index(63);
         let mut rng = Pcg64::new(seed, 0);
         let rw = RandomWalkAllocator::new(kicks).assign(n, &items, &mut rng);
-        prop_assert!(validate_assignment(n, &items, &rw).is_ok());
+        assert!(validate_assignment(n, &items, &rw).is_ok(), "case {case}");
         let opt = CuckooGraph::from_items(n, &items).optimal_stash_size();
-        prop_assert!(rw.stash().len() >= opt);
+        assert!(rw.stash().len() >= opt, "case {case}");
     }
+}
 
-    /// Tripartite tables: every request lands on one of its replicas and
-    /// per-server loads sum to the request count.
-    #[test]
-    fn tripartite_table_is_consistent(
-        m in 3usize..100,
-        k in 0usize..100,
-        seed in any::<u64>(),
-    ) {
+/// Tripartite tables: every request lands on one of its replicas and
+/// per-server loads sum to the request count.
+#[test]
+fn tripartite_table_is_consistent() {
+    for case in 0..CASES {
+        let mut case_r = case_rng(3, case);
+        let m = 3 + case_r.gen_index(97);
+        let k = case_r.gen_index(100);
+        let seed = case_r.next_u64();
         let mut rng = Pcg64::new(seed, 1);
         let items: Vec<Choices> = (0..k)
             .map(|_| Choices::new(rng.gen_index(m) as u32, rng.gen_index(m) as u32))
             .collect();
         let t = RoutingTable::build(m, &items, TripartiteAssigner::default());
-        prop_assert_eq!(t.len(), k);
+        assert_eq!(t.len(), k, "case {case}");
         let mut load = vec![0u32; m];
         for (i, c) in items.iter().enumerate() {
             let s = t.server_of(i);
-            prop_assert!(c.contains(s));
+            assert!(c.contains(s), "case {case}");
             load[s as usize] += 1;
         }
-        prop_assert_eq!(load.iter().sum::<u32>() as usize, k);
-        prop_assert_eq!(load.iter().copied().max().unwrap_or(0), t.max_per_server());
+        assert_eq!(load.iter().sum::<u32>() as usize, k, "case {case}");
+        assert_eq!(
+            load.iter().copied().max().unwrap_or(0),
+            t.max_per_server(),
+            "case {case}"
+        );
         // Unfailed tables with default stash bound keep the Lemma 4.2
         // constant: 3 placed + spill bounded by the group stashes.
         if !t.failed() {
-            prop_assert!(t.max_per_server() as usize <= 3 + t.total_stash());
+            assert!(
+                t.max_per_server() as usize <= 3 + t.total_stash(),
+                "case {case}"
+            );
         }
     }
 }
@@ -109,7 +129,11 @@ fn exact_allocator_near_threshold() {
         let opt = CuckooGraph::from_items(m, &items).optimal_stash_size();
         assert_eq!(a.stash().len(), opt, "load {load}");
         // Below the 1/2 threshold the stash is tiny.
-        assert!(a.stash().len() < 10, "load {load}: stash {}", a.stash().len());
+        assert!(
+            a.stash().len() < 10,
+            "load {load}: stash {}",
+            a.stash().len()
+        );
     }
 }
 

@@ -1,7 +1,7 @@
 //! Contract tests run identically against both online cuckoo tables.
 
-use proptest::prelude::*;
 use rlb_cuckoo::{BfsCuckoo, OnlineCuckoo};
+use rlb_hash::{Pcg64, Rng};
 
 /// Operations applied to a table and a reference `HashMap` in lockstep.
 #[derive(Debug, Clone)]
@@ -11,12 +11,15 @@ enum Op {
     Get(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..200, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0u64..200).prop_map(Op::Remove),
-        (0u64..200).prop_map(Op::Get),
-    ]
+fn gen_ops(rng: &mut Pcg64) -> Vec<Op> {
+    let len = rng.gen_index(400);
+    (0..len)
+        .map(|_| match rng.gen_range(3) {
+            0 => Op::Insert(rng.gen_range(200), rng.next_u64()),
+            1 => Op::Remove(rng.gen_range(200)),
+            _ => Op::Get(rng.gen_range(200)),
+        })
+        .collect()
 }
 
 /// A minimal common interface over the two table variants.
@@ -85,23 +88,23 @@ fn run_against_reference<T: Table>(table: &mut T, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_walk_table_matches_hashmap(
-        ops in proptest::collection::vec(op_strategy(), 0..400),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_walk_table_matches_hashmap() {
+    for case in 0..64u64 {
+        let mut rng = Pcg64::new(0x6f6e6c31 ^ case, 1);
+        let ops = gen_ops(&mut rng);
+        let seed = rng.next_u64();
         let mut t: OnlineCuckoo<u64> = OnlineCuckoo::new(600, 8, seed);
         run_against_reference(&mut t, &ops);
     }
+}
 
-    #[test]
-    fn bfs_table_matches_hashmap(
-        ops in proptest::collection::vec(op_strategy(), 0..400),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn bfs_table_matches_hashmap() {
+    for case in 0..64u64 {
+        let mut rng = Pcg64::new(0x6f6e6c32 ^ case, 2);
+        let ops = gen_ops(&mut rng);
+        let seed = rng.next_u64();
         let mut t: BfsCuckoo<u64> = BfsCuckoo::new(600, 8, seed);
         run_against_reference(&mut t, &ops);
     }

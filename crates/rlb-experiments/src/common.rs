@@ -49,12 +49,7 @@ impl PolicyKind {
 
     /// Runs `steps` steps of `workload` under this policy and returns
     /// the report.
-    pub fn run(
-        self,
-        config: SimConfig,
-        workload: &mut dyn Workload,
-        steps: u64,
-    ) -> RunReport {
+    pub fn run(self, config: SimConfig, workload: &mut dyn Workload, steps: u64) -> RunReport {
         self.run_observed(config, workload, steps, &mut rlb_core::NullObserver)
     }
 

@@ -21,8 +21,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "Greedy under the repeated-set adversary (q=log2(m)+1)",
         &[
-            "m", "d", "g", "q", "reject-rate", "avg-lat", "p99-lat", "max-lat",
-            "peak-backlog", "log2(m)",
+            "m",
+            "d",
+            "g",
+            "q",
+            "reject-rate",
+            "avg-lat",
+            "p99-lat",
+            "max-lat",
+            "peak-backlog",
+            "log2(m)",
         ],
     );
     let trials = common::trial_count(quick);
@@ -118,11 +126,7 @@ mod tests {
     #[test]
     fn quick_run_passes_all_shape_checks() {
         let out = run(true);
-        assert!(
-            out.all_passed(),
-            "failed checks:\n{}",
-            out.render()
-        );
+        assert!(out.all_passed(), "failed checks:\n{}", out.render());
         assert_eq!(out.tables.len(), 1);
         assert!(!out.tables[0].is_empty());
     }

@@ -23,7 +23,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let steps = common::step_count(quick);
     let mut table = Table::new(
         "Safe-distribution compliance of greedy (Definition 3.2, slack ratio)",
-        &["workload", "m", "d", "g", "violation-rate", "worst-ratio", "max-backlog"],
+        &[
+            "workload",
+            "m",
+            "d",
+            "g",
+            "violation-rate",
+            "worst-ratio",
+            "max-backlog",
+        ],
     );
     let mut worst_overall = 0.0f64;
     let mut total_violation_rate = 0.0f64;
@@ -33,23 +41,27 @@ pub fn run(quick: bool) -> ExperimentOutput {
     for m in common::m_sweep(quick) {
         for (d, g) in [(4usize, 8u32), (2, 2)] {
             for repeated in [true, false] {
-                let agg =
-                    common::aggregate_trials(trials, PolicyKind::Greedy, steps, move |i| {
-                        let mut config = SimConfig::greedy_theorem(m, d, g, 2.0)
-                            .with_seed(0xe2 + i as u64 * 101 + g as u64);
-                        config.flush_interval = None;
-                        config.drain_mode = DrainMode::Interleaved;
-                        config.safety_check_every = Some(1);
-                        let seed = 77 + i as u64;
-                        let workload: Box<dyn Workload + Send> = if repeated {
-                            Box::new(RepeatedSet::first_k(m as u32, seed))
-                        } else {
-                            Box::new(PartialRepeat::new(4 * m as u64, m, 0.5, seed))
-                        };
-                        (config, workload)
-                    });
+                let agg = common::aggregate_trials(trials, PolicyKind::Greedy, steps, move |i| {
+                    let mut config = SimConfig::greedy_theorem(m, d, g, 2.0)
+                        .with_seed(0xe2 + i as u64 * 101 + g as u64);
+                    config.flush_interval = None;
+                    config.drain_mode = DrainMode::Interleaved;
+                    config.safety_check_every = Some(1);
+                    let seed = 77 + i as u64;
+                    let workload: Box<dyn Workload + Send> = if repeated {
+                        Box::new(RepeatedSet::first_k(m as u32, seed))
+                    } else {
+                        Box::new(PartialRepeat::new(4 * m as u64, m, 0.5, seed))
+                    };
+                    (config, workload)
+                });
                 table.row(vec![
-                    if repeated { "repeated-set" } else { "half-repeat" }.to_string(),
+                    if repeated {
+                        "repeated-set"
+                    } else {
+                        "half-repeat"
+                    }
+                    .to_string(),
                     fmt_u(m as u64),
                     fmt_u(d as u64),
                     fmt_u(g as u64),

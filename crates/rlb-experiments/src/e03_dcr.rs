@@ -35,12 +35,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     );
     let mut rows = Vec::new();
     for m in common::m_sweep(quick) {
-        let agg =
-            common::aggregate_trials(trials, PolicyKind::DelayedCuckoo, steps, move |i| {
-                let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(0xe3 + i as u64 * 131);
-                let workload = RepeatedSet::first_k(m as u32, 97 + i as u64);
-                (config, Box::new(workload) as Box<dyn Workload + Send>)
-            });
+        let agg = common::aggregate_trials(trials, PolicyKind::DelayedCuckoo, steps, move |i| {
+            let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(0xe3 + i as u64 * 131);
+            let workload = RepeatedSet::first_k(m as u32, 97 + i as u64);
+            (config, Box::new(workload) as Box<dyn Workload + Send>)
+        });
         let q = SimConfig::dcr_theorem(m, 16, 4).queue_capacity;
         table.row(vec![
             fmt_u(m as u64),
@@ -82,7 +81,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
         "max latency is O(log log m)",
         loglog_bounded,
         rows.iter()
-            .map(|&(m, a)| format!("m={m}: max-lat {} vs loglog {:.1}", a.max_latency, common::loglog2(m)))
+            .map(|&(m, a)| {
+                format!(
+                    "m={m}: max-lat {} vs loglog {:.1}",
+                    a.max_latency,
+                    common::loglog2(m)
+                )
+            })
             .collect::<Vec<_>>()
             .join(", "),
     ));
@@ -103,7 +108,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
             rows.iter()
                 .all(|&(m, a)| (a.peak_backlog as f64) <= 3.0 * common::loglog2(m)),
             rows.iter()
-                .map(|&(m, a)| format!("m={m}: peak {} vs loglog {:.1}", a.peak_backlog, common::loglog2(m)))
+                .map(|&(m, a)| {
+                    format!(
+                        "m={m}: peak {} vs loglog {:.1}",
+                        a.peak_backlog,
+                        common::loglog2(m)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join(", "),
         ));

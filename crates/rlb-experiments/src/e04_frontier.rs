@@ -89,7 +89,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Check::new(
             "both load-aware policies reach ~0 rejection at O(log log m)-scale queues",
             matches!((greedy_q, dcr_q), (Some(g), Some(d)) if g <= loglog_budget && d <= loglog_budget.max(8)),
-            format!("frontier q: greedy {greedy_q:?}, dcr {dcr_q:?}; 2*loglog(m) = {loglog_budget}"),
+            format!(
+                "frontier q: greedy {greedy_q:?}, dcr {dcr_q:?}; 2*loglog(m) = {loglog_budget}"
+            ),
         ),
         Check::new(
             "load-oblivious random needs at least as much queue as greedy",

@@ -30,8 +30,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut table = Table::new(
         "One-step max load of online strategies (m balls into m bins, mean over trials)",
         &[
-            "m", "one-choice", "pred-1c", "greedy-2", "pred-2c", "greedy-4",
-            "go-left-2", "loglog(m)",
+            "m",
+            "one-choice",
+            "pred-1c",
+            "greedy-2",
+            "pred-2c",
+            "greedy-4",
+            "go-left-2",
+            "loglog(m)",
         ],
     );
     // rows[i] = (m, [mean max load per strategy])
@@ -117,7 +123,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Check::new(
             "more choices help (greedy-4 <= greedy-2)",
             rows.iter().all(|&(_, s)| s[2] <= s[1] + 0.5),
-            format!("at m={}: greedy-4 {:.1} vs greedy-2 {:.1}", last.0, last.1[2], last.1[1]),
+            format!(
+                "at m={}: greedy-4 {:.1} vs greedy-2 {:.1}",
+                last.0, last.1[2], last.1[1]
+            ),
         ),
     ];
     ExperimentOutput {

@@ -15,8 +15,8 @@
 
 use crate::common::{self, PolicyKind};
 use crate::{Check, ExperimentOutput};
-use rlb_core::{DrainMode, SimConfig, Simulation, Workload};
 use rlb_core::policies::{DelayedCuckoo, Greedy};
+use rlb_core::{DrainMode, SimConfig, Simulation, Workload};
 use rlb_metrics::table::{fmt_f, fmt_rate, fmt_u};
 use rlb_metrics::Table;
 use rlb_workloads::planted::{collision_probability_estimate, planted_collision_placement};
@@ -88,7 +88,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let k_fixed = 8usize;
     let ms_small: Vec<usize> = vec![8, 12, 16, 24, 32, 48];
     let mut prob = Table::new(
-        format!("Monte-Carlo Pr[pairwise full replica collision among k = {k_fixed} chunks] (d = 2)"),
+        format!(
+            "Monte-Carlo Pr[pairwise full replica collision among k = {k_fixed} chunks] (d = 2)"
+        ),
         &["m", "estimate", "theory ~ C(k,2)*2/(m(m-1))"],
     );
     let mut estimates = Vec::new();
@@ -116,7 +118,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Check::new(
             "planted collision forces rejection rate >= ~1/m for every policy",
             forced_min >= 0.5 / m as f64,
-            format!("min measured rate {forced_min:.2e} vs 1/m = {:.2e}", 1.0 / m as f64),
+            format!(
+                "min measured rate {forced_min:.2e} vs 1/m = {:.2e}",
+                1.0 / m as f64
+            ),
         ),
         Check::new(
             "collision probability decays polynomially in m (log-log slope <= -1.5)",

@@ -64,16 +64,17 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 // The lemma fixes one sequence sigma and replays it
                 // verbatim every step.
                 let mut workload = RepeatedSet::first_k(m as u32, 5 + t as u64).fixed_order();
-                let mut obs = ArrivalCounter {
-                    counts: vec![0; m],
-                };
+                let mut obs = ArrivalCounter { counts: vec![0; m] };
                 let report = policy.run_observed(
                     config,
                     &mut workload as &mut dyn Workload,
                     steps,
                     &mut obs,
                 );
-                assert_eq!(report.rejected_total, 0, "queues were meant to be unbounded");
+                assert_eq!(
+                    report.rejected_total, 0,
+                    "queues were meant to be unbounded"
+                );
                 let max_avg = obs
                     .counts
                     .iter()
@@ -99,7 +100,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Check::new(
             "isolated routing overloads some server well past the stateful baseline",
             last.1[0] >= 2.0 * last.1[1],
-            format!("at m={}: isolated {:.2} vs stateful {:.2}", last.0, last.1[0], last.1[1]),
+            format!(
+                "at m={}: isolated {:.2} vs stateful {:.2}",
+                last.0, last.1[0], last.1[1]
+            ),
         ),
         Check::new(
             "isolated hot-server average tracks the loglog-scale floor",
@@ -112,7 +116,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Check::new(
             "stateful greedy keeps every server's average near 1",
             rows.iter().all(|&(_, p)| p[1] <= 2.0),
-            format!("worst stateful average {:.2}", rows.iter().map(|&(_, p)| p[1]).fold(0.0f64, f64::max)),
+            format!(
+                "worst stateful average {:.2}",
+                rows.iter().map(|&(_, p)| p[1]).fold(0.0f64, f64::max)
+            ),
         ),
     ];
     ExperimentOutput {

@@ -29,10 +29,8 @@ impl Observer for PArrivals {
     }
 
     fn on_step_end(&mut self, _step: u64, _view: &rlb_core::ClusterView<'_>) {
-        self.per_step.push(std::mem::replace(
-            &mut self.current,
-            vec![0; self.m],
-        ));
+        self.per_step
+            .push(std::mem::replace(&mut self.current, vec![0; self.m]));
     }
 }
 
@@ -63,7 +61,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
     // how fast Pr[sum >= c*l] decays as c approaches that cap.
     let mut table = Table::new(
         format!("P-queue interval arrival tail (m = {m}, g = {g}; lemma threshold g*l/4 = 4l)"),
-        &["l", "Pr[>=1.5l]", "Pr[>=2l]", "Pr[>=3l]", "Pr[>=4l]", "e^-l", "windows"],
+        &[
+            "l",
+            "Pr[>=1.5l]",
+            "Pr[>=2l]",
+            "Pr[>=3l]",
+            "Pr[>=4l]",
+            "e^-l",
+            "windows",
+        ],
     );
     let lens = [1usize, 2, 3, 4, 6, 8];
     let taus = [1.5f64, 2.0, 3.0, 4.0];
@@ -81,9 +87,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let mut exceed = vec![0u64; taus.len()];
         let mut windows = 0u64;
         for server in 0..m {
-            let mut window_sum: usize = (0..l)
-                .map(|s| obs.per_step[s][server] as usize)
-                .sum();
+            let mut window_sum: usize = (0..l).map(|s| obs.per_step[s][server] as usize).sum();
             for start in 0..=(t - l) {
                 windows += 1;
                 for (e, &th) in exceed.iter_mut().zip(thresholds.iter()) {

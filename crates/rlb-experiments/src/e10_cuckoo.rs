@@ -15,7 +15,9 @@
 
 use crate::{Check, ExperimentOutput};
 use rlb_cuckoo::offline::validate_assignment;
-use rlb_cuckoo::{Choices, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner};
+use rlb_cuckoo::{
+    Choices, OfflineAssignment, RandomWalkAllocator, RoutingTable, TripartiteAssigner,
+};
 use rlb_hash::{Pcg64, Rng};
 use rlb_kv::runner::{default_threads, run_trials};
 use rlb_metrics::table::{fmt_f, fmt_rate, fmt_u};
@@ -64,7 +66,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
     // Part 2: tripartite per-server load at full load k = m.
     let mut tri_table = Table::new(
         "Lemma 4.2 tripartite assignment of m requests to m servers",
-        &["m", "mean max/server", "worst max/server", "fail-rate", "mean stash"],
+        &[
+            "m",
+            "mean max/server",
+            "worst max/server",
+            "fail-rate",
+            "mean stash",
+        ],
     );
     let mut tri_rows = Vec::new();
     for &m in &ms {
@@ -77,8 +85,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let mean_max = outcomes.iter().map(|&(x, _, _)| x as f64).sum::<f64>() / trials as f64;
         let worst = outcomes.iter().map(|&(x, _, _)| x).max().unwrap_or(0);
         let fails = outcomes.iter().filter(|&&(_, f, _)| f).count() as f64 / trials as f64;
-        let mean_stash =
-            outcomes.iter().map(|&(_, _, s)| s as f64).sum::<f64>() / trials as f64;
+        let mean_stash = outcomes.iter().map(|&(_, _, s)| s as f64).sum::<f64>() / trials as f64;
         tri_table.row(vec![
             fmt_u(m as u64),
             fmt_f(mean_max, 2),
@@ -107,7 +114,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         &["allocator", "mean stash", "max stash"],
     );
     for (name, idx) in [("exact (peeling)", 0usize), ("random-walk", 1usize)] {
-        let vals: Vec<usize> = cross.iter().map(|t| if idx == 0 { t.0 } else { t.1 }).collect();
+        let vals: Vec<usize> = cross
+            .iter()
+            .map(|t| if idx == 0 { t.0 } else { t.1 })
+            .collect();
         cross_table.row(vec![
             name.to_string(),
             fmt_f(vals.iter().sum::<usize>() as f64 / vals.len() as f64, 3),

@@ -48,9 +48,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let checks = vec![
         Check::new(
             "two-choice gap is small and h-independent",
-            rows.iter().all(|&(_, g2, _)| g2 <= 8.0)
-                && (last.1 - first.1).abs() <= 3.0,
-            format!("gap at h={}: {:.1}; at h={}: {:.1}", first.0, first.1, last.0, last.1),
+            rows.iter().all(|&(_, g2, _)| g2 <= 8.0) && (last.1 - first.1).abs() <= 3.0,
+            format!(
+                "gap at h={}: {:.1}; at h={}: {:.1}",
+                first.0, first.1, last.0, last.1
+            ),
         ),
         Check::new(
             "one-choice gap grows with h",

@@ -33,7 +33,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
     ];
     let mut table = Table::new(
         format!("Rejection rate vs offered load rho*m (m = {m}, g = {g}, half-repeat workload)"),
-        &["rho", "greedy", "delayed-cuckoo", "round-robin", "uniform-random", "one-choice"],
+        &[
+            "rho",
+            "greedy",
+            "delayed-cuckoo",
+            "round-robin",
+            "uniform-random",
+            "one-choice",
+        ],
     );
     let mut grid: Vec<Vec<f64>> = Vec::new();
     for &rho in &rhos {
@@ -54,8 +61,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                     seed: 0xe12 + i as u64 * 191,
                     safety_check_every: None,
                 };
-                let workload =
-                    PartialRepeat::new(4 * m as u64, per_step, 0.5, 23 + i as u64);
+                let workload = PartialRepeat::new(4 * m as u64, per_step, 0.5, 23 + i as u64);
                 (config, Box::new(workload) as Box<dyn Workload + Send>)
             });
             row_rates.push(agg.rejection_rate);
@@ -67,8 +73,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     table.note("columns ordered by expected quality; rho = 1.0 is the model's full load");
 
     let at_full = grid.last().unwrap();
-    let (greedy, dcr, rr, rand, one) =
-        (at_full[0], at_full[1], at_full[2], at_full[3], at_full[4]);
+    let (greedy, dcr, rr, rand, one) = (at_full[0], at_full[1], at_full[2], at_full[3], at_full[4]);
     let checks = vec![
         Check::new(
             "at full load: load-aware policies (greedy, DCR) beat load-oblivious ones",
@@ -82,9 +87,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ),
         Check::new(
             "rejection rates are monotone non-decreasing in offered load",
-            (0..5).all(|p| {
-                grid.windows(2).all(|w| w[1][p] >= w[0][p] - 1e-3)
-            }),
+            (0..5).all(|p| grid.windows(2).all(|w| w[1][p] >= w[0][p] - 1e-3)),
             "checked per policy along the rho sweep".to_string(),
         ),
         Check::new(

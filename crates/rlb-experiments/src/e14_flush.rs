@@ -10,8 +10,8 @@
 
 use crate::common;
 use crate::{Check, ExperimentOutput};
-use rlb_core::{DrainMode, RunReport, SimConfig, Simulation, Workload};
 use rlb_core::policies::Greedy;
+use rlb_core::{DrainMode, RunReport, SimConfig, Simulation, Workload};
 use rlb_metrics::table::{fmt_f, fmt_rate};
 use rlb_metrics::Table;
 use rlb_workloads::RepeatedSet;
@@ -47,7 +47,13 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let intervals: Vec<Option<u64>> = vec![Some(20), Some(50), Some(100), None];
     let mut table = Table::new(
         format!("Greedy flush-interval ablation (m = {m}, {steps} steps, repeated set)"),
-        &["interval", "flush-rate", "routing-rate", "total-rate", "pred. flush-rate"],
+        &[
+            "interval",
+            "flush-rate",
+            "routing-rate",
+            "total-rate",
+            "pred. flush-rate",
+        ],
     );
     let mut rows = Vec::new();
     for &interval in &intervals {
@@ -61,7 +67,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             .map(|iv| report.mean_backlog / iv as f64)
             .unwrap_or(0.0);
         table.row(vec![
-            interval.map(|i| i.to_string()).unwrap_or_else(|| "never".into()),
+            interval
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "never".into()),
             fmt_rate(flush_rate),
             fmt_rate(routing_rate),
             fmt_rate(report.rejection_rate),
@@ -71,9 +79,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     table.note("flush cost ~ mean_backlog/interval: the m^c interval of Thm 3.1 makes it 1/poly m");
 
-    let flush_decreasing = rows
-        .windows(2)
-        .all(|w| w[1].1 <= w[0].1 + 1e-6);
+    let flush_decreasing = rows.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-6);
     let prediction_close = rows
         .iter()
         .filter(|r| r.0.is_some())

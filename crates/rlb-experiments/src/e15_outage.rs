@@ -95,7 +95,12 @@ pub fn run(quick: bool) -> ExperimentOutput {
             fmt_rate(f * window_frac),
             fmt_rate(f * f * window_frac),
         ]);
-        rows.push((f, one.rejection_rate, greedy.rejection_rate, dcr.rejection_rate));
+        rows.push((
+            f,
+            one.rejection_rate,
+            greedy.rejection_rate,
+            dcr.rejection_rate,
+        ));
     }
     table.note("expected loss: d=1 ~ f per affected step; d=2 ~ f^2 (both replicas down)");
 

@@ -37,7 +37,11 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let mut row = vec![fmt_f(alpha, 1)];
         let mut rates = Vec::new();
         for &policy in &policies {
-            let d = if policy == PolicyKind::OneChoice { 1 } else { 2 };
+            let d = if policy == PolicyKind::OneChoice {
+                1
+            } else {
+                2
+            };
             let agg = common::aggregate_trials(trials, policy, steps, move |i| {
                 let config = SimConfig {
                     num_servers: m,
@@ -50,8 +54,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                     seed: 0xe16 + i as u64 * 251,
                     safety_check_every: None,
                 };
-                let workload =
-                    ZipfDistinct::new(4 * m, m, alpha, 61 + i as u64);
+                let workload = ZipfDistinct::new(4 * m, m, alpha, 61 + i as u64);
                 (config, Box::new(workload) as Box<dyn Workload + Send>)
             });
             rates.push(agg.rejection_rate);
@@ -76,8 +79,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ),
         Check::new(
             "d = 1 degrades monotonically as skew grows (hot set = de facto repeated set)",
-            grid.windows(2).all(|w| w[1].1[2] >= w[0].1[2] - 1e-3)
-                && one_skewed > 3.0 * one_flat,
+            grid.windows(2).all(|w| w[1].1[2] >= w[0].1[2] - 1e-3) && one_skewed > 3.0 * one_flat,
             grid.iter()
                 .map(|(a, r)| format!("alpha={a}: {:.3}", r[2]))
                 .collect::<Vec<_>>()

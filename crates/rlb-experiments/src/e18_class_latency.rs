@@ -26,7 +26,15 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let phase_len = rlb_core::policies::DcrParams::for_servers(m).phase_length;
     let mut table = Table::new(
         format!("DCR latency by queue class (m = {m}, repeated set, phase = {phase_len})"),
-        &["g", "class", "completed", "share", "avg-lat", "p99-lat", "max-lat"],
+        &[
+            "g",
+            "class",
+            "completed",
+            "share",
+            "avg-lat",
+            "p99-lat",
+            "max-lat",
+        ],
     );
     // g = 16 is the theorem regime; g = 8 halves the per-class drain so
     // queues actually hold requests and the carry classes see traffic.
@@ -59,7 +67,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
             }
         }
     }
-    table.note("Q = first access (two-choice greedy); P = table-routed repeats; Q'/P' = phase carry");
+    table.note(
+        "Q = first access (two-choice greedy); P = table-routed repeats; Q'/P' = phase carry",
+    );
 
     let total: u64 = per_class.iter().map(|&(_, n, _, _, _)| n).sum();
     let p_share = per_class

@@ -26,8 +26,16 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let steps = if quick { 300 } else { 600 };
     let g = 2u32;
     let mut table = Table::new(
-        format!("Migration vs replication under the repeated set (m = {m}, g = {g}, {steps} steps)"),
-        &["system", "overall-rate", "steady-rate", "chunk-moves", "storage"],
+        format!(
+            "Migration vs replication under the repeated set (m = {m}, g = {g}, {steps} steps)"
+        ),
+        &[
+            "system",
+            "overall-rate",
+            "steady-rate",
+            "chunk-moves",
+            "storage",
+        ],
     );
     let mut rows: Vec<(String, f64, f64, u64)> = Vec::new();
 

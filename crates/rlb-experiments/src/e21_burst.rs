@@ -31,31 +31,38 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let cycles: Vec<(u64, u64)> = vec![(2, 8), (5, 5), (8, 2)];
     let mut table = Table::new(
         format!("Bursty traffic (m = {m}, g = {g}; burst = m req/step, trough = m/5)"),
-        &["burst:trough", "avg-load/srv", "greedy rej", "greedy p99", "dcr rej", "dcr p99"],
+        &[
+            "burst:trough",
+            "avg-load/srv",
+            "greedy rej",
+            "greedy p99",
+            "dcr rej",
+            "dcr p99",
+        ],
     );
     let mut rows = Vec::new();
     for &(burst, trough) in &cycles {
         let duty = burst as f64 / (burst + trough) as f64;
         let avg_load = (duty * 1.0 + (1.0 - duty) * 0.2) / g as f64;
-        let mut row = vec![
-            format!("{burst}:{trough}"),
-            fmt_f(avg_load, 2),
-        ];
+        let mut row = vec![format!("{burst}:{trough}"), fmt_f(avg_load, 2)];
         let mut cells = Vec::new();
         for policy in [PolicyKind::Greedy, PolicyKind::DelayedCuckoo] {
             let config = SimConfig {
                 num_servers: m,
                 num_chunks: 4 * m,
                 replication: 2,
-                process_rate: if policy == PolicyKind::DelayedCuckoo { 8 } else { g },
+                process_rate: if policy == PolicyKind::DelayedCuckoo {
+                    8
+                } else {
+                    g
+                },
                 queue_capacity: 40,
                 flush_interval: None,
                 drain_mode: DrainMode::EndOfStep,
                 seed: 0xe21 + burst,
                 safety_check_every: None,
             };
-            let mut workload =
-                OnOffBurst::new(m as u32, m, m / 5, burst, trough, 43 + burst);
+            let mut workload = OnOffBurst::new(m as u32, m, m / 5, burst, trough, 43 + burst);
             let report = policy.run(config, &mut workload as &mut dyn Workload, steps);
             report.check_conservation().unwrap();
             row.push(fmt_rate(report.rejection_rate));

@@ -72,9 +72,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     }
     table.note("the third knob of §2: rejecting early caps accepted-request latency");
 
-    let max_lat_capped = rows
-        .iter()
-        .all(|(t, r)| r.max_latency <= *t as u64 + 1);
+    let max_lat_capped = rows.iter().all(|(t, r)| r.max_latency <= *t as u64 + 1);
     let rejection_monotone = rows
         .windows(2)
         .all(|w| w[1].1.rejection_rate <= w[0].1.rejection_rate + 1e-4);

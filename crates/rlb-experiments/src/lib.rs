@@ -62,11 +62,11 @@ pub mod e21_burst;
 pub mod e22_shedding;
 pub mod theory;
 
+use rlb_json::{Json, ToJson};
 use rlb_metrics::Table;
-use serde::Serialize;
 
 /// A shape check: a qualitative prediction of the theory, evaluated.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Check {
     /// What the theory predicts.
     pub name: String,
@@ -88,7 +88,7 @@ impl Check {
 }
 
 /// The output of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOutput {
     /// Experiment id (`"E1"`, ...).
     pub id: &'static str,
@@ -125,6 +125,29 @@ impl ExperimentOutput {
     }
 }
 
+// `id`/`title` are `&'static str`, so only serialization (not parsing)
+// is meaningful for experiment outputs.
+impl ToJson for Check {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), self.name.to_json()),
+            ("passed".to_string(), self.passed.to_json()),
+            ("detail".to_string(), self.detail.to_json()),
+        ])
+    }
+}
+
+impl ToJson for ExperimentOutput {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".to_string(), self.id.to_json()),
+            ("title".to_string(), self.title.to_json()),
+            ("tables".to_string(), self.tables.to_json()),
+            ("checks".to_string(), self.checks.to_json()),
+        ])
+    }
+}
+
 /// One registry entry: `(id, title, runner)`.
 pub type ExperimentEntry = (&'static str, &'static str, fn(bool) -> ExperimentOutput);
 
@@ -132,27 +155,91 @@ pub type ExperimentEntry = (&'static str, &'static str, fn(bool) -> ExperimentOu
 pub fn registry() -> Vec<ExperimentEntry> {
     vec![
         ("e1", "Theorem 3.1: greedy guarantees", e01_greedy::run),
-        ("e2", "Definition 3.2 / Lemma 3.4: safe distribution", e02_safety::run),
+        (
+            "e2",
+            "Definition 3.2 / Lemma 3.4: safe distribution",
+            e02_safety::run,
+        ),
         ("e3", "Theorem 4.3: delayed cuckoo routing", e03_dcr::run),
-        ("e4", "Queue-size frontier: greedy vs DCR", e04_frontier::run),
+        (
+            "e4",
+            "Queue-size frontier: greedy vs DCR",
+            e04_frontier::run,
+        ),
         ("e5", "d = 1 impossibility vs d >= 2", e05_replication::run),
-        ("e6", "Theorem 5.1: one-step max load lower bound", e06_one_step::run),
-        ("e7", "Theorem 5.2: rejection-rate lower bound", e07_collision::run),
-        ("e8", "Lemma 5.3 / Corollary 5.4: time-step isolation", e08_isolated::run),
+        (
+            "e6",
+            "Theorem 5.1: one-step max load lower bound",
+            e06_one_step::run,
+        ),
+        (
+            "e7",
+            "Theorem 5.2: rejection-rate lower bound",
+            e07_collision::run,
+        ),
+        (
+            "e8",
+            "Lemma 5.3 / Corollary 5.4: time-step isolation",
+            e08_isolated::run,
+        ),
         ("e9", "Lemma 4.8: P-queue arrival tail", e09_ptail::run),
-        ("e10", "Theorem 4.1 / Lemma 4.2: cuckoo substrate", e10_cuckoo::run),
-        ("e11", "Heavily-loaded gap (Lemma 4.4 ingredient)", e11_heavy::run),
-        ("e12", "Load/throughput frontier across policies", e12_load::run),
-        ("e13", "Ablation: DCR g-constant at small queues", e13_smallq::run),
+        (
+            "e10",
+            "Theorem 4.1 / Lemma 4.2: cuckoo substrate",
+            e10_cuckoo::run,
+        ),
+        (
+            "e11",
+            "Heavily-loaded gap (Lemma 4.4 ingredient)",
+            e11_heavy::run,
+        ),
+        (
+            "e12",
+            "Load/throughput frontier across policies",
+            e12_load::run,
+        ),
+        (
+            "e13",
+            "Ablation: DCR g-constant at small queues",
+            e13_smallq::run,
+        ),
         ("e14", "Ablation: greedy flush interval", e14_flush::run),
-        ("e15", "Extension: outage resilience through replication", e15_outage::run),
-        ("e16", "Extension: robustness to popularity skew", e16_skew::run),
-        ("e17", "Extension: the value of within-step information", e17_batched::run),
-        ("e18", "DCR latency anatomy by queue class (Prop. 4.9)", e18_class_latency::run),
-        ("e19", "Related work: migration (Wang et al.) vs replication", e19_migration::run),
+        (
+            "e15",
+            "Extension: outage resilience through replication",
+            e15_outage::run,
+        ),
+        (
+            "e16",
+            "Extension: robustness to popularity skew",
+            e16_skew::run,
+        ),
+        (
+            "e17",
+            "Extension: the value of within-step information",
+            e17_batched::run,
+        ),
+        (
+            "e18",
+            "DCR latency anatomy by queue class (Prop. 4.9)",
+            e18_class_latency::run,
+        ),
+        (
+            "e19",
+            "Related work: migration (Wang et al.) vs replication",
+            e19_migration::run,
+        ),
         ("e20", "Ablation: DCR phase length", e20_phase::run),
-        ("e21", "Extension: queues as burst absorbers", e21_burst::run),
-        ("e22", "The third knob: voluntary rejection (latency flooring)", e22_shedding::run),
+        (
+            "e21",
+            "Extension: queues as burst absorbers",
+            e21_burst::run,
+        ),
+        (
+            "e22",
+            "The third knob: voluntary rejection (latency flooring)",
+            e22_shedding::run,
+        ),
     ]
 }
 
@@ -174,10 +261,7 @@ mod tests {
             id: "E0",
             title: "demo",
             tables: vec![],
-            checks: vec![
-                Check::new("a", true, "ok"),
-                Check::new("b", false, "bad"),
-            ],
+            checks: vec![Check::new("a", true, "ok"), Check::new("b", false, "bad")],
         };
         assert!(!out.all_passed());
         let s = out.render();

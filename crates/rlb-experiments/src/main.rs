@@ -50,7 +50,10 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "no matching experiments; known ids: {}",
-            reg.iter().map(|&(id, _, _)| id).collect::<Vec<_>>().join(", ")
+            reg.iter()
+                .map(|&(id, _, _)| id)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(2);
     }
@@ -58,7 +61,10 @@ fn main() {
     let mut failures = 0usize;
     let mut collected = Vec::new();
     for (id, title, runner) in selected {
-        eprintln!("running {id}: {title}{}", if quick { " (quick)" } else { "" });
+        eprintln!(
+            "running {id}: {title}{}",
+            if quick { " (quick)" } else { "" }
+        );
         let started = std::time::Instant::now();
         let out = runner(quick);
         if !json {
@@ -68,8 +74,7 @@ fn main() {
             let txt = format!("{dir}/{id}.txt");
             std::fs::write(&txt, out.render()).expect("write .txt output");
             let js = format!("{dir}/{id}.json");
-            std::fs::write(&js, serde_json::to_string_pretty(&out).expect("serialize"))
-                .expect("write .json output");
+            std::fs::write(&js, rlb_json::to_string_pretty(&out)).expect("write .json output");
         }
         eprintln!("{id} finished in {:.1?}\n", started.elapsed());
         if !out.all_passed() {
@@ -78,10 +83,7 @@ fn main() {
         collected.push(out);
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&collected).expect("serialize results")
-        );
+        println!("{}", rlb_json::to_string_pretty(&collected));
     }
     if failures > 0 {
         eprintln!("{failures} experiment(s) had failing shape checks");

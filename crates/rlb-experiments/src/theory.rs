@@ -94,7 +94,7 @@ mod tests {
     fn one_choice_prediction_grows_slowly() {
         let small = predicted_one_choice_max(256);
         let large = predicted_one_choice_max(1 << 20);
-        assert!(small >= 4 && small <= 8, "m=256: {small}");
+        assert!((4..=8).contains(&small), "m=256: {small}");
         assert!(large > small);
         assert!(large <= 12, "m=2^20: {large}");
     }

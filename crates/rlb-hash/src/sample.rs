@@ -201,7 +201,12 @@ mod tests {
             counts[z.sample(&mut rng) as usize] += 1;
         }
         // Head should dominate tail; rank 0 >> rank 50.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // All mass within domain accounted for.
         assert_eq!(counts.iter().map(|&c| c as usize).sum::<usize>(), 200_000);
     }

@@ -102,10 +102,7 @@ mod tests {
         }
         for (i, &o) in ones.iter().enumerate() {
             let frac = o as f64 / n as f64;
-            assert!(
-                (0.45..0.55).contains(&frac),
-                "bit {i} biased: {frac}"
-            );
+            assert!((0.45..0.55).contains(&frac), "bit {i} biased: {frac}");
         }
     }
 }

@@ -96,7 +96,10 @@ fn hash_to_range_has_no_obvious_linear_structure() {
     let ones_frac = ones as f64 / n as f64;
     let agree_frac = agree as f64 / n as f64;
     assert!((0.48..0.52).contains(&ones_frac), "ones {ones_frac}");
-    assert!((0.48..0.52).contains(&agree_frac), "parity agreement {agree_frac}");
+    assert!(
+        (0.48..0.52).contains(&agree_frac),
+        "parity agreement {agree_frac}"
+    );
 }
 
 #[test]

@@ -1,0 +1,863 @@
+//! Dependency-free JSON for the reappearance-lb workspace.
+//!
+//! The workspace runs in hermetic environments with no registry access,
+//! so serialization is provided in-tree: a [`Json`] value type, a strict
+//! recursive-descent parser, compact and pretty writers, the
+//! [`ToJson`]/[`FromJson`] conversion traits, and the [`json_struct!`] /
+//! [`json_unit_enum!`] macros that stand in for derive attributes.
+//!
+//! Conventions (kept compatible with the previous serde-based output):
+//!
+//! * structs serialize as objects with fields in declaration order;
+//! * unit enums serialize as their variant name string;
+//! * integers are written exactly (up to `u128`/`i128`); floats use the
+//!   shortest round-trippable decimal form;
+//! * non-finite floats, which JSON cannot represent, are written as the
+//!   strings `"Infinity"`, `"-Infinity"`, and `"NaN"` and accepted back.
+//!
+//! ```
+//! use rlb_json::{from_str, to_string, FromJson, Json, ToJson};
+//!
+//! struct P {
+//!     x: u32,
+//!     label: String,
+//! }
+//! rlb_json::json_struct!(P { x, label });
+//!
+//! let p = P { x: 7, label: "hi".into() };
+//! let s = to_string(&p);
+//! assert_eq!(s, r#"{"x":7,"label":"hi"}"#);
+//! let back: P = from_str(&s).unwrap();
+//! assert_eq!(back.x, 7);
+//! let v = Json::parse(&s).unwrap();
+//! assert_eq!(v.get("x").and_then(Json::as_u64), Some(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+///
+/// Objects preserve key order (serialization is deterministic and
+/// mirrors struct declaration order). Integers and floats are kept in
+/// distinct variants so `u64`/`u128` counters round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    UInt(u128),
+    /// A negative integer literal.
+    Int(i128),
+    /// A number written with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => u64::try_from(u).ok(),
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert; the non-finite string
+    /// encodings convert back to their float values).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            Json::Str(s) => match s.as_str() {
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                "NaN" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the entire input must be consumed).
+    ///
+    /// # Errors
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => write_f64(*f, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `f` in the shortest decimal form that parses back exactly.
+/// Finite values always include enough syntax (`.0` where needed) to be
+/// read back as floats or integers interchangeably; non-finite values
+/// use the string encodings documented at the crate root.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let _ = write!(out, "{f}");
+        // `{}` prints integral floats without a fraction ("1"); that is
+        // valid JSON and FromJson for f64 accepts integers, so leave it.
+    } else if f.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if f > 0.0 {
+        out.push_str("\"Infinity\"");
+    } else {
+        out.push_str("\"-Infinity\"");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 near byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("dangling escape at byte {}", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require the paired low
+                                // surrogate escape.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("unpaired surrogate".into());
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(cp).ok_or("bad \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err(format!("unterminated string at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(chunk).map_err(|_| "bad \\u escape")?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(mag) = rest.parse::<u128>() {
+                    if let Ok(i) = i128::try_from(mag) {
+                        return Ok(Json::Int(-i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u128>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+/// Serializes a value to JSON.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserializes a value from JSON.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the first mismatch.
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+/// Serializes `value` compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.to_json().write_compact(&mut out);
+    out
+}
+
+/// Serializes `value` with indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.to_json().write_pretty(&mut out, 0);
+    out
+}
+
+/// Parses `s` and converts into `T`.
+///
+/// # Errors
+/// Returns a parse or conversion error message.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, String> {
+    T::from_json(&Json::parse(s)?)
+}
+
+/// Extracts and converts object field `name` (helper for
+/// [`json_struct!`]-generated code).
+///
+/// # Errors
+/// Errors if `v` is not an object, the field is missing, or conversion
+/// fails.
+pub fn field<T: FromJson>(v: &Json, name: &str) -> Result<T, String> {
+    let inner = v
+        .get(name)
+        .ok_or_else(|| format!("missing field {name:?}"))?;
+    T::from_json(inner).map_err(|e| format!("field {name:?}: {e}"))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u128)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                match *v {
+                    Json::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| format!("{u} out of range for {}", stringify!($t))),
+                    Json::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| format!("{i} out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected integer, got {v:?}")),
+                }
+            }
+        }
+    )+};
+}
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, String> {
+                match *v {
+                    Json::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| format!("{u} out of range for {}", stringify!($t))),
+                    Json::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| format!("{i} out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected integer, got {v:?}")),
+                }
+            }
+        }
+    )+};
+}
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_f64()
+            .ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {v:?}")),
+        }
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(T::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_arr()
+            .ok_or_else(|| format!("expected array, got {v:?}"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(format!("expected 2-element array, got {v:?}")),
+        }
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a struct with named
+/// fields, mapping each field to an identically named object key in
+/// declaration order. Invoke in the module that defines the type (the
+/// expansion accesses the fields directly, so privacy is respected).
+#[macro_export]
+macro_rules! json_struct {
+    ($t:ident { $($f:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $t {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($f).to_string(), $crate::ToJson::to_json(&self.$f)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $t {
+            fn from_json(v: &$crate::Json) -> Result<Self, String> {
+                Ok(Self {
+                    $($f: $crate::field(v, stringify!($f))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`] and [`FromJson`] for a unit-variant enum,
+/// serializing each variant as its name string (serde's convention for
+/// unit enums).
+#[macro_export]
+macro_rules! json_unit_enum {
+    ($t:ident { $($v:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $t {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $($t::$v => $crate::Json::Str(stringify!($v).to_string()),)+
+                }
+            }
+        }
+        impl $crate::FromJson for $t {
+            fn from_json(v: &$crate::Json) -> Result<Self, String> {
+                match v {
+                    $($crate::Json::Str(s) if s == stringify!($v) => Ok($t::$v),)+
+                    other => Err(format!(
+                        "expected one of {:?}, got {other:?}",
+                        [$(stringify!($v)),+]
+                    )),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u64,
+        b: Option<f64>,
+        c: Vec<String>,
+        big: u128,
+    }
+    json_struct!(Demo { a, b, c, big });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    json_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn struct_round_trip_preserves_order_and_values() {
+        let d = Demo {
+            a: u64::MAX,
+            b: Some(0.25),
+            c: vec!["x".into(), "y\n\"z\"".into()],
+            big: u128::MAX,
+        };
+        let s = to_string(&d);
+        assert!(s.starts_with("{\"a\":18446744073709551615,"), "{s}");
+        let back: Demo = from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let d = Demo {
+            a: 0,
+            b: None,
+            c: vec![],
+            big: 0,
+        };
+        let s = to_string(&d);
+        assert!(s.contains("\"b\":null"), "{s}");
+        let back: Demo = from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn unit_enum_round_trip() {
+        assert_eq!(to_string(&Mode::Fast), "\"Fast\"");
+        assert_eq!(from_str::<Mode>("\"Slow\"").unwrap(), Mode::Slow);
+        assert!(from_str::<Mode>("\"Nope\"").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_including_non_finite() {
+        for f in [
+            0.0,
+            -1.5,
+            1e300,
+            1e-300,
+            0.1,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let s = to_string(&f);
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, f, "{s}");
+        }
+        let s = to_string(&f64::NAN);
+        assert!(from_str::<f64>(&s).unwrap().is_nan());
+    }
+
+    #[test]
+    fn integral_floats_parse_back_as_floats() {
+        let x = 3.0f64;
+        let s = to_string(&x);
+        assert_eq!(s, "3");
+        assert_eq!(from_str::<f64>(&s).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn parser_handles_nesting_whitespace_and_escapes() {
+        let v =
+            Json::parse(" { \"k\" : [ 1 , -2 , 3.5 , \"a\\u0041\\n\" , true , null ] } ").unwrap();
+        let arr = v.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::UInt(1));
+        assert_eq!(arr[1], Json::Int(-2));
+        assert_eq!(arr[2], Json::Float(3.5));
+        assert_eq!(arr[3], Json::Str("aA\n".into()));
+        assert_eq!(arr[4], Json::Bool(true));
+        assert_eq!(arr[5], Json::Null);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"open",
+            "nul",
+            "01x",
+            "{\"a\" 1}",
+            "[1] tail",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        assert!(Json::parse("\"\\ud83d\"").is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let d = Demo {
+            a: 5,
+            b: Some(1.5),
+            c: vec!["p".into()],
+            big: 7,
+        };
+        let s = to_string_pretty(&d);
+        assert!(s.contains('\n'));
+        let back: Demo = from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn tuple_pairs_round_trip() {
+        let pts: Vec<(u64, f64)> = vec![(0, 1.5), (9, -2.0)];
+        let s = to_string(&pts);
+        assert_eq!(s, "[[0,1.5],[9,-2]]");
+        let back: Vec<(u64, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, pts);
+    }
+}

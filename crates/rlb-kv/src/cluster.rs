@@ -23,6 +23,39 @@ pub struct StepSummary {
     pub rejected: u64,
 }
 
+/// Cumulative per-tenant accounting (see [`KvCluster::get_for`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Key-level `get`s issued by this tenant.
+    pub key_requests: u64,
+    /// Key requests that coalesced into an already-pending chunk.
+    pub coalesced: u64,
+    /// Chunk requests owned by this tenant that the cluster accepted.
+    pub accepted: u64,
+    /// Chunk requests owned by this tenant that the cluster rejected.
+    pub rejected: u64,
+}
+
+/// Observer that attributes per-chunk routing outcomes back to the
+/// tenant whose key created the chunk request this step.
+struct TenantAttribution<'a> {
+    owner_of_chunk: &'a std::collections::HashMap<u32, u16>,
+    stats: &'a mut Vec<TenantStats>,
+}
+
+impl Observer for TenantAttribution<'_> {
+    fn on_route(&mut self, _step: u64, chunk: u32, decision: Decision) {
+        let Some(&tenant) = self.owner_of_chunk.get(&chunk) else {
+            return;
+        };
+        let entry = &mut self.stats[tenant as usize];
+        match decision {
+            Decision::Route { .. } => entry.accepted += 1,
+            Decision::Reject(_) => entry.rejected += 1,
+        }
+    }
+}
+
 /// One-shot workload feeding a prepared request set into the engine.
 struct OneShot<'a> {
     chunks: &'a [u32],
@@ -56,6 +89,10 @@ pub struct KvCluster<P: Policy> {
     pending: Vec<u32>,
     pending_set: std::collections::HashSet<u32>,
     coalesced_this_step: u64,
+    /// Which tenant's key created each pending chunk request this step.
+    step_owner: std::collections::HashMap<u32, u16>,
+    /// Cumulative per-tenant accounting, indexed by tenant id.
+    tenant_stats: Vec<TenantStats>,
 }
 
 impl<P: Policy> KvCluster<P> {
@@ -275,6 +312,10 @@ mod tests {
         }
         let report = kv.finish();
         report.check_conservation().unwrap();
-        assert!(report.rejection_rate < 0.05, "rate {}", report.rejection_rate);
+        assert!(
+            report.rejection_rate < 0.05,
+            "rate {}",
+            report.rejection_rate
+        );
     }
 }

@@ -117,7 +117,9 @@ mod tests {
     fn different_seeds_shuffle_the_mapping() {
         let a = ChunkDirectory::new(1000, 1, 4);
         let b = ChunkDirectory::new(1000, 2, 4);
-        let same = (0..1000u64).filter(|&k| a.chunk_of(k) == b.chunk_of(k)).count();
+        let same = (0..1000u64)
+            .filter(|&k| a.chunk_of(k) == b.chunk_of(k))
+            .count();
         assert!(same < 30, "mappings too similar: {same}");
     }
 

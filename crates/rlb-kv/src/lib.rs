@@ -9,7 +9,7 @@
 //!   explicit-override table backed by our own cuckoo hash table).
 //! * [`cluster`] — [`cluster::KvCluster`]: issue `get`s, advance time,
 //!   read the paper's metrics off the live system.
-//! * [`runner`] — a crossbeam-based parallel runner executing many
+//! * [`runner`] — a scoped-thread parallel runner executing many
 //!   independent simulation trials (seed sweeps, parameter sweeps)
 //!   across threads; this is where the experiment harness gets its
 //!   statistical power.

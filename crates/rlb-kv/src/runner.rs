@@ -3,12 +3,18 @@
 //! Experiments estimate probabilities (rejection rates of `1/poly m`,
 //! safety-violation frequencies) by running many independent seeded
 //! trials. Trials share nothing, so the natural parallelism is *across*
-//! trials: a crossbeam scope with a work-stealing index. Per the model,
-//! a single simulation is inherently sequential (requests are routed
-//! online, one at a time), so no intra-trial parallelism is attempted.
+//! trials: a scoped thread pool pulling from a shared work index. Per
+//! the model, a single simulation is inherently sequential (requests
+//! are routed online, one at a time), so no intra-trial parallelism is
+//! attempted.
+//!
+//! Workers never contend on the result storage: each finished trial is
+//! sent over a channel tagged with its index, and the caller's thread
+//! places it into its slot. The only shared mutable state on the hot
+//! path is one atomic work counter.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// The result of one trial, tagged with its index.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,11 +29,11 @@ pub struct TrialOutcome<T> {
 /// worker threads, returning results ordered by trial index.
 ///
 /// `f` receives the trial index and should derive all randomness from it
-/// (e.g. `seed = base_seed + index as u64`).
+/// (e.g. `seed = base_seed + index as u64`). `trials == 0` is fine
+/// (returns empty).
 ///
 /// # Panics
-/// Panics if `trials == 0` is fine (returns empty); panics in `f`
-/// propagate.
+/// Panics in `f` propagate to the caller.
 pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -41,23 +47,33 @@ where
         return (0..trials).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..trials).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<TrialOutcome<T>>();
+    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= trials {
-                    break;
+            let tx = tx.clone();
+            scope.spawn(|| {
+                // Move this worker's sender clone into the closure so the
+                // channel closes once all workers finish.
+                let tx = tx;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= trials {
+                        break;
+                    }
+                    let value = f(index);
+                    if tx.send(TrialOutcome { index, value }).is_err() {
+                        break;
+                    }
                 }
-                let value = f(i);
-                results.lock()[i] = Some(value);
             });
         }
-    })
-    .expect("trial worker panicked");
-    results
-        .into_inner()
+        drop(tx);
+        for outcome in rx {
+            slots[outcome.index] = Some(outcome.value);
+        }
+    });
+    slots
         .into_iter()
         .map(|v| v.expect("every trial index claimed exactly once"))
         .collect()
@@ -96,6 +112,26 @@ mod tests {
     fn zero_trials_is_empty() {
         let out: Vec<u32> = run_trials(0, 4, |_| 1);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ordering_and_determinism_under_contention() {
+        // Many tiny trials with deliberately skewed runtimes: late
+        // indices finish first, so channel arrival order differs from
+        // index order. The output must still be index-ordered and
+        // identical across repeat runs and thread counts.
+        let run = |threads: usize| {
+            run_trials(257, threads, |i| {
+                if i % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                i as u64 * 1_000_003
+            })
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn mixed_tenants_with_pinned_keys() {
     kv.idle(8);
     let report = kv.finish();
     report.check_conservation().unwrap();
-    assert!(report.rejection_rate < 0.02, "rate {}", report.rejection_rate);
+    assert!(
+        report.rejection_rate < 0.02,
+        "rate {}",
+        report.rejection_rate
+    );
 }
 
 #[test]

@@ -6,10 +6,8 @@
 //! shows the system stays safe at every sub-step with high probability;
 //! experiment E2 verifies this empirically via [`BacklogSnapshot::safety`].
 
-use serde::{Deserialize, Serialize};
-
 /// A snapshot of the per-server backlog distribution at an instant.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BacklogSnapshot {
     /// `tail[j]` = number of servers with backlog **strictly greater**
     /// than `j`, for `j = 0..tail.len()`.
@@ -97,7 +95,11 @@ impl BacklogSnapshot {
         for j in 1..=j_max {
             let above = self.servers_above(j) as f64;
             let bound = m / 2f64.powi(j as i32);
-            let ratio = if bound > 0.0 { above / bound } else { f64::INFINITY };
+            let ratio = if bound > 0.0 {
+                above / bound
+            } else {
+                f64::INFINITY
+            };
             if ratio > worst_ratio {
                 worst_ratio = ratio;
             }
@@ -114,7 +116,7 @@ impl BacklogSnapshot {
 }
 
 /// Outcome of a safe-distribution check (Definition 3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafeDistributionReport {
     /// Whether the snapshot satisfied the (slack-scaled) definition.
     pub safe: bool,
@@ -124,6 +126,18 @@ pub struct SafeDistributionReport {
     /// pass. `≤ 1.0` means safe per the paper's exact definition.
     pub worst_ratio: f64,
 }
+
+rlb_json::json_struct!(BacklogSnapshot {
+    tail,
+    num_servers,
+    total_backlog,
+    max_backlog
+});
+rlb_json::json_struct!(SafeDistributionReport {
+    safe,
+    first_violation_level,
+    worst_ratio
+});
 
 #[cfg(test)]
 mod tests {

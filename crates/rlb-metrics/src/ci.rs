@@ -7,10 +7,8 @@
 //! (where it yields the familiar "rule of three" upper bound ≈ `3/n` at
 //! 95%), and is what the experiment tables use to report uncertainty.
 
-use serde::{Deserialize, Serialize};
-
 /// A two-sided confidence interval for a proportion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProportionCi {
     /// Point estimate `k / n`.
     pub estimate: f64,
@@ -67,6 +65,12 @@ impl ProportionCi {
         self.high - self.low
     }
 }
+
+rlb_json::json_struct!(ProportionCi {
+    estimate,
+    low,
+    high
+});
 
 #[cfg(test)]
 mod tests {

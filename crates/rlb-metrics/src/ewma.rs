@@ -3,11 +3,9 @@
 //! Used for live dashboards over long simulations (e.g. the KV example's
 //! rolling rejection rate) where a full time series is overkill.
 
-use serde::{Deserialize, Serialize};
-
 /// An exponentially weighted moving average with smoothing factor
 /// `alpha ∈ (0, 1]` (higher = more reactive).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -52,6 +50,8 @@ impl Ewma {
         self.value = None;
     }
 }
+
+rlb_json::json_struct!(Ewma { alpha, value });
 
 #[cfg(test)]
 mod tests {

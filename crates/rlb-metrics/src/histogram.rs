@@ -6,8 +6,6 @@
 //! vector grows geometrically on demand; recording is O(1) amortized and
 //! allocation-free once the maximum observed value has been seen.
 
-use serde::{Deserialize, Serialize};
-
 /// An exact histogram over `u64` sample values.
 ///
 /// ```
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.max(), Some(5));
 /// assert_eq!(h.count_above(1), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -160,6 +158,13 @@ impl Histogram {
         self.max = 0;
     }
 }
+
+rlb_json::json_struct!(Histogram {
+    counts,
+    total,
+    sum,
+    max
+});
 
 #[cfg(test)]
 mod tests {

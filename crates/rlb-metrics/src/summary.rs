@@ -1,10 +1,8 @@
 //! Streaming summary statistics (Welford's online algorithm).
 
-use serde::{Deserialize, Serialize};
-
 /// A streaming accumulator for mean / variance / min / max of `f64`
 /// samples, numerically stable under long streams.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Accumulator {
     count: u64,
     mean: f64,
@@ -88,7 +86,7 @@ impl Accumulator {
 }
 
 /// Point-in-time summary of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SummaryStats {
     /// Number of samples.
     pub count: u64,
@@ -123,6 +121,21 @@ impl SummaryStats {
         }
     }
 }
+
+rlb_json::json_struct!(Accumulator {
+    count,
+    mean,
+    m2,
+    min,
+    max
+});
+rlb_json::json_struct!(SummaryStats {
+    count,
+    mean,
+    std_dev,
+    min,
+    max
+});
 
 #[cfg(test)]
 mod tests {

@@ -5,11 +5,10 @@
 //! left-aligned labels, a rule under the header, and helpers for scientific
 //! notation (rejection rates span many orders of magnitude).
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A simple text table builder.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
@@ -120,6 +119,13 @@ pub fn fmt_f(v: f64, prec: usize) -> String {
 pub fn fmt_u(v: u64) -> String {
     v.to_string()
 }
+
+rlb_json::json_struct!(Table {
+    title,
+    headers,
+    rows,
+    notes
+});
 
 #[cfg(test)]
 mod tests {

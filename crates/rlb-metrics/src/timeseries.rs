@@ -6,10 +6,8 @@
 //! an evenly spaced subsample of the full stream, which is exactly what a
 //! convergence plot needs.
 
-use serde::{Deserialize, Serialize};
-
 /// A self-downsampling time series of `(step, value)` points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     points: Vec<(u64, f64)>,
     capacity: usize,
@@ -68,6 +66,13 @@ impl TimeSeries {
         self.points.last().map(|&(_, v)| v)
     }
 }
+
+rlb_json::json_struct!(TimeSeries {
+    points,
+    capacity,
+    stride,
+    next_index
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,18 +1,28 @@
-//! Property tests for the metrics crate.
+//! Property tests for the metrics crate, driven by a deterministic
+//! sweep of PCG-generated cases (no external framework; each failure is
+//! reproducible from the printed case number).
 
-use proptest::prelude::*;
+use rlb_hash::{Pcg64, Rng};
 use rlb_metrics::{wilson95, Accumulator, Ewma, Histogram, SummaryStats, TimeSeries};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    /// Merging split accumulators equals accumulating the whole stream.
-    #[test]
-    fn accumulator_merge_is_stream_equivalent(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
-        split in 0usize..200,
-    ) {
-        let split = split.min(xs.len());
+fn case_rng(property: u64, case: u64) -> Pcg64 {
+    Pcg64::new(0x6d657472 ^ (property << 32) ^ case, property)
+}
+
+fn gen_f64_in(rng: &mut Pcg64, lo: f64, hi: f64) -> f64 {
+    lo + rng.gen_f64() * (hi - lo)
+}
+
+/// Merging split accumulators equals accumulating the whole stream.
+#[test]
+fn accumulator_merge_is_stream_equivalent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let len = 1 + rng.gen_index(199);
+        let xs: Vec<f64> = (0..len).map(|_| gen_f64_in(&mut rng, -1e6, 1e6)).collect();
+        let split = rng.gen_index(200).min(xs.len());
         let mut whole = Accumulator::new();
         for &x in &xs {
             whole.add(x);
@@ -28,17 +38,29 @@ proptest! {
         left.merge(&right);
         let a = whole.finish().unwrap();
         let b = left.finish().unwrap();
-        prop_assert_eq!(a.count, b.count);
-        prop_assert!((a.mean - b.mean).abs() < 1e-6 * a.mean.abs().max(1.0));
-        prop_assert!((a.std_dev - b.std_dev).abs() < 1e-5 * a.std_dev.abs().max(1.0));
+        assert_eq!(a.count, b.count, "case {case}");
+        assert!(
+            (a.mean - b.mean).abs() < 1e-6 * a.mean.abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (a.std_dev - b.std_dev).abs() < 1e-5 * a.std_dev.abs().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Histogram merge equals recording the concatenation.
-    #[test]
-    fn histogram_merge_is_concat(
-        xs in proptest::collection::vec(0u64..500, 0..100),
-        ys in proptest::collection::vec(0u64..500, 0..100),
-    ) {
+/// Histogram merge equals recording the concatenation.
+#[test]
+fn histogram_merge_is_concat() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let xs: Vec<u64> = (0..rng.gen_index(100))
+            .map(|_| rng.gen_range(500))
+            .collect();
+        let ys: Vec<u64> = (0..rng.gen_index(100))
+            .map(|_| rng.gen_range(500))
+            .collect();
         let mut a = Histogram::new();
         for &x in &xs {
             a.record(x);
@@ -54,45 +76,59 @@ proptest! {
         }
         // Structural equality may differ (growth leaves different spare
         // capacity); compare the observable contents.
-        prop_assert_eq!(a.count(), both.count());
-        prop_assert_eq!(a.mean(), both.mean());
-        prop_assert_eq!(a.max(), both.max());
-        prop_assert_eq!(
+        assert_eq!(a.count(), both.count(), "case {case}");
+        assert_eq!(a.mean(), both.mean(), "case {case}");
+        assert_eq!(a.max(), both.max(), "case {case}");
+        assert_eq!(
             a.iter().collect::<Vec<_>>(),
-            both.iter().collect::<Vec<_>>()
+            both.iter().collect::<Vec<_>>(),
+            "case {case}"
         );
     }
+}
 
-    /// Summary statistics bound the sample range.
-    #[test]
-    fn summary_bounds_hold(xs in proptest::collection::vec(-1e4f64..1e4, 1..100)) {
+/// Summary statistics bound the sample range.
+#[test]
+fn summary_bounds_hold() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let len = 1 + rng.gen_index(99);
+        let xs: Vec<f64> = (0..len).map(|_| gen_f64_in(&mut rng, -1e4, 1e4)).collect();
         let s = SummaryStats::of(&xs).unwrap();
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min, min);
-        prop_assert_eq!(s.max, max);
-        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
-        prop_assert!(s.std_dev >= 0.0);
+        assert_eq!(s.min, min, "case {case}");
+        assert_eq!(s.max, max, "case {case}");
+        assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9, "case {case}");
+        assert!(s.std_dev >= 0.0, "case {case}");
     }
+}
 
-    /// Wilson intervals always bracket the point estimate and stay in
-    /// [0, 1].
-    #[test]
-    fn wilson_is_well_formed(n in 1u64..100_000, frac in 0.0f64..1.0) {
+/// Wilson intervals always bracket the point estimate and stay in
+/// [0, 1].
+#[test]
+fn wilson_is_well_formed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n = 1 + rng.gen_range(99_999);
+        let frac = rng.gen_f64();
         let k = ((n as f64) * frac) as u64;
         let ci = wilson95(k, n);
-        prop_assert!(ci.low >= 0.0 && ci.high <= 1.0);
-        prop_assert!(ci.low <= ci.estimate + 1e-12);
-        prop_assert!(ci.high >= ci.estimate - 1e-12);
-        prop_assert!(ci.contains(ci.estimate));
+        assert!(ci.low >= 0.0 && ci.high <= 1.0, "case {case}");
+        assert!(ci.low <= ci.estimate + 1e-12, "case {case}");
+        assert!(ci.high >= ci.estimate - 1e-12, "case {case}");
+        assert!(ci.contains(ci.estimate), "case {case}");
     }
+}
 
-    /// EWMA output is always within the range of inputs seen so far.
-    #[test]
-    fn ewma_stays_in_input_hull(
-        alpha in 0.01f64..1.0,
-        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-    ) {
+/// EWMA output is always within the range of inputs seen so far.
+#[test]
+fn ewma_stays_in_input_hull() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let alpha = gen_f64_in(&mut rng, 0.01, 1.0);
+        let len = 1 + rng.gen_index(99);
+        let xs: Vec<f64> = (0..len).map(|_| gen_f64_in(&mut rng, -1e3, 1e3)).collect();
         let mut e = Ewma::new(alpha);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -100,23 +136,31 @@ proptest! {
             lo = lo.min(x);
             hi = hi.max(x);
             let v = e.update(x);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={v} outside [{lo}, {hi}]");
+            assert!(
+                v >= lo - 1e-9 && v <= hi + 1e-9,
+                "case {case}: v={v} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// The time series keeps an evenly strided subsample with correct
-    /// values.
-    #[test]
-    fn timeseries_subsample_is_faithful(n in 1usize..5000, cap in 1usize..64) {
+/// The time series keeps an evenly strided subsample with correct
+/// values.
+#[test]
+fn timeseries_subsample_is_faithful() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let n = 1 + rng.gen_index(4999);
+        let cap = 1 + rng.gen_index(63);
         let mut ts = TimeSeries::new(cap);
         for i in 0..n {
             ts.push(i as f64 * 2.0);
         }
-        prop_assert!(ts.points().len() <= 2 * cap);
-        prop_assert_eq!(ts.pushed(), n as u64);
+        assert!(ts.points().len() <= 2 * cap, "case {case}");
+        assert_eq!(ts.pushed(), n as u64, "case {case}");
         for &(i, v) in ts.points() {
-            prop_assert_eq!(v, i as f64 * 2.0);
-            prop_assert_eq!(i % ts.stride(), 0);
+            assert_eq!(v, i as f64 * 2.0, "case {case}");
+            assert_eq!(i % ts.stride(), 0, "case {case}");
         }
     }
 }

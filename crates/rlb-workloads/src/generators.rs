@@ -370,9 +370,18 @@ impl OnOffBurst {
         trough_len: u64,
         seed: u64,
     ) -> Self {
-        assert!(burst_per_step <= universe as usize, "burst exceeds universe");
-        assert!(trough_per_step <= universe as usize, "trough exceeds universe");
-        assert!(burst_len > 0 && trough_len > 0, "cycle phases must be non-empty");
+        assert!(
+            burst_per_step <= universe as usize,
+            "burst exceeds universe"
+        );
+        assert!(
+            trough_per_step <= universe as usize,
+            "trough exceeds universe"
+        );
+        assert!(
+            burst_len > 0 && trough_len > 0,
+            "cycle phases must be non-empty"
+        );
         Self {
             working_set: (0..universe).collect(),
             burst_per_step,
@@ -404,7 +413,6 @@ impl Workload for OnOffBurst {
 #[cfg(test)]
 mod burst_tests {
     use super::*;
-    use rlb_core::Workload as _;
 
     #[test]
     fn burst_cycle_alternates_sizes() {

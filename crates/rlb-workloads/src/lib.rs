@@ -19,7 +19,7 @@
 //!   distinct-chunks-per-step constraint enforced.
 //! * [`planted`] — *white-box* placements for the Theorem 5.2 lower
 //!   bound (documented there; not an oblivious workload).
-//! * [`trace`] — record/replay of arbitrary request traces (serde).
+//! * [`trace`] — record/replay of arbitrary request traces (JSON).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,7 +17,7 @@
 use crate::generators::{FreshRandom, OnOffBurst, PartialRepeat, PhasedWorkingSets, RepeatedSet};
 use crate::zipf::ZipfDistinct;
 use rlb_core::Workload;
-use serde::{Deserialize, Serialize};
+use rlb_json::{FromJson, Json, ToJson};
 
 /// A serializable workload description.
 ///
@@ -30,8 +30,7 @@ use serde::{Deserialize, Serialize};
 /// rlb_core::Workload::next_step(workload.as_mut(), 0, &mut out);
 /// assert_eq!(out.len(), 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
     /// The same `k` chunks (ids `0..k`) every step.
     Repeated {
@@ -251,6 +250,112 @@ impl WorkloadSpec {
     }
 }
 
+// Serialized with an internal `"kind"` tag and kebab-case variant names,
+// matching the seed's on-disk config format (e.g. `{"kind":"zipf",...}`).
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> = Vec::new();
+        let mut put = |k: &str, v: Json| obj.push((k.to_string(), v));
+        match *self {
+            WorkloadSpec::Repeated { k } => {
+                put("kind", Json::Str("repeated".into()));
+                put("k", k.to_json());
+            }
+            WorkloadSpec::Fresh { universe, per_step } => {
+                put("kind", Json::Str("fresh".into()));
+                put("universe", universe.to_json());
+                put("per_step", per_step.to_json());
+            }
+            WorkloadSpec::Partial {
+                universe,
+                per_step,
+                p,
+            } => {
+                put("kind", Json::Str("partial".into()));
+                put("universe", universe.to_json());
+                put("per_step", per_step.to_json());
+                put("p", p.to_json());
+            }
+            WorkloadSpec::Zipf {
+                universe,
+                per_step,
+                alpha,
+            } => {
+                put("kind", Json::Str("zipf".into()));
+                put("universe", universe.to_json());
+                put("per_step", per_step.to_json());
+                put("alpha", alpha.to_json());
+            }
+            WorkloadSpec::Burst {
+                universe,
+                burst_per_step,
+                trough_per_step,
+                burst_len,
+                trough_len,
+            } => {
+                put("kind", Json::Str("burst".into()));
+                put("universe", universe.to_json());
+                put("burst_per_step", burst_per_step.to_json());
+                put("trough_per_step", trough_per_step.to_json());
+                put("burst_len", burst_len.to_json());
+                put("trough_len", trough_len.to_json());
+            }
+            WorkloadSpec::Phased {
+                universe,
+                sets,
+                k,
+                steps_per_phase,
+            } => {
+                put("kind", Json::Str("phased".into()));
+                put("universe", universe.to_json());
+                put("sets", sets.to_json());
+                put("k", k.to_json());
+                put("steps_per_phase", steps_per_phase.to_json());
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind: String = rlb_json::field(v, "kind")?;
+        match kind.as_str() {
+            "repeated" => Ok(WorkloadSpec::Repeated {
+                k: rlb_json::field(v, "k")?,
+            }),
+            "fresh" => Ok(WorkloadSpec::Fresh {
+                universe: rlb_json::field(v, "universe")?,
+                per_step: rlb_json::field(v, "per_step")?,
+            }),
+            "partial" => Ok(WorkloadSpec::Partial {
+                universe: rlb_json::field(v, "universe")?,
+                per_step: rlb_json::field(v, "per_step")?,
+                p: rlb_json::field(v, "p")?,
+            }),
+            "zipf" => Ok(WorkloadSpec::Zipf {
+                universe: rlb_json::field(v, "universe")?,
+                per_step: rlb_json::field(v, "per_step")?,
+                alpha: rlb_json::field(v, "alpha")?,
+            }),
+            "burst" => Ok(WorkloadSpec::Burst {
+                universe: rlb_json::field(v, "universe")?,
+                burst_per_step: rlb_json::field(v, "burst_per_step")?,
+                trough_per_step: rlb_json::field(v, "trough_per_step")?,
+                burst_len: rlb_json::field(v, "burst_len")?,
+                trough_len: rlb_json::field(v, "trough_len")?,
+            }),
+            "phased" => Ok(WorkloadSpec::Phased {
+                universe: rlb_json::field(v, "universe")?,
+                sets: rlb_json::field(v, "sets")?,
+                k: rlb_json::field(v, "k")?,
+                steps_per_phase: rlb_json::field(v, "steps_per_phase")?,
+            }),
+            other => Err(format!("unknown workload kind {other:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,8 +450,7 @@ mod tests {
         out.clear();
         rlb_core::Workload::next_step(w.as_mut(), 4, &mut out);
         assert_eq!(out.len(), 10);
-        let back: WorkloadSpec =
-            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        let back: WorkloadSpec = rlb_json::from_str(&rlb_json::to_string(&spec)).unwrap();
         assert_eq!(spec, back);
     }
 
@@ -365,8 +469,8 @@ mod tests {
             per_step: 32,
             alpha: 1.1,
         };
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        let json = rlb_json::to_string(&spec);
+        let back: WorkloadSpec = rlb_json::from_str(&json).unwrap();
         assert_eq!(spec, back);
         assert!(json.contains("\"kind\":\"zipf\""));
     }

@@ -6,10 +6,9 @@
 //! for archival alongside experiment outputs.
 
 use rlb_core::Workload;
-use serde::{Deserialize, Serialize};
 
 /// A fully materialized request trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     steps: Vec<Vec<u32>>,
 }
@@ -73,17 +72,19 @@ impl Trace {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization cannot fail")
+        rlb_json::to_string(self)
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
-    /// Returns the underlying serde error message.
+    /// Returns the underlying parse error message.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        rlb_json::from_str(s)
     }
 }
+
+rlb_json::json_struct!(Trace { steps });
 
 /// Replays a [`Trace`] as a [`Workload`], cycling past the end.
 #[derive(Debug, Clone, Copy)]

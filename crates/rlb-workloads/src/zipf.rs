@@ -99,7 +99,11 @@ mod tests {
             }
         }
         // Chunk 0 (hottest) should appear in nearly every step.
-        assert!(presence[0] as u64 >= steps * 9 / 10, "chunk 0: {}", presence[0]);
+        assert!(
+            presence[0] as u64 >= steps * 9 / 10,
+            "chunk 0: {}",
+            presence[0]
+        );
         // A deep-tail chunk should be rare.
         let tail_max = presence[5000..].iter().max().copied().unwrap_or(0);
         assert!(tail_max <= 5, "tail chunk appeared {tail_max} times");

@@ -18,10 +18,11 @@ fn main() {
     let m = 2048usize;
     let steps = 300u64;
     let g = 2u32;
+    println!("m = {m} servers, g = {g} requests/step each, the same {m} chunks every step\n");
     println!(
-        "m = {m} servers, g = {g} requests/step each, the same {m} chunks every step\n"
+        "{:>3}  {:>12}  {:>10}  {:>11}",
+        "d", "reject-rate", "avg-lat", "max-backlog"
     );
-    println!("{:>3}  {:>12}  {:>10}  {:>11}", "d", "reject-rate", "avg-lat", "max-backlog");
     for d in [1usize, 2, 3, 4] {
         let config = SimConfig {
             num_servers: m,

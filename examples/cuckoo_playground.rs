@@ -39,11 +39,12 @@ fn main() {
         let k = (m as f64 * load) as usize;
         let items = random_items(m, k, &mut rng);
         let stash = CuckooGraph::from_items(m, &items).optimal_stash_size();
-        println!("{load:>6.2}  {stash:>12}  {:>10.5}", stash as f64 / m as f64);
+        println!(
+            "{load:>6.2}  {stash:>12}  {:>10.5}",
+            stash as f64 / m as f64
+        );
     }
-    println!(
-        "below 1/2 the cuckoo graph orients almost surely; above, the excess is Θ(m)\n"
-    );
+    println!("below 1/2 the cuckoo graph orients almost surely; above, the excess is Θ(m)\n");
 
     println!("== 3. Lemma 4.2: a full step of m requests to m servers ==");
     let items = random_items(m, m, &mut rng);

@@ -32,7 +32,12 @@ fn config(m: usize, d: usize) -> SimConfig {
 fn report_line(name: &str, r: &RunReport) {
     println!(
         "{:>22}  reject {:>8.2e}  (down: {:>6}, overflow: {:>4}, policy: {:>4})  avg-lat {:>5.2}",
-        name, r.rejection_rate, r.rejected_down, r.rejected_overflow, r.rejected_policy, r.avg_latency
+        name,
+        r.rejection_rate,
+        r.rejected_down,
+        r.rejected_overflow,
+        r.rejected_policy,
+        r.avg_latency
     );
 }
 
@@ -49,8 +54,7 @@ fn main() {
     );
 
     {
-        let mut sim =
-            Simulation::new(config(m, 1), OneChoice::new()).with_outages(outage.clone());
+        let mut sim = Simulation::new(config(m, 1), OneChoice::new()).with_outages(outage.clone());
         let mut w = RepeatedSet::first_k(m as u32, 3);
         sim.run(&mut w as &mut dyn Workload, steps);
         report_line("one-choice (d=1)", &sim.finish());

@@ -39,7 +39,11 @@ fn main() {
     let mut sim = Simulation::new(config, Greedy::new());
     let mut workload = RepeatedSet::first_k(m as u32, 2);
     sim.run(&mut workload, steps);
-    print_report("greedy (Theorem 3.1: d=4, g=8, q=log2 m + 1)", q, &sim.finish());
+    print_report(
+        "greedy (Theorem 3.1: d=4, g=8, q=log2 m + 1)",
+        q,
+        &sim.finish(),
+    );
 
     // Same algorithm at a tight processing rate (g=2, load factor 1/2):
     // the queues now actually fill and drain, yet the guarantees hold.

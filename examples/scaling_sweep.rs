@@ -56,8 +56,7 @@ fn main() {
             let arrived: u64 = reports.iter().map(|r| r.arrived).sum();
             let rejected: u64 = reports.iter().map(|r| r.rejected_total).sum();
             let ci = wilson95(rejected, arrived);
-            let avg_lat =
-                reports.iter().map(|r| r.avg_latency).sum::<f64>() / trials as f64;
+            let avg_lat = reports.iter().map(|r| r.avg_latency).sum::<f64>() / trials as f64;
             let max_lat = reports.iter().map(|r| r.max_latency).max().unwrap();
             let peak = reports.iter().map(|r| r.peak_backlog).max().unwrap();
             println!(

@@ -16,7 +16,11 @@ fn run_and_assert(id: &str) {
         .find(|&&(rid, _, _)| rid == id)
         .unwrap_or_else(|| panic!("unknown experiment {id}"));
     let out = runner(true);
-    assert!(out.all_passed(), "{id} failed shape checks:\n{}", out.render());
+    assert!(
+        out.all_passed(),
+        "{id} failed shape checks:\n{}",
+        out.render()
+    );
 }
 
 #[test]
