@@ -166,6 +166,79 @@ pub fn run_gate(sizes: &[usize]) -> EngineBenchReport {
     EngineBenchReport { results }
 }
 
+/// Minimum acceptable throughput ratio against a recorded baseline.
+///
+/// The trace subsystem's zero-overhead-when-disabled claim is gated
+/// here: a run with the default `NoopSink` must stay within 5% of the
+/// committed pre-trace `BENCH_engine.json` numbers.
+pub const GATE_MIN_RATIO: f64 = 0.95;
+
+/// One scenario compared against its recorded baseline.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Scenario name (`"<kind>/m<m>"`).
+    pub name: String,
+    /// Steps per second in the baseline file.
+    pub baseline_steps_per_sec: f64,
+    /// Steps per second in this run.
+    pub steps_per_sec: f64,
+    /// `steps_per_sec / baseline_steps_per_sec`.
+    pub ratio: f64,
+}
+
+impl GateRow {
+    /// Whether this scenario meets [`GATE_MIN_RATIO`].
+    pub fn passes(&self) -> bool {
+        self.ratio >= GATE_MIN_RATIO
+    }
+}
+
+/// Extracts `(name, steps_per_sec)` pairs from a previously written
+/// `BENCH_engine.json`, tolerating schema drift: entries only need the
+/// `name` and `steps_per_sec` fields (a strict [`EngineBenchReport`]
+/// parse would reject a file written before a field was added).
+///
+/// # Errors
+/// Returns a message if the document is not JSON or has no `results`
+/// array.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = rlb_json::Json::parse(json)?;
+    let results = v
+        .get("results")
+        .and_then(rlb_json::Json::as_arr)
+        .ok_or("baseline has no results array")?;
+    Ok(results
+        .iter()
+        .filter_map(|r| {
+            let name = r.get("name")?.as_str()?.to_string();
+            let sps = r.get("steps_per_sec")?.as_f64()?;
+            Some((name, sps))
+        })
+        .collect())
+}
+
+/// Compares a fresh report against a baseline, one row per scenario
+/// present in both (scenarios without a baseline entry are skipped —
+/// e.g. after adding a new size to the matrix).
+pub fn compare_to_baseline(report: &EngineBenchReport, baseline: &[(String, f64)]) -> Vec<GateRow> {
+    report
+        .results
+        .iter()
+        .filter_map(|r| {
+            let &(_, base) = baseline.iter().find(|(n, _)| *n == r.name)?;
+            if base <= 0.0 {
+                return None;
+            }
+            Some(GateRow {
+                name: r.name.clone(),
+                baseline_steps_per_sec: base,
+                steps_per_sec: r.steps_per_sec,
+                ratio: r.steps_per_sec / base,
+            })
+        })
+        .collect()
+}
+
 /// Converts a result into a [`BenchRecord`] for harness-style display.
 pub fn to_record(r: &EngineBenchResult) -> BenchRecord {
     BenchRecord {
@@ -186,6 +259,56 @@ mod tests {
         let s = scenarios(&[64, 128]);
         assert_eq!(s.len(), 6);
         assert!(s.iter().any(|x| x.kind == "interleaved" && x.m == 128));
+    }
+
+    #[test]
+    fn baseline_comparison_is_lenient_and_keyed_by_name() {
+        // A baseline with an extra unknown field and one malformed
+        // entry still yields the well-formed rows.
+        let baseline = parse_baseline(
+            r#"{"results":[
+                {"name":"light/m64","steps_per_sec":100.0,"future_field":1},
+                {"name":"broken"},
+                {"name":"heavy/m64","steps_per_sec":200.0}
+            ],"extra":"ignored"}"#,
+        )
+        .unwrap();
+        assert_eq!(baseline.len(), 2);
+
+        let report = EngineBenchReport {
+            results: vec![
+                EngineBenchResult {
+                    name: "light/m64".into(),
+                    kind: "light".into(),
+                    m: 64,
+                    per_step: 1,
+                    steps: 16,
+                    requests: 16,
+                    elapsed_nanos: 1,
+                    steps_per_sec: 96.0,
+                    requests_per_sec: 96.0,
+                },
+                EngineBenchResult {
+                    name: "new/m128".into(),
+                    kind: "new".into(),
+                    m: 128,
+                    per_step: 1,
+                    steps: 16,
+                    requests: 16,
+                    elapsed_nanos: 1,
+                    steps_per_sec: 1.0,
+                    requests_per_sec: 1.0,
+                },
+            ],
+        };
+        let rows = compare_to_baseline(&report, &baseline);
+        assert_eq!(rows.len(), 1, "unmatched scenarios are skipped");
+        assert_eq!(rows[0].name, "light/m64");
+        assert!((rows[0].ratio - 0.96).abs() < 1e-9);
+        assert!(rows[0].passes(), "0.96 is within the 5% budget");
+
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{}").is_err());
     }
 
     #[test]

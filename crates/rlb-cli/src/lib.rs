@@ -29,6 +29,13 @@
 //!   Runs the engine perf gate (light/heavy/interleaved scenarios per
 //!   cluster size; default sizes 1024,8192,65536) and writes the
 //!   machine-readable results to PATH (default BENCH_engine.json).
+//!
+//! rlb-sim trace [RUN OPTIONS] [--out PATH]
+//!
+//!   Runs the scenario with the JSONL trace sink attached, writes the
+//!   event stream to PATH (default trace.jsonl), then re-parses the
+//!   persisted file through the aggregator and prints the per-class
+//!   latency summary table alongside the usual report.
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,7 +44,7 @@
 use rlb_core::policies::{
     DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
 };
-use rlb_core::{DrainMode, RunReport, SimConfig, Simulation};
+use rlb_core::{DrainMode, NoopSink, Policy, RunReport, SimConfig, Simulation, TraceSink};
 use rlb_workloads::{Trace, WorkloadSpec};
 
 /// A fully parsed invocation.
@@ -206,6 +213,17 @@ impl rlb_core::Workload for OwnedReplayer {
 /// Returns a message for an unknown policy name or a policy/config
 /// mismatch caught before the run.
 pub fn run(opts: &CliOptions) -> Result<RunReport, String> {
+    run_with_sink(opts, NoopSink).map(|(report, _)| report)
+}
+
+/// Runs the described simulation with a trace sink attached, returning
+/// the report and the sink. `run` is this with [`NoopSink`] (which
+/// compiles the emission sites out entirely).
+///
+/// # Errors
+/// Returns a message for an unknown policy name or a policy/config
+/// mismatch caught before the run.
+pub fn run_with_sink<S: TraceSink>(opts: &CliOptions, sink: S) -> Result<(RunReport, S), String> {
     let config = opts.config.clone();
     let steps = opts.steps;
     // Resolve the request source: a recorded trace, or a generator
@@ -242,47 +260,100 @@ pub fn run(opts: &CliOptions) -> Result<RunReport, String> {
         }
         None => opts.workload.build(config.seed ^ 0x5eed),
     };
-    let report = match opts.policy.as_str() {
-        "greedy" => {
-            let mut sim = Simulation::new(config, Greedy::new());
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
-        }
+    fn drive<P: Policy, S: TraceSink>(
+        config: SimConfig,
+        policy: P,
+        sink: S,
+        workload: &mut dyn rlb_core::Workload,
+        steps: u64,
+    ) -> (RunReport, S) {
+        let mut sim = Simulation::new(config, policy).with_sink(sink);
+        sim.run(workload, steps);
+        sim.finish_traced()
+    }
+    let out = match opts.policy.as_str() {
+        "greedy" => drive(config, Greedy::new(), sink, workload.as_mut(), steps),
         "delayed-cuckoo" | "dcr" => {
             if config.replication != 2 {
                 return Err("delayed-cuckoo requires --replication 2".into());
             }
             let policy = DelayedCuckoo::new(&config);
-            let mut sim = Simulation::new(config, policy);
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
+            drive(config, policy, sink, workload.as_mut(), steps)
         }
-        "one-choice" => {
-            let mut sim = Simulation::new(config, OneChoice::new());
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
-        }
+        "one-choice" => drive(config, OneChoice::new(), sink, workload.as_mut(), steps),
         "uniform-random" => {
             let policy = UniformRandom::new(config.seed ^ 0xa7);
-            let mut sim = Simulation::new(config, policy);
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
+            drive(config, policy, sink, workload.as_mut(), steps)
         }
         "round-robin" => {
             let policy = RoundRobin::new(config.num_chunks);
-            let mut sim = Simulation::new(config, policy);
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
+            drive(config, policy, sink, workload.as_mut(), steps)
         }
         "step-isolated" => {
             let policy = TimeStepIsolated::new(config.num_servers);
-            let mut sim = Simulation::new(config, policy);
-            sim.run(workload.as_mut(), steps);
-            sim.finish()
+            drive(config, policy, sink, workload.as_mut(), steps)
         }
         other => return Err(format!("unknown policy {other:?}")),
     };
-    Ok(report)
+    Ok(out)
+}
+
+/// Runs the `trace` subcommand: the scenario described by the usual run
+/// options, with the JSONL sink attached. The stream is written to
+/// `--out PATH` (default `trace.jsonl`), then the *persisted file* is
+/// parsed back and folded through the aggregator — so every invocation
+/// exercises the full serialize → persist → parse → aggregate path —
+/// and the per-class latency summary is appended to the report text.
+///
+/// # Errors
+/// Returns a message on malformed arguments, an unwritable output path,
+/// or a persisted stream that fails to re-parse or disagrees with the
+/// engine's own report (both would be bugs, not user errors).
+pub fn run_trace(args: &[String]) -> Result<String, String> {
+    let mut out_path = "trace.jsonl".to_string();
+    let mut run_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            out_path = it.next().ok_or("--out requires a path")?.clone();
+        } else {
+            run_args.push(arg.clone());
+        }
+    }
+    let opts = parse_args(&run_args)?;
+    let (report, sink) = run_with_sink(&opts, rlb_trace::JsonlSink::new())?;
+    std::fs::write(&out_path, sink.as_str())
+        .map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+
+    let persisted = std::fs::read_to_string(&out_path)
+        .map_err(|e| format!("cannot re-read {out_path:?}: {e}"))?;
+    let events = rlb_trace::parse_jsonl(&persisted)
+        .map_err(|e| format!("persisted trace does not re-parse: {e}"))?;
+    let mut agg = rlb_trace::Aggregator::new();
+    for ev in &events {
+        agg.ingest(ev);
+    }
+    if agg.completed() != report.completed || agg.enqueues() != report.accepted {
+        return Err(format!(
+            "trace disagrees with report: completed {} vs {}, enqueued {} vs {}",
+            agg.completed(),
+            report.completed,
+            agg.enqueues(),
+            report.accepted
+        ));
+    }
+
+    use std::fmt::Write as _;
+    let mut out = render_text(&opts, &report);
+    out.push_str(&agg.summary_table().render());
+    let _ = writeln!(
+        out,
+        "wrote {} events ({} bytes) to {}",
+        events.len(),
+        persisted.len(),
+        out_path
+    );
+    Ok(out)
 }
 
 /// Renders a run report as the human-readable text block.
@@ -367,15 +438,44 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
         }
     }
     let report = rlb_bench::engine::run_gate(&sizes);
+    // Compare against the previous results before overwriting them: the
+    // engine runs with tracing compiled out (the default `NoopSink`),
+    // so this row-by-row ratio is the traced-off overhead gate.
+    let baseline = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|old| rlb_bench::engine::parse_baseline(&old).ok());
+    let gate_rows = baseline
+        .as_deref()
+        .map(|b| rlb_bench::engine::compare_to_baseline(&report, b))
+        .unwrap_or_default();
     let json = rlb_json::to_string_pretty(&report);
     std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
     use std::fmt::Write as _;
     let mut summary = String::new();
     for r in &report.results {
+        let vs_baseline = gate_rows
+            .iter()
+            .find(|g| g.name == r.name)
+            .map(|g| format!("  {:>5.2}x vs baseline", g.ratio))
+            .unwrap_or_default();
         let _ = writeln!(
             summary,
-            "{:<24} {:>12.1} steps/s  {:>14.1} requests/s",
+            "{:<24} {:>12.1} steps/s  {:>14.1} requests/s{vs_baseline}",
             r.name, r.steps_per_sec, r.requests_per_sec
+        );
+    }
+    if !gate_rows.is_empty() {
+        let worst = gate_rows
+            .iter()
+            .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
+            .expect("non-empty");
+        let verdict = if worst.passes() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            summary,
+            "traced-off gate: worst ratio {:.2}x ({}) vs threshold {:.2}x -> {verdict}",
+            worst.ratio,
+            worst.name,
+            rlb_bench::engine::GATE_MIN_RATIO
         );
     }
     let _ = writeln!(summary, "wrote {out_path}");
@@ -552,6 +652,60 @@ mod trace_tests {
         let report = run(&opts).unwrap();
         assert_eq!(report.steps, 5);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_subcommand_round_trips_through_the_file() {
+        let dir = std::env::temp_dir().join("rlb_cli_trace_sub_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("out.jsonl");
+        let path_str = path.to_str().unwrap().to_string();
+        let summary = run_trace(
+            &[
+                "--policy",
+                "dcr",
+                "--servers",
+                "128",
+                "--steps",
+                "60",
+                "--rate",
+                "8",
+                "--workload",
+                "repeated:128",
+                "--out",
+                &path_str,
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(summary.contains("trace summary"), "{summary}");
+        assert!(summary.contains("rejection rate"), "{summary}");
+        assert!(summary.contains(&path_str), "{summary}");
+        let persisted = std::fs::read_to_string(&path).unwrap();
+        let events = rlb_trace::parse_jsonl(&persisted).unwrap();
+        assert!(!events.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let opts = parse_args(
+            &["--servers", "64", "--steps", "30", "--flush", "10"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let untraced = run(&opts).unwrap();
+        let (traced, sink) = run_with_sink(&opts, rlb_trace::JsonlSink::new()).unwrap();
+        assert_eq!(
+            rlb_json::to_string(&traced),
+            rlb_json::to_string(&untraced),
+            "tracing must not perturb the run"
+        );
+        assert!(sink.lines() > 0);
     }
 
     #[test]

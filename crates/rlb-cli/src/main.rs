@@ -12,6 +12,16 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        match rlb_cli::run_trace(&args[1..]) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "rlb-sim: simulate a load-balanced distributed KV store\n\n\
@@ -30,7 +40,10 @@ fn main() {
              \x20 --json            JSON report\n\n\
              subcommands:\n\
              \x20 bench [--out PATH] [--sizes M1,M2,...]\n\
-             \x20                   run the engine perf gate and write BENCH_engine.json"
+             \x20                   run the engine perf gate and write BENCH_engine.json\n\
+             \x20 trace [RUN OPTIONS] [--out PATH]\n\
+             \x20                   run with the JSONL trace sink, write trace.jsonl, print the\n\
+             \x20                   per-class latency summary derived from the persisted trace"
         );
         return;
     }

@@ -45,6 +45,7 @@ pub mod policy;
 pub mod queue;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 pub mod view;
 
 pub use config::{DrainMode, SimConfig};
@@ -53,4 +54,5 @@ pub use policy::{Decision, Policy, RejectReason, RouteCtx};
 pub use queue::{ClassSpec, QueueArray};
 pub use sim::{NullObserver, Observer, Simulation, Workload};
 pub use stats::{RunReport, RunStats};
+pub use trace::{NoopSink, TraceCause, TraceEvent, TraceSink};
 pub use view::ClusterView;

@@ -16,6 +16,7 @@ use crate::outage::OutageSchedule;
 use crate::policy::{Decision, Policy, RejectReason, RouteCtx, StepOps};
 use crate::queue::QueueArray;
 use crate::stats::{RunReport, RunStats};
+use crate::trace::{NoopSink, TraceCause, TraceEvent, TraceSink};
 use crate::view::ClusterView;
 use rlb_hash::ReplicaPlacement;
 use rlb_metrics::BacklogSnapshot;
@@ -53,23 +54,39 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {}
 
-struct OpsAdapter<'a> {
+struct OpsAdapter<'a, S: TraceSink> {
     queues: &'a mut QueueArray,
     stats: &'a mut RunStats,
+    sink: &'a mut S,
+    step: u64,
 }
 
-impl StepOps for OpsAdapter<'_> {
+impl<S: TraceSink> StepOps for OpsAdapter<'_, S> {
     fn migrate_class(&mut self, from: usize, to: usize) {
         let stats = &mut *self.stats;
         // Entries that do not fit are voluntarily rejected; they share
         // the flush bucket (both are post-acceptance voluntary drops).
-        self.queues
+        let dropped = self
+            .queues
             .migrate_class(from, to, |_| stats.record_reject(RejectReason::Flush));
+        if S::ENABLED {
+            self.sink.on_event(&TraceEvent::PhaseRoll {
+                step: self.step,
+                from: from as u8,
+                to: to as u8,
+                dropped,
+            });
+        }
     }
 }
 
 /// A running simulation.
-pub struct Simulation<P: Policy> {
+///
+/// Generic over its [`TraceSink`]; the default [`NoopSink`] disables
+/// tracing entirely (the emission sites are compiled out). Attach a
+/// real sink with [`Simulation::with_sink`] and recover it with
+/// [`Simulation::finish_traced`].
+pub struct Simulation<P: Policy, S: TraceSink = NoopSink> {
     config: SimConfig,
     placement: ReplicaPlacement,
     queues: QueueArray,
@@ -82,6 +99,12 @@ pub struct Simulation<P: Policy> {
     classes: Vec<crate::queue::ClassSpec>,
     outages: OutageSchedule,
     up_mask: Vec<bool>,
+    /// Liveness mask of the previous step (maintained only when the
+    /// sink is enabled, to diff into outage begin/end events).
+    up_prev: Vec<bool>,
+    /// Reusable buffer of completed-arrival steps for drain events.
+    drain_scratch: Vec<u32>,
+    sink: S,
 }
 
 impl<P: Policy> Simulation<P> {
@@ -142,10 +165,15 @@ impl<P: Policy> Simulation<P> {
             classes,
             outages: OutageSchedule::none(),
             up_mask: vec![true; config.num_servers],
+            up_prev: Vec::new(),
+            drain_scratch: Vec::new(),
+            sink: NoopSink,
             config,
         }
     }
+}
 
+impl<P: Policy, S: TraceSink> Simulation<P, S> {
     /// Attaches a server-outage schedule (builder style). Down servers
     /// accept no requests and do not drain; see [`crate::outage`].
     ///
@@ -156,6 +184,39 @@ impl<P: Policy> Simulation<P> {
         outages.fill_up_mask(0, &mut probe); // panics on out-of-range server
         self.outages = outages;
         self
+    }
+
+    /// Replaces the trace sink (builder style). Typically called right
+    /// after construction, before any step has run; events already sent
+    /// to the previous sink are dropped with it.
+    pub fn with_sink<S2: TraceSink>(self, sink: S2) -> Simulation<P, S2> {
+        Simulation {
+            config: self.config,
+            placement: self.placement,
+            queues: self.queues,
+            policy: self.policy,
+            stats: self.stats,
+            step: self.step,
+            chunk_scratch: self.chunk_scratch,
+            backlog_scratch: self.backlog_scratch,
+            classes: self.classes,
+            outages: self.outages,
+            up_mask: self.up_mask,
+            up_prev: self.up_prev,
+            drain_scratch: self.drain_scratch,
+            sink,
+        }
+    }
+
+    /// The attached trace sink, read-only.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// The attached trace sink (e.g. for a layered emitter such as the
+    /// KV façade, which records its own events into the same stream).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     /// The configuration.
@@ -227,7 +288,29 @@ impl<P: Policy> Simulation<P> {
         // With no scheduled outages the mask stays the all-true value it
         // was initialized with; skip the O(m) per-step refill.
         if !self.outages.is_empty() {
+            if S::ENABLED {
+                if self.up_prev.is_empty() {
+                    self.up_prev = vec![true; self.config.num_servers];
+                } else {
+                    self.up_prev.clone_from(&self.up_mask);
+                }
+            }
             self.outages.fill_up_mask(step, &mut self.up_mask);
+            if S::ENABLED {
+                for server in 0..self.config.num_servers {
+                    match (self.up_prev[server], self.up_mask[server]) {
+                        (true, false) => self.sink.on_event(&TraceEvent::OutageBegin {
+                            step,
+                            server: server as u32,
+                        }),
+                        (false, true) => self.sink.on_event(&TraceEvent::OutageEnd {
+                            step,
+                            server: server as u32,
+                        }),
+                        _ => {}
+                    }
+                }
+            }
         }
         debug_assert!(
             {
@@ -242,6 +325,8 @@ impl<P: Policy> Simulation<P> {
             &mut OpsAdapter {
                 queues: &mut self.queues,
                 stats: &mut self.stats,
+                sink: &mut self.sink,
+                step,
             },
         );
 
@@ -275,9 +360,12 @@ impl<P: Policy> Simulation<P> {
         if let Some(f) = self.config.flush_interval {
             if (step + 1).is_multiple_of(f) {
                 let stats = &mut self.stats;
-                self.queues.flush_all(|_| {
+                let dropped = self.queues.flush_all(|_| {
                     stats.record_reject(RejectReason::Flush);
                 });
+                if S::ENABLED {
+                    self.sink.on_event(&TraceEvent::Flush { step, dropped });
+                }
             }
         }
 
@@ -327,25 +415,66 @@ impl<P: Policy> Simulation<P> {
                         replicas.contains(&server),
                         "policy routed chunk {chunk} to non-replica server {server}"
                     );
+                    if S::ENABLED {
+                        self.sink.on_event(&TraceEvent::Route {
+                            step,
+                            chunk,
+                            server,
+                            class,
+                            candidates: replicas.to_vec(),
+                            backlogs: replicas.iter().map(|&r| self.queues.backlog(r)).collect(),
+                        });
+                    }
                     if !self.up_mask[server as usize] {
                         decision = Decision::Reject(RejectReason::ServerDown);
                         self.stats.record_reject(RejectReason::ServerDown);
+                        if S::ENABLED {
+                            self.sink.on_event(&TraceEvent::Reject {
+                                step,
+                                chunk,
+                                cause: TraceCause::Outage,
+                            });
+                        }
                         observer.on_route(step, chunk, decision);
                         continue;
                     }
                     match self.queues.enqueue(server, class as usize, step as u32) {
                         Ok(()) => {
                             self.stats.accepted += 1;
-                            self.stats
-                                .record_enqueue_backlog(self.queues.backlog(server));
+                            let backlog = self.queues.backlog(server);
+                            self.stats.record_enqueue_backlog(backlog);
+                            if S::ENABLED {
+                                self.sink.on_event(&TraceEvent::Enqueue {
+                                    step,
+                                    server,
+                                    class,
+                                    backlog,
+                                });
+                            }
                         }
                         Err(_) => {
                             decision = Decision::Reject(RejectReason::Overflow);
                             self.stats.record_reject(RejectReason::Overflow);
+                            if S::ENABLED {
+                                self.sink.on_event(&TraceEvent::Reject {
+                                    step,
+                                    chunk,
+                                    cause: TraceCause::Overflow,
+                                });
+                            }
                         }
                     }
                 }
-                Decision::Reject(reason) => self.stats.record_reject(reason),
+                Decision::Reject(reason) => {
+                    self.stats.record_reject(reason);
+                    if S::ENABLED {
+                        self.sink.on_event(&TraceEvent::Reject {
+                            step,
+                            chunk,
+                            cause: TraceCause::from_reason(reason),
+                        });
+                    }
+                }
             }
             observer.on_route(step, chunk, decision);
         }
@@ -364,6 +493,8 @@ impl<P: Policy> Simulation<P> {
     /// reports are bit-identical either way.
     fn drain(&mut self, s: u32, substeps: u32, step: u64) {
         let stats = &mut self.stats;
+        let scratch = &mut self.drain_scratch;
+        let sink = &mut self.sink;
         for (class, spec) in self.classes.iter().enumerate() {
             let rate = spec.drain_per_step;
             // Cumulative-quota split: over `substeps` sub-steps the class
@@ -381,9 +512,23 @@ impl<P: Policy> Simulation<P> {
                     if !self.up_mask[server as usize] {
                         continue;
                     }
+                    if S::ENABLED {
+                        scratch.clear();
+                    }
                     self.queues.dequeue_up_to(server, class, take, |arrival| {
                         stats.record_completion_in_class(class, step - arrival as u64);
+                        if S::ENABLED {
+                            scratch.push(arrival);
+                        }
                     });
+                    if S::ENABLED && !scratch.is_empty() {
+                        sink.on_event(&TraceEvent::Drain {
+                            step,
+                            server,
+                            class: class as u8,
+                            arrivals: scratch.clone(),
+                        });
+                    }
                 }
                 continue;
             }
@@ -394,9 +539,23 @@ impl<P: Policy> Simulation<P> {
                     i += 1;
                     continue;
                 }
+                if S::ENABLED {
+                    scratch.clear();
+                }
                 self.queues.dequeue_up_to(server, class, take, |arrival| {
                     stats.record_completion_in_class(class, step - arrival as u64);
+                    if S::ENABLED {
+                        scratch.push(arrival);
+                    }
                 });
+                if S::ENABLED && !scratch.is_empty() {
+                    sink.on_event(&TraceEvent::Drain {
+                        step,
+                        server,
+                        class: class as u8,
+                        arrivals: scratch.clone(),
+                    });
+                }
                 // An emptied server is swap-removed from the occupancy
                 // list, pulling an unvisited candidate into slot `i`;
                 // advance only while `server` kept its slot.
@@ -410,6 +569,12 @@ impl<P: Policy> Simulation<P> {
 
     /// Finishes the run and returns the report.
     pub fn finish(self) -> RunReport {
+        self.finish_traced().0
+    }
+
+    /// Finishes the run, returning the report and the trace sink (so a
+    /// recorder's buffer or an exporter's output can be read out).
+    pub fn finish_traced(self) -> (RunReport, S) {
         let in_flight = self.queues.total_backlog();
         let report = self.stats.finish(self.step, in_flight);
         debug_assert!(
@@ -417,7 +582,7 @@ impl<P: Policy> Simulation<P> {
             "conservation violated: {:?}",
             report.check_conservation()
         );
-        report
+        (report, self.sink)
     }
 }
 
@@ -583,6 +748,104 @@ mod tests {
         sim.run_observed(&mut fixed_workload(8), 10, &mut obs);
         assert_eq!(obs.routes, 80);
         assert_eq!(obs.steps, 10);
+    }
+
+    /// A sink that keeps every event (test-only; the production
+    /// bounded recorder lives in `rlb-trace`).
+    struct VecSink(Vec<TraceEvent>);
+
+    impl TraceSink for VecSink {
+        fn on_event(&mut self, event: &TraceEvent) {
+            self.0.push(event.clone());
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_events_balance() {
+        let mut cfg = small_config();
+        cfg.process_rate = 1;
+        cfg.flush_interval = Some(5);
+        let baseline = {
+            let mut sim = Simulation::new(cfg.clone(), Greedy::new());
+            sim.run(&mut fixed_workload(16), 20);
+            sim.finish()
+        };
+        let mut sim = Simulation::new(cfg, Greedy::new()).with_sink(VecSink(Vec::new()));
+        sim.run(&mut fixed_workload(16), 20);
+        let (report, sink) = sim.finish_traced();
+
+        // Attaching a sink must not perturb the run.
+        assert_eq!(rlb_json::to_string(&report), rlb_json::to_string(&baseline));
+
+        // The event stream carries the same accounting as the report.
+        let mut enqueues = 0u64;
+        let mut routes = 0u64;
+        let mut rejects = 0u64;
+        let mut drained = 0u64;
+        let mut flush_dropped = 0u64;
+        for ev in &sink.0 {
+            match ev {
+                TraceEvent::Route {
+                    server,
+                    candidates,
+                    backlogs,
+                    ..
+                } => {
+                    routes += 1;
+                    assert!(candidates.contains(server));
+                    assert_eq!(candidates.len(), backlogs.len());
+                }
+                TraceEvent::Enqueue { .. } => enqueues += 1,
+                TraceEvent::Reject { .. } => rejects += 1,
+                TraceEvent::Drain { arrivals, step, .. } => {
+                    drained += arrivals.len() as u64;
+                    assert!(arrivals.iter().all(|&a| (a as u64) <= *step));
+                }
+                TraceEvent::Flush { dropped, .. } => flush_dropped += dropped,
+                _ => {}
+            }
+        }
+        assert_eq!(enqueues, report.accepted);
+        assert_eq!(rejects, report.rejected_total - report.rejected_flush);
+        assert_eq!(drained, report.completed);
+        assert_eq!(flush_dropped, report.rejected_flush);
+        assert!(routes >= enqueues, "every enqueue follows a route decision");
+        assert!(report.rejected_flush > 0, "scenario must exercise flushes");
+        assert!(
+            rejects > 0,
+            "scenario must exercise routing-time rejections"
+        );
+    }
+
+    #[test]
+    fn outage_transitions_are_traced() {
+        use crate::outage::OutageSchedule;
+        let mut schedule = OutageSchedule::none();
+        schedule.push(3, 2, 5);
+        let mut sim = Simulation::new(small_config(), Greedy::new())
+            .with_outages(schedule)
+            .with_sink(VecSink(Vec::new()));
+        sim.run(&mut fixed_workload(8), 10);
+        let (_, sink) = sim.finish_traced();
+        let transitions: Vec<_> = sink
+            .0
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::OutageBegin { .. } | TraceEvent::OutageEnd { .. }
+                )
+            })
+            .collect();
+        assert_eq!(transitions.len(), 2);
+        assert_eq!(
+            transitions[0],
+            &TraceEvent::OutageBegin { step: 2, server: 3 }
+        );
+        assert_eq!(
+            transitions[1],
+            &TraceEvent::OutageEnd { step: 5, server: 3 }
+        );
     }
 
     #[test]

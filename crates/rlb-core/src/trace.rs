@@ -1,0 +1,504 @@
+//! Event-level tracing: the engine's observability layer.
+//!
+//! The simulator's aggregate statistics ([`crate::RunReport`]) answer
+//! *how often* something happened; a trace answers *which request*,
+//! *why*, and *when*. Every structural transition in the hot path emits
+//! a typed [`TraceEvent`] to a [`TraceSink`] chosen at compile time:
+//!
+//! * [`NoopSink`] (the default) — [`TraceSink::ENABLED`] is `false`, so
+//!   every emission site, including the event construction and its
+//!   allocations, is erased by monomorphization. A traced-off run is
+//!   bit-identical to (and as fast as) an untraced one; the
+//!   `engine_equivalence` golden suite and the `rlb-sim bench` gate pin
+//!   this down.
+//! * the sinks in the `rlb-trace` crate — a bounded ring-buffer
+//!   recorder for post-mortems, a JSONL exporter, and an aggregator
+//!   that folds the stream back into `rlb-metrics` histograms.
+//!
+//! Events serialize as single-line JSON objects tagged by an `"ev"`
+//! field (one per line = JSONL), via the workspace's `rlb-json`. The
+//! encoding round-trips exactly: `parse(write(e)) == e`.
+
+use crate::policy::RejectReason;
+use rlb_json::{field, Json, ToJson};
+
+/// Why a request left the system without completing, as recorded in a
+/// trace. This is [`RejectReason`] under the names a production router
+/// would use (see [`TraceCause::from_reason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCause {
+    /// The policy declined the request (voluntary load shedding).
+    Shed,
+    /// Delayed cuckoo routing: the routing table build failed.
+    Table,
+    /// The chosen server's class queue was full.
+    Overflow,
+    /// Dropped after acceptance by a flush or phase-migration overflow.
+    Flush,
+    /// The chosen server was down per the outage schedule.
+    Outage,
+}
+
+rlb_json::json_unit_enum!(TraceCause {
+    Shed,
+    Table,
+    Overflow,
+    Flush,
+    Outage
+});
+
+impl TraceCause {
+    /// Maps an engine [`RejectReason`] to its trace name.
+    pub fn from_reason(reason: RejectReason) -> Self {
+        match reason {
+            RejectReason::Policy => TraceCause::Shed,
+            RejectReason::TableFailed => TraceCause::Table,
+            RejectReason::Overflow => TraceCause::Overflow,
+            RejectReason::Flush => TraceCause::Flush,
+            RejectReason::ServerDown => TraceCause::Outage,
+        }
+    }
+}
+
+/// One engine event.
+///
+/// Field conventions: `step` is the simulation step the event occurred
+/// in; `class` is the queue class index (greedy has one; DCR four);
+/// request identity is the chunk id (the model routes chunks, not
+/// opaque request ids).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A routing decision that chose a server: the candidates the
+    /// policy saw and their total backlogs at decision time.
+    Route {
+        /// Step of the decision.
+        step: u64,
+        /// Requested chunk.
+        chunk: u32,
+        /// Chosen server (one of `candidates`).
+        server: u32,
+        /// Chosen queue class.
+        class: u8,
+        /// The chunk's replica servers, in placement order.
+        candidates: Vec<u32>,
+        /// Total backlog of each candidate when the policy decided.
+        backlogs: Vec<u32>,
+    },
+    /// A request entered a queue (follows a successful `Route`).
+    Enqueue {
+        /// Step of the enqueue.
+        step: u64,
+        /// Server that accepted the request.
+        server: u32,
+        /// Queue class it joined.
+        class: u8,
+        /// The server's total backlog after the enqueue.
+        backlog: u32,
+    },
+    /// A request left the system without completing.
+    Reject {
+        /// Step of the rejection.
+        step: u64,
+        /// Requested chunk.
+        chunk: u32,
+        /// Why it was rejected.
+        cause: TraceCause,
+    },
+    /// A server drained requests from one class (one event per
+    /// non-empty `(server, class)` drain; `arrivals` holds the arrival
+    /// step of each completed request, so latency is `step - arrival`).
+    Drain {
+        /// Step of the drain.
+        step: u64,
+        /// Draining server.
+        server: u32,
+        /// Drained class.
+        class: u8,
+        /// Arrival steps of the completed requests, FIFO order.
+        arrivals: Vec<u32>,
+    },
+    /// A periodic flush reset every queue (greedy's §3 reset).
+    Flush {
+        /// Step of the flush.
+        step: u64,
+        /// Queued requests dropped by the reset.
+        dropped: u64,
+    },
+    /// A phase boundary migrated a queue class (DCR's `Q → Q'`,
+    /// `P → P'` roll).
+    PhaseRoll {
+        /// Step of the migration.
+        step: u64,
+        /// Source class.
+        from: u8,
+        /// Destination class.
+        to: u8,
+        /// Entries dropped for lack of room (0 in the theorem regime).
+        dropped: u64,
+    },
+    /// A server went down per the outage schedule.
+    OutageBegin {
+        /// First step of the outage.
+        step: u64,
+        /// Affected server.
+        server: u32,
+    },
+    /// A server came back up.
+    OutageEnd {
+        /// First step after the outage.
+        step: u64,
+        /// Recovered server.
+        server: u32,
+    },
+    /// A KV-layer key operation (emitted by `rlb-kv`, not the engine):
+    /// a tenant's `get` either created a chunk request or coalesced
+    /// into a pending one.
+    TenantOp {
+        /// Step the key request was issued in.
+        step: u64,
+        /// Issuing tenant.
+        tenant: u16,
+        /// Requested key.
+        key: u64,
+        /// The key's chunk.
+        chunk: u32,
+        /// Whether the request coalesced into a pending chunk fetch.
+        coalesced: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The event's `"ev"` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Route { .. } => "route",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Reject { .. } => "reject",
+            TraceEvent::Drain { .. } => "drain",
+            TraceEvent::Flush { .. } => "flush",
+            TraceEvent::PhaseRoll { .. } => "phase_roll",
+            TraceEvent::OutageBegin { .. } => "outage_begin",
+            TraceEvent::OutageEnd { .. } => "outage_end",
+            TraceEvent::TenantOp { .. } => "tenant_op",
+        }
+    }
+
+    /// The step the event occurred in.
+    pub fn step(&self) -> u64 {
+        match *self {
+            TraceEvent::Route { step, .. }
+            | TraceEvent::Enqueue { step, .. }
+            | TraceEvent::Reject { step, .. }
+            | TraceEvent::Drain { step, .. }
+            | TraceEvent::Flush { step, .. }
+            | TraceEvent::PhaseRoll { step, .. }
+            | TraceEvent::OutageBegin { step, .. }
+            | TraceEvent::OutageEnd { step, .. }
+            | TraceEvent::TenantOp { step, .. } => step,
+        }
+    }
+}
+
+fn obj(kind: &str, step: u64, rest: Vec<(String, Json)>) -> Json {
+    let mut fields = Vec::with_capacity(rest.len() + 2);
+    fields.push(("ev".to_string(), Json::Str(kind.to_string())));
+    fields.push(("step".to_string(), Json::UInt(step as u128)));
+    fields.extend(rest);
+    Json::Obj(fields)
+}
+
+fn kv(key: &str, v: impl ToJson) -> (String, Json) {
+    (key.to_string(), v.to_json())
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::Route {
+                step,
+                chunk,
+                server,
+                class,
+                candidates,
+                backlogs,
+            } => obj(
+                "route",
+                *step,
+                vec![
+                    kv("chunk", *chunk),
+                    kv("server", *server),
+                    kv("class", *class),
+                    kv("candidates", candidates),
+                    kv("backlogs", backlogs),
+                ],
+            ),
+            TraceEvent::Enqueue {
+                step,
+                server,
+                class,
+                backlog,
+            } => obj(
+                "enqueue",
+                *step,
+                vec![
+                    kv("server", *server),
+                    kv("class", *class),
+                    kv("backlog", *backlog),
+                ],
+            ),
+            TraceEvent::Reject { step, chunk, cause } => obj(
+                "reject",
+                *step,
+                vec![kv("chunk", *chunk), kv("cause", *cause)],
+            ),
+            TraceEvent::Drain {
+                step,
+                server,
+                class,
+                arrivals,
+            } => obj(
+                "drain",
+                *step,
+                vec![
+                    kv("server", *server),
+                    kv("class", *class),
+                    kv("arrivals", arrivals),
+                ],
+            ),
+            TraceEvent::Flush { step, dropped } => {
+                obj("flush", *step, vec![kv("dropped", *dropped)])
+            }
+            TraceEvent::PhaseRoll {
+                step,
+                from,
+                to,
+                dropped,
+            } => obj(
+                "phase_roll",
+                *step,
+                vec![kv("from", *from), kv("to", *to), kv("dropped", *dropped)],
+            ),
+            TraceEvent::OutageBegin { step, server } => {
+                obj("outage_begin", *step, vec![kv("server", *server)])
+            }
+            TraceEvent::OutageEnd { step, server } => {
+                obj("outage_end", *step, vec![kv("server", *server)])
+            }
+            TraceEvent::TenantOp {
+                step,
+                tenant,
+                key,
+                chunk,
+                coalesced,
+            } => obj(
+                "tenant_op",
+                *step,
+                vec![
+                    kv("tenant", *tenant),
+                    kv("key", *key),
+                    kv("chunk", *chunk),
+                    kv("coalesced", *coalesced),
+                ],
+            ),
+        }
+    }
+}
+
+impl rlb_json::FromJson for TraceEvent {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let kind: String = field(v, "ev")?;
+        let ev = match kind.as_str() {
+            "route" => TraceEvent::Route {
+                step: field(v, "step")?,
+                chunk: field(v, "chunk")?,
+                server: field(v, "server")?,
+                class: field(v, "class")?,
+                candidates: field(v, "candidates")?,
+                backlogs: field(v, "backlogs")?,
+            },
+            "enqueue" => TraceEvent::Enqueue {
+                step: field(v, "step")?,
+                server: field(v, "server")?,
+                class: field(v, "class")?,
+                backlog: field(v, "backlog")?,
+            },
+            "reject" => TraceEvent::Reject {
+                step: field(v, "step")?,
+                chunk: field(v, "chunk")?,
+                cause: field(v, "cause")?,
+            },
+            "drain" => TraceEvent::Drain {
+                step: field(v, "step")?,
+                server: field(v, "server")?,
+                class: field(v, "class")?,
+                arrivals: field(v, "arrivals")?,
+            },
+            "flush" => TraceEvent::Flush {
+                step: field(v, "step")?,
+                dropped: field(v, "dropped")?,
+            },
+            "phase_roll" => TraceEvent::PhaseRoll {
+                step: field(v, "step")?,
+                from: field(v, "from")?,
+                to: field(v, "to")?,
+                dropped: field(v, "dropped")?,
+            },
+            "outage_begin" => TraceEvent::OutageBegin {
+                step: field(v, "step")?,
+                server: field(v, "server")?,
+            },
+            "outage_end" => TraceEvent::OutageEnd {
+                step: field(v, "step")?,
+                server: field(v, "server")?,
+            },
+            "tenant_op" => TraceEvent::TenantOp {
+                step: field(v, "step")?,
+                tenant: field(v, "tenant")?,
+                key: field(v, "key")?,
+                chunk: field(v, "chunk")?,
+                coalesced: field(v, "coalesced")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(ev)
+    }
+}
+
+/// A consumer of engine events.
+///
+/// The engine is generic over its sink ([`crate::Simulation`] defaults
+/// to [`NoopSink`]); every emission site is guarded by
+/// `if S::ENABLED { ... }`, so a disabled sink costs nothing — not even
+/// the event construction.
+pub trait TraceSink {
+    /// Whether this sink receives events. Emission sites (including
+    /// event construction) are compiled out when `false`.
+    const ENABLED: bool = true;
+
+    /// Receives one event. Called in deterministic engine order.
+    fn on_event(&mut self, event: &TraceEvent);
+}
+
+/// The disabled sink: receives nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _event: &TraceEvent) {}
+}
+
+impl<T: TraceSink> TraceSink for &mut T {
+    const ENABLED: bool = T::ENABLED;
+
+    #[inline]
+    fn on_event(&mut self, event: &TraceEvent) {
+        (**self).on_event(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_json::{from_str, to_string};
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Route {
+                step: 3,
+                chunk: 17,
+                server: 2,
+                class: 0,
+                candidates: vec![2, 9],
+                backlogs: vec![1, 4],
+            },
+            TraceEvent::Enqueue {
+                step: 3,
+                server: 2,
+                class: 0,
+                backlog: 2,
+            },
+            TraceEvent::Reject {
+                step: 4,
+                chunk: 9,
+                cause: TraceCause::Overflow,
+            },
+            TraceEvent::Drain {
+                step: 5,
+                server: 2,
+                class: 1,
+                arrivals: vec![3, 3, 4],
+            },
+            TraceEvent::Flush {
+                step: 49,
+                dropped: 12,
+            },
+            TraceEvent::PhaseRoll {
+                step: 8,
+                from: 0,
+                to: 2,
+                dropped: 0,
+            },
+            TraceEvent::OutageBegin {
+                step: 10,
+                server: 7,
+            },
+            TraceEvent::OutageEnd {
+                step: 20,
+                server: 7,
+            },
+            TraceEvent::TenantOp {
+                step: 6,
+                tenant: 3,
+                key: 0xdead_beef,
+                chunk: 11,
+                coalesced: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for ev in samples() {
+            let s = to_string(&ev);
+            assert!(!s.contains('\n'), "single line: {s}");
+            let back: TraceEvent = from_str(&s).unwrap();
+            assert_eq!(back, ev, "{s}");
+        }
+    }
+
+    #[test]
+    fn events_are_tagged_and_stepped() {
+        for ev in samples() {
+            let s = to_string(&ev);
+            let v = Json::parse(&s).unwrap();
+            assert_eq!(v.get("ev").and_then(Json::as_str), Some(ev.kind()));
+            assert_eq!(v.get("step").and_then(Json::as_u64), Some(ev.step()));
+        }
+    }
+
+    #[test]
+    fn cause_maps_every_reason() {
+        use RejectReason::*;
+        assert_eq!(TraceCause::from_reason(Policy), TraceCause::Shed);
+        assert_eq!(TraceCause::from_reason(TableFailed), TraceCause::Table);
+        assert_eq!(TraceCause::from_reason(Overflow), TraceCause::Overflow);
+        assert_eq!(TraceCause::from_reason(Flush), TraceCause::Flush);
+        assert_eq!(TraceCause::from_reason(ServerDown), TraceCause::Outage);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        assert!(from_str::<TraceEvent>(r#"{"ev":"warp","step":1}"#).is_err());
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        // Evaluated at compile time; the &mut blanket impl must not
+        // re-enable what the base sink disables.
+        const { assert!(!NoopSink::ENABLED) }
+        const { assert!(!<&mut NoopSink as TraceSink>::ENABLED) }
+    }
+}

@@ -18,7 +18,7 @@
 //! explanation of why observable behavior moved.
 
 use rlb_core::policies::{DelayedCuckoo, Greedy};
-use rlb_core::{DrainMode, RunReport, SimConfig, Simulation};
+use rlb_core::{DrainMode, NoopSink, RunReport, SimConfig, Simulation, TraceEvent, TraceSink};
 use rlb_hash::{sample, Pcg64};
 
 const GOLDEN_PATH: &str = concat!(
@@ -42,6 +42,11 @@ fn scenario_config(m: usize, drain_mode: DrainMode) -> SimConfig {
 
 /// Runs one named scenario to a serialized report string.
 fn run_scenario(name: &str) -> String {
+    run_scenario_traced(name, NoopSink).0
+}
+
+/// Runs one named scenario with a trace sink attached.
+fn run_scenario_traced<S: TraceSink>(name: &str, sink: S) -> (String, S) {
     let (policy_kind, drain) = match name {
         "greedy_end_of_step" => ("greedy", DrainMode::EndOfStep),
         "greedy_interleaved" => ("greedy", DrainMode::Interleaved),
@@ -69,21 +74,21 @@ fn run_scenario(name: &str) -> String {
             out.push(core + c as u32);
         }
     };
-    let report: RunReport = match policy_kind {
+    let (report, sink): (RunReport, S) = match policy_kind {
         "greedy" => {
-            let mut sim = Simulation::new(config, Greedy::new());
+            let mut sim = Simulation::new(config, Greedy::new()).with_sink(sink);
             sim.run(&mut workload, steps);
-            sim.finish()
+            sim.finish_traced()
         }
         _ => {
             let policy = DelayedCuckoo::new(&config);
-            let mut sim = Simulation::new(config, policy);
+            let mut sim = Simulation::new(config, policy).with_sink(sink);
             sim.run(&mut workload, steps);
-            sim.finish()
+            sim.finish_traced()
         }
     };
     report.check_conservation().unwrap();
-    rlb_json::to_string(&report)
+    (rlb_json::to_string(&report), sink)
 }
 
 const SCENARIOS: [&str; 4] = [
@@ -135,5 +140,47 @@ fn reports_match_pre_optimization_goldens() {
 fn scenarios_are_deterministic() {
     for name in SCENARIOS {
         assert_eq!(run_scenario(name), run_scenario(name), "scenario {name}");
+    }
+}
+
+/// A live (enabled) sink that observes every event without storing the
+/// stream — enough to prove the emission path ran.
+#[derive(Default)]
+struct TailSink {
+    events: u64,
+    drains: u64,
+    last_step: u64,
+}
+
+impl TraceSink for TailSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.events += 1;
+        self.last_step = event.step();
+        if matches!(event, TraceEvent::Drain { .. }) {
+            self.drains += 1;
+        }
+    }
+}
+
+/// Attaching a live sink must not change a single observable number:
+/// the traced report is byte-identical to the untraced one (which the
+/// golden test above pins to the pre-trace engine), in every scenario
+/// and drain mode.
+#[test]
+fn traced_runs_do_not_perturb_reports() {
+    for name in SCENARIOS {
+        let untraced = run_scenario(name);
+        let (traced, sink) = run_scenario_traced(name, TailSink::default());
+        assert_eq!(
+            traced, untraced,
+            "scenario {name}: tracing changed the report"
+        );
+        assert!(sink.events > 0, "scenario {name}: sink saw no events");
+        assert!(sink.drains > 0, "scenario {name}: sink saw no drains");
+        assert_eq!(
+            sink.last_step,
+            400 - 1,
+            "scenario {name}: stream ended early"
+        );
     }
 }

@@ -1,0 +1,214 @@
+//! Property tests: `parse(write(x)) == x` over randomly generated
+//! value trees, driven by the workspace's own PCG64.
+//!
+//! One representational caveat shapes the generators: the compact
+//! writer prints integral floats without a fraction (`3.0` → `"3"`),
+//! which the parser then classifies as an integer. That is
+//! *value*-preserving but not *tree*-preserving, so the tree-equality
+//! property generates floats that stay floats (non-integral, or too
+//! large in magnitude for `u128`/`i128`); integral floats and exponent
+//! literals are covered separately at the value level.
+
+use rlb_hash::{Pcg64, Rng};
+use rlb_json::Json;
+
+/// Characters the string generator draws from: ASCII, every escaped
+/// control character, quote/backslash, and multi-byte unicode
+/// (2-, 3-, and 4-byte encodings).
+const CHAR_POOL: &[char] = &[
+    'a', 'z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{08}', '\u{0c}', '\u{01}', '\u{1f}',
+    'é', 'ß', '中', '文', '\u{2028}', '🦀', '𝕁',
+];
+
+fn gen_string(rng: &mut Pcg64) -> String {
+    let len = rng.gen_index(12);
+    (0..len)
+        .map(|_| CHAR_POOL[rng.gen_index(CHAR_POOL.len())])
+        .collect()
+}
+
+/// A finite float that survives the write→parse cycle as a `Float`:
+/// either non-integral, or integral but beyond `u128` range (where the
+/// parser has no integer to fall back to).
+fn gen_float(rng: &mut Pcg64) -> f64 {
+    loop {
+        let f = match rng.gen_index(5) {
+            0 => rng.gen_f64() * 1e6 - 5e5,
+            1 => rng.gen_f64() * 1e-300,
+            2 => (rng.gen_range(1 << 20) as f64 + 0.5) * 1e280,
+            3 => f64::from_bits(rng.next_u64()),
+            _ => rng.gen_range(1000) as f64 + 0.25,
+        };
+        let stays_float = f.fract() != 0.0 || f.abs() > 4e38;
+        if f.is_finite() && stays_float {
+            return f;
+        }
+    }
+}
+
+fn gen_value(rng: &mut Pcg64, depth: usize) -> Json {
+    // Leaves only at the depth limit; containers get rarer deeper down.
+    let choice = if depth == 0 {
+        rng.gen_index(6)
+    } else {
+        rng.gen_index(8)
+    };
+    match choice {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next_u64() & 1 == 0),
+        2 => {
+            // Spread over the whole u128 range, including > u64::MAX.
+            let hi = (rng.next_u64() as u128) << 64;
+            Json::UInt(hi | rng.next_u64() as u128)
+        }
+        3 => {
+            // Strictly negative (non-negative literals parse as UInt);
+            // magnitude within i128 so the parser keeps it an Int.
+            let mag = 1 + ((rng.next_u64() as u128) << 32 | rng.next_u64() as u128);
+            Json::Int(-(mag as i128))
+        }
+        4 => Json::Float(gen_float(rng)),
+        5 => Json::Str(gen_string(rng)),
+        6 => {
+            let n = rng.gen_index(5);
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_index(5);
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", gen_string(rng)),
+                            gen_value(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn generated_trees_round_trip_exactly() {
+    let mut rng = Pcg64::new(0x1507, 0x90);
+    for case in 0..500 {
+        let value = gen_value(&mut rng, 4);
+        let written = rlb_json::to_string(&value);
+        let back = Json::parse(&written).unwrap_or_else(|e| panic!("case {case}: {e}\n{written}"));
+        assert_eq!(back, value, "case {case}: tree changed\n{written}");
+        // Byte-level fixpoint: writing the reparsed tree reproduces the
+        // document (determinism of the writer).
+        assert_eq!(rlb_json::to_string(&back), written, "case {case}");
+    }
+}
+
+#[test]
+fn generated_strings_round_trip_through_escapes() {
+    let mut rng = Pcg64::new(7, 11);
+    // Every pool character alone, then random mixtures.
+    for &c in CHAR_POOL {
+        let v = Json::Str(c.to_string());
+        let s = rlb_json::to_string(&v);
+        assert_eq!(Json::parse(&s).unwrap(), v, "char {c:?} via {s}");
+    }
+    for case in 0..300 {
+        let v = Json::Str(gen_string(&mut rng));
+        let s = rlb_json::to_string(&v);
+        assert!(!s.contains('\n'), "escapes keep it single-line: {s}");
+        assert_eq!(Json::parse(&s).unwrap(), v, "case {case} via {s}");
+    }
+}
+
+#[test]
+fn deeply_nested_arrays_round_trip() {
+    let mut value = Json::UInt(7);
+    for _ in 0..64 {
+        value = Json::Arr(vec![value, Json::Null]);
+    }
+    let s = rlb_json::to_string(&value);
+    assert_eq!(Json::parse(&s).unwrap(), value);
+}
+
+#[test]
+fn exponent_literals_parse_to_the_right_value() {
+    // The writer never emits exponents, so these only appear in input;
+    // after one parse the *value* (not the tree) must be stable.
+    for text in [
+        "1e3",
+        "1E3",
+        "1e+3",
+        "1.5e-7",
+        "-2.75E+10",
+        "9.875e300",
+        "1e-320",
+        "5e-324",
+        "123.456e2",
+        "-0.5e1",
+    ] {
+        let expected: f64 = text.parse().unwrap();
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed.as_f64(), Some(expected), "{text}");
+        let rewritten = rlb_json::to_string(&parsed);
+        let reparsed = Json::parse(&rewritten).unwrap();
+        assert_eq!(reparsed.as_f64(), Some(expected), "{text} -> {rewritten}");
+    }
+}
+
+#[test]
+fn generated_exponent_floats_survive_one_rewrite() {
+    let mut rng = Pcg64::new(0xeef, 3);
+    for case in 0..300 {
+        // Random mantissa and decimal exponent, rendered with an
+        // exponent (a form only the parser ever sees).
+        let mantissa = rng.gen_range(1_000_000) as f64 / 1000.0;
+        let exp = rng.gen_range(600) as i64 - 300;
+        let sign = if rng.next_u64() & 1 == 0 { "" } else { "-" };
+        let text = format!("{sign}{mantissa}e{exp}");
+        let expected: f64 = text.parse().unwrap();
+        if expected == 0.0 || !expected.is_finite() {
+            continue; // underflow/overflow collapse; nothing to compare
+        }
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.as_f64(), Some(expected), "case {case}: {text}");
+        let rewritten = rlb_json::to_string(&parsed);
+        assert_eq!(
+            Json::parse(&rewritten).unwrap().as_f64(),
+            Some(expected),
+            "case {case}: {text} -> {rewritten}"
+        );
+    }
+}
+
+#[test]
+fn integer_extremes_round_trip_as_trees() {
+    for v in [
+        Json::UInt(0),
+        Json::UInt(u64::MAX as u128),
+        Json::UInt(u128::MAX),
+        Json::Int(-1),
+        Json::Int(-(u64::MAX as i128)),
+        Json::Int(-i128::MAX),
+    ] {
+        let s = rlb_json::to_string(&v);
+        assert_eq!(Json::parse(&s).unwrap(), v, "{s}");
+    }
+}
+
+#[test]
+fn non_finite_floats_use_the_string_convention() {
+    for (f, s) in [
+        (f64::INFINITY, "\"Infinity\""),
+        (f64::NEG_INFINITY, "\"-Infinity\""),
+    ] {
+        let written = rlb_json::to_string(&Json::Float(f));
+        assert_eq!(written, s);
+        assert_eq!(Json::parse(&written).unwrap().as_f64(), Some(f));
+    }
+    let written = rlb_json::to_string(&Json::Float(f64::NAN));
+    assert_eq!(written, "\"NaN\"");
+    assert!(Json::parse(&written)
+        .unwrap()
+        .as_f64()
+        .is_some_and(f64::is_nan));
+}

@@ -8,7 +8,10 @@
 //! distinct-chunks-per-step constraint manifests in a real store).
 
 use crate::directory::ChunkDirectory;
-use rlb_core::{Decision, Observer, Policy, RunReport, SimConfig, Simulation, Workload};
+use rlb_core::{
+    Decision, NoopSink, Observer, Policy, RunReport, SimConfig, Simulation, TraceEvent, TraceSink,
+    Workload,
+};
 
 /// Per-step accounting returned by [`KvCluster::commit_step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,8 +86,8 @@ impl Workload for OneShot<'_> {
 /// let report = kv.finish();
 /// assert_eq!(report.in_flight, 0);
 /// ```
-pub struct KvCluster<P: Policy> {
-    sim: Simulation<P>,
+pub struct KvCluster<P: Policy, S: TraceSink = NoopSink> {
+    sim: Simulation<P, S>,
     directory: ChunkDirectory,
     pending: Vec<u32>,
     pending_set: std::collections::HashSet<u32>,
@@ -111,6 +114,23 @@ impl<P: Policy> KvCluster<P> {
             tenant_stats: Vec::new(),
         }
     }
+}
+
+impl<P: Policy, S: TraceSink> KvCluster<P, S> {
+    /// Replaces the trace sink (builder style). The sink receives both
+    /// the engine's events and this façade's [`TraceEvent::TenantOp`]
+    /// key-operation events, interleaved in issue order.
+    pub fn with_sink<S2: TraceSink>(self, sink: S2) -> KvCluster<P, S2> {
+        KvCluster {
+            sim: self.sim.with_sink(sink),
+            directory: self.directory,
+            pending: self.pending,
+            pending_set: self.pending_set,
+            coalesced_this_step: self.coalesced_this_step,
+            step_owner: self.step_owner,
+            tenant_stats: self.tenant_stats,
+        }
+    }
 
     /// The key directory (e.g. for pinning keys).
     pub fn directory_mut(&mut self) -> &mut ChunkDirectory {
@@ -123,8 +143,13 @@ impl<P: Policy> KvCluster<P> {
     }
 
     /// The underlying simulation (read-only; e.g. policy diagnostics).
-    pub fn simulation(&self) -> &Simulation<P> {
+    pub fn simulation(&self) -> &Simulation<P, S> {
         &self.sim
+    }
+
+    /// The attached trace sink, read-only.
+    pub fn sink(&self) -> &S {
+        self.sim.sink()
     }
 
     /// Issues a `get` for `key` in the current step. Returns `true` if a
@@ -146,7 +171,7 @@ impl<P: Policy> KvCluster<P> {
         }
         self.tenant_stats[tenant as usize].key_requests += 1;
         let chunk = self.directory.chunk_of(key);
-        if self.pending_set.insert(chunk) {
+        let created = if self.pending_set.insert(chunk) {
             self.pending.push(chunk);
             self.step_owner.insert(chunk, tenant);
             true
@@ -154,7 +179,18 @@ impl<P: Policy> KvCluster<P> {
             self.coalesced_this_step += 1;
             self.tenant_stats[tenant as usize].coalesced += 1;
             false
+        };
+        if S::ENABLED {
+            let step = self.sim.step_count();
+            self.sim.sink_mut().on_event(&TraceEvent::TenantOp {
+                step,
+                tenant,
+                key,
+                chunk,
+                coalesced: !created,
+            });
         }
+        created
     }
 
     /// Accounting for `tenant` so far (zeros if the tenant never issued
@@ -209,6 +245,11 @@ impl<P: Policy> KvCluster<P> {
     /// Finishes the run and returns the full report.
     pub fn finish(self) -> RunReport {
         self.sim.finish()
+    }
+
+    /// Finishes the run, returning the report and the trace sink.
+    pub fn finish_traced(self) -> (RunReport, S) {
+        self.sim.finish_traced()
     }
 }
 

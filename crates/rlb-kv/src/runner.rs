@@ -79,6 +79,30 @@ where
         .collect()
 }
 
+/// Runs `trials` traced trials and splices their JSONL streams into
+/// one document, in trial-index order.
+///
+/// `f` returns `(value, jsonl)` per trial; because [`run_trials`]
+/// orders results by index regardless of completion order, the
+/// concatenated stream is byte-identical across thread counts — the
+/// golden-trace determinism test pins this down. Each trial's stream
+/// must be self-terminated (JSONL lines end in `\n`, as
+/// `rlb_trace`'s `JsonlSink` guarantees).
+pub fn run_trials_traced<T, F>(trials: usize, threads: usize, f: F) -> (Vec<T>, String)
+where
+    T: Send,
+    F: Fn(usize) -> (T, String) + Sync,
+{
+    let outcomes = run_trials(trials, threads, f);
+    let mut jsonl = String::with_capacity(outcomes.iter().map(|(_, s)| s.len()).sum());
+    let mut values = Vec::with_capacity(outcomes.len());
+    for (value, stream) in outcomes {
+        values.push(value);
+        jsonl.push_str(&stream);
+    }
+    (values, jsonl)
+}
+
 /// Convenience: number of worker threads to use by default — the
 /// available parallelism minus one (leave a core for the harness), at
 /// least 1.

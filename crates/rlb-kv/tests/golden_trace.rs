@@ -1,0 +1,105 @@
+//! Golden-trace determinism: tracing must not perturb the engine's
+//! determinism, and the multi-trial runner must splice per-trial JSONL
+//! streams in index order — so the same seeds yield a byte-identical
+//! trace document no matter how many worker threads ran the trials.
+
+use rlb_core::policies::Greedy;
+use rlb_core::{SimConfig, TraceEvent};
+use rlb_kv::{run_trials_traced, KvCluster};
+use rlb_trace::{parse_jsonl, JsonlSink, Recorder};
+
+/// One traced trial: a multi-tenant key workload on a greedy cluster,
+/// fully drained, returning summary counters plus the JSONL stream.
+fn traced_trial(index: usize) -> ((u64, u64, u64), String) {
+    let config = SimConfig::baseline(32).with_seed(0x901d + index as u64);
+    let mut kv = KvCluster::new(config, Greedy::new()).with_sink(JsonlSink::new());
+    for step in 0..25u64 {
+        for key in 0..48u64 {
+            kv.get_for((key % 3) as u16, key * 5 + step);
+        }
+        kv.commit_step();
+    }
+    kv.idle(12);
+    let (report, sink) = kv.finish_traced();
+    report.check_conservation().unwrap();
+    (
+        (report.accepted, report.completed, report.rejected_total),
+        sink.into_string(),
+    )
+}
+
+#[test]
+fn golden_trace_is_byte_identical_across_thread_counts() {
+    let trials = 6;
+    let (baseline_values, baseline_jsonl) = run_trials_traced(trials, 1, traced_trial);
+    assert_eq!(baseline_values.len(), trials);
+    for threads in [2, 8] {
+        let (values, jsonl) = run_trials_traced(trials, threads, traced_trial);
+        assert_eq!(
+            values, baseline_values,
+            "values differ at {threads} threads"
+        );
+        assert_eq!(jsonl, baseline_jsonl, "trace differs at {threads} threads");
+    }
+
+    // The spliced document is valid JSONL and contains both KV-layer
+    // and engine-layer events.
+    let events = parse_jsonl(&baseline_jsonl).unwrap();
+    assert_eq!(events.len(), baseline_jsonl.lines().count());
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::TenantOp { .. })));
+    assert!(events.iter().any(|e| matches!(e, TraceEvent::Route { .. })));
+    assert!(events.iter().any(|e| matches!(e, TraceEvent::Drain { .. })));
+}
+
+#[test]
+fn tenant_ops_carry_coalescing_and_interleave_with_engine_events() {
+    let config = SimConfig::baseline(16).with_seed(5);
+    let mut kv = KvCluster::new(config, Greedy::new()).with_sink(Recorder::new(4096));
+    // Pin two keys to one chunk so the second `get` coalesces.
+    kv.directory_mut().pin(1, 3).unwrap();
+    kv.directory_mut().pin(2, 3).unwrap();
+    assert!(kv.get_for(7, 1));
+    assert!(!kv.get_for(8, 2));
+    kv.commit_step();
+
+    let ops: Vec<&TraceEvent> = kv
+        .sink()
+        .events()
+        .filter(|e| matches!(e, TraceEvent::TenantOp { .. }))
+        .collect();
+    assert_eq!(ops.len(), 2);
+    assert_eq!(
+        *ops[0],
+        TraceEvent::TenantOp {
+            step: 0,
+            tenant: 7,
+            key: 1,
+            chunk: 3,
+            coalesced: false,
+        }
+    );
+    assert_eq!(
+        *ops[1],
+        TraceEvent::TenantOp {
+            step: 0,
+            tenant: 8,
+            key: 2,
+            chunk: 3,
+            coalesced: true,
+        }
+    );
+
+    // Key ops precede the routing of the step they belong to.
+    let events: Vec<&TraceEvent> = kv.sink().events().collect();
+    let first_route = events
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Route { .. }))
+        .expect("commit routed a chunk");
+    let last_op = events
+        .iter()
+        .rposition(|e| matches!(e, TraceEvent::TenantOp { .. }))
+        .unwrap();
+    assert!(last_op < first_route, "tenant ops precede routing");
+}

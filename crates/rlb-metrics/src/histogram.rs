@@ -270,6 +270,68 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_percentiles_are_none_at_every_rank() {
+        let h = Histogram::new();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), None, "q = {q}");
+        }
+        // An allocated-but-unused histogram behaves identically.
+        let h = Histogram::with_capacity(1024);
+        assert!(h.is_empty());
+        for q in [0.0, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q = {q}");
+        }
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(17);
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(17), "q = {q}");
+        }
+        assert_eq!(h.mean(), Some(17.0));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.count_above(16), 1);
+        assert_eq!(h.count_above(17), 0);
+    }
+
+    #[test]
+    fn top_bucket_saturation_grows_and_stays_exact() {
+        // Start with a small preallocated range and slam the top of it,
+        // then far past it: the dense vector must grow, and mass piled
+        // on the final bucket must keep quantiles, counts, and the mean
+        // exact (no sketch-style clipping).
+        let mut h = Histogram::with_capacity(4);
+        h.record_n(4, 10); // top preallocated bucket
+        h.record_n(1000, 90); // far beyond the allocation
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.count_at(4), 10);
+        assert_eq!(h.count_at(1000), 90);
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.quantile(0.05), Some(4));
+        // Rank 11 onward lands in the saturated top value.
+        assert_eq!(h.quantile(0.11), Some(1000));
+        assert_eq!(h.quantile(0.99), Some(1000));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.mean(), Some((4.0 * 10.0 + 1000.0 * 90.0) / 100.0));
+        assert_eq!(h.count_above(999), 90);
+        assert_eq!(h.count_above(1000), 0);
+
+        // Heavy counts on one value do not overflow intermediate sums
+        // (the per-value count and the rank math are u64; the value sum
+        // is u128).
+        let mut big = Histogram::new();
+        big.record_n(1000, 1 << 32);
+        assert_eq!(big.count(), 1 << 32);
+        assert_eq!(big.quantile(0.99), Some(1000));
+        assert_eq!(big.mean(), Some(1000.0));
+    }
+
+    #[test]
     #[should_panic(expected = "quantile must be in [0,1]")]
     fn quantile_out_of_range_panics() {
         let mut h = Histogram::new();

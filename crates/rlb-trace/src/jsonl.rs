@@ -1,0 +1,142 @@
+//! Streaming JSONL export and parsing.
+
+use rlb_core::{TraceEvent, TraceSink};
+use rlb_json::{from_str, to_string};
+
+/// Serializes every event as one compact JSON line.
+///
+/// The engine emits events in deterministic order for a given seed, and
+/// `rlb-json` writes object fields in declaration order, so the same
+/// run always produces a byte-identical stream — the golden-trace
+/// determinism test in `rlb-kv` relies on this.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    out: String,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sink with `bytes` of preallocated buffer.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            out: String::with_capacity(bytes),
+            lines: 0,
+        }
+    }
+
+    /// Number of lines (= events) written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.lines == 0
+    }
+
+    /// The stream so far: `lines()` lines, each `\n`-terminated.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consumes the sink, yielding the stream.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn on_event(&mut self, event: &TraceEvent) {
+        self.out.push_str(&to_string(event));
+        self.out.push('\n');
+        self.lines += 1;
+    }
+}
+
+/// Parses a JSONL trace back into events. Blank lines are skipped;
+/// errors carry the 1-based line number.
+pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev: TraceEvent = from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_core::TraceCause;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Route {
+                step: 0,
+                chunk: 5,
+                server: 1,
+                class: 0,
+                candidates: vec![1, 3],
+                backlogs: vec![0, 2],
+            },
+            TraceEvent::Enqueue {
+                step: 0,
+                server: 1,
+                class: 0,
+                backlog: 1,
+            },
+            TraceEvent::Reject {
+                step: 1,
+                chunk: 9,
+                cause: TraceCause::Shed,
+            },
+            TraceEvent::Drain {
+                step: 2,
+                server: 1,
+                class: 0,
+                arrivals: vec![0],
+            },
+        ]
+    }
+
+    #[test]
+    fn one_line_per_event_and_round_trip() {
+        let mut sink = JsonlSink::new();
+        for ev in samples() {
+            sink.on_event(&ev);
+        }
+        assert_eq!(sink.lines(), 4);
+        assert_eq!(sink.as_str().lines().count(), 4);
+        assert!(sink.as_str().ends_with('\n'));
+        let back = parse_jsonl(sink.as_str()).unwrap();
+        assert_eq!(back, samples());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let mut sink = JsonlSink::new();
+        sink.on_event(&TraceEvent::Flush {
+            step: 7,
+            dropped: 0,
+        });
+        let padded = format!("\n{}\n\n", sink.as_str());
+        let back = parse_jsonl(&padded).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].step(), 7);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err =
+            parse_jsonl("{\"ev\":\"flush\",\"step\":1,\"dropped\":0}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

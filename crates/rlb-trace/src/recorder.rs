@@ -1,0 +1,127 @@
+//! A bounded ring buffer of recent events.
+
+use std::collections::VecDeque;
+
+use rlb_core::{TraceEvent, TraceSink};
+
+/// Keeps the last `capacity` events, dropping the oldest on overflow.
+///
+/// The intended use is post-mortem context: run with a `Recorder`
+/// attached, and when a shape check fails, dump the tail of the event
+/// stream to see what the engine did in the steps leading up to the
+/// violation. Memory stays bounded no matter how long the run is.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder holding at most `capacity` events. A zero
+    /// capacity records nothing (but still counts drops).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted (or never stored, for zero capacity).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events observed, retained or not.
+    pub fn observed(&self) -> u64 {
+        self.dropped + self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Consumes the recorder, yielding the retained events oldest
+    /// first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Forgets all retained events (the drop counter keeps counting).
+    pub fn clear(&mut self) {
+        self.dropped += self.buf.len() as u64;
+        self.buf.clear();
+    }
+}
+
+impl TraceSink for Recorder {
+    fn on_event(&mut self, event: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flush(step: u64) -> TraceEvent {
+        TraceEvent::Flush { step, dropped: 0 }
+    }
+
+    #[test]
+    fn keeps_the_last_n_events() {
+        let mut rec = Recorder::new(3);
+        for step in 0..10 {
+            rec.on_event(&flush(step));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 7);
+        assert_eq!(rec.observed(), 10);
+        let steps: Vec<u64> = rec.events().map(TraceEvent::step).collect();
+        assert_eq!(steps, vec![7, 8, 9]);
+        assert_eq!(rec.into_events().len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut rec = Recorder::new(0);
+        rec.on_event(&flush(1));
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_counting() {
+        let mut rec = Recorder::new(8);
+        rec.on_event(&flush(1));
+        rec.on_event(&flush(2));
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.observed(), 2);
+    }
+}
