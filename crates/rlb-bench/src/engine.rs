@@ -132,7 +132,15 @@ fn build_sim(s: &EngineScenario) -> (Simulation<Greedy>, Box<dyn Workload + Send
     (sim, workload)
 }
 
-/// Runs one scenario (after one untimed warmup run) and measures it.
+/// Timed samples per scenario; the fastest is reported. A single sample
+/// is hostage to scheduler noise (shared runners show ±30 % run-to-run
+/// on an otherwise idle box); the per-scenario *minimum elapsed* is the
+/// standard noise-floor estimator, since interference only ever slows a
+/// run down.
+const GATE_SAMPLES: usize = 3;
+
+/// Runs one scenario (after one untimed warmup run) and measures it,
+/// reporting the fastest of [`GATE_SAMPLES`] timed runs.
 pub fn run_scenario(s: &EngineScenario) -> EngineBenchResult {
     // Warmup: build once and run a few steps so allocation and placement
     // setup are out of the timed region's first iteration.
@@ -141,11 +149,18 @@ pub fn run_scenario(s: &EngineScenario) -> EngineBenchResult {
         sim.run(w.as_mut(), s.steps.min(8));
         std::hint::black_box(sim.finish());
     }
-    let (mut sim, mut w) = build_sim(s);
-    let start = Instant::now();
-    sim.run(w.as_mut(), s.steps);
-    let elapsed = start.elapsed();
-    let report = sim.finish();
+    let mut best: Option<(std::time::Duration, u64)> = None;
+    for _ in 0..GATE_SAMPLES {
+        let (mut sim, mut w) = build_sim(s);
+        let start = Instant::now();
+        sim.run(w.as_mut(), s.steps);
+        let elapsed = start.elapsed();
+        let report = sim.finish();
+        if best.is_none_or(|(b, _)| elapsed < b) {
+            best = Some((elapsed, report.arrived));
+        }
+    }
+    let (elapsed, arrived) = best.expect("GATE_SAMPLES > 0");
     let secs = elapsed.as_secs_f64().max(1e-12);
     EngineBenchResult {
         name: format!("{}/m{}", s.kind, s.m),
@@ -153,10 +168,10 @@ pub fn run_scenario(s: &EngineScenario) -> EngineBenchResult {
         m: s.m as u64,
         per_step: s.per_step as u64,
         steps: s.steps,
-        requests: report.arrived,
+        requests: arrived,
         elapsed_nanos: elapsed.as_nanos() as u64,
         steps_per_sec: s.steps as f64 / secs,
-        requests_per_sec: report.arrived as f64 / secs,
+        requests_per_sec: arrived as f64 / secs,
     }
 }
 

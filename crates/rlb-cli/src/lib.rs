@@ -401,6 +401,30 @@ pub fn render_text(opts: &CliOptions, report: &RunReport) -> String {
     out
 }
 
+/// Runs the `lint` subcommand: the workspace's self-hosted static
+/// analysis (`rlb-lint`) over every `crates/*/src` file. Returns the
+/// rendered report and whether the workspace is clean; the binary exits
+/// nonzero on any finding.
+///
+/// Arguments (after the `lint` subcommand): `--root PATH` (default
+/// `.`), the workspace root containing `crates/`.
+///
+/// # Errors
+/// Returns a message on malformed arguments or an unreadable tree
+/// (findings are reported in the summary, not as errors).
+pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
+    let mut root = ".".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().ok_or("--root requires a path")?.clone(),
+            other => return Err(format!("unknown lint option {other:?}")),
+        }
+    }
+    let report = rlb_lint::lint_workspace(std::path::Path::new(&root))?;
+    Ok((report.render(), report.is_clean()))
+}
+
 /// Runs the engine perf gate (`rlb-sim bench`) and writes the results
 /// as JSON. Returns a human-readable summary.
 ///

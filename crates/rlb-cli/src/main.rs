@@ -12,6 +12,21 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("lint") {
+        match rlb_cli::run_lint(&args[1..]) {
+            Ok((summary, clean)) => {
+                print!("{summary}");
+                if !clean {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("trace") {
         match rlb_cli::run_trace(&args[1..]) {
             Ok(summary) => print!("{summary}"),
@@ -43,7 +58,10 @@ fn main() {
              \x20                   run the engine perf gate and write BENCH_engine.json\n\
              \x20 trace [RUN OPTIONS] [--out PATH]\n\
              \x20                   run with the JSONL trace sink, write trace.jsonl, print the\n\
-             \x20                   per-class latency summary derived from the persisted trace"
+             \x20                   per-class latency summary derived from the persisted trace\n\
+             \x20 lint [--root PATH]\n\
+             \x20                   run the workspace's static-analysis pass (rlb-lint) over\n\
+             \x20                   crates/*/src; exits nonzero on any unsuppressed finding"
         );
         return;
     }

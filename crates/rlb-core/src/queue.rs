@@ -114,10 +114,15 @@ impl QueueArray {
         debug_assert_ne!(slot as u32, NOT_OCCUPIED);
         self.occ_slot[idx] = NOT_OCCUPIED;
         let list = &mut self.occupied[class];
-        let last = list.pop().expect("occupancy slot points into list");
-        if last != server {
-            list[slot] = last;
-            self.occ_slot[last as usize * k + class] = slot as u32;
+        // The slot back-pointer guarantees membership, so the list is
+        // non-empty here; an infallible pop keeps the drain hot path
+        // free of panic branches (hot-path panic discipline).
+        debug_assert!(slot < list.len(), "occupancy slot points into list");
+        if let Some(last) = list.pop() {
+            if last != server {
+                list[slot] = last;
+                self.occ_slot[last as usize * k + class] = slot as u32;
+            }
         }
     }
 
@@ -365,6 +370,118 @@ impl QueueArray {
     /// incrementally by every mutation.
     pub fn total_backlog(&self) -> u64 {
         self.total
+    }
+}
+
+/// Feature `sanitize`: full re-derivation of the structure's invariants.
+///
+/// The engine calls [`QueueArray::sanitize_check`] after every step when
+/// the `sanitize` cargo feature is on; nothing here is compiled
+/// otherwise, so the default build keeps its hot path untouched.
+#[cfg(feature = "sanitize")]
+impl QueueArray {
+    /// Re-derives every structural invariant from scratch and reports
+    /// the first violation: ring `head`/`len` bounds, per-server
+    /// `backlog` vs. the sum of class lengths, the incremental `total`
+    /// vs. a full recount, and the occupancy index against actual queue
+    /// membership (both directions, including back-pointer integrity
+    /// and list lengths).
+    ///
+    /// # Errors
+    /// A human-readable description of the first invariant violated.
+    pub fn sanitize_check(&self) -> Result<(), String> {
+        let k = self.caps.len();
+        let m = self.num_servers;
+        if self.head.len() != m * k
+            || self.len.len() != m * k
+            || self.occ_slot.len() != m * k
+            || self.backlog.len() != m
+            || self.occupied.len() != k
+        {
+            return Err("sanitize: index array length drifted from m * K".into());
+        }
+        let mut total: u64 = 0;
+        for server in 0..m {
+            let mut server_sum: u64 = 0;
+            for class in 0..k {
+                let idx = server * k + class;
+                let cap = self.caps[class];
+                if self.head[idx] >= cap {
+                    return Err(format!(
+                        "sanitize: ring head {} out of bounds (cap {cap}) at server {server} class {class}",
+                        self.head[idx]
+                    ));
+                }
+                if self.len[idx] > cap {
+                    return Err(format!(
+                        "sanitize: ring len {} exceeds cap {cap} at server {server} class {class}",
+                        self.len[idx]
+                    ));
+                }
+                server_sum += self.len[idx] as u64;
+                let slot = self.occ_slot[idx];
+                if self.len[idx] > 0 {
+                    if slot == NOT_OCCUPIED {
+                        return Err(format!(
+                            "sanitize: occupancy index lost non-empty queue (server {server}, class {class})"
+                        ));
+                    }
+                    let list = &self.occupied[class];
+                    if slot as usize >= list.len() || list[slot as usize] != server as u32 {
+                        return Err(format!(
+                            "sanitize: occupancy back-pointer broken (server {server}, class {class}, slot {slot})"
+                        ));
+                    }
+                } else if slot != NOT_OCCUPIED {
+                    return Err(format!(
+                        "sanitize: empty queue still in occupancy index (server {server}, class {class})"
+                    ));
+                }
+            }
+            if self.backlog[server] as u64 != server_sum {
+                return Err(format!(
+                    "sanitize: per-server backlog {} != class-length sum {server_sum} at server {server}",
+                    self.backlog[server]
+                ));
+            }
+            total += server_sum;
+        }
+        if total != self.total {
+            return Err(format!(
+                "sanitize: incremental total backlog {} != full recount {total}",
+                self.total
+            ));
+        }
+        for (class, list) in self.occupied.iter().enumerate() {
+            let nonempty = (0..m).filter(|&s| self.len[s * k + class] > 0).count();
+            if list.len() != nonempty {
+                return Err(format!(
+                    "sanitize: occupancy list for class {class} holds {} entries, {nonempty} queues are non-empty",
+                    list.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test hook: desynchronizes the occupancy index from the queues
+    /// (drops every membership entry) so tests can prove the sanitizer
+    /// catches index drift.
+    #[doc(hidden)]
+    pub fn sanitize_corrupt_occupancy(&mut self) {
+        for list in &mut self.occupied {
+            list.clear();
+        }
+        for slot in &mut self.occ_slot {
+            *slot = NOT_OCCUPIED;
+        }
+    }
+
+    /// Test hook: desynchronizes the incremental cluster-wide total
+    /// from the per-queue lengths.
+    #[doc(hidden)]
+    pub fn sanitize_corrupt_total(&mut self) {
+        self.total = self.total.wrapping_add(1);
     }
 }
 

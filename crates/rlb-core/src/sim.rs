@@ -117,6 +117,8 @@ impl<P: Policy> Simulation<P> {
     pub fn new(config: SimConfig, policy: P) -> Self {
         config
             .validate()
+            // Constructor precondition, documented above; never on the
+            // per-step hot path. lint:allow(panic-discipline)
             .unwrap_or_else(|e| panic!("invalid config: {e}"));
         let placement = ReplicaPlacement::random(
             config.num_chunks,
@@ -135,6 +137,8 @@ impl<P: Policy> Simulation<P> {
     pub fn with_placement(config: SimConfig, policy: P, placement: ReplicaPlacement) -> Self {
         config
             .validate()
+            // Constructor precondition, documented above; never on the
+            // per-step hot path. lint:allow(panic-discipline)
             .unwrap_or_else(|e| panic!("invalid config: {e}"));
         assert_eq!(
             placement.num_chunks(),
@@ -314,6 +318,9 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
         }
         debug_assert!(
             {
+                // Membership-only duplicate probe inside a debug assert;
+                // iteration order never escapes, so determinism holds.
+                // lint:allow(determinism)
                 let mut set = std::collections::HashSet::new();
                 self.chunk_scratch.iter().all(|&c| set.insert(c))
             },
@@ -385,6 +392,8 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
 
         let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
         observer.on_step_end(step, &view);
+        #[cfg(feature = "sanitize")]
+        self.sanitize_step(step);
         self.step += 1;
     }
 
@@ -565,6 +574,38 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                 }
             }
         }
+    }
+
+    /// Feature `sanitize`: re-derives the engine's invariants from
+    /// scratch after the step just executed and panics on any drift.
+    /// Compiled out entirely without the feature.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_step(&self, step: u64) {
+        if let Err(e) = self.queues.sanitize_check() {
+            // Aborting on invariant drift is this feature's purpose.
+            // lint:allow(panic-discipline)
+            panic!("sanitize failed after step {step}: {e}");
+        }
+        // Liveness mask: re-derive from the outage schedule. With no
+        // schedule the mask must still be the all-true initial value.
+        let mut expected = vec![true; self.config.num_servers];
+        if !self.outages.is_empty() {
+            self.outages.fill_up_mask(step, &mut expected);
+        }
+        if expected != self.up_mask {
+            // lint:allow(panic-discipline)
+            panic!(
+                "sanitize failed after step {step}: liveness mask drifted from the outage schedule"
+            );
+        }
+    }
+
+    /// Test hook (feature `sanitize`): mutable access to the queue
+    /// array so sanitizer tests can inject corruption.
+    #[cfg(feature = "sanitize")]
+    #[doc(hidden)]
+    pub fn sanitize_queues_mut(&mut self) -> &mut QueueArray {
+        &mut self.queues
     }
 
     /// Finishes the run and returns the report.

@@ -34,7 +34,7 @@ pub struct RunStats {
     /// needed for every sampled snapshot to be safe).
     pub worst_safety_ratio: f64,
     /// Maximum per-server backlog ever observed at a sample point.
-    pub max_backlog: u32,
+    pub max_backlog: u64,
     /// Maximum per-server backlog observed at *enqueue time* (within a
     /// step, before the drain) — the quantity the queue capacity `q`
     /// actually bounds.
@@ -112,7 +112,7 @@ impl RunStats {
         if report.worst_ratio > self.worst_safety_ratio {
             self.worst_safety_ratio = report.worst_ratio;
         }
-        self.max_backlog = self.max_backlog.max(snapshot.max_backlog() as u32);
+        self.max_backlog = self.max_backlog.max(snapshot.max_backlog());
         let mean = snapshot.mean_backlog();
         self.backlog_mean_sum += mean;
         self.backlog_mean_count += 1;
@@ -205,7 +205,7 @@ pub struct RunReport {
     /// Mean of per-sample mean backlogs.
     pub mean_backlog: f64,
     /// Largest per-server backlog at any sample point.
-    pub max_backlog: u32,
+    pub max_backlog: u64,
     /// Largest per-server backlog at any enqueue (within-step peak; this
     /// is what the queue capacity `q` bounds).
     pub peak_backlog: u32,

@@ -1,0 +1,108 @@
+//! Feature `sanitize`: the engine re-derives its structural invariants
+//! after every step and panics on drift. These tests prove both
+//! directions: healthy runs stay silent, and injected corruption (via
+//! the `#[doc(hidden)]` hooks) is caught on the very next step.
+
+#![cfg(feature = "sanitize")]
+
+use rlb_core::policies::Greedy;
+use rlb_core::{DrainMode, SimConfig, Simulation, Workload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn config() -> SimConfig {
+    SimConfig {
+        num_servers: 16,
+        num_chunks: 64,
+        replication: 2,
+        process_rate: 2,
+        queue_capacity: 8,
+        flush_interval: Some(7),
+        drain_mode: DrainMode::EndOfStep,
+        seed: 11,
+        safety_check_every: Some(1),
+    }
+}
+
+fn workload() -> impl Workload {
+    |_step: u64, out: &mut Vec<u32>| out.extend(0..48u32)
+}
+
+/// Runs one more step and returns the panic payload, if any.
+fn step_panic_message(sim: &mut Simulation<Greedy>) -> Option<String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        sim.run(&mut workload(), 1);
+    }));
+    result.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+#[test]
+fn healthy_run_passes_every_step() {
+    // Saturating load with flushes and interleaved drains: exercises
+    // enqueue, overflow, drain, occupancy-list churn, and flush resets
+    // under the per-step invariant re-derivation.
+    for mode in [DrainMode::EndOfStep, DrainMode::Interleaved] {
+        let mut cfg = config();
+        cfg.drain_mode = mode;
+        let mut sim = Simulation::new(cfg, Greedy::new());
+        sim.run(&mut workload(), 50);
+        let report = sim.finish();
+        report.check_conservation().unwrap();
+    }
+}
+
+#[test]
+fn healthy_run_with_outages_passes() {
+    use rlb_core::OutageSchedule;
+    let mut schedule = OutageSchedule::none();
+    schedule.push(3, 5, 20);
+    schedule.push(9, 10, 30);
+    let mut sim = Simulation::new(config(), Greedy::new()).with_outages(schedule);
+    sim.run(&mut workload(), 40);
+    sim.finish().check_conservation().unwrap();
+}
+
+#[test]
+fn corrupted_occupancy_index_is_caught() {
+    let mut sim = Simulation::new(config(), Greedy::new());
+    sim.run(&mut workload(), 5);
+    assert!(
+        sim.view().backlogs().iter().any(|&b| b > 0),
+        "scenario must leave work queued so corruption is observable"
+    );
+    sim.sanitize_queues_mut().sanitize_corrupt_occupancy();
+    let msg = step_panic_message(&mut sim).expect("sanitizer must panic");
+    assert!(
+        msg.contains("sanitize"),
+        "panic should name the sanitizer: {msg}"
+    );
+    assert!(
+        msg.contains("occupancy"),
+        "panic should name the broken invariant: {msg}"
+    );
+}
+
+#[test]
+fn corrupted_total_backlog_is_caught() {
+    let mut sim = Simulation::new(config(), Greedy::new());
+    sim.run(&mut workload(), 5);
+    sim.sanitize_queues_mut().sanitize_corrupt_total();
+    let msg = step_panic_message(&mut sim).expect("sanitizer must panic");
+    assert!(
+        msg.contains("total backlog"),
+        "panic should name the broken invariant: {msg}"
+    );
+}
+
+#[test]
+fn direct_check_reports_ok_on_fresh_state() {
+    let sim = Simulation::new(config(), Greedy::new());
+    // Zero steps run: every queue empty, occupancy lists empty.
+    let mut sim = sim;
+    sim.sanitize_queues_mut().sanitize_check().unwrap();
+}

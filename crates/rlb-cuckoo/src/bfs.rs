@@ -129,6 +129,9 @@ impl<V: Copy> BfsCuckoo<V> {
                 return Ok(None);
             }
         }
+        // Membership-only visited set (never iterated), and slot ids can
+        // span the whole table, so a dense stamp array would cost O(table)
+        // per insert burst for nothing. lint:allow(determinism)
         let mut seen = std::collections::HashSet::with_capacity(128);
         visits.push((a, -1));
         seen.insert(a);

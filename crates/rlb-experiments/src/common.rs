@@ -118,7 +118,7 @@ pub struct Aggregate {
     /// Mean of per-trial mean backlogs.
     pub mean_backlog: f64,
     /// Maximum backlog across all trials.
-    pub max_backlog: u32,
+    pub max_backlog: u64,
     /// Maximum within-step (enqueue-time) backlog across all trials.
     pub peak_backlog: u32,
     /// Fraction of safety samples violated (pooled).

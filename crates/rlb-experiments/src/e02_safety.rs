@@ -67,7 +67,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                     fmt_u(g as u64),
                     fmt_rate(agg.safety_violation_rate),
                     fmt_f(agg.worst_safety_ratio, 3),
-                    fmt_u(agg.max_backlog as u64),
+                    fmt_u(agg.max_backlog),
                 ]);
                 worst_overall = worst_overall.max(agg.worst_safety_ratio);
                 total_violation_rate += agg.safety_violation_rate;

@@ -50,7 +50,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             fmt_u(d as u64),
             fmt_rate(agg.rejection_rate),
             fmt_f(agg.avg_latency, 2),
-            fmt_u(agg.max_backlog as u64),
+            fmt_u(agg.max_backlog),
         ]);
         rates.push((d, agg.rejection_rate));
     }

@@ -56,7 +56,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             policy.name().to_string(),
             fmt_u(g as u64),
             fmt_rate(agg.rejection_rate),
-            fmt_u(agg.max_backlog as u64),
+            fmt_u(agg.max_backlog),
         ]);
         rates.push(((policy, g), agg.rejection_rate));
     }

@@ -65,6 +65,8 @@ fn main() {
             "running {id}: {title}{}",
             if quick { " (quick)" } else { "" }
         );
+        // Wall-clock progress display only; never feeds results.
+        // lint:allow(determinism)
         let started = std::time::Instant::now();
         let out = runner(quick);
         if !json {

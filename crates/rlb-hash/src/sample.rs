@@ -35,6 +35,9 @@ pub fn sample_k_distinct<R: Rng>(rng: &mut R, n: u64, k: usize) -> Vec<u64> {
     // Floyd's algorithm: for j in n-k..n, pick t in [0, j]; insert t unless
     // already present, else insert j.
     let mut chosen: Vec<u64> = Vec::with_capacity(k);
+    // Membership-only (never iterated) over a universe that can reach
+    // m^3, so a dense stamp array is not an option; all draws come from
+    // the caller's seeded RNG. lint:allow(determinism)
     let mut set = std::collections::HashSet::with_capacity(k * 2);
     for j in (n - k as u64)..n {
         let t = rng.gen_range(j + 1);

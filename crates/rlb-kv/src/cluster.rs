@@ -39,16 +39,75 @@ pub struct TenantStats {
     pub rejected: u64,
 }
 
+/// Per-step chunk-request index: membership ("is this chunk already
+/// pending?") plus the owning tenant, keyed by chunk id.
+///
+/// A stamped dense array instead of a `HashMap`: chunk ids are `<
+/// num_chunks`, so one slot per chunk with a generation stamp gives O(1)
+/// insert/lookup, an O(1) per-step clear (bump the generation), and —
+/// unlike a hash table — a deterministic memory layout with no
+/// iteration-order hazard (the workspace `determinism` lint forbids
+/// `HashMap`/`HashSet` in this crate).
+struct PendingIndex {
+    /// Generation at which each chunk was last inserted.
+    stamp: Vec<u32>,
+    /// Owning tenant, valid only where `stamp` matches `current`.
+    owner: Vec<u16>,
+    /// Current step's generation; never 0 so a zeroed stamp is "absent".
+    current: u32,
+}
+
+impl PendingIndex {
+    fn new(num_chunks: usize) -> Self {
+        Self {
+            stamp: vec![0; num_chunks],
+            owner: vec![0; num_chunks],
+            current: 1,
+        }
+    }
+
+    /// Marks `chunk` pending with owner `tenant`. Returns `true` if the
+    /// chunk was not yet pending this step.
+    fn insert(&mut self, chunk: u32, tenant: u16) -> bool {
+        let i = chunk as usize;
+        if self.stamp[i] == self.current {
+            return false;
+        }
+        self.stamp[i] = self.current;
+        self.owner[i] = tenant;
+        true
+    }
+
+    /// The tenant whose key created the pending request for `chunk`
+    /// this step, if any.
+    fn owner_of(&self, chunk: u32) -> Option<u16> {
+        let i = chunk as usize;
+        (self.stamp[i] == self.current).then(|| self.owner[i])
+    }
+
+    /// O(1) clear: start the next generation. On the (practically
+    /// unreachable) u32 wrap, fall back to an O(n) stamp reset so stale
+    /// generations can never alias.
+    fn clear(&mut self) {
+        if self.current == u32::MAX {
+            self.stamp.fill(0);
+            self.current = 1;
+        } else {
+            self.current += 1;
+        }
+    }
+}
+
 /// Observer that attributes per-chunk routing outcomes back to the
 /// tenant whose key created the chunk request this step.
 struct TenantAttribution<'a> {
-    owner_of_chunk: &'a std::collections::HashMap<u32, u16>,
+    owner_of_chunk: &'a PendingIndex,
     stats: &'a mut Vec<TenantStats>,
 }
 
 impl Observer for TenantAttribution<'_> {
     fn on_route(&mut self, _step: u64, chunk: u32, decision: Decision) {
-        let Some(&tenant) = self.owner_of_chunk.get(&chunk) else {
+        let Some(tenant) = self.owner_of_chunk.owner_of(chunk) else {
             return;
         };
         let entry = &mut self.stats[tenant as usize];
@@ -90,10 +149,9 @@ pub struct KvCluster<P: Policy, S: TraceSink = NoopSink> {
     sim: Simulation<P, S>,
     directory: ChunkDirectory,
     pending: Vec<u32>,
-    pending_set: std::collections::HashSet<u32>,
+    /// Membership + tenant attribution for this step's pending chunks.
+    pending_index: PendingIndex,
     coalesced_this_step: u64,
-    /// Which tenant's key created each pending chunk request this step.
-    step_owner: std::collections::HashMap<u32, u16>,
     /// Cumulative per-tenant accounting, indexed by tenant id.
     tenant_stats: Vec<TenantStats>,
 }
@@ -103,14 +161,14 @@ impl<P: Policy> KvCluster<P> {
     /// directory is salted from the config seed.
     pub fn new(config: SimConfig, policy: P) -> Self {
         let directory = ChunkDirectory::new(config.num_chunks, config.seed ^ 0x6b76, 64);
+        let pending_index = PendingIndex::new(config.num_chunks);
         let sim = Simulation::new(config, policy);
         Self {
             sim,
             directory,
             pending: Vec::new(),
-            pending_set: std::collections::HashSet::new(),
+            pending_index,
             coalesced_this_step: 0,
-            step_owner: std::collections::HashMap::new(),
             tenant_stats: Vec::new(),
         }
     }
@@ -125,9 +183,8 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
             sim: self.sim.with_sink(sink),
             directory: self.directory,
             pending: self.pending,
-            pending_set: self.pending_set,
+            pending_index: self.pending_index,
             coalesced_this_step: self.coalesced_this_step,
-            step_owner: self.step_owner,
             tenant_stats: self.tenant_stats,
         }
     }
@@ -171,9 +228,8 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
         }
         self.tenant_stats[tenant as usize].key_requests += 1;
         let chunk = self.directory.chunk_of(key);
-        let created = if self.pending_set.insert(chunk) {
+        let created = if self.pending_index.insert(chunk, tenant) {
             self.pending.push(chunk);
-            self.step_owner.insert(chunk, tenant);
             true
         } else {
             self.coalesced_this_step += 1;
@@ -217,7 +273,7 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
                 chunks: &self.pending,
             };
             let mut attribution = TenantAttribution {
-                owner_of_chunk: &self.step_owner,
+                owner_of_chunk: &self.pending_index,
                 stats: &mut self.tenant_stats,
             };
             self.sim.run_observed(&mut oneshot, 1, &mut attribution);
@@ -230,8 +286,7 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
             rejected,
         };
         self.pending.clear();
-        self.pending_set.clear();
-        self.step_owner.clear();
+        self.pending_index.clear();
         self.coalesced_this_step = 0;
         summary
     }

@@ -1,0 +1,337 @@
+//! A minimal Rust lexer: separates *code* from *comments and string
+//! literals* without parsing.
+//!
+//! The rule passes in [`crate::rules`] are token scanners; to keep them
+//! honest they must never match text inside a comment, a doc comment, a
+//! string literal, or a char literal. [`scrub`] produces a byte-aligned
+//! copy of the source in which every such byte is replaced by a space
+//! (newlines are kept, so line numbers survive), plus the comment text
+//! of each line so suppression annotations (`lint:allow(rule)`) can be
+//! recovered.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any number of hashes), byte and raw-byte strings
+//! (`b"…"`, `br#"…"#`), char and byte-char literals (`'x'`, `b'\n'`),
+//! and the lifetime-vs-char-literal ambiguity (`'a` stays code).
+
+/// The result of [`scrub`]: code with comments/literals blanked, and
+/// the per-line comment text.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// The source with every comment byte and literal-content byte
+    /// replaced by a space. String delimiters (`"`) are kept so the
+    /// shape of the code is preserved; the bytes line up with the
+    /// original source, so byte offsets and line numbers agree.
+    pub code: String,
+    /// Comment text per line (0-indexed), concatenated when a line
+    /// holds several comments. Lines without comments are empty.
+    pub comments: Vec<String>,
+}
+
+impl Scrubbed {
+    /// 1-based line number of byte offset `pos` in `code`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.code.as_bytes()[..pos]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+}
+
+/// Is `b` part of an identifier (so a prefix like `r"` or `b'` is only
+/// a literal prefix when not glued to a longer name)?
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks `out[range]`, preserving newlines.
+fn blank(out: &mut [u8], lo: usize, hi: usize) {
+    for b in &mut out[lo..hi] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Scrubs `source` (see module docs). Operates on bytes; only ASCII
+/// bytes are structurally meaningful in Rust, and multi-byte UTF-8
+/// sequences inside comments/literals are blanked byte-by-byte, which
+/// keeps the output valid UTF-8 (it becomes ASCII spaces).
+pub fn scrub(source: &str) -> Scrubbed {
+    let src = source.as_bytes();
+    let mut out = src.to_vec();
+    let line_count = src.iter().filter(|&&b| b == b'\n').count() + 1;
+    let mut comments = vec![String::new(); line_count];
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < src.len() {
+        let b = src[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if b == b'/' && src.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < src.len() && src[i] != b'\n' {
+                i += 1;
+            }
+            comments[line].push_str(&source[start..i]);
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Block comment (nested).
+        if b == b'/' && src.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 1usize;
+            let mut comment_line = line;
+            i += 2;
+            let mut seg_start = start;
+            while i < src.len() && depth > 0 {
+                if src[i] == b'\n' {
+                    comments[comment_line].push_str(&source[seg_start..i]);
+                    line += 1;
+                    comment_line = line;
+                    seg_start = i + 1;
+                    i += 1;
+                } else if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            comments[comment_line].push_str(&source[seg_start..i.min(src.len())]);
+            blank(&mut out, start, i.min(src.len()));
+            continue;
+        }
+        // Raw / byte / plain string prefixes. A prefix only counts when
+        // it is not the tail of a longer identifier (`var_b"x"` is not
+        // a byte string).
+        let prev_ident = i > 0 && is_ident_byte(src[i - 1]);
+        if !prev_ident {
+            // r"…" / r#"…"# / br"…" / br#"…"#
+            let (raw_at, _is_byte) = if b == b'r' {
+                (Some(i + 1), false)
+            } else if b == b'b' && src.get(i + 1) == Some(&b'r') {
+                (Some(i + 2), true)
+            } else {
+                (None, false)
+            };
+            if let Some(mut j) = raw_at {
+                let mut hashes = 0usize;
+                while src.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if src.get(j) == Some(&b'"') {
+                    // Scan for `"` followed by `hashes` hashes.
+                    let body_start = j + 1;
+                    let mut k = body_start;
+                    let end;
+                    loop {
+                        match src.get(k) {
+                            None => {
+                                end = src.len();
+                                break;
+                            }
+                            Some(b'"') if src[k + 1..].iter().take(hashes).all(|&h| h == b'#') => {
+                                end = k;
+                                break;
+                            }
+                            Some(b'\n') => {
+                                line += 1;
+                                k += 1;
+                            }
+                            Some(_) => k += 1,
+                        }
+                    }
+                    blank(&mut out, body_start, end);
+                    i = (end + 1 + hashes).min(src.len());
+                    continue;
+                }
+            }
+            // b'…' byte-char literal.
+            if b == b'b' && src.get(i + 1) == Some(&b'\'') {
+                let end = scan_char_literal(src, i + 1);
+                blank(&mut out, i + 2, end.saturating_sub(1));
+                i = end;
+                continue;
+            }
+        }
+        // Plain (or byte) string literal.
+        if b == b'"' {
+            let body_start = i + 1;
+            let mut k = body_start;
+            loop {
+                match src.get(k) {
+                    None => break,
+                    Some(b'\\') => k += 2,
+                    Some(b'"') => break,
+                    Some(b'\n') => {
+                        line += 1;
+                        k += 1;
+                    }
+                    Some(_) => k += 1,
+                }
+            }
+            let end = k.min(src.len());
+            blank(&mut out, body_start, end);
+            i = (end + 1).min(src.len());
+            continue;
+        }
+        // Char literal vs lifetime: after `'`, an escape or a
+        // single-char-then-`'` is a literal; anything else (e.g. `'a`
+        // in `&'a str`, or `'label:`) is left as code.
+        if b == b'\'' {
+            if let Some(end) = try_char_literal(src, i) {
+                blank(&mut out, i + 1, end - 1);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    Scrubbed {
+        // Blanked regions are delimited by ASCII bytes and blanked in
+        // full, so multi-byte sequences are never split: still UTF-8.
+        code: String::from_utf8(out).expect("blanking preserves UTF-8"),
+        comments,
+    }
+}
+
+/// Scans a char literal whose opening `'` is at `quote`; returns the
+/// index just past the closing quote (clamped at EOF / end of line).
+fn scan_char_literal(src: &[u8], quote: usize) -> usize {
+    let mut k = quote + 1;
+    if src.get(k) == Some(&b'\\') {
+        k += 2; // escape head; \u{…} etc. end at the quote scan below
+    }
+    while k < src.len() && src[k] != b'\'' && src[k] != b'\n' {
+        k += 1;
+    }
+    (k + 1).min(src.len())
+}
+
+/// Returns `Some(end)` (index past the closing `'`) if the `'` at
+/// `start` begins a char literal rather than a lifetime.
+fn try_char_literal(src: &[u8], start: usize) -> Option<usize> {
+    let next = *src.get(start + 1)?;
+    if next == b'\\' {
+        // Escape: definitely a char literal.
+        let mut k = start + 2;
+        while k < src.len() && src[k] != b'\'' && src[k] != b'\n' {
+            k += 1;
+        }
+        return Some((k + 1).min(src.len()));
+    }
+    if next == b'\'' {
+        return None; // `''` — not valid Rust; leave as code
+    }
+    // One UTF-8 character, then a closing quote, is a char literal.
+    let char_len = utf8_len(next);
+    match src.get(start + 1 + char_len) {
+        Some(&b'\'') => Some(start + char_len + 2),
+        _ => None, // lifetime (`'a`) or loop label (`'outer:`)
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked_and_captured() {
+        let s = scrub("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!s.code.contains("HashMap"));
+        assert!(s.code.contains("let x = 1;"));
+        assert!(s.comments[0].contains("HashMap here"));
+        assert!(s.comments[1].is_empty());
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let s = scrub("a /* one /* two */ still */ b\nc /* x\ny */ d\n");
+        assert!(s.code.starts_with("a "));
+        assert!(s.code.contains(" b\nc"));
+        assert!(!s.code.contains("still"));
+        assert!(s.comments[1].contains("x"));
+        assert!(s.comments[2].contains("y"));
+        assert!(s.code.contains(" d"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_survive() {
+        let s = scrub(r#"panic!("HashMap {x}\" more"); let s = "a";"#);
+        assert!(!s.code.contains("HashMap"));
+        assert!(s.code.contains(r#"panic!(""#));
+        assert!(s.code.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub(r###"let x = r#"Instant::now " inside"# + 1;"###);
+        assert!(!s.code.contains("Instant"));
+        assert!(s.code.contains("+ 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scrub(r"let c = 'x'; let n = '\n'; fn f<'a>(s: &'a str) {} 'outer: loop {}");
+        assert!(!s.code.contains('x'));
+        assert!(s.code.contains("<'a>"), "{}", s.code);
+        assert!(s.code.contains("&'a str"), "{}", s.code);
+        assert!(s.code.contains("'outer: loop"), "{}", s.code);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let s = scrub(r#"let a = b"SystemTime"; let b = b'\n'; let br2 = br#x;"#);
+        assert!(!s.code.contains("SystemTime"));
+        assert!(s.code.contains("let b ="));
+        // `br#x` is not a raw string (no quote); left untouched.
+        assert!(s.code.contains("br#x"));
+    }
+
+    #[test]
+    fn unicode_in_strings_is_handled() {
+        let s = scrub("let x = \"λλλ HashMap\"; let y = 'λ'; let z = 1;");
+        assert!(!s.code.contains("HashMap"));
+        assert!(!s.code.contains('λ'));
+        assert!(s.code.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn byte_offsets_and_lines_are_preserved() {
+        let src = "line0\n// c\nline2 \"str\" end\n";
+        let s = scrub(src);
+        assert_eq!(s.code.len(), src.len());
+        assert_eq!(s.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(src.find("line2").unwrap()), 3);
+    }
+
+    #[test]
+    fn identifier_glued_prefix_is_not_a_literal() {
+        // `var_b` ends in `b` but the following string is plain.
+        let s = scrub("let var_b = 1; let s = \"x\"; attr_r#try;");
+        assert!(s.code.contains("var_b = 1"));
+        assert!(s.code.contains("attr_r#try"));
+    }
+}

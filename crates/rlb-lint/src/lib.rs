@@ -1,0 +1,163 @@
+//! # rlb-lint — self-hosted static analysis for the workspace
+//!
+//! The reproduction's validation story rests on two properties the
+//! compiler does not enforce: the engine is **deterministic per seed**
+//! (the E1–E14 theorem-shape experiments and the golden-trace suite
+//! depend on bit-identical reruns) and the tracing hot path is
+//! **zero-overhead when disabled** (the `rlb-sim bench` 0.95x gate).
+//! One stray `HashMap` iteration, `Instant::now()` in accounting code,
+//! or an unguarded `sink.on_event(..)` silently breaks both. This crate
+//! guards them statically: a small lexer strips comments and string
+//! literals ([`lexer`]), and rule passes ([`rules`]) scan every
+//! `crates/*/src` file, reporting `file:line` diagnostics.
+//!
+//! * Suppress a benign finding with `// lint:allow(<rule>)` on the
+//!   same line or the line above — always with a justification comment.
+//! * `#[cfg(test)]` modules are exempt (tests may unwrap and hash).
+//! * Run it as `rlb-sim lint [--root PATH]`; exits nonzero on findings.
+//!
+//! No external dependencies, consistent with the workspace's in-repo
+//! serde/proptest replacements; the linter lints itself (it is part of
+//! the workspace it scans).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Files scanned, in scan order.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as the CLI prints it: one `file:line: [rule]
+    /// message` per finding plus a summary line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{f}");
+        }
+        let _ = writeln!(
+            out,
+            "rlb-lint: {} file(s) scanned, {} finding(s)",
+            self.files_scanned,
+            self.findings.len()
+        );
+        out
+    }
+}
+
+/// Lints every `.rs` file under `crates/*/src` of the workspace at
+/// `root`.
+///
+/// # Errors
+/// Returns a message when `root` has no `crates/` directory or a file
+/// cannot be read (findings are diagnostics, not errors).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!(
+            "{} has no crates/ directory (pass the workspace root via --root)",
+            root.display()
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in &crate_dirs {
+        collect_rs_files(&dir.join("src"), &mut files)?;
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = rel_path(root, file);
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport {
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Recursively collects `.rs` files, sorted for deterministic output.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (rule scopes match on
+/// these).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_crates_dir_is_an_error() {
+        let dir = std::env::temp_dir().join("rlb_lint_no_crates");
+        let _ = std::fs::create_dir_all(&dir);
+        assert!(lint_workspace(&dir).is_err());
+    }
+
+    #[test]
+    fn walker_scans_and_reports() {
+        let root = std::env::temp_dir().join("rlb_lint_walk_test");
+        let src = root.join("crates/rlb-core/src");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("sim.rs"),
+            "fn f() { let m = std::collections::HashMap::new(); }\n",
+        )
+        .unwrap();
+        std::fs::write(src.join("clean.rs"), "fn g() -> u32 { 3 }\n").unwrap();
+        let report = lint_workspace(&root).unwrap();
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.findings.len(), 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.findings[0].file, "crates/rlb-core/src/sim.rs");
+        let text = report.render();
+        assert!(text.contains("2 file(s) scanned, 1 finding(s)"), "{text}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,615 @@
+//! The rule passes.
+//!
+//! Every rule scans the *scrubbed* source (comments and literals
+//! blanked, see [`crate::lexer`]), so findings never fire on prose.
+//! `#[cfg(test)]` regions are exempt from every rule, and a finding is
+//! suppressed by a `// lint:allow(<rule>)` comment on the same line or
+//! the line above.
+//!
+//! | rule               | scope                                   | forbids |
+//! |--------------------|-----------------------------------------|---------|
+//! | `determinism`      | all crates except `rlb-bench`/`rlb-cli` | `HashMap`/`HashSet`, `Instant::now`/`SystemTime`, `thread_rng`/`rand::` |
+//! | `trace-guard`      | `rlb-core`, `rlb-kv`                    | `.on_event(` outside `if S::ENABLED { … }` (sink impls exempt) |
+//! | `panic-discipline` | `rlb-core::{sim,queue}`, `rlb-kv::cluster` | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `lossy-cast`       | `rlb-core::stats`, `rlb-metrics`, `rlb-trace::aggregate` | narrowing `as u8` / `as u16` / `as u32` |
+
+use crate::lexer::{scrub, Scrubbed};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What fired and what to do about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The rule catalog (names usable in `lint:allow(...)`).
+pub const RULES: &[&str] = &[
+    "determinism",
+    "trace-guard",
+    "panic-discipline",
+    "lossy-cast",
+];
+
+/// Crates whose code may read clocks / use ambient hashing: the bench
+/// harness measures wall time by design, and the CLI reports it.
+const DETERMINISM_ALLOW_CRATES: &[&str] = &["rlb-bench", "rlb-cli"];
+
+/// Files holding the engine hot path, where a panic aborts a
+/// simulation mid-step.
+const PANIC_SCOPE: &[&str] = &[
+    "crates/rlb-core/src/sim.rs",
+    "crates/rlb-core/src/queue.rs",
+    "crates/rlb-kv/src/cluster.rs",
+];
+
+/// Crates whose emission sites must be behind `if S::ENABLED`.
+const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv"];
+
+/// Lints one file. `rel_path` is workspace-relative with forward
+/// slashes (e.g. `crates/rlb-core/src/sim.rs`); it selects which rules
+/// apply.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scrubbed = scrub(source);
+    let analysis = analyze(&scrubbed.code);
+    let allow = allow_by_line(&scrubbed.comments);
+    let mut findings = Vec::new();
+
+    let krate = crate_of(rel_path).unwrap_or("");
+
+    if !DETERMINISM_ALLOW_CRATES.contains(&krate) {
+        determinism(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    }
+    if TRACE_GUARD_CRATES.contains(&krate) {
+        trace_guard(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    }
+    if PANIC_SCOPE.contains(&rel_path) {
+        panic_discipline(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    }
+    if in_lossy_cast_scope(rel_path) {
+        lossy_cast(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// The crate name of `crates/<name>/src/...` paths.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    rel_path.strip_prefix("crates/")?.split('/').next()
+}
+
+fn in_lossy_cast_scope(rel_path: &str) -> bool {
+    rel_path == "crates/rlb-core/src/stats.rs"
+        || rel_path.starts_with("crates/rlb-metrics/src/")
+        || rel_path == "crates/rlb-trace/src/aggregate.rs"
+}
+
+// ---------------------------------------------------------------- rules
+
+fn determinism(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    findings: &mut Vec<Finding>,
+) {
+    const TOKENS: &[(&str, &str)] = &[
+        (
+            "HashMap",
+            "iteration order and hasher seeding are nondeterministic; use a Vec / stamp array / BTreeMap",
+        ),
+        (
+            "HashSet",
+            "iteration order and hasher seeding are nondeterministic; use a Vec / stamp array / BTreeSet",
+        ),
+        ("Instant::now", "wall-clock reads make runs irreproducible"),
+        ("SystemTime", "wall-clock reads make runs irreproducible"),
+        (
+            "thread_rng",
+            "ambient RNG breaks per-seed determinism; thread rlb_hash::Pcg64 from the config seed",
+        ),
+        (
+            "rand::",
+            "ambient RNG breaks per-seed determinism; thread rlb_hash::Pcg64 from the config seed",
+        ),
+    ];
+    for &(token, why) in TOKENS {
+        for pos in find_word(&scrubbed.code, token) {
+            emit(
+                findings,
+                rel_path,
+                scrubbed,
+                analysis,
+                allow,
+                pos,
+                "determinism",
+                format!("`{token}`: {why}"),
+            );
+        }
+    }
+}
+
+fn trace_guard(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    findings: &mut Vec<Finding>,
+) {
+    for site in &analysis.on_event_sites {
+        // Sink implementations (and forwarders) live inside
+        // `fn on_event` bodies; those are receivers, not emitters.
+        if site.guarded || site.in_fn_on_event {
+            continue;
+        }
+        emit(
+            findings,
+            rel_path,
+            scrubbed,
+            analysis,
+            allow,
+            site.pos,
+            "trace-guard",
+            "`.on_event(..)` outside an `if S::ENABLED { .. }` guard: the emission (and its \
+             argument construction) must compile out when the sink is disabled"
+                .to_string(),
+        );
+    }
+}
+
+fn panic_discipline(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    findings: &mut Vec<Finding>,
+) {
+    const TOKENS: &[&str] = &[
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!",
+        "unimplemented!",
+    ];
+    for &token in TOKENS {
+        for pos in find_word(&scrubbed.code, token) {
+            emit(
+                findings,
+                rel_path,
+                scrubbed,
+                analysis,
+                allow,
+                pos,
+                "panic-discipline",
+                format!(
+                    "`{token}` in engine hot-path code: convert to a debug-asserted infallible \
+                     path or propagate an error"
+                ),
+            );
+        }
+    }
+}
+
+fn lossy_cast(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    findings: &mut Vec<Finding>,
+) {
+    for (pos, ty) in find_narrowing_as(&scrubbed.code) {
+        emit(
+            findings,
+            rel_path,
+            scrubbed,
+            analysis,
+            allow,
+            pos,
+            "lossy-cast",
+            format!(
+                "narrowing `as {ty}` in accounting code silently truncates; use `try_from` or \
+                 widen the destination"
+            ),
+        );
+    }
+}
+
+/// Pushes a finding at `pos` unless it is in a test region or
+/// suppressed by a `lint:allow` on its line or the line above.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    findings: &mut Vec<Finding>,
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    pos: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if analysis.in_test(pos) {
+        return;
+    }
+    let line = scrubbed.line_of(pos);
+    let suppressed = [line.checked_sub(1), line.checked_sub(2)]
+        .into_iter()
+        .flatten()
+        .filter_map(|l| allow.get(l))
+        .any(|rules| rules.iter().any(|r| r == rule));
+    if suppressed {
+        return;
+    }
+    findings.push(Finding {
+        file: rel_path.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+// ------------------------------------------------------------- scanning
+
+/// Byte positions of `token` in `code` with identifier boundaries: the
+/// byte before (and, when the token ends in an identifier byte, the
+/// byte after) must not be part of an identifier.
+fn find_word(code: &str, token: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let tb = token.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(off) = code[from..].find(token) {
+        let pos = from + off;
+        from = pos + 1;
+        if (tb[0].is_ascii_alphanumeric() || tb[0] == b'_')
+            && pos > 0
+            && is_ident_byte(bytes[pos - 1])
+        {
+            continue;
+        }
+        let last = tb[tb.len() - 1];
+        if (last.is_ascii_alphanumeric() || last == b'_')
+            && bytes
+                .get(pos + tb.len())
+                .copied()
+                .is_some_and(is_ident_byte)
+        {
+            continue;
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Positions of `as u8` / `as u16` / `as u32` casts (any spacing).
+fn find_narrowing_as(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for pos in find_word(code, "as") {
+        let mut k = pos + 2;
+        while bytes.get(k).is_some_and(|b| b" \t\n".contains(b)) {
+            k += 1;
+        }
+        for ty in ["u8", "u16", "u32"] {
+            if code[k..].starts_with(ty)
+                && !bytes.get(k + ty.len()).is_some_and(|&b| is_ident_byte(b))
+            {
+                out.push((pos, ty));
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Per-line `lint:allow(rule, ...)` annotations extracted from comment
+/// text (0-indexed by line).
+fn allow_by_line(comments: &[String]) -> Vec<Vec<String>> {
+    comments
+        .iter()
+        .map(|c| {
+            let mut rules = Vec::new();
+            let mut rest = c.as_str();
+            while let Some(p) = rest.find("lint:allow(") {
+                rest = &rest[p + "lint:allow(".len()..];
+                if let Some(close) = rest.find(')') {
+                    for r in rest[..close].split(',') {
+                        rules.push(r.trim().to_string());
+                    }
+                    rest = &rest[close..];
+                } else {
+                    break;
+                }
+            }
+            rules
+        })
+        .collect()
+}
+
+// ------------------------------------------------- structural analysis
+
+/// An `.on_event(` call site and its enclosing context.
+struct OnEventSite {
+    pos: usize,
+    /// Some enclosing block is `if <T>::ENABLED { .. }` (not negated).
+    guarded: bool,
+    /// Inside a `fn on_event` body (a sink impl or forwarder).
+    in_fn_on_event: bool,
+}
+
+/// Block structure of a scrubbed file: `#[cfg(test)]` regions and the
+/// contexts of every `.on_event(` call.
+struct Analysis {
+    test_ranges: Vec<(usize, usize)>,
+    on_event_sites: Vec<OnEventSite>,
+}
+
+impl Analysis {
+    fn in_test(&self, pos: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| lo <= pos && pos < hi)
+    }
+}
+
+/// Walks the scrubbed code once, tracking brace nesting. Each `{` is
+/// classified by its *header* — the text since the last `{`, `}` or
+/// `;` — which is where `#[cfg(test)]`, `if S::ENABLED` and
+/// `fn on_event` necessarily appear.
+fn analyze(code: &str) -> Analysis {
+    struct Region {
+        start: usize,
+        test: bool,
+        guard: bool,
+        fn_on_event: bool,
+    }
+    let bytes = code.as_bytes();
+    let mut header = String::new();
+    let mut stack: Vec<Region> = Vec::new();
+    let mut test_ranges = Vec::new();
+    let mut on_event_sites = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'.' && code[i..].starts_with(".on_event(") {
+            on_event_sites.push(OnEventSite {
+                pos: i,
+                guarded: stack.iter().any(|r| r.guard),
+                in_fn_on_event: stack.iter().any(|r| r.fn_on_event),
+            });
+        }
+        match b {
+            b'{' => {
+                stack.push(Region {
+                    start: i,
+                    test: header.contains("#[cfg(test)]") || header.contains("#[cfg(all(test"),
+                    guard: header_is_enabled_guard(&header),
+                    fn_on_event: header.contains("fn on_event"),
+                });
+                header.clear();
+            }
+            b'}' => {
+                if let Some(r) = stack.pop() {
+                    if r.test {
+                        test_ranges.push((r.start, i));
+                    }
+                }
+                header.clear();
+            }
+            b';' => header.clear(),
+            _ => header.push(b as char),
+        }
+    }
+    for r in stack {
+        if r.test {
+            test_ranges.push((r.start, bytes.len()));
+        }
+    }
+    Analysis {
+        test_ranges,
+        on_event_sites,
+    }
+}
+
+/// Does this block header read `if <path>::ENABLED` (possibly with
+/// further `&&` clauses), and not a negation of it?
+fn header_is_enabled_guard(header: &str) -> bool {
+    let bytes = header.as_bytes();
+    let mut from = 0usize;
+    while let Some(off) = header[from..].find("::ENABLED") {
+        let idx = from + off;
+        from = idx + "::ENABLED".len();
+        // Walk back over the type path (`S`, `Self`, `some::Sink`).
+        let mut j = idx;
+        while j > 0 && (is_ident_byte(bytes[j - 1]) || bytes[j - 1] == b':') {
+            j -= 1;
+        }
+        let mut k = j;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k > 0 && bytes[k - 1] == b'!' {
+            continue; // `if !S::ENABLED { .. }` does not protect the body
+        }
+        let before = header[..j].trim_end();
+        if before.ends_with("if") || before.contains("if ") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_core(src: &str) -> Vec<Finding> {
+        lint_source("crates/rlb-core/src/sim.rs", src)
+    }
+
+    #[test]
+    fn determinism_fires_on_hash_collections() {
+        let f = lint_core("fn f() { let m = std::collections::HashMap::new(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "determinism");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn determinism_ignores_comments_strings_and_lookalikes() {
+        let f = lint_core(
+            "// HashMap in a comment\nfn f() { let s = \"HashMap\"; let my_hash_map = 1; \
+             struct MyHashMapLike; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_is_suppressed_by_allow() {
+        let above = "// membership only, never iterated. lint:allow(determinism)\n\
+                     fn f() { let s = std::collections::HashSet::new(); }";
+        assert!(lint_core(above).is_empty());
+        let same =
+            "fn f() { let s = std::collections::HashSet::new(); } // lint:allow(determinism)";
+        assert!(lint_core(same).is_empty());
+        // The wrong rule name does not suppress.
+        let wrong =
+            "fn f() { let s = std::collections::HashSet::new(); } // lint:allow(lossy-cast)";
+        assert_eq!(lint_core(wrong).len(), 1);
+    }
+
+    #[test]
+    fn determinism_allowlists_bench_and_cli() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(lint_source("crates/rlb-bench/src/wallclock.rs", src).is_empty());
+        assert!(lint_source("crates/rlb-cli/src/lib.rs", src).is_empty());
+        assert_eq!(lint_source("crates/rlb-kv/src/runner.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { let t = \
+                   std::time::Instant::now(); }\n}";
+        assert!(lint_core(src).is_empty());
+    }
+
+    #[test]
+    fn trace_guard_fires_on_unguarded_emission() {
+        let src = "fn route(&mut self) { self.sink.on_event(&ev); }";
+        let f = lint_core(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "trace-guard");
+    }
+
+    #[test]
+    fn trace_guard_accepts_enabled_guard() {
+        for src in [
+            "fn route(&mut self) { if S::ENABLED { self.sink.on_event(&ev); } }",
+            "fn route(&mut self) { if S::ENABLED && !scratch.is_empty() { sink.on_event(&ev); } }",
+            "fn route(&mut self) { if Self::ENABLED { self.sink.on_event(&ev); } }",
+        ] {
+            assert!(lint_core(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn trace_guard_rejects_negated_guard_and_else() {
+        let f = lint_core("fn r(&mut self) { if !S::ENABLED { self.sink.on_event(&ev); } }");
+        assert_eq!(f.len(), 1, "negated guard must not count");
+        let f = lint_core(
+            "fn r(&mut self) { if S::ENABLED { x(); } else { self.sink.on_event(&ev); } }",
+        );
+        assert_eq!(f.len(), 1, "else branch is unguarded");
+    }
+
+    #[test]
+    fn trace_guard_exempts_sink_impls() {
+        let src = "impl TraceSink for Tee { fn on_event(&mut self, ev: &TraceEvent) { \
+                   self.a.on_event(ev); self.b.on_event(ev); } }";
+        assert!(lint_core(src).is_empty());
+    }
+
+    #[test]
+    fn trace_guard_only_in_core_and_kv() {
+        let src = "fn f(&mut self) { self.inner.on_event(&ev); }";
+        assert!(lint_source("crates/rlb-trace/src/recorder.rs", src).is_empty());
+        assert_eq!(lint_source("crates/rlb-kv/src/cluster.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn panic_discipline_fires_in_hot_path_files() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }";
+        assert_eq!(lint_source("crates/rlb-core/src/queue.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/rlb-kv/src/cluster.rs", src).len(), 1);
+        // Not a hot-path file: no rule.
+        assert!(lint_source("crates/rlb-core/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_discipline_catches_each_macro() {
+        for bad in [
+            "x.unwrap();",
+            "x.expect(\"m\");",
+            "panic!(\"m\");",
+            "unreachable!();",
+            "todo!();",
+            "unimplemented!();",
+        ] {
+            let src = format!("fn f(x: Option<u32>) {{ {bad} }}");
+            assert_eq!(
+                lint_source("crates/rlb-core/src/sim.rs", &src).len(),
+                1,
+                "{bad}"
+            );
+        }
+        // `unwrap_or_else` and `#[should_panic]` are fine.
+        let ok = "fn f(x: Option<u32>) { x.unwrap_or_else(|| 3); }";
+        assert!(lint_source("crates/rlb-core/src/sim.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_fires_only_in_accounting_scope() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        assert_eq!(lint_source("crates/rlb-core/src/stats.rs", src).len(), 1);
+        assert_eq!(
+            lint_source("crates/rlb-metrics/src/histogram.rs", src).len(),
+            1
+        );
+        assert!(lint_source("crates/rlb-core/src/sim.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_allows_widening() {
+        let src = "fn f(x: u32) -> u64 { let a = x as u64; let b = x as f64; a + b as u64 }";
+        assert!(lint_source("crates/rlb-core/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_are_ordered_and_displayable() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\nfn g() { let m = \
+                   std::collections::HashMap::new(); }";
+        let f = lint_source("crates/rlb-core/src/sim.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line <= f[1].line);
+        let shown = f[0].to_string();
+        assert!(shown.contains("crates/rlb-core/src/sim.rs:1"), "{shown}");
+    }
+}

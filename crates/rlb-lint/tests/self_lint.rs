@@ -1,0 +1,23 @@
+//! The workspace must pass its own lint pass: every rule violation in
+//! `crates/*/src` is either fixed or carries a justified
+//! `lint:allow(...)` suppression. A regression here means new code
+//! introduced an unsuppressed finding — run `rlb-sim lint` locally for
+//! the file/line list.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = rlb_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walk broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed lint findings:\n{}",
+        report.render()
+    );
+}

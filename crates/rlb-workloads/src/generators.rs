@@ -133,6 +133,9 @@ impl Workload for PartialRepeat {
             .copied()
             .filter(|_| self.rng.gen_bool(self.repeat_prob))
             .collect();
+        // Membership-only (never iterated); the universe is caller-chosen
+        // and can be far larger than per_step, so no dense stamp array.
+        // lint:allow(determinism)
         let mut present: std::collections::HashSet<u32> = kept.iter().copied().collect();
         while kept.len() < self.per_step {
             let c = self.rng.gen_range(self.universe) as u32;

@@ -18,8 +18,16 @@ pub struct ZipfDistinct {
     sampler: ZipfSampler,
     per_step: usize,
     rng: Pcg64,
-    /// Scratch: dedup set reused across steps.
-    seen: std::collections::HashSet<u32>,
+    /// Per-step dedup over the chunk universe: a stamped dense array
+    /// (one slot per chunk, generation counter) rather than a
+    /// `HashSet` — O(1) membership, O(1) per-step clear via a
+    /// generation bump, and a deterministic layout (the workspace
+    /// `determinism` lint forbids hash collections here).
+    seen_stamp: Vec<u32>,
+    /// Current step's generation; slots matching it are "seen".
+    seen_gen: u32,
+    /// Distinct chunks accepted so far this step.
+    seen_count: usize,
 }
 
 impl ZipfDistinct {
@@ -33,33 +41,58 @@ impl ZipfDistinct {
             sampler: ZipfSampler::new(universe, alpha),
             per_step,
             rng: Pcg64::new(seed, 0x21bf),
-            seen: std::collections::HashSet::with_capacity(per_step * 2),
+            seen_stamp: vec![0; universe],
+            seen_gen: 0,
+            seen_count: 0,
         }
+    }
+
+    /// Starts a fresh step's dedup generation. On the (practically
+    /// unreachable) u32 wrap, resets the stamps so generations never
+    /// alias.
+    fn seen_reset(&mut self) {
+        if self.seen_gen == u32::MAX {
+            self.seen_stamp.fill(0);
+            self.seen_gen = 0;
+        }
+        self.seen_gen += 1;
+        self.seen_count = 0;
+    }
+
+    /// Marks `chunk` seen this step; `true` if it was new.
+    fn seen_insert(&mut self, chunk: u32) -> bool {
+        let slot = &mut self.seen_stamp[chunk as usize];
+        if *slot == self.seen_gen {
+            return false;
+        }
+        *slot = self.seen_gen;
+        self.seen_count += 1;
+        true
     }
 }
 
 impl Workload for ZipfDistinct {
     fn next_step(&mut self, _step: u64, out: &mut Vec<u32>) {
-        self.seen.clear();
+        self.seen_reset();
         // Rejection sampling over the skewed distribution; when the
         // remaining tail gets thin (can happen with per_step close to
         // universe and large alpha), fall back to a uniform sweep so the
         // step always completes.
         let mut attempts = 0usize;
         let budget = self.per_step * 64;
-        while self.seen.len() < self.per_step && attempts < budget {
+        while self.seen_count < self.per_step && attempts < budget {
             attempts += 1;
             let c = self.sampler.sample(&mut self.rng) as u32;
-            if self.seen.insert(c) {
+            if self.seen_insert(c) {
                 out.push(c);
             }
         }
-        if self.seen.len() < self.per_step {
+        if self.seen_count < self.per_step {
             for c in 0..self.sampler.len() as u32 {
-                if self.seen.len() >= self.per_step {
+                if self.seen_count >= self.per_step {
                     break;
                 }
-                if self.seen.insert(c) {
+                if self.seen_insert(c) {
                     out.push(c);
                 }
             }
