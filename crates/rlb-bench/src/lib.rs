@@ -21,6 +21,7 @@
 use rlb_core::{DrainMode, SimConfig};
 
 pub mod engine;
+pub mod suite;
 pub mod wallclock;
 
 /// A standard benchmark configuration for `m` servers.

@@ -30,6 +30,13 @@
 //!   cluster size; default sizes 1024,8192,65536) and writes the
 //!   machine-readable results to PATH (default BENCH_engine.json).
 //!
+//! rlb-sim bench --suite [--out PATH] [--quick]
+//!
+//!   Times `experiments all` as a subprocess, serial (--jobs 1) vs the
+//!   default executor size, fastest-of-3 each, and writes the results
+//!   to PATH (default BENCH_experiments.json) with the same 0.95x
+//!   ratio gate against the previously committed numbers.
+//!
 //! rlb-sim trace [RUN OPTIONS] [--out PATH]
 //!
 //!   Runs the scenario with the JSONL trace sink attached, writes the
@@ -436,6 +443,9 @@ pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
 /// Returns a message on malformed arguments or an unwritable output
 /// path.
 pub fn run_bench(args: &[String]) -> Result<String, String> {
+    if args.iter().any(|a| a == "--suite") {
+        return run_suite_bench(args);
+    }
     let mut out_path = "BENCH_engine.json".to_string();
     let mut sizes: Vec<usize> = rlb_bench::engine::GATE_SIZES.to_vec();
     let mut it = args.iter();
@@ -497,6 +507,82 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
         let _ = writeln!(
             summary,
             "traced-off gate: worst ratio {:.2}x ({}) vs threshold {:.2}x -> {verdict}",
+            worst.ratio,
+            worst.name,
+            rlb_bench::engine::GATE_MIN_RATIO
+        );
+    }
+    let _ = writeln!(summary, "wrote {out_path}");
+    Ok(summary)
+}
+
+/// Runs the experiment-suite wall-clock gate (`rlb-sim bench --suite`):
+/// times the `experiments` binary serial vs default-jobs (fastest of 3
+/// full-suite runs each, subprocess so the executor size can differ),
+/// compares against the committed `BENCH_experiments.json`, and
+/// rewrites it.
+///
+/// Arguments: `--out PATH` (default `BENCH_experiments.json`) and
+/// `--quick` (time the quick suite; for smoke runs, not for committing).
+///
+/// # Errors
+/// Returns a message on malformed arguments, a missing `experiments`
+/// binary, a failing suite run, or an unwritable output path.
+fn run_suite_bench(args: &[String]) -> Result<String, String> {
+    let mut out_path = "BENCH_experiments.json".to_string();
+    let mut quick = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => {}
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = it.next().ok_or("--out requires a path")?.clone();
+            }
+            other => return Err(format!("unknown bench --suite option {other:?}")),
+        }
+    }
+    let bin = rlb_bench::suite::locate_experiments_bin()?;
+    let report = rlb_bench::suite::run_suite_gate(&bin, quick)?;
+    let baseline = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|old| rlb_bench::suite::parse_baseline(&old).ok());
+    let gate_rows = baseline
+        .as_deref()
+        .map(|b| rlb_bench::suite::compare_to_baseline(&report, b))
+        .unwrap_or_default();
+    let json = rlb_json::to_string_pretty(&report);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    use std::fmt::Write as _;
+    let mut summary = String::new();
+    for r in &report.results {
+        let vs_baseline = gate_rows
+            .iter()
+            .find(|g| g.name == r.name)
+            .map(|g| format!("  {:>5.2}x vs baseline", g.ratio))
+            .unwrap_or_default();
+        let _ = writeln!(
+            summary,
+            "{:<16} {:>8.2} s  fastest of {}{vs_baseline}",
+            r.name,
+            r.elapsed_nanos as f64 / 1e9,
+            r.samples
+        );
+    }
+    let _ = writeln!(
+        summary,
+        "parallel speedup: {:.2}x over serial (default jobs = {})",
+        report.speedup, report.default_jobs
+    );
+    if !gate_rows.is_empty() {
+        let worst = gate_rows
+            .iter()
+            .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
+            .expect("non-empty");
+        let verdict = if worst.passes() { "PASS" } else { "FAIL" };
+        let _ = writeln!(
+            summary,
+            "suite gate: worst ratio {:.2}x ({}) vs threshold {:.2}x -> {verdict}",
             worst.ratio,
             worst.name,
             rlb_bench::engine::GATE_MIN_RATIO

@@ -56,6 +56,9 @@ fn main() {
              subcommands:\n\
              \x20 bench [--out PATH] [--sizes M1,M2,...]\n\
              \x20                   run the engine perf gate and write BENCH_engine.json\n\
+             \x20 bench --suite [--out PATH] [--quick]\n\
+             \x20                   time the experiments binary serial vs default-jobs and\n\
+             \x20                   write BENCH_experiments.json (same 0.95x ratio gate)\n\
              \x20 trace [RUN OPTIONS] [--out PATH]\n\
              \x20                   run with the JSONL trace sink, write trace.jsonl, print the\n\
              \x20                   per-class latency summary derived from the persisted trace\n\

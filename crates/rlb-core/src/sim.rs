@@ -400,10 +400,21 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
     /// Routes the requests at `chunk_scratch[lo..hi]`, in arrival order.
     ///
     /// The arrival counter and scratch-slice borrow are hoisted out of
-    /// the per-request loop. The [`ClusterView`] handed to the policy is
-    /// a two-pointer wrapper rebuilt per request by necessity: every
-    /// accepted enqueue changes the backlogs the *next* routing decision
-    /// must observe.
+    /// the per-request loop. The [`ClusterView`] handed to the policy
+    /// is rebuilt per request and *cannot* be hoisted:
+    ///
+    /// * semantically, the model is online-within-a-step — request `i`
+    ///   must observe the backlogs as updated by requests `1..i`, so a
+    ///   view captured before the loop would route against stale loads
+    ///   (exactly the staleness E17 quantifies);
+    /// * borrow-wise, the view holds `&self.queues` while the accept
+    ///   path needs `&mut self.queues` for `enqueue`, so a loop-lived
+    ///   shared borrow would not compile.
+    ///
+    /// Neither costs anything: the view is a two-pointer `Copy` wrapper
+    /// (`&QueueArray`, `&[bool]`), so "rebuilding" it is two register
+    /// moves, not a scan. The engine-equivalence goldens pin the
+    /// resulting routing sequence.
     fn route_range(&mut self, lo: usize, hi: usize, step: u64, observer: &mut dyn Observer) {
         // Detach the scratch list so a slice over it can coexist with
         // queue mutations; reattached (untouched) at the end.

@@ -130,16 +130,31 @@ pub struct Aggregate {
 /// Runs `trials` seeded trials in parallel and aggregates.
 ///
 /// `make` receives the trial index and must build `(config, workload)`
-/// deriving all randomness from it.
+/// deriving all randomness from it. Trials run as jobs on the global
+/// [`rlb_pool`] executor (nested inside a parallel sweep row is fine).
 pub fn aggregate_trials<F>(trials: usize, policy: PolicyKind, steps: u64, make: F) -> Aggregate
 where
-    F: Fn(usize) -> (SimConfig, Box<dyn Workload + Send>) + Sync,
+    F: Fn(usize) -> (SimConfig, Box<dyn Workload + Send>) + Send + Sync + 'static,
 {
-    let reports = run_trials(trials, default_threads(), |i| {
+    let reports = run_trials(trials, default_threads(), move |i| {
         let (config, mut workload) = make(i);
         policy.run(config, workload.as_mut(), steps)
     });
     summarize(&reports)
+}
+
+/// Maps `f` over independent sweep rows on the global [`rlb_pool`]
+/// executor, returning results in row order — the parallel replacement
+/// for the serial `for row in rows` loop around a table. Rows must derive all
+/// randomness from their parameters (house seeding style), so the
+/// output is bit-identical to the serial loop.
+pub fn par_rows<I, T, F>(rows: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send + Sync + 'static,
+    T: Send + 'static,
+    F: Fn(&I) -> T + Send + Sync + 'static,
+{
+    rlb_pool::global().map(rows, f)
 }
 
 /// Pools a set of reports into an [`Aggregate`].

@@ -35,35 +35,42 @@ pub fn run(quick: bool) -> ExperimentOutput {
     );
     let trials = common::trial_count(quick);
     let steps = common::step_count(quick);
-    let mut rows = Vec::new();
     // Two parameter points: the theorem's generous constants (d=4, g=8)
     // and a tight rate (d=2, g=2, load factor 1/2) that actually
-    // exercises the queues — the guarantees must hold at both.
-    for m in common::m_sweep(quick) {
-        for (d, g) in [(4usize, 8u32), (2, 2)] {
-            let q = common::log2(m).ceil() as u32 + 1;
-            let agg = common::aggregate_trials(trials, PolicyKind::Greedy, steps, move |i| {
-                let mut config =
-                    SimConfig::greedy_theorem(m, d, g, 2.0).with_seed(i as u64 * 7919 + g as u64);
-                config.flush_interval = None; // flush cost isolated in E14
-                config.drain_mode = DrainMode::Interleaved;
-                let workload = RepeatedSet::first_k(m as u32, 31 + i as u64);
-                (config, Box::new(workload) as Box<dyn Workload + Send>)
-            });
-            table.row(vec![
-                fmt_u(m as u64),
-                fmt_u(d as u64),
-                fmt_u(g as u64),
-                fmt_u(q as u64),
-                fmt_rate(agg.rejection_rate),
-                fmt_f(agg.avg_latency, 2),
-                fmt_u(agg.p99_latency),
-                fmt_u(agg.max_latency),
-                fmt_u(agg.peak_backlog as u64),
-                fmt_f(common::log2(m), 1),
-            ]);
-            rows.push((m, agg));
-        }
+    // exercises the queues — the guarantees must hold at both. Rows are
+    // independent, so they run as pool jobs; results come back in row
+    // order, keeping the table identical to the serial loop.
+    let params: Vec<(usize, usize, u32)> = common::m_sweep(quick)
+        .into_iter()
+        .flat_map(|m| [(m, 4usize, 8u32), (m, 2, 2)])
+        .collect();
+    let computed = common::par_rows(params, move |&(m, d, g)| {
+        let agg = common::aggregate_trials(trials, PolicyKind::Greedy, steps, move |i| {
+            let mut config =
+                SimConfig::greedy_theorem(m, d, g, 2.0).with_seed(i as u64 * 7919 + g as u64);
+            config.flush_interval = None; // flush cost isolated in E14
+            config.drain_mode = DrainMode::Interleaved;
+            let workload = RepeatedSet::first_k(m as u32, 31 + i as u64);
+            (config, Box::new(workload) as Box<dyn Workload + Send>)
+        });
+        (m, d, g, agg)
+    });
+    let mut rows = Vec::new();
+    for (m, d, g, agg) in computed {
+        let q = common::log2(m).ceil() as u32 + 1;
+        table.row(vec![
+            fmt_u(m as u64),
+            fmt_u(d as u64),
+            fmt_u(g as u64),
+            fmt_u(q as u64),
+            fmt_rate(agg.rejection_rate),
+            fmt_f(agg.avg_latency, 2),
+            fmt_u(agg.p99_latency),
+            fmt_u(agg.max_latency),
+            fmt_u(agg.peak_backlog as u64),
+            fmt_f(common::log2(m), 1),
+        ]);
+        rows.push((m, agg));
     }
     table.note("workload: the same m chunks requested every step (maximal reappearance)");
 

@@ -51,22 +51,33 @@ pub fn run(quick: bool) -> ExperimentOutput {
         format!("Rejection rate vs queue capacity (m = {m}, d = 2, g = 16, repeated set)"),
         &["q", "greedy", "delayed-cuckoo", "uniform-random"],
     );
-    let mut per_policy: Vec<(PolicyKind, Vec<f64>)> = vec![
-        (PolicyKind::Greedy, Vec::new()),
-        (PolicyKind::DelayedCuckoo, Vec::new()),
-        (PolicyKind::UniformRandom, Vec::new()),
+    let policies = [
+        PolicyKind::Greedy,
+        PolicyKind::DelayedCuckoo,
+        PolicyKind::UniformRandom,
     ];
-    for &q in &qs {
+    // Every (q, policy) cell is independent; compute them all as pool
+    // jobs, then assemble the table serially in sweep order.
+    let params: Vec<(u32, PolicyKind)> = qs
+        .iter()
+        .flat_map(|&q| policies.iter().map(move |&p| (q, p)))
+        .collect();
+    let cells = common::par_rows(params, move |&(q, policy)| {
+        let agg = common::aggregate_trials(trials, policy, steps, move |i| {
+            let config = config_for(m, q, 0xe4 + i as u64 * 151);
+            let workload = RepeatedSet::first_k(m as u32, 7 + i as u64);
+            (config, Box::new(workload) as Box<dyn Workload + Send>)
+        });
+        agg.rejection_rate
+    });
+    let mut per_policy: Vec<(PolicyKind, Vec<f64>)> =
+        policies.iter().map(|&p| (p, Vec::new())).collect();
+    for (qi, &q) in qs.iter().enumerate() {
         let mut row = vec![fmt_u(q as u64)];
-        for (policy, rates) in per_policy.iter_mut() {
-            let policy = *policy;
-            let agg = common::aggregate_trials(trials, policy, steps, move |i| {
-                let config = config_for(m, q, 0xe4 + i as u64 * 151);
-                let workload = RepeatedSet::first_k(m as u32, 7 + i as u64);
-                (config, Box::new(workload) as Box<dyn Workload + Send>)
-            });
-            rates.push(agg.rejection_rate);
-            row.push(fmt_rate(agg.rejection_rate));
+        for (pi, (_, rates)) in per_policy.iter_mut().enumerate() {
+            let rate = cells[qi * policies.len() + pi];
+            rates.push(rate);
+            row.push(fmt_rate(rate));
         }
         table.row(row);
     }

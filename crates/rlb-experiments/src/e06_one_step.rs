@@ -40,10 +40,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
             "loglog(m)",
         ],
     );
-    // rows[i] = (m, [mean max load per strategy])
-    let mut rows: Vec<(usize, [f64; 4])> = Vec::new();
-    for &m in &ms {
-        let outcomes = run_trials(trials, default_threads(), |i| {
+    // rows[i] = (m, [mean max load per strategy]); each m is an
+    // independent pool job, assembled in sweep order below.
+    let computed = common::par_rows(ms.clone(), move |&m| {
+        let outcomes = run_trials(trials, default_threads(), move |i| {
             let mut rng = Pcg64::new(0xe6 + i as u64, m as u64);
             [
                 single_round_max_load(&OneChoice, m, m, &mut rng) as f64,
@@ -58,6 +58,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 *dst += v / trials as f64;
             }
         }
+        (m, mean)
+    });
+    let mut rows: Vec<(usize, [f64; 4])> = Vec::new();
+    for (m, mean) in computed {
         table.row(vec![
             fmt_u(m as u64),
             fmt_f(mean[0], 2),

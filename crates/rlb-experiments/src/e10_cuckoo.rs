@@ -45,7 +45,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     );
     let mut tail_rows = Vec::new();
     for &m in &ms {
-        let stashes = run_trials(trials, default_threads(), |i| {
+        let stashes = run_trials(trials, default_threads(), move |i| {
             let mut rng = Pcg64::new(0xe10 + i as u64, m as u64);
             let items = random_items(m, m / 3, &mut rng);
             let a = OfflineAssignment::assign_exact(m, &items);
@@ -76,7 +76,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     );
     let mut tri_rows = Vec::new();
     for &m in &ms {
-        let outcomes = run_trials(trials, default_threads(), |i| {
+        let outcomes = run_trials(trials, default_threads(), move |i| {
             let mut rng = Pcg64::new(0x10e + i as u64, m as u64);
             let items = random_items(m, m, &mut rng);
             let t = RoutingTable::build(m, &items, TripartiteAssigner::default());
@@ -99,7 +99,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
 
     // Part 3: allocator cross-check at a hot load (0.45 m).
     let m = 4096;
-    let cross = run_trials(trials.min(100), default_threads(), |i| {
+    let cross = run_trials(trials.min(100), default_threads(), move |i| {
         let mut rng = Pcg64::new(0xc4 + i as u64, 3);
         let items = random_items(m, (m as f64 * 0.45) as usize, &mut rng);
         let exact = OfflineAssignment::assign_exact(m, &items);

@@ -28,9 +28,9 @@ pub fn run(quick: bool) -> ExperimentOutput {
         format!("Heavily-loaded gap (max load − h) after h·m balls into m = {m} bins"),
         &["h", "greedy-2 gap", "one-choice gap"],
     );
-    let mut rows = Vec::new();
-    for &h in &hs {
-        let gaps = run_trials(trials, default_threads(), |i| {
+    // Each h is an independent pool job; rows assemble in sweep order.
+    let rows = crate::common::par_rows(hs.clone(), move |&h| {
+        let gaps = run_trials(trials, default_threads(), move |i| {
             let mut rng = Pcg64::new(0xe11 + i as u64, h as u64);
             let g2 = heavily_loaded_gap(&GreedyD::new(2), m, h, &mut rng);
             let g1 = heavily_loaded_gap(&OneChoice, m, h, &mut rng);
@@ -38,8 +38,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         });
         let mean2 = gaps.iter().map(|&(a, _)| a as f64).sum::<f64>() / trials as f64;
         let mean1 = gaps.iter().map(|&(_, b)| b as f64).sum::<f64>() / trials as f64;
+        (h, mean2, mean1)
+    });
+    for &(h, mean2, mean1) in &rows {
         table.row(vec![fmt_u(h as u64), fmt_f(mean2, 2), fmt_f(mean1, 2)]);
-        rows.push((h, mean2, mean1));
     }
     table.note("Berenbrink et al.: two-choice gap is O(log log m), independent of h");
 

@@ -32,33 +32,43 @@ pub fn run(quick: bool) -> ExperimentOutput {
         format!("Rejection vs Zipf exponent (m = {m}, g = {g}, full load, universe 4m)"),
         &["alpha", "greedy", "delayed-cuckoo", "one-choice"],
     );
+    // Every (alpha, policy) cell is an independent pool job; the table
+    // assembles serially in sweep order.
+    let params: Vec<(f64, PolicyKind)> = alphas
+        .iter()
+        .flat_map(|&alpha| policies.iter().map(move |&p| (alpha, p)))
+        .collect();
+    let cells = common::par_rows(params, move |&(alpha, policy)| {
+        let d = if policy == PolicyKind::OneChoice {
+            1
+        } else {
+            2
+        };
+        let agg = common::aggregate_trials(trials, policy, steps, move |i| {
+            let config = SimConfig {
+                num_servers: m,
+                num_chunks: 4 * m,
+                replication: d,
+                process_rate: g,
+                queue_capacity: 12,
+                flush_interval: None,
+                drain_mode: DrainMode::EndOfStep,
+                seed: 0xe16 + i as u64 * 251,
+                safety_check_every: None,
+            };
+            let workload = ZipfDistinct::new(4 * m, m, alpha, 61 + i as u64);
+            (config, Box::new(workload) as Box<dyn Workload + Send>)
+        });
+        agg.rejection_rate
+    });
     let mut grid = Vec::new();
-    for &alpha in &alphas {
+    for (ai, &alpha) in alphas.iter().enumerate() {
         let mut row = vec![fmt_f(alpha, 1)];
         let mut rates = Vec::new();
-        for &policy in &policies {
-            let d = if policy == PolicyKind::OneChoice {
-                1
-            } else {
-                2
-            };
-            let agg = common::aggregate_trials(trials, policy, steps, move |i| {
-                let config = SimConfig {
-                    num_servers: m,
-                    num_chunks: 4 * m,
-                    replication: d,
-                    process_rate: g,
-                    queue_capacity: 12,
-                    flush_interval: None,
-                    drain_mode: DrainMode::EndOfStep,
-                    seed: 0xe16 + i as u64 * 251,
-                    safety_check_every: None,
-                };
-                let workload = ZipfDistinct::new(4 * m, m, alpha, 61 + i as u64);
-                (config, Box::new(workload) as Box<dyn Workload + Send>)
-            });
-            rates.push(agg.rejection_rate);
-            row.push(fmt_rate(agg.rejection_rate));
+        for pi in 0..policies.len() {
+            let rate = cells[ai * policies.len() + pi];
+            rates.push(rate);
+            row.push(fmt_rate(rate));
         }
         table.row(row);
         grid.push((alpha, rates));

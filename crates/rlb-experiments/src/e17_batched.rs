@@ -27,9 +27,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         format!("Two-choice gap vs batch size b (m = {m}, {h}m balls; loads refresh every b)"),
         &["b", "greedy-2 gap", "one-choice gap (ref)"],
     );
-    let mut rows = Vec::new();
-    for &b in &batches {
-        let gaps = run_trials(trials, default_threads(), |i| {
+    // Each batch size is an independent pool job; rows assemble in
+    // sweep order.
+    let rows = crate::common::par_rows(batches.clone(), move |&b| {
+        let gaps = run_trials(trials, default_threads(), move |i| {
             let mut rng = Pcg64::new(0xe17 + i as u64, b as u64);
             let g2 = batched_gap(&GreedyD::new(2), m, h * m, b, &mut rng);
             let g1 = batched_gap(&OneChoice, m, h * m, b, &mut rng);
@@ -37,8 +38,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         });
         let mean2 = gaps.iter().map(|&(a, _)| a as f64).sum::<f64>() / trials as f64;
         let mean1 = gaps.iter().map(|&(_, c)| c as f64).sum::<f64>() / trials as f64;
+        (b, mean2, mean1)
+    });
+    for &(b, mean2, mean1) in &rows {
         table.row(vec![fmt_u(b as u64), fmt_f(mean2, 2), fmt_f(mean1, 2)]);
-        rows.push((b, mean2, mean1));
     }
     table.note("b = 1 is the paper's within-step-online regime; b >= m is step-stale routing");
 

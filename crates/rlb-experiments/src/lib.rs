@@ -243,6 +243,23 @@ pub fn registry() -> Vec<ExperimentEntry> {
     ]
 }
 
+/// The CLI usage text, with the id range derived from [`registry`] so
+/// it cannot rot as experiments are added.
+pub fn usage() -> String {
+    let reg = registry();
+    let first = reg.first().map(|&(id, _, _)| id).unwrap_or("e1");
+    let last = reg.last().map(|&(id, _, _)| id).unwrap_or("e1");
+    format!(
+        "experiments [IDS...] [--quick] [--json] [--out-dir DIR] [--jobs N]\n\
+         \n\
+         \x20 IDS        experiment ids ({first}..{last}) or \"all\" (default: all)\n\
+         \x20 --quick    reduced sizes/trials for a fast smoke run\n\
+         \x20 --json     print results as a JSON array instead of text\n\
+         \x20 --out-dir  additionally write per-experiment .txt and .json files\n\
+         \x20 --jobs     executor threads (default: RLB_JOBS or all cores; 1 = serial)\n"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +270,18 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), registry().len());
+    }
+
+    #[test]
+    fn usage_tracks_the_registry() {
+        let reg = registry();
+        let u = usage();
+        let first = reg.first().unwrap().0;
+        let last = reg.last().unwrap().0;
+        assert!(
+            u.contains(&format!("({first}..{last})")),
+            "usage must quote the registry's id range: {u}"
+        );
     }
 
     #[test]

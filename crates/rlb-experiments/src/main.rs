@@ -1,27 +1,38 @@
 //! Experiment harness CLI.
 //!
-//! ```text
-//! experiments [IDS...] [--quick] [--json] [--out-dir DIR]
+//! Usage is printed by `--help` and derived from the registry (see
+//! [`rlb_experiments::usage`]), so the id range in the docs cannot rot
+//! as experiments are added.
 //!
-//!   IDS        experiment ids (e1..e20) or "all" (default: all)
-//!   --quick    reduced sizes/trials for a fast smoke run
-//!   --json     print results as a JSON array instead of text
-//!   --out-dir  additionally write per-experiment .txt and .json files
-//! ```
-//!
-//! Prints each experiment's tables and shape checks; exits non-zero if
-//! any check fails.
+//! Selected experiments run concurrently on the [`rlb_pool`] executor;
+//! every experiment's output is buffered and emitted in registry order,
+//! so stdout (text or `--json`) and `--out-dir` files are byte-identical
+//! to a serial run — `--jobs` only changes wall-clock. Exits non-zero if
+//! any shape check fails.
 
-use rlb_experiments::registry;
+use rlb_experiments::{registry, usage, ExperimentEntry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let out_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--out-dir")
-        .and_then(|i| args.get(i + 1).cloned());
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_dir = value_of("--out-dir");
+    if let Some(raw) = value_of("--jobs") {
+        let jobs: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a positive integer, got {raw:?}");
+            std::process::exit(2);
+        });
+        rlb_pool::set_global_jobs(jobs.max(1));
+    }
     let mut skip_next = false;
     let wanted: Vec<String> = args
         .iter()
@@ -30,7 +41,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out-dir" {
+            if *a == "--out-dir" || *a == "--jobs" {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -43,9 +54,10 @@ fn main() {
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
     let reg = registry();
-    let selected: Vec<_> = reg
+    let selected: Vec<ExperimentEntry> = reg
         .iter()
         .filter(|(id, _, _)| run_all || wanted.iter().any(|w| w == id))
+        .copied()
         .collect();
     if selected.is_empty() {
         eprintln!(
@@ -58,9 +70,14 @@ fn main() {
         std::process::exit(2);
     }
 
-    let mut failures = 0usize;
-    let mut collected = Vec::new();
-    for (id, title, runner) in selected {
+    // Run experiments as pool jobs. Progress lines go to stderr from
+    // inside each job (their interleaving is the one thing that may
+    // differ from a serial run); results come back in registry order
+    // and all stdout/--out-dir emission below is serial, so the
+    // user-visible output is byte-identical for any --jobs value.
+    let entries = selected.clone();
+    let collected = rlb_pool::global().map_indexed(entries.len(), move |idx| {
+        let (id, title, runner) = entries[idx];
         eprintln!(
             "running {id}: {title}{}",
             if quick { " (quick)" } else { "" }
@@ -69,6 +86,12 @@ fn main() {
         // lint:allow(determinism)
         let started = std::time::Instant::now();
         let out = runner(quick);
+        eprintln!("{id} finished in {:.1?}", started.elapsed());
+        out
+    });
+
+    let mut failures = 0usize;
+    for ((id, _, _), out) in selected.iter().zip(&collected) {
         if !json {
             println!("{}", out.render());
         }
@@ -76,13 +99,11 @@ fn main() {
             let txt = format!("{dir}/{id}.txt");
             std::fs::write(&txt, out.render()).expect("write .txt output");
             let js = format!("{dir}/{id}.json");
-            std::fs::write(&js, rlb_json::to_string_pretty(&out)).expect("write .json output");
+            std::fs::write(&js, rlb_json::to_string_pretty(out)).expect("write .json output");
         }
-        eprintln!("{id} finished in {:.1?}\n", started.elapsed());
         if !out.all_passed() {
             failures += 1;
         }
-        collected.push(out);
     }
     if json {
         println!("{}", rlb_json::to_string_pretty(&collected));

@@ -1,0 +1,68 @@
+//! Regression test: the suite's stdout is byte-identical for any
+//! `--jobs` value. This is the user-facing face of the pool's
+//! determinism contract — `--jobs` may only change wall-clock, never a
+//! byte of output.
+
+use std::process::Command;
+
+fn run_quick(extra_args: &[&str]) -> (Vec<u8>, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["all", "--quick"])
+        .args(extra_args)
+        .env_remove("RLB_JOBS")
+        .output()
+        .expect("run experiments binary");
+    (out.stdout, out.status.success())
+}
+
+#[test]
+fn quick_suite_is_byte_identical_across_jobs() {
+    let (serial, serial_ok) = run_quick(&["--jobs", "1"]);
+    assert!(serial_ok, "serial quick suite must pass its shape checks");
+    assert!(!serial.is_empty(), "suite must print its tables");
+    for jobs in ["2", "8"] {
+        let (parallel, parallel_ok) = run_quick(&["--jobs", jobs]);
+        assert!(parallel_ok, "--jobs {jobs} run must pass its shape checks");
+        assert_eq!(
+            serial, parallel,
+            "stdout must be byte-identical between --jobs 1 and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn json_output_is_byte_identical_across_jobs() {
+    // A two-experiment selection keeps this cheap while still crossing
+    // the parallel path (multiple experiments and sweep rows in flight).
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(["e6", "e11", "--quick", "--json", "--jobs", jobs])
+            .env_remove("RLB_JOBS")
+            .output()
+            .expect("run experiments binary");
+        assert!(out.status.success(), "--jobs {jobs} json run failed");
+        out.stdout
+    };
+    let serial = run("1");
+    assert!(
+        serial.starts_with(b"["),
+        "json mode must print a JSON array"
+    );
+    assert_eq!(serial, run("4"));
+}
+
+#[test]
+fn help_usage_is_registry_derived() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("--help")
+        .output()
+        .expect("run experiments binary");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("usage is utf-8");
+    assert_eq!(text, rlb_experiments::usage());
+    let last_id = rlb_experiments::registry().last().unwrap().0;
+    assert!(
+        text.contains(last_id),
+        "usage must mention the newest experiment id {last_id}: {text}"
+    );
+}

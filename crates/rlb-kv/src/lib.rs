@@ -23,4 +23,4 @@ pub mod runner;
 
 pub use cluster::{KvCluster, StepSummary, TenantStats};
 pub use directory::ChunkDirectory;
-pub use runner::{run_trials, run_trials_traced, TrialOutcome};
+pub use runner::{run_trials, run_trials_traced};

@@ -1,82 +1,46 @@
-//! Parallel multi-trial runner.
+//! Parallel multi-trial runner — a thin wrapper over [`rlb_pool`].
 //!
 //! Experiments estimate probabilities (rejection rates of `1/poly m`,
 //! safety-violation frequencies) by running many independent seeded
 //! trials. Trials share nothing, so the natural parallelism is *across*
-//! trials: a scoped thread pool pulling from a shared work index. Per
-//! the model, a single simulation is inherently sequential (requests
-//! are routed online, one at a time), so no intra-trial parallelism is
-//! attempted.
+//! trials. Per the model, a single simulation is inherently sequential
+//! (requests are routed online, one at a time), so no intra-trial
+//! parallelism is attempted.
 //!
-//! Workers never contend on the result storage: each finished trial is
-//! sent over a channel tagged with its index, and the caller's thread
-//! places it into its slot. The only shared mutable state on the hot
-//! path is one atomic work counter.
+//! Execution goes through the workspace's deterministic executor
+//! ([`rlb_pool::global`]): long-lived workers, index-ordered results,
+//! and nested-submission support — an experiment may parallelize its
+//! sweep rows and each row may call [`run_trials`] without deadlock or
+//! core oversubscription. The pre-pool implementation spun up a scoped
+//! thread pool per call; this one submits a batch to workers that
+//! already exist.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-
-/// The result of one trial, tagged with its index.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TrialOutcome<T> {
-    /// Trial index in `0..trials`.
-    pub index: usize,
-    /// The trial's result.
-    pub value: T,
-}
-
-/// Runs `trials` independent trials of `f` across up to `threads`
-/// worker threads, returning results ordered by trial index.
+/// Runs `trials` independent trials of `f`, returning results ordered
+/// by trial index.
 ///
-/// `f` receives the trial index and should derive all randomness from it
-/// (e.g. `seed = base_seed + index as u64`). `trials == 0` is fine
-/// (returns empty).
+/// `f` receives the trial index and should derive all randomness from
+/// it (e.g. `seed = base_seed + index as u64`); under that contract the
+/// output is bit-identical regardless of parallelism. `trials == 0` is
+/// fine (returns empty).
+///
+/// `threads <= 1` forces the inline sequential path. Any larger value
+/// requests parallel execution on the global pool; the pool's worker
+/// count (sized by `RLB_JOBS` / `--jobs`, see [`rlb_pool::default_jobs`])
+/// bounds the actual parallelism, and the value of `threads` beyond 1
+/// does not change results — only which determinism test axis is being
+/// exercised.
 ///
 /// # Panics
 /// Panics in `f` propagate to the caller.
 pub fn run_trials<T, F>(trials: usize, threads: usize, f: F) -> Vec<T>
 where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
 {
-    if trials == 0 {
-        return Vec::new();
-    }
-    let workers = threads.clamp(1, trials);
-    if workers == 1 {
+    if threads.clamp(1, trials.max(1)) == 1 {
         return (0..trials).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<TrialOutcome<T>>();
-    let mut slots: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            scope.spawn(|| {
-                // Move this worker's sender clone into the closure so the
-                // channel closes once all workers finish.
-                let tx = tx;
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= trials {
-                        break;
-                    }
-                    let value = f(index);
-                    if tx.send(TrialOutcome { index, value }).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(tx);
-        for outcome in rx {
-            slots[outcome.index] = Some(outcome.value);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|v| v.expect("every trial index claimed exactly once"))
-        .collect()
+    rlb_pool::global().map_indexed(trials, f)
 }
 
 /// Runs `trials` traced trials and splices their JSONL streams into
@@ -90,8 +54,8 @@ where
 /// `rlb_trace`'s `JsonlSink` guarantees).
 pub fn run_trials_traced<T, F>(trials: usize, threads: usize, f: F) -> (Vec<T>, String)
 where
-    T: Send,
-    F: Fn(usize) -> (T, String) + Sync,
+    T: Send + 'static,
+    F: Fn(usize) -> (T, String) + Send + Sync + 'static,
 {
     let outcomes = run_trials(trials, threads, f);
     let mut jsonl = String::with_capacity(outcomes.iter().map(|(_, s)| s.len()).sum());
@@ -103,13 +67,12 @@ where
     (values, jsonl)
 }
 
-/// Convenience: number of worker threads to use by default — the
-/// available parallelism minus one (leave a core for the harness), at
-/// least 1.
+/// Convenience: the parallelism the global pool will use, per
+/// [`rlb_pool::default_jobs`] (`RLB_JOBS` override, else the machine's
+/// available parallelism). Passing this to [`run_trials`] requests the
+/// parallel path whenever the machine has more than one core.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().saturating_sub(1).max(1))
-        .unwrap_or(1)
+    rlb_pool::default_jobs()
 }
 
 #[cfg(test)]
@@ -141,9 +104,9 @@ mod tests {
     #[test]
     fn ordering_and_determinism_under_contention() {
         // Many tiny trials with deliberately skewed runtimes: late
-        // indices finish first, so channel arrival order differs from
-        // index order. The output must still be index-ordered and
-        // identical across repeat runs and thread counts.
+        // indices finish first, so completion order differs from index
+        // order. The output must still be index-ordered and identical
+        // across repeat runs and requested thread counts.
         let run = |threads: usize| {
             run_trials(257, threads, |i| {
                 if i % 7 == 0 {
@@ -172,6 +135,19 @@ mod tests {
             })
         };
         assert_eq!(run_all(), run_all());
+    }
+
+    #[test]
+    fn nested_run_trials_completes() {
+        // A trial that itself runs trials must not deadlock the pool.
+        let out = run_trials(6, 4, |outer| {
+            let inner = run_trials(5, 4, move |j| (outer * 10 + j) as u64);
+            inner.iter().sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..6)
+            .map(|outer| (0..5).map(|j| (outer * 10 + j) as u64).sum())
+            .collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

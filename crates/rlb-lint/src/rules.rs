@@ -12,6 +12,7 @@
 //! | `trace-guard`      | `rlb-core`, `rlb-kv`                    | `.on_event(` outside `if S::ENABLED { … }` (sink impls exempt) |
 //! | `panic-discipline` | `rlb-core::{sim,queue}`, `rlb-kv::cluster` | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `lossy-cast`       | `rlb-core::stats`, `rlb-metrics`, `rlb-trace::aggregate` | narrowing `as u8` / `as u16` / `as u32` |
+//! | `raw-threading`    | all crates except `rlb-pool`            | `thread::spawn`, `thread::scope` — parallelism goes through the deterministic executor |
 
 use crate::lexer::{scrub, Scrubbed};
 
@@ -44,6 +45,7 @@ pub const RULES: &[&str] = &[
     "trace-guard",
     "panic-discipline",
     "lossy-cast",
+    "raw-threading",
 ];
 
 /// Crates whose code may read clocks / use ambient hashing: the bench
@@ -60,6 +62,10 @@ const PANIC_SCOPE: &[&str] = &[
 
 /// Crates whose emission sites must be behind `if S::ENABLED`.
 const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv"];
+
+/// The one crate allowed to spawn threads: the deterministic executor
+/// everything else submits jobs to.
+const RAW_THREADING_ALLOW_CRATES: &[&str] = &["rlb-pool"];
 
 /// Lints one file. `rel_path` is workspace-relative with forward
 /// slashes (e.g. `crates/rlb-core/src/sim.rs`); it selects which rules
@@ -83,6 +89,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
     if in_lossy_cast_scope(rel_path) {
         lossy_cast(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    }
+    if !RAW_THREADING_ALLOW_CRATES.contains(&krate) {
+        raw_threading(rel_path, &scrubbed, &analysis, &allow, &mut findings);
     }
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -228,6 +237,36 @@ fn lossy_cast(
                  widen the destination"
             ),
         );
+    }
+}
+
+fn raw_threading(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &[Vec<String>],
+    findings: &mut Vec<Finding>,
+) {
+    // `thread::spawn` / `thread::scope` catch both `std::thread::` and
+    // `use std::thread; thread::` spellings; a bare `spawn(`-style call
+    // through a re-import is not in the house style.
+    const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+    for &token in TOKENS {
+        for pos in find_word(&scrubbed.code, token) {
+            emit(
+                findings,
+                rel_path,
+                scrubbed,
+                analysis,
+                allow,
+                pos,
+                "raw-threading",
+                format!(
+                    "`{token}` outside rlb-pool: raw threads bypass the deterministic executor; \
+                     submit jobs via rlb_pool (map/map_indexed) instead"
+                ),
+            );
+        }
     }
 }
 
@@ -600,6 +639,36 @@ mod tests {
     fn lossy_cast_allows_widening() {
         let src = "fn f(x: u32) -> u64 { let a = x as u64; let b = x as f64; a + b as u64 }";
         assert!(lint_source("crates/rlb-core/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_threading_fires_outside_the_pool() {
+        for bad in [
+            "fn f() { std::thread::spawn(|| {}); }",
+            "fn f() { thread::scope(|s| { s.spawn(|| {}); }); }",
+            "fn f() { std::thread::Builder::new(); }",
+        ] {
+            let f = lint_source("crates/rlb-kv/src/runner.rs", bad);
+            assert_eq!(f.len(), 1, "{bad}");
+            assert_eq!(f[0].rule, "raw-threading");
+        }
+    }
+
+    #[test]
+    fn raw_threading_exempts_pool_tests_and_allows() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(lint_source("crates/rlb-pool/src/lib.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}";
+        assert!(lint_source("crates/rlb-kv/src/runner.rs", test_src).is_empty());
+        let allowed = "// lint:allow(raw-threading)\nfn f() { std::thread::spawn(|| {}); }";
+        assert!(lint_source("crates/rlb-kv/src/runner.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn raw_threading_ignores_benign_thread_uses() {
+        let ok = "fn f() { std::thread::sleep(d); let n = \
+                  std::thread::available_parallelism(); }";
+        assert!(lint_source("crates/rlb-kv/src/runner.rs", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! # rlb-pool — the workspace's deterministic job executor
+//!
+//! Every parallel computation in the workspace — multi-trial runs in
+//! `rlb-kv`, sweep rows and whole experiments in `rlb-experiments` —
+//! funnels through this crate. It exists to make parallelism **boring**:
+//! results are returned in submission order regardless of completion
+//! order, so a correctly seeded computation produces bit-identical
+//! output no matter how many threads ran it (including one).
+//!
+//! ## Design
+//!
+//! * **Long-lived workers.** A [`Pool`] spawns `jobs - 1` worker
+//!   threads once; the thread submitting a batch is the remaining
+//!   executor. Nothing is spawned per call (the pre-pool design paid a
+//!   scoped-thread-pool setup per `run_trials` invocation).
+//! * **Ordered maps.** [`Pool::map_indexed`] runs `f(0..n)` and returns
+//!   `Vec<T>` indexed by input position; [`Pool::map`] is the same over
+//!   owned items. Workers claim indices from a shared atomic counter
+//!   and write into per-index slots, so arrival order never matters.
+//! * **Nested jobs, no deadlock, no oversubscription.** A job may call
+//!   `map`/`map_indexed` on the same pool. The submitter first *helps
+//!   drain its own batch* (claiming indices like any worker) and only
+//!   then blocks on stragglers — so every queued index is claimed by a
+//!   non-blocked thread, and a blocked thread only ever waits on
+//!   strictly deeper work that is already running elsewhere. By
+//!   induction on nesting depth, some deepest job always runs to
+//!   completion: no deadlock. No thread is ever created for a nested
+//!   call, so at most `jobs` threads execute jobs at any moment.
+//! * **Panic propagation.** A panicking job is caught on the executing
+//!   thread, the batch still runs to completion, and the payload is
+//!   re-raised on the submitting thread.
+//! * **Determinism contract.** Jobs must derive everything from their
+//!   index (the house seeding style, `seed = base + index`). Under that
+//!   contract the parallel path and the `jobs = 1` inline path produce
+//!   the same `Vec<T>` — the single-thread fallback is the executable
+//!   specification of the parallel one.
+//!
+//! ## Sizing
+//!
+//! The global pool ([`global`]) sizes itself from the `RLB_JOBS`
+//! environment variable, falling back to the machine's available
+//! parallelism; [`set_global_jobs`] lets a CLI `--jobs` flag override
+//! it before first use. `jobs = 1` means "run inline on the caller".
+//!
+//! ## Why `'static` jobs
+//!
+//! The workspace forbids `unsafe`, and safe Rust cannot hand a borrowed
+//! closure to a thread that outlives the borrow — that is exactly the
+//! lifetime erasure scoped-pool crates bury behind `unsafe`. The pool
+//! therefore requires `'static` closures; callers move `Copy`
+//! parameters (or clone an `Arc`) into their jobs, which the seeded
+//! index-derived style needs anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A claimable unit of batch execution, type-erased for the queue.
+trait Batch: Send + Sync {
+    /// Claims and runs one index; `false` when nothing is left to claim.
+    fn run_one(&self) -> bool;
+    /// Whether every index has been claimed (possibly still running).
+    fn exhausted(&self) -> bool;
+}
+
+/// Shared state of one `map_indexed` call.
+struct BatchState<T, F> {
+    f: F,
+    n: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Result slots, written by whichever thread ran the index.
+    slots: Vec<Mutex<Option<T>>>,
+    /// First captured panic payload, re-raised on the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Completed-count guarded for the completion condvar.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+impl<T, F: Fn(usize) -> T> BatchState<T, F> {
+    fn new(n: usize, f: F) -> Self {
+        Self {
+            f,
+            n,
+            next: AtomicUsize::new(0),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            panic: Mutex::new(None),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch for BatchState<T, F> {
+    fn run_one(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.n {
+            // Park the counter just past `n` so pathological numbers of
+            // failed claims cannot wrap it.
+            self.next.store(self.n, Ordering::Relaxed);
+            return false;
+        }
+        match catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
+            Ok(value) => {
+                *self.slots[i].lock().expect("slot lock") = Some(value);
+            }
+            Err(payload) => {
+                let mut first = self.panic.lock().expect("panic lock");
+                first.get_or_insert(payload);
+            }
+        }
+        let mut done = self.done.lock().expect("done lock");
+        *done += 1;
+        if *done == self.n {
+            self.done_cv.notify_all();
+        }
+        true
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// Batches with unclaimed indices, oldest first.
+    queue: Mutex<VecDeque<Arc<dyn Batch>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops exhausted batches off the front and clones the first batch
+    /// that still has claimable work, if any.
+    fn next_batch(queue: &mut VecDeque<Arc<dyn Batch>>) -> Option<Arc<dyn Batch>> {
+        while let Some(front) = queue.front() {
+            if front.exhausted() {
+                queue.pop_front();
+            } else {
+                return queue.front().cloned();
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(batch) = Shared::next_batch(&mut queue) {
+                    break batch;
+                }
+                queue = shared.work_cv.wait(queue).expect("queue wait");
+            }
+        };
+        while batch.run_one() {}
+    }
+}
+
+/// A deterministic work-stealing executor with long-lived workers.
+///
+/// See the crate docs for the execution model. Most code uses the
+/// process-wide [`global`] pool; tests build private pools to sweep
+/// worker counts.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl Pool {
+    /// Builds a pool with `jobs` total executors: `jobs - 1` spawned
+    /// worker threads plus the thread that submits each batch.
+    /// `jobs <= 1` spawns nothing and runs every map inline.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..jobs)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                // The one sanctioned spawn site in the workspace (the
+                // `raw-threading` lint funnels everything else here).
+                std::thread::Builder::new()
+                    .name("rlb-pool-worker".into())
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            jobs,
+        }
+    }
+
+    /// Total executors (spawned workers + the submitting thread).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f(0)`, …, `f(n - 1)` across the pool and returns the
+    /// results **in index order**, regardless of completion order.
+    ///
+    /// The submitting thread claims indices alongside the workers, so
+    /// this is safe to call from inside a pool job (nested batches).
+    /// With `jobs() == 1` the batch runs inline, sequentially — the
+    /// bit-identical fallback path.
+    ///
+    /// # Panics
+    /// Re-raises the first panic captured from `f`; the whole batch
+    /// still runs to completion first.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.jobs == 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+        let batch = Arc::new(BatchState::new(n, f));
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.push_back(Arc::clone(&batch) as Arc<dyn Batch>);
+        }
+        self.shared.work_cv.notify_all();
+        // Help drain our own batch before blocking: this guarantees
+        // every index is claimed even if every worker is busy, which is
+        // what makes nested submission deadlock-free.
+        while batch.run_one() {}
+        let mut done = batch.done.lock().expect("done lock");
+        while *done < batch.n {
+            done = batch.done_cv.wait(done).expect("done wait");
+        }
+        drop(done);
+        if let Some(payload) = batch.panic.lock().expect("panic lock").take() {
+            resume_unwind(payload);
+        }
+        batch
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("every index completed exactly once")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items`, returning results in item order. Items
+    /// are shared by reference into the jobs; see [`Pool::map_indexed`]
+    /// for the execution and determinism contract.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(&I) -> T + Send + Sync + 'static,
+    {
+        let n = items.len();
+        let items = Arc::new(items);
+        self.map_indexed(n, move |i| f(&items[i]))
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already surfaced the panic to the
+            // submitter; nothing further to report here.
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, created on first use with [`default_jobs`]
+/// executors (honouring `RLB_JOBS`).
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_jobs()))
+}
+
+/// Sizes the global pool before its first use (e.g. from a `--jobs`
+/// CLI flag). Returns `false` if the pool already exists, in which case
+/// the existing size stays — results are identical either way, only
+/// wall-clock differs.
+pub fn set_global_jobs(jobs: usize) -> bool {
+    GLOBAL.set(Pool::new(jobs)).is_ok()
+}
+
+/// Default executor count: the `RLB_JOBS` environment variable if set
+/// to a positive integer, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(raw) = std::env::var("RLB_JOBS") {
+        if let Ok(jobs) = raw.trim().parse::<usize>() {
+            if jobs >= 1 {
+                return jobs;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_is_index_ordered() {
+        let pool = Pool::new(4);
+        let out = pool.map_indexed(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_over_items_keeps_item_order() {
+        let pool = Pool::new(3);
+        let items: Vec<String> = (0..40).map(|i| format!("it{i}")).collect();
+        let out = pool.map(items.clone(), |s| s.len());
+        assert_eq!(out, items.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_single_task_edges() {
+        let pool = Pool::new(8);
+        let empty: Vec<u32> = pool.map_indexed(0, |_| 1);
+        assert!(empty.is_empty());
+        assert_eq!(pool.map_indexed(1, |i| i + 41), vec![41]);
+        let empty_items: Vec<u32> = pool.map(Vec::<u8>::new(), |_| 1);
+        assert!(empty_items.is_empty());
+    }
+
+    #[test]
+    fn single_job_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.jobs(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.map_indexed(10, |i| i), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let a = global() as *const Pool;
+        let b = global() as *const Pool;
+        assert_eq!(a, b);
+        assert!(global().jobs() >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = Pool::new(6);
+        let _ = pool.map_indexed(16, |i| i);
+        drop(pool); // must not hang or leak the workers
+    }
+}

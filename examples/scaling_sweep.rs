@@ -50,7 +50,7 @@ fn main() {
             "m", "reject-rate (95% CI)", "avg-lat", "max-lat", "peak-backlog"
         );
         for m in [256usize, 512, 1024, 2048, 4096] {
-            let reports = run_trials(trials, default_threads(), |i| {
+            let reports = run_trials(trials, default_threads(), move |i| {
                 run_one(policy, m, i as u64 * 7919 + 13, steps)
             });
             let arrived: u64 = reports.iter().map(|r| r.arrived).sum();
