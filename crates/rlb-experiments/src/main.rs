@@ -26,12 +26,19 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let out_dir = value_of("--out-dir");
-    if let Some(raw) = value_of("--jobs") {
-        let jobs: usize = raw.parse().unwrap_or_else(|_| {
-            eprintln!("--jobs expects a positive integer, got {raw:?}");
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let Some(raw) = args.get(i + 1) else {
+            eprintln!("--jobs expects a positive integer, but no value followed it");
             std::process::exit(2);
-        });
-        rlb_pool::set_global_jobs(jobs.max(1));
+        };
+        let jobs = match raw.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => jobs,
+            _ => {
+                eprintln!("--jobs expects a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        };
+        rlb_pool::set_global_jobs(jobs);
     }
     let mut skip_next = false;
     let wanted: Vec<String> = args

@@ -23,12 +23,13 @@
 /// output is bit-identical regardless of parallelism. `trials == 0` is
 /// fine (returns empty).
 ///
-/// `threads <= 1` forces the inline sequential path. Any larger value
-/// requests parallel execution on the global pool; the pool's worker
-/// count (sized by `RLB_JOBS` / `--jobs`, see [`rlb_pool::default_jobs`])
-/// bounds the actual parallelism, and the value of `threads` beyond 1
-/// does not change results — only which determinism test axis is being
-/// exercised.
+/// `threads` is an upper bound on the parallelism of this call:
+/// `threads <= 1` forces the inline sequential path, and larger values
+/// run on the global pool with at most `threads` executors draining the
+/// batch (so memory-heavy trials can pass a deliberate small cap). The
+/// pool's own size (`RLB_JOBS` / `--jobs`, see
+/// [`rlb_pool::default_jobs`]) bounds it too; the value of `threads`
+/// never changes results — only wall-clock.
 ///
 /// # Panics
 /// Panics in `f` propagate to the caller.
@@ -40,7 +41,7 @@ where
     if threads.clamp(1, trials.max(1)) == 1 {
         return (0..trials).map(f).collect();
     }
-    rlb_pool::global().map_indexed(trials, f)
+    rlb_pool::global().map_indexed_capped(trials, threads, f)
 }
 
 /// Runs `trials` traced trials and splices their JSONL streams into
@@ -135,6 +136,25 @@ mod tests {
             })
         };
         assert_eq!(run_all(), run_all());
+    }
+
+    #[test]
+    fn threads_caps_parallelism() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let active = Arc::new(AtomicUsize::new(0));
+        let high = Arc::new(AtomicUsize::new(0));
+        let (active_in, high_in) = (Arc::clone(&active), Arc::clone(&high));
+        let out = run_trials(48, 2, move |i| {
+            let now = active_in.fetch_add(1, Ordering::SeqCst) + 1;
+            high_in.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            active_in.fetch_sub(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(out, (0..48).collect::<Vec<_>>());
+        let high = high.load(Ordering::SeqCst);
+        assert!(high <= 2, "threads = 2 must bound parallelism, saw {high}");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   `Vec<T>` indexed by input position; [`Pool::map`] is the same over
 //!   owned items. Workers claim indices from a shared atomic counter
 //!   and write into per-index slots, so arrival order never matters.
+//!   [`Pool::map_indexed_capped`] additionally bounds how many
+//!   executors drain one batch, for callers that must cap their own
+//!   parallelism below the pool size — results are identical either
+//!   way.
 //! * **Nested jobs, no deadlock, no oversubscription.** A job may call
 //!   `map`/`map_indexed` on the same pool. The submitter first *helps
 //!   drain its own batch* (claiming indices like any worker) and only
@@ -65,12 +69,20 @@ trait Batch: Send + Sync {
     fn run_one(&self) -> bool;
     /// Whether every index has been claimed (possibly still running).
     fn exhausted(&self) -> bool;
+    /// Reserves an executor slot; `false` when the batch is exhausted or
+    /// already at its concurrency cap. An executor that joined drains
+    /// until exhaustion, so slots are never released mid-batch.
+    fn try_join(&self) -> bool;
 }
 
 /// Shared state of one `map_indexed` call.
 struct BatchState<T, F> {
     f: F,
     n: usize,
+    /// Max executors allowed to drain this batch concurrently.
+    cap: usize,
+    /// Executors currently draining (the submitter holds slot 0).
+    active: AtomicUsize,
     /// Next unclaimed index.
     next: AtomicUsize,
     /// Result slots, written by whichever thread ran the index.
@@ -83,10 +95,14 @@ struct BatchState<T, F> {
 }
 
 impl<T, F: Fn(usize) -> T> BatchState<T, F> {
-    fn new(n: usize, f: F) -> Self {
+    fn new(n: usize, cap: usize, f: F) -> Self {
         Self {
             f,
             n,
+            cap,
+            // The submitter always participates (it joins before the
+            // batch becomes visible in the queue), so it is pre-counted.
+            active: AtomicUsize::new(1),
             next: AtomicUsize::new(0),
             slots: (0..n).map(|_| Mutex::new(None)).collect(),
             panic: Mutex::new(None),
@@ -125,6 +141,17 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch for BatchState<T, F> {
     fn exhausted(&self) -> bool {
         self.next.load(Ordering::Relaxed) >= self.n
     }
+
+    fn try_join(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+                (active < self.cap).then_some(active + 1)
+            })
+            .is_ok()
+    }
 }
 
 /// State shared between the pool handle and its workers.
@@ -136,17 +163,15 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pops exhausted batches off the front and clones the first batch
-    /// that still has claimable work, if any.
+    /// Pops exhausted batches off the front, then joins and clones the
+    /// first batch that accepts another executor (skipping, but
+    /// keeping, batches at their concurrency cap). Runs under the queue
+    /// lock, so the slot reservation is atomic with the scan.
     fn next_batch(queue: &mut VecDeque<Arc<dyn Batch>>) -> Option<Arc<dyn Batch>> {
-        while let Some(front) = queue.front() {
-            if front.exhausted() {
-                queue.pop_front();
-            } else {
-                return queue.front().cloned();
-            }
+        while queue.front().map_or(false, |front| front.exhausted()) {
+            queue.pop_front();
         }
-        None
+        queue.iter().find(|batch| batch.try_join()).cloned()
     }
 }
 
@@ -229,13 +254,27 @@ impl Pool {
         T: Send + 'static,
         F: Fn(usize) -> T + Send + Sync + 'static,
     {
+        // `jobs` executors exist in total, so this cap never binds.
+        self.map_indexed_capped(n, self.jobs, f)
+    }
+
+    /// Like [`Pool::map_indexed`], but at most `cap` executors (the
+    /// submitting thread plus up to `cap - 1` workers) run the batch
+    /// concurrently — for callers that must bound their own parallelism
+    /// (e.g. memory-heavy trials) below the pool size. Results are
+    /// identical for every `cap`; `cap <= 1` runs inline.
+    pub fn map_indexed_capped<T, F>(&self, n: usize, cap: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
         if n == 0 {
             return Vec::new();
         }
-        if self.jobs == 1 || n == 1 {
+        if self.jobs == 1 || cap <= 1 || n == 1 {
             return (0..n).map(f).collect();
         }
-        let batch = Arc::new(BatchState::new(n, f));
+        let batch = Arc::new(BatchState::new(n, cap, f));
         {
             let mut queue = self.shared.queue.lock().expect("queue lock");
             queue.push_back(Arc::clone(&batch) as Arc<dyn Batch>);
@@ -282,7 +321,15 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Set the flag while holding the queue mutex: a worker that has
+        // observed `shutdown == false` with an empty queue still holds
+        // the lock until it enters `wait()`, so acquiring it here orders
+        // the store after that check — the subsequent notify cannot be
+        // lost between a worker's check and its wait.
+        {
+            let _queue = self.shared.queue.lock().expect("queue lock");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
         self.shared.work_cv.notify_all();
         for handle in self.workers.drain(..) {
             // A worker that panicked already surfaced the panic to the
@@ -305,7 +352,14 @@ pub fn global() -> &'static Pool {
 /// the existing size stays — results are identical either way, only
 /// wall-clock differs.
 pub fn set_global_jobs(jobs: usize) -> bool {
-    GLOBAL.set(Pool::new(jobs)).is_ok()
+    // Build lazily inside the init closure so a late call never spawns
+    // (and immediately tears down) a throwaway pool of worker threads.
+    let mut created = false;
+    GLOBAL.get_or_init(|| {
+        created = true;
+        Pool::new(jobs)
+    });
+    created
 }
 
 /// Default executor count: the `RLB_JOBS` environment variable if set
@@ -370,6 +424,16 @@ mod tests {
         let a = global() as *const Pool;
         let b = global() as *const Pool;
         assert_eq!(a, b);
+        assert!(global().jobs() >= 1);
+    }
+
+    #[test]
+    fn set_global_jobs_is_first_wins() {
+        // Whichever of this call and `global()` (possibly from a
+        // concurrent test) ran first fixed the size; a later call must
+        // report failure without building a throwaway pool.
+        let _ = set_global_jobs(2);
+        assert!(!set_global_jobs(5));
         assert!(global().jobs() >= 1);
     }
 

@@ -109,6 +109,70 @@ fn deep_nesting_completes() {
     assert_eq!(got, expect);
 }
 
+/// `map_indexed_capped` matches the sequential loop bit for bit for
+/// every cap, and never lets more than `cap` executors drain the batch
+/// at once (measured by a high-water mark of in-flight jobs).
+#[test]
+fn capped_batches_bound_concurrency() {
+    let pool = Pool::new(8);
+    let n = 64usize;
+    let expect: Vec<u64> = (0..n).map(|i| mix(0xcab, i)).collect();
+    for cap in [1usize, 2, 3, 8, 64] {
+        let active = Arc::new(AtomicUsize::new(0));
+        let high = Arc::new(AtomicUsize::new(0));
+        let (active_in, high_in) = (Arc::clone(&active), Arc::clone(&high));
+        let got = pool.map_indexed_capped(n, cap, move |i| {
+            let now = active_in.fetch_add(1, Ordering::SeqCst) + 1;
+            high_in.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            active_in.fetch_sub(1, Ordering::SeqCst);
+            mix(0xcab, i)
+        });
+        assert_eq!(got, expect, "cap {cap}");
+        let high = high.load(Ordering::SeqCst);
+        assert!(high <= cap, "cap {cap} exceeded: {high} jobs in flight");
+    }
+}
+
+/// Capped batches must not wedge the pool: with several capped inner
+/// batches in flight from nested submitters, everything completes
+/// (workers skip batches at cap instead of blocking on them) and the
+/// result is still deterministic.
+#[test]
+fn capped_batch_does_not_block_the_queue() {
+    let pool = Arc::new(Pool::new(4));
+    let inner_pool = Arc::clone(&pool);
+    let got = pool.map_indexed(6, move |outer| {
+        let seed = 0xfeed ^ outer as u64;
+        let inner = inner_pool.map_indexed_capped(7, 2, move |j| mix(seed, j));
+        inner.iter().fold(0u64, |acc, v| acc.wrapping_add(*v))
+    });
+    let expect: Vec<u64> = (0..6)
+        .map(|outer| {
+            let seed = 0xfeed ^ outer as u64;
+            (0..7).map(|j| mix(seed, j)).fold(0u64, u64::wrapping_add)
+        })
+        .collect();
+    assert_eq!(got, expect);
+}
+
+/// Regression for a lost-wakeup race in `Drop`: the shutdown store must
+/// be ordered against the workers' check-then-wait (via the queue
+/// mutex), or a worker that checked just before the store sleeps
+/// through the notify and `join` hangs forever. Rapid create/drop
+/// cycles — some with work in flight, some idle — make the window wide
+/// enough to catch a regression as a test timeout.
+#[test]
+fn rapid_create_drop_does_not_hang() {
+    for round in 0..200 {
+        let pool = Pool::new(4);
+        if round % 2 == 0 {
+            let _ = pool.map_indexed(3, |i| i);
+        }
+        drop(pool);
+    }
+}
+
 /// Zero- and single-task batches on pools of every size.
 #[test]
 fn zero_and_single_task_edges() {
