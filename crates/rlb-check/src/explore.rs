@@ -1,0 +1,173 @@
+//! Iterative-DFS schedule enumeration over the [`crate::rt`] runtime.
+//!
+//! The explorer is stateless in the DMC sense: it never snapshots
+//! program state. Each execution runs the test body from scratch with a
+//! *forced prefix* of choices; the runtime records every genuine branch
+//! point it passes (enabled alternatives + which was taken). After the
+//! run, the explorer extends its DFS stack with the newly discovered
+//! branch points and backtracks the deepest frame that still has an
+//! unexplored, within-budget alternative. Budgets are priced per
+//! alternative using the budget counters recorded *before* each
+//! decision, so a branch that would exceed the preemption or spurious
+//! bound is skipped without running it (CHESS-style context bounding).
+//!
+//! Determinism: the runtime's default choice is a pure function of the
+//! state (prefer the running thread, else the lowest-id runnable
+//! thread) and frame alternatives are visited in a fixed order, so the
+//! number of explored schedules — and which failing schedule is found
+//! first — is identical on every machine and every run.
+
+use std::sync::Arc;
+
+use crate::rt::{preempt_cost, spurious_cost, Choice, Limits, Rt, RunRecord};
+use crate::{Config, Failure, FailureKind, Outcome};
+
+/// Runs the body once under a forced choice prefix.
+fn run_once(limits: Limits, forced: Vec<Choice>, body: &Arc<dyn Fn() + Send + Sync>) -> RunRecord {
+    let rt = Arc::new(Rt::new(limits, forced));
+    let body = Arc::clone(body);
+    rt.spawn_virtual("main".to_string(), Box::new(move || body()), None);
+    // Kick the baton: thread 0 is active=0 and Runnable from the start.
+    rt.wait_idle();
+    rt.finish()
+}
+
+/// One DFS frame per recorded decision of the current execution.
+struct Frame {
+    choices: Vec<Choice>,
+    /// Visit order over `choices` indices: the default (taken) choice
+    /// first, then the rest ascending — `pos` walks this list.
+    order: Vec<usize>,
+    pos: usize,
+    current: usize,
+    current_enabled: bool,
+    preempt_before: usize,
+    spurious_before: usize,
+}
+
+impl Frame {
+    /// Index (into `choices`) of the alternative this frame currently
+    /// contributes to the forced prefix.
+    fn chosen(&self) -> usize {
+        self.order[self.pos]
+    }
+
+    /// Advances to the next alternative that fits the budgets; false
+    /// when exhausted.
+    fn advance(&mut self, limits: Limits) -> bool {
+        while self.pos + 1 < self.order.len() {
+            self.pos += 1;
+            let c = self.choices[self.chosen()];
+            let p = self.preempt_before + preempt_cost(self.current, self.current_enabled, c);
+            let s = self.spurious_before + spurious_cost(c);
+            if p <= limits.preemptions && s <= limits.spurious {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Exhaustively explores the body's schedules within the configured
+/// bounds. See [`crate::check`] for the public contract.
+pub(crate) fn explore(cfg: &Config, body: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+    let limits = cfg.limits();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        if schedules >= cfg.max_schedules {
+            panic!(
+                "rlb-check: exceeded max_schedules ({}) without exhausting the search — \
+                 raise Config::max_schedules or tighten the bounds",
+                cfg.max_schedules
+            );
+        }
+        let forced: Vec<Choice> = frames.iter().map(|f| f.choices[f.chosen()]).collect();
+        let mut res = run_once(limits, forced, &body);
+        schedules += 1;
+        if let Some((kind, message)) = res.failure.take() {
+            return Outcome::Fail(Box::new(make_failure(kind, message, &res, schedules)));
+        }
+        debug_assert!(
+            res.finished,
+            "no failure recorded but execution did not finish"
+        );
+        // Frames for the branch points discovered past the forced prefix.
+        for d in res.decisions.into_iter().skip(frames.len()) {
+            let mut order: Vec<usize> = Vec::with_capacity(d.choices.len());
+            order.push(d.chosen);
+            order.extend((0..d.choices.len()).filter(|&i| i != d.chosen));
+            frames.push(Frame {
+                choices: d.choices,
+                order,
+                pos: 0,
+                current: d.current,
+                current_enabled: d.current_enabled,
+                preempt_before: d.preempt_before,
+                spurious_before: d.spurious_before,
+            });
+        }
+        // Backtrack: deepest frame with an unexplored in-budget branch.
+        loop {
+            match frames.last_mut() {
+                None => return Outcome::Pass { schedules },
+                Some(f) => {
+                    if f.advance(limits) {
+                        break;
+                    }
+                    frames.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Replays one explicit schedule (see [`crate::replay`]).
+pub(crate) fn replay_one(
+    cfg: &Config,
+    schedule: &[Choice],
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> Outcome {
+    // Budgets must accommodate whatever the schedule encodes.
+    let limits = Limits {
+        preemptions: usize::MAX,
+        spurious: usize::MAX,
+        max_steps: cfg.max_steps,
+    };
+    let mut res = run_once(limits, schedule.to_vec(), &body);
+    match res.failure.take() {
+        Some((kind, message)) => Outcome::Fail(Box::new(make_failure(kind, message, &res, 1))),
+        None => Outcome::Pass { schedules: 1 },
+    }
+}
+
+/// Compact replayable encoding of the choices an execution took.
+pub(crate) fn encode_schedule(decisions: &[crate::rt::Decision]) -> String {
+    decisions
+        .iter()
+        .map(|d| d.choices[d.chosen].encode())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+pub(crate) fn make_failure(
+    kind: FailureKind,
+    message: String,
+    res: &RunRecord,
+    schedules_explored: usize,
+) -> Failure {
+    let schedule = encode_schedule(&res.decisions);
+    let mut trace = String::new();
+    for s in &res.steps {
+        trace.push_str("  ");
+        trace.push_str(s);
+        trace.push('\n');
+    }
+    Failure {
+        kind,
+        message,
+        schedule,
+        trace,
+        schedules_explored,
+    }
+}

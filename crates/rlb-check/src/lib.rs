@@ -1,0 +1,246 @@
+//! # rlb-check — deterministic concurrency model checker
+//!
+//! Systematically explores the thread interleavings of a test body
+//! written against the [`model`] sync primitives (normally reached via
+//! the `rlb-sync` shims with the `model` feature on), in the lineage of
+//! CHESS (preemption-bounded search) and loom (shimmed primitives +
+//! exhaustive scheduling) — but dependency-free and scoped to exactly
+//! the primitives this workspace uses.
+//!
+//! ```
+//! use rlb_check::model::{Arc, Mutex};
+//!
+//! let schedules = rlb_check::check_ok(&rlb_check::Config::new(), || {
+//!     let m = Arc::new(Mutex::new(0u32));
+//!     let m2 = Arc::clone(&m);
+//!     let t = rlb_check::model::thread::spawn(move || {
+//!         *m2.lock().unwrap() += 1;
+//!     });
+//!     *m.lock().unwrap() += 1;
+//!     t.join().unwrap();
+//!     assert_eq!(*m.lock().unwrap(), 2);
+//! });
+//! assert!(schedules >= 2);
+//! ```
+//!
+//! What it detects, each with a replayable schedule and a full trace of
+//! visible operations:
+//! * **deadlock** — no thread can run, none is in a condvar wait;
+//! * **lost wakeup** — no thread can run and at least one is parked in
+//!   a condvar wait (a spurious wakeup *might* unstick it, but spurious
+//!   wakeups are never guaranteed, so correctness may not rely on one);
+//! * **double lock** — a thread re-acquires a `Mutex` it already holds;
+//! * **panic** — any uncaught panic in a virtual thread (assertion
+//!   failures, `.expect` on a poisoned lock, …);
+//! * **livelock** — an execution exceeding the visible-op budget.
+//!
+//! Bounds: exploration is exhaustive within a **preemption bound**
+//! (scheduling switches away from a thread that could have continued;
+//! most real concurrency bugs need very few — see the CHESS papers) and
+//! a **spurious-wakeup budget** (injected wakeups per execution).
+//! Within those bounds every interleaving of visible operations is
+//! enumerated, deterministically — identical schedule counts and
+//! identical first-failure on every run and machine.
+//!
+//! To re-run a failing schedule, paste the `schedule:` line from the
+//! failure report into [`replay`] with the same body and config.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+mod explore;
+pub mod model;
+mod rt;
+
+/// Exploration bounds and budgets for [`check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Max scheduling switches away from a runnable thread per
+    /// execution (CHESS context bound). Default 2: empirically, almost
+    /// all interleaving bugs need at most two preemptions.
+    pub preemptions: usize,
+    /// Max injected spurious condvar wakeups per execution. Default 1.
+    pub spurious: usize,
+    /// Hard cap on explored schedules; exceeding it panics (the search
+    /// space outgrew the bounds). Default 500 000.
+    pub max_schedules: usize,
+    /// Visible-op budget per execution; exceeding it is a livelock
+    /// failure. Default 20 000.
+    pub max_steps: usize,
+}
+
+impl Config {
+    /// The default bounds (2 preemptions, 1 spurious wakeup).
+    pub fn new() -> Self {
+        Self {
+            preemptions: 2,
+            spurious: 1,
+            max_schedules: 500_000,
+            max_steps: 20_000,
+        }
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemptions(mut self, n: usize) -> Self {
+        self.preemptions = n;
+        self
+    }
+
+    /// Sets the spurious-wakeup budget.
+    pub fn spurious(mut self, n: usize) -> Self {
+        self.spurious = n;
+        self
+    }
+
+    /// Sets the schedule-count cap.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Sets the per-execution visible-op budget.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    pub(crate) fn limits(&self) -> rt::Limits {
+        rt::Limits {
+            preemptions: self.preemptions,
+            spurious: self.spurious,
+            max_steps: self.max_steps,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The class of failure an exploration found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// No thread can run; all blocked on locks or joins.
+    Deadlock,
+    /// No thread can run; at least one is parked in a condvar wait
+    /// that no future notify can reach.
+    LostWakeup,
+    /// A thread acquired a mutex it already holds.
+    DoubleLock,
+    /// An uncaught panic in a virtual thread.
+    Panic,
+    /// An execution exceeded the visible-op budget.
+    Livelock,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::LostWakeup => "lost wakeup",
+            FailureKind::DoubleLock => "double lock",
+            FailureKind::Panic => "panic",
+            FailureKind::Livelock => "livelock",
+        })
+    }
+}
+
+/// A failing schedule: what went wrong, where, and how to re-run it.
+#[derive(Debug)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Human-readable description (includes blocked-thread report or
+    /// panic message).
+    pub message: String,
+    /// Replayable encoding of the failing schedule — pass to
+    /// [`replay`] verbatim.
+    pub schedule: String,
+    /// Every visible operation of the failing execution, in order.
+    pub trace: String,
+    /// Schedules explored up to and including the failing one.
+    pub schedules_explored: usize,
+}
+
+impl Failure {
+    /// Full multi-line report: kind, message, schedule, trace.
+    pub fn report(&self) -> String {
+        format!(
+            "model checking failed: {kind}\n{msg}\nschedule: {sched}\n  (replay with \
+             rlb_check::replay(&cfg, \"{sched}\", body))\ntrace of the failing \
+             execution ({n} schedules explored):\n{trace}",
+            kind = self.kind,
+            msg = self.message,
+            sched = self.schedule,
+            n = self.schedules_explored,
+            trace = self.trace,
+        )
+    }
+}
+
+/// Result of an exploration.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every schedule within bounds passed.
+    Pass {
+        /// Number of distinct schedules executed.
+        schedules: usize,
+    },
+    /// A schedule failed; exploration stopped at the first failure.
+    Fail(Box<Failure>),
+}
+
+/// Explores every schedule of `body` within `cfg`'s bounds.
+///
+/// The body runs once per schedule, from scratch — it must be
+/// self-contained (build all state inside; never stash model
+/// primitives in statics) and deterministic apart from scheduling.
+pub fn check<F>(cfg: &Config, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore::explore(cfg, Arc::new(body))
+}
+
+/// Like [`check`] but panics with the full failure report on any
+/// failing schedule; returns the number of schedules explored.
+pub fn check_ok<F>(cfg: &Config, body: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(cfg, body) {
+        Outcome::Pass { schedules } => schedules,
+        Outcome::Fail(f) => panic!("{}", f.report()),
+    }
+}
+
+/// Re-runs `body` under one explicit schedule (the `schedule` string of
+/// a [`Failure`]), bypassing exploration. Budgets are lifted — the
+/// schedule encodes whatever preemptions/spurious wakeups it needs.
+///
+/// # Panics
+/// When `schedule` is not valid [`Failure::schedule`] syntax, or
+/// diverges from the body's actual decision points (wrong body or
+/// config).
+pub fn replay<F>(cfg: &Config, schedule: &str, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let choices: Vec<rt::Choice> = if schedule.is_empty() {
+        Vec::new()
+    } else {
+        schedule
+            .split(',')
+            .map(|tok| {
+                rt::Choice::parse(tok.trim()).unwrap_or_else(|| {
+                    panic!("rlb-check: bad schedule token {tok:?} (expected e.g. 1, s2, w0)")
+                })
+            })
+            .collect()
+    };
+    explore::replay_one(cfg, &choices, Arc::new(body))
+}

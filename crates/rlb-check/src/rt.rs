@@ -1,0 +1,803 @@
+//! The cooperative runtime one explored execution runs on.
+//!
+//! Every *virtual thread* of the model program is a real OS thread, but
+//! at most one is ever allowed to make progress: threads pass a baton
+//! through a central mutex/condvar pair, and a thread only advances
+//! past a *decision point* when the scheduler has chosen it. Decision
+//! points sit **before** every visible synchronization operation — lock
+//! acquire, condvar wait entry, notify, atomic access, spawn, join —
+//! so the explorer controls exactly which thread performs the next
+//! visible op. Plain lock releases are left-movers (they commute with
+//! other threads' operations toward the front of a trace), so they
+//! execute without a decision point, glued to the releasing thread's
+//! previous operation; condvar wait entry is *not* a plain release
+//! (release-and-block is observation-sensitive — it is where lost
+//! wakeups live) and keeps its decision point.
+//!
+//! Because exactly one thread runs between decision points and every
+//! shared value lives behind an `rlb-sync` shim, the model program is
+//! data-race-free by construction and the interleaving of visible ops
+//! fully determines an execution. All atomics execute with sequentially
+//! consistent semantics regardless of the `Ordering` the caller passed;
+//! the requested ordering is recorded in the trace (weak-memory
+//! reorderings are out of scope — this checker hunts interleaving
+//! bugs, the CHESS lineage, not C11 memory-model bugs, the loom/CDSChecker
+//! lineage).
+//!
+//! Failure detection, at the moment no runnable thread exists:
+//! * some thread is blocked in a condvar wait → **lost wakeup** (a
+//!   spurious wakeup could unstick it, but spurious wakeups are never
+//!   guaranteed, so correctness may not depend on one);
+//! * otherwise → **deadlock** (all blocked on locks/joins).
+//!
+//! Additionally: acquiring a lock the thread already holds is a
+//! **double lock**; any uncaught virtual-thread panic (assertion
+//! failures, `.expect` on a poisoned lock) **fails the execution**; and
+//! an execution exceeding the step budget is a **livelock**.
+
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::FailureKind;
+
+/// Panic payload used to unwind virtual threads when an execution is
+/// being torn down (a failure was recorded elsewhere). Never surfaces
+/// to user code: thread toplevels swallow it.
+pub(crate) struct Abort;
+
+/// One scheduling alternative at a decision point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Choice {
+    /// Hand the baton to this runnable thread.
+    Run(usize),
+    /// Spuriously wake this condvar waiter and hand it the baton.
+    Spurious(usize),
+    /// `notify_one` target selection: make this waiter runnable (the
+    /// notifier keeps the baton).
+    Wake(usize),
+}
+
+impl Choice {
+    /// Compact encoding used in replayable schedule strings.
+    pub(crate) fn encode(self) -> String {
+        match self {
+            Choice::Run(t) => format!("{t}"),
+            Choice::Spurious(t) => format!("s{t}"),
+            Choice::Wake(t) => format!("w{t}"),
+        }
+    }
+
+    /// Parses [`Choice::encode`] output.
+    pub(crate) fn parse(s: &str) -> Option<Choice> {
+        let (kind, digits) = match s.as_bytes().first()? {
+            b's' => ('s', &s[1..]),
+            b'w' => ('w', &s[1..]),
+            _ => ('r', s),
+        };
+        let t: usize = digits.parse().ok()?;
+        Some(match kind {
+            's' => Choice::Spurious(t),
+            'w' => Choice::Wake(t),
+            _ => Choice::Run(t),
+        })
+    }
+}
+
+/// Preemption cost of a choice: 1 when the previously running thread
+/// could have continued but the scheduler ran someone else (CHESS
+/// context bounding counts exactly these switches).
+pub(crate) fn preempt_cost(current: usize, current_enabled: bool, c: Choice) -> usize {
+    usize::from(current_enabled && c != Choice::Run(current))
+}
+
+/// Spurious-wakeup cost of a choice (counted against its own budget).
+pub(crate) fn spurious_cost(c: Choice) -> usize {
+    usize::from(matches!(c, Choice::Spurious(_)))
+}
+
+/// A recorded branch point: the enabled alternatives and which was
+/// taken, plus the budget state *before* the choice so the explorer can
+/// price the alternatives. Only genuine branches (two or more choices)
+/// are recorded; single-choice points are deterministic glue.
+pub(crate) struct Decision {
+    pub choices: Vec<Choice>,
+    pub chosen: usize,
+    /// Thread that held the baton when the decision was made.
+    pub current: usize,
+    /// Whether `current` was itself a `Run` alternative (switching away
+    /// from it is then a preemption).
+    pub current_enabled: bool,
+    pub preempt_before: usize,
+    pub spurious_before: usize,
+}
+
+/// Per-execution exploration limits (from [`crate::Config`]).
+#[derive(Clone, Copy)]
+pub(crate) struct Limits {
+    pub preemptions: usize,
+    pub spurious: usize,
+    pub max_steps: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    /// Blocked acquiring this lock.
+    Lock(usize),
+    /// Blocked in a condvar wait; `lock` is reacquired on wakeup.
+    Cv {
+        cv: usize,
+    },
+    /// Blocked joining this thread.
+    Join(usize),
+    Done,
+}
+
+pub(crate) struct Th {
+    pub name: String,
+    pub status: Status,
+    /// Rendered description of the last visible op (for stuck reports).
+    pub last_op: String,
+}
+
+pub(crate) struct LockSt {
+    pub held_by: Option<usize>,
+    pub poisoned: bool,
+}
+
+/// The mutable state of one execution, guarded by the runtime mutex.
+pub(crate) struct St {
+    pub limits: Limits,
+    pub threads: Vec<Th>,
+    /// The thread currently holding the baton.
+    pub active: usize,
+    pub locks: Vec<LockSt>,
+    pub n_cv: usize,
+    pub n_atomic: usize,
+    /// Rendered trace of every visible op, in execution order.
+    pub steps: Vec<String>,
+    /// Branch points recorded this execution (see [`Decision`]).
+    pub decisions: Vec<Decision>,
+    /// Choices to force at the first `forced.len()` branch points
+    /// (DFS prefix replay / user-supplied schedule).
+    pub forced: Vec<Choice>,
+    pub preempt: usize,
+    pub spurious: usize,
+    pub failure: Option<(FailureKind, String)>,
+    /// A failure was recorded; every thread unwinds at its next
+    /// runtime interaction.
+    pub aborting: bool,
+    /// All virtual threads ran to completion.
+    pub finished: bool,
+    /// OS threads that have not yet exited (driver joins on zero).
+    pub live_os: usize,
+}
+
+/// The runtime for one execution: central state plus the baton condvar.
+pub(crate) struct Rt {
+    /// Stamps every model object so cross-execution reuse (e.g. via a
+    /// process static) is caught instead of corrupting the next run.
+    pub epoch: u64,
+    state: Mutex<St>,
+    cv: Condvar,
+    /// OS-thread handles, joined by the driver after the execution.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Monotone epoch source; each execution gets a fresh stamp.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+// ------------------------------------------------------------- TLS ctx
+
+std::thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Rt>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The runtime and virtual-thread id of the calling OS thread.
+///
+/// # Panics
+/// When called outside a model execution — model primitives only work
+/// under [`crate::check`] / [`crate::replay`].
+pub(crate) fn ctx() -> (Arc<Rt>, usize) {
+    CTX.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        panic!(
+            "rlb-check model primitive used outside a model execution \
+             (wrap the test body in rlb_check::check / check_ok)"
+        )
+    })
+}
+
+/// Is the calling OS thread a virtual thread of some execution?
+pub(crate) fn in_execution() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+// ------------------------------------------------------------- runtime
+
+impl Rt {
+    pub(crate) fn new(limits: Limits, forced: Vec<Choice>) -> Self {
+        Self {
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(St {
+                limits,
+                threads: Vec::new(),
+                active: 0,
+                locks: Vec::new(),
+                n_cv: 0,
+                n_atomic: 0,
+                steps: Vec::new(),
+                decisions: Vec::new(),
+                forced,
+                preempt: 0,
+                spurious: 0,
+                failure: None,
+                aborting: false,
+                finished: false,
+                live_os: 0,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Locks the state, tolerating poisoning (a virtual thread may have
+    /// unwound while holding the guard during teardown).
+    fn st(&self) -> MutexGuard<'_, St> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records the first failure and switches the execution into
+    /// teardown: every parked thread wakes and unwinds.
+    fn record_failure(&self, st: &mut St, kind: FailureKind, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some((kind, msg));
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Records a failure and unwinds the calling thread.
+    fn fail_here(&self, mut st: MutexGuard<'_, St>, kind: FailureKind, msg: String) -> ! {
+        self.record_failure(&mut st, kind, msg);
+        drop(st);
+        std::panic::panic_any(Abort)
+    }
+
+    /// Describes why nothing is runnable: every live thread and what it
+    /// is blocked on.
+    fn stuck_report(st: &St) -> (FailureKind, String) {
+        use std::fmt::Write as _;
+        let mut any_cv = false;
+        let mut msg = String::from("no runnable thread:\n");
+        for (i, th) in st.threads.iter().enumerate() {
+            if th.status == Status::Done {
+                continue;
+            }
+            let what = match th.status {
+                Status::Lock(l) => format!("blocked acquiring m{l}"),
+                Status::Cv { cv } => {
+                    any_cv = true;
+                    format!("blocked in condvar wait on c{cv}")
+                }
+                Status::Join(t) => format!("blocked joining T{t}"),
+                Status::Runnable | Status::Done => "runnable?".to_string(),
+            };
+            let _ = writeln!(msg, "  T{i}({}) {what} — last op: {}", th.name, th.last_op);
+        }
+        if any_cv {
+            msg.push_str(
+                "  a waiter can never be notified again (only a spurious wakeup could \
+                 proceed): lost wakeup\n",
+            );
+            (FailureKind::LostWakeup, msg)
+        } else {
+            (FailureKind::Deadlock, msg)
+        }
+    }
+
+    /// All scheduling alternatives in the current state: runnable
+    /// threads, plus — while the spurious budget lasts and at least one
+    /// thread is genuinely runnable — a spurious wakeup per condvar
+    /// waiter. (With *no* runnable thread the execution is stuck and a
+    /// spurious rescue must not mask it.)
+    fn thread_choices(st: &St) -> Vec<Choice> {
+        let mut choices: Vec<Choice> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.status == Status::Runnable)
+            .map(|(i, _)| Choice::Run(i))
+            .collect();
+        if !choices.is_empty() && st.spurious < st.limits.spurious {
+            choices.extend(
+                st.threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, th)| matches!(th.status, Status::Cv { .. }))
+                    .map(|(i, _)| Choice::Spurious(i)),
+            );
+        }
+        choices
+    }
+
+    /// Resolves a decision point: takes the forced choice while
+    /// replaying a prefix, the default otherwise; records genuine
+    /// branches; updates budgets; applies the choice to the state.
+    fn decide(
+        &self,
+        st: &mut St,
+        choices: Vec<Choice>,
+        default: usize,
+        current: usize,
+        current_enabled: bool,
+    ) -> Choice {
+        debug_assert!(!choices.is_empty());
+        let record = choices.len() > 1;
+        let idx = if record && st.decisions.len() < st.forced.len() {
+            let want = st.forced[st.decisions.len()];
+            choices.iter().position(|&c| c == want).unwrap_or_else(|| {
+                panic!(
+                    "rlb-check: schedule diverged at decision {} (forced {}, enabled {:?}) — \
+                     the replayed schedule does not belong to this body/config",
+                    st.decisions.len(),
+                    want.encode(),
+                    choices.iter().map(|c| c.encode()).collect::<Vec<_>>(),
+                )
+            })
+        } else {
+            default
+        };
+        let c = choices[idx];
+        if record {
+            st.decisions.push(Decision {
+                choices,
+                chosen: idx,
+                current,
+                current_enabled,
+                preempt_before: st.preempt,
+                spurious_before: st.spurious,
+            });
+        }
+        st.preempt += preempt_cost(current, current_enabled, c);
+        st.spurious += spurious_cost(c);
+        match c {
+            Choice::Run(t) => st.active = t,
+            Choice::Spurious(t) => {
+                st.threads[t].status = Status::Runnable;
+                st.steps
+                    .push(format!("T{t}({}) spurious wakeup", st.threads[t].name));
+                st.active = t;
+            }
+            Choice::Wake(t) => st.threads[t].status = Status::Runnable,
+        }
+        c
+    }
+
+    /// Parks the calling thread until it is both runnable and holds the
+    /// baton (or the execution is torn down).
+    fn park(&self, mut st: MutexGuard<'_, St>, me: usize) {
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == me && st.threads[me].status == Status::Runnable {
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The decision point before a visible op: records the op in the
+    /// trace, lets the scheduler pick who advances, and parks the
+    /// caller if the baton went elsewhere. On return the caller holds
+    /// the baton and performs the op.
+    pub(crate) fn switch_point(&self, me: usize, desc: String) {
+        let mut st = self.st();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.threads[me].last_op = desc.clone();
+        let line = format!("T{me}({}) {desc}", st.threads[me].name);
+        st.steps.push(line);
+        if st.steps.len() > st.limits.max_steps {
+            let limit = st.limits.max_steps;
+            self.fail_here(
+                st,
+                FailureKind::Livelock,
+                format!("execution exceeded {limit} visible ops — unbounded spin or loop?"),
+            );
+        }
+        let choices = Self::thread_choices(&st);
+        let default = choices
+            .iter()
+            .position(|&c| c == Choice::Run(me))
+            .expect("a thread at a switch point is runnable");
+        let c = self.decide(&mut st, choices, default, me, true);
+        if c != Choice::Run(me) {
+            self.cv.notify_all();
+            self.park(st, me);
+        }
+    }
+
+    /// Hands the baton off after the caller blocked (its status is
+    /// already set). Detects the stuck states — deadlock and lost
+    /// wakeup — when nothing is runnable. Returns once the caller is
+    /// runnable and scheduled again.
+    fn yield_blocked(&self, mut st: MutexGuard<'_, St>, me: usize) {
+        let choices = Self::thread_choices(&st);
+        if choices.is_empty() {
+            let (kind, msg) = Self::stuck_report(&st);
+            self.fail_here(st, kind, msg);
+        }
+        let default = choices
+            .iter()
+            .position(|c| matches!(c, Choice::Run(_)))
+            .expect("spurious choices only exist alongside runnable threads");
+        self.decide(&mut st, choices, default, me, false);
+        self.cv.notify_all();
+        self.park(st, me);
+    }
+
+    // ------------------------------------------------------ object ids
+
+    pub(crate) fn new_lock(&self) -> usize {
+        let mut st = self.st();
+        st.locks.push(LockSt {
+            held_by: None,
+            poisoned: false,
+        });
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn new_cv(&self) -> usize {
+        let mut st = self.st();
+        st.n_cv += 1;
+        st.n_cv - 1
+    }
+
+    pub(crate) fn new_atomic(&self) -> usize {
+        let mut st = self.st();
+        st.n_atomic += 1;
+        st.n_atomic - 1
+    }
+
+    // ------------------------------------------------------------ locks
+
+    /// Blocking lock acquisition. Returns whether the lock is poisoned.
+    pub(crate) fn lock_acquire(&self, me: usize, lock: usize, loc: &Location<'_>) -> bool {
+        self.switch_point(me, format!("lock m{lock} [{loc}]"));
+        loop {
+            let mut st = self.st();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            match st.locks[lock].held_by {
+                None => {
+                    st.locks[lock].held_by = Some(me);
+                    return st.locks[lock].poisoned;
+                }
+                Some(h) if h == me => {
+                    let name = st.threads[me].name.clone();
+                    self.fail_here(
+                        st,
+                        FailureKind::DoubleLock,
+                        format!(
+                            "T{me}({name}) acquired m{lock} while already holding it [{loc}] — \
+                             std::sync::Mutex deadlocks or panics here"
+                        ),
+                    );
+                }
+                Some(_) => {
+                    st.threads[me].status = Status::Lock(lock);
+                    st.threads[me].last_op = format!("blocked acquiring m{lock} [{loc}]");
+                    self.yield_blocked(st, me);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking acquisition attempt: a decision point, then either
+    /// takes the free lock (`Some(poisoned)`) or reports contention
+    /// (`None` — including the self-held case, matching `std`'s
+    /// `WouldBlock`).
+    pub(crate) fn try_lock_acquire(
+        &self,
+        me: usize,
+        lock: usize,
+        loc: &Location<'_>,
+    ) -> Option<bool> {
+        self.switch_point(me, format!("try_lock m{lock} [{loc}]"));
+        let mut st = self.st();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        match st.locks[lock].held_by {
+            None => {
+                st.locks[lock].held_by = Some(me);
+                Some(st.locks[lock].poisoned)
+            }
+            Some(_) => None,
+        }
+    }
+
+    /// Lock release — no decision point (a release is a left-mover, so
+    /// gluing it to the releasing thread's previous op loses no
+    /// reachable states). Wakes every thread blocked on the lock; they
+    /// race for it at subsequent decision points.
+    pub(crate) fn lock_release(&self, me: usize, lock: usize, poison: bool) {
+        let mut st = self.st();
+        if st.aborting {
+            return; // teardown unwind: state no longer matters
+        }
+        debug_assert_eq!(st.locks[lock].held_by, Some(me));
+        st.locks[lock].held_by = None;
+        if poison {
+            st.locks[lock].poisoned = true;
+        }
+        for th in &mut st.threads {
+            if th.status == Status::Lock(lock) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- condvar
+
+    /// Condvar wait entry: one decision point, then atomically release
+    /// the lock and block. Returns once notified (or spuriously woken);
+    /// the caller must then reacquire the lock.
+    pub(crate) fn cv_wait(&self, me: usize, cvid: usize, lock: usize, loc: &Location<'_>) {
+        self.switch_point(me, format!("wait c{cvid} (releases m{lock}) [{loc}]"));
+        let mut st = self.st();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        if st.locks[lock].held_by != Some(me) {
+            self.fail_here(
+                st,
+                FailureKind::Panic,
+                format!("T{me} called Condvar::wait without holding m{lock} [{loc}]"),
+            );
+        }
+        st.locks[lock].held_by = None;
+        for th in &mut st.threads {
+            if th.status == Status::Lock(lock) {
+                th.status = Status::Runnable;
+            }
+        }
+        st.threads[me].status = Status::Cv { cv: cvid };
+        st.threads[me].last_op = format!("in wait on c{cvid} [{loc}]");
+        self.yield_blocked(st, me);
+    }
+
+    pub(crate) fn notify_all(&self, me: usize, cvid: usize, loc: &Location<'_>) {
+        self.switch_point(me, format!("notify_all c{cvid} [{loc}]"));
+        let mut st = self.st();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        for th in &mut st.threads {
+            if th.status == (Status::Cv { cv: cvid }) {
+                th.status = Status::Runnable;
+            }
+        }
+    }
+
+    /// `notify_one` picks *which* waiter wakes — a genuine branch when
+    /// several wait, explored like any scheduling decision.
+    pub(crate) fn notify_one(&self, me: usize, cvid: usize, loc: &Location<'_>) {
+        self.switch_point(me, format!("notify_one c{cvid} [{loc}]"));
+        let mut st = self.st();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        let waiters: Vec<Choice> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.status == (Status::Cv { cv: cvid }))
+            .map(|(i, _)| Choice::Wake(i))
+            .collect();
+        if !waiters.is_empty() {
+            self.decide(&mut st, waiters, 0, me, false);
+        }
+    }
+
+    // ---------------------------------------------------------- atomics
+
+    /// The decision point before an atomic access; the caller performs
+    /// the real operation (SeqCst) immediately after, baton in hand.
+    pub(crate) fn atomic_point(&self, me: usize, desc: String) {
+        self.switch_point(me, desc);
+    }
+
+    // ------------------------------------------------------ spawn/join
+
+    /// Spawns a virtual thread running `work` and returns its id. The
+    /// id-0 spawn (the test body itself) is issued by the driver, which
+    /// is not a virtual thread; later spawns are visible ops of their
+    /// spawning thread.
+    pub(crate) fn spawn_virtual(
+        self: &Arc<Self>,
+        name: String,
+        work: Box<dyn FnOnce() + Send>,
+        spawner: Option<(usize, &Location<'_>)>,
+    ) -> usize {
+        let tid = {
+            let mut st = self.st();
+            st.threads.push(Th {
+                name: name.clone(),
+                status: Status::Runnable,
+                last_op: "spawned".to_string(),
+            });
+            st.live_os += 1;
+            st.threads.len() - 1
+        };
+        let rt = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("rlb-check:{name}"))
+            // The checker's own runtime is the trusted base beneath the
+            // rlb-sync shims (rlb-check is a raw-sync allow crate).
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), tid)));
+                // Wait for the baton before touching anything.
+                {
+                    let st = rt.st();
+                    rt.park(st, tid);
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
+                match outcome {
+                    Ok(()) => rt.exit_thread(tid, None),
+                    Err(p) if p.is::<Abort>() => rt.exit_silent(),
+                    Err(p) => rt.exit_thread(tid, Some(panic_message(p.as_ref()))),
+                }
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn model thread");
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(handle);
+        // The spawn decision point comes *after* the OS thread exists,
+        // so a schedule that runs the child first has a thread to wake.
+        if let Some((me, loc)) = spawner {
+            self.switch_point(me, format!("spawn T{tid}({name}) [{loc}]"));
+        }
+        tid
+    }
+
+    /// Blocks until thread `target` finishes.
+    pub(crate) fn join(&self, me: usize, target: usize, loc: &Location<'_>) {
+        self.switch_point(me, format!("join T{target} [{loc}]"));
+        loop {
+            let mut st = self.st();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.threads[target].status == Status::Done {
+                return;
+            }
+            st.threads[me].status = Status::Join(target);
+            st.threads[me].last_op = format!("blocked joining T{target} [{loc}]");
+            self.yield_blocked(st, me);
+        }
+    }
+
+    /// Normal (or panicking) end of a virtual thread: wake joiners,
+    /// record an uncaught panic as a failure, and hand the baton on —
+    /// or mark the execution finished when this was the last thread.
+    fn exit_thread(&self, me: usize, panicked: Option<String>) {
+        let mut st = self.st();
+        if !st.aborting {
+            st.threads[me].status = Status::Done;
+            st.threads[me].last_op = "exited".to_string();
+            let line = format!("T{me}({}) exit", st.threads[me].name);
+            st.steps.push(line);
+            for th in &mut st.threads {
+                if th.status == Status::Join(me) {
+                    th.status = Status::Runnable;
+                }
+            }
+            if let Some(msg) = panicked {
+                let name = st.threads[me].name.clone();
+                self.record_failure(
+                    &mut st,
+                    FailureKind::Panic,
+                    format!("T{me}({name}) panicked: {msg}"),
+                );
+            } else if st.threads.iter().all(|th| th.status == Status::Done) {
+                st.finished = true;
+            } else {
+                let choices = Self::thread_choices(&st);
+                if choices.is_empty() {
+                    let (kind, msg) = Self::stuck_report(&st);
+                    self.record_failure(&mut st, kind, msg);
+                } else {
+                    let default = choices
+                        .iter()
+                        .position(|c| matches!(c, Choice::Run(_)))
+                        .expect("spurious choices only exist alongside runnable threads");
+                    self.decide(&mut st, choices, default, me, false);
+                }
+            }
+        }
+        st.live_os -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Teardown end of a virtual thread (unwound by [`Abort`]).
+    fn exit_silent(&self) {
+        let mut st = self.st();
+        st.live_os -= 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    // ----------------------------------------------------------- driver
+
+    /// Driver side: blocks until every OS thread of the execution has
+    /// exited (success or teardown).
+    pub(crate) fn wait_idle(&self) {
+        let mut st = self.st();
+        while st.live_os > 0 {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Driver side: joins the OS threads and extracts the run record.
+    pub(crate) fn finish(&self) -> RunRecord {
+        for h in self
+            .handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let mut st = self.st();
+        RunRecord {
+            decisions: std::mem::take(&mut st.decisions),
+            steps: std::mem::take(&mut st.steps),
+            failure: st.failure.take(),
+            finished: st.finished,
+        }
+    }
+}
+
+/// What one execution produced, handed back to the explorer.
+pub(crate) struct RunRecord {
+    pub decisions: Vec<Decision>,
+    pub steps: Vec<String>,
+    pub failure: Option<(FailureKind, String)>,
+    pub finished: bool,
+}
+
+/// Renders a panic payload for reports.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,370 @@
+//! Detection-power and determinism tests for the checker itself: each
+//! failure class is demonstrated on a minimal program, and passing
+//! programs pass exhaustively with pinned schedule counts.
+
+use rlb_check::model::{thread, Arc, AtomicUsize, Condvar, Mutex, OnceLock};
+use rlb_check::{check, check_ok, replay, Config, FailureKind, Outcome};
+use std::sync::atomic::Ordering;
+
+fn fail_kind(out: &Outcome) -> FailureKind {
+    match out {
+        Outcome::Fail(f) => f.kind,
+        Outcome::Pass { schedules } => {
+            panic!("expected a failure, got Pass after {schedules} schedules")
+        }
+    }
+}
+
+#[test]
+fn ab_ba_deadlock_found() {
+    let out = check(&Config::new(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    });
+    assert_eq!(fail_kind(&out), FailureKind::Deadlock);
+    let Outcome::Fail(f) = out else {
+        unreachable!()
+    };
+    assert!(
+        !f.schedule.is_empty(),
+        "deadlock needs a non-default schedule"
+    );
+    assert!(
+        f.trace.contains("lock"),
+        "trace lists the lock ops:\n{}",
+        f.trace
+    );
+}
+
+#[test]
+fn deadlock_schedule_replays() {
+    let body = || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    };
+    let out = check(&Config::new(), body);
+    let Outcome::Fail(f) = out else {
+        panic!("expected deadlock")
+    };
+    // The schedule string alone reproduces the failure in one run.
+    let replayed = replay(&Config::new(), &f.schedule, body);
+    assert_eq!(fail_kind(&replayed), FailureKind::Deadlock);
+    let Outcome::Fail(rf) = replayed else {
+        unreachable!()
+    };
+    assert_eq!(rf.schedules_explored, 1);
+}
+
+#[test]
+fn double_lock_found() {
+    let out = check(&Config::new(), || {
+        let m = Mutex::new(0u32);
+        let _g1 = m.lock().unwrap();
+        let _g2 = m.lock().unwrap();
+    });
+    assert_eq!(fail_kind(&out), FailureKind::DoubleLock);
+}
+
+#[test]
+fn lost_wakeup_found_single_waiter() {
+    // Classic check-then-wait without holding the lock across the
+    // check: the flag can be set + notified between the check and the
+    // wait entry, and the waiter sleeps forever.
+    let out = check(&Config::new(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            *s2.0.lock().unwrap() = true;
+            s2.1.notify_all();
+        });
+        let ready = *state.0.lock().unwrap();
+        if !ready {
+            // Broken: the flag may flip (and the notify fire) between
+            // the check above and the wait below — then nobody ever
+            // notifies again.
+            let g = state.0.lock().unwrap();
+            let _g = state.1.wait(g).unwrap();
+        }
+        t.join().unwrap();
+    });
+    assert_eq!(fail_kind(&out), FailureKind::LostWakeup);
+    let Outcome::Fail(f) = out else {
+        unreachable!()
+    };
+    assert!(
+        f.message.contains("condvar"),
+        "report names the stuck waiter:\n{}",
+        f.message
+    );
+}
+
+#[test]
+fn correct_wait_loop_passes() {
+    let n = check_ok(&Config::new(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let mut g = s2.0.lock().unwrap();
+            *g = true;
+            // Notify while holding the lock: orders the notify against
+            // the waiter's check-then-wait.
+            s2.1.notify_all();
+        });
+        let mut g = state.0.lock().unwrap();
+        while !*g {
+            g = state.1.wait(g).unwrap();
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+    assert!(
+        n >= 2,
+        "must explore both notify-first and wait-first orders, got {n}"
+    );
+}
+
+#[test]
+fn atomic_lost_update_found_and_fetch_add_passes() {
+    // load+store increment: two decision points, the classic lost
+    // update slips in with a single preemption.
+    let racy = check(&Config::new(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = c.load(Ordering::Relaxed);
+        c.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+    });
+    assert_eq!(fail_kind(&racy), FailureKind::Panic);
+
+    // fetch_add is indivisible: same program, no failing schedule.
+    check_ok(&Config::new(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn spurious_wakeup_injection_catches_if_wait() {
+    // `if` instead of `while` around a wait: correct under real
+    // notifies, broken by a spurious wakeup. The explorer must inject
+    // one and catch the assertion.
+    let body = || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let mut g = s2.0.lock().unwrap();
+            *g = true;
+            s2.1.notify_all();
+        });
+        let mut g = state.0.lock().unwrap();
+        if !*g {
+            g = state.1.wait(g).unwrap();
+        }
+        assert!(*g, "woke without the flag set");
+        drop(g);
+        t.join().unwrap();
+    };
+    let out = check(&Config::new(), body);
+    assert_eq!(fail_kind(&out), FailureKind::Panic);
+    let Outcome::Fail(f) = out else {
+        unreachable!()
+    };
+    assert!(
+        f.schedule.contains('s'),
+        "failing schedule uses a spurious wakeup: {}",
+        f.schedule
+    );
+
+    // With the spurious budget at zero the same body passes — the bug
+    // is spurious-only.
+    check_ok(&Config::new().spurious(0), body);
+}
+
+#[test]
+fn thread_panic_reported_with_message() {
+    let out = check(&Config::new(), || {
+        let t = thread::spawn(|| {
+            panic!("boom-42");
+        });
+        t.join().unwrap();
+    });
+    assert_eq!(fail_kind(&out), FailureKind::Panic);
+    let Outcome::Fail(f) = out else {
+        unreachable!()
+    };
+    assert!(
+        f.message.contains("boom-42"),
+        "panic message surfaced:\n{}",
+        f.message
+    );
+}
+
+#[test]
+fn livelock_caught_by_step_budget() {
+    let out = check(&Config::new().max_steps(50), || {
+        let stop = Arc::new(AtomicUsize::new(0));
+        // Unbounded spin with no writer: exceeds any step budget.
+        while stop.load(Ordering::Relaxed) == 0 {}
+    });
+    assert_eq!(fail_kind(&out), FailureKind::Livelock);
+}
+
+#[test]
+fn once_lock_initializes_exactly_once() {
+    check_ok(&Config::new(), || {
+        let cell = Arc::new((OnceLock::new(), AtomicUsize::new(0)));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            *c2.0.get_or_init(|| {
+                c2.1.fetch_add(1, Ordering::Relaxed);
+                7u32
+            })
+        });
+        let a = *cell.0.get_or_init(|| {
+            cell.1.fetch_add(1, Ordering::Relaxed);
+            7u32
+        });
+        let b = t.join().unwrap();
+        assert_eq!((a, b), (7, 7));
+        assert_eq!(cell.1.load(Ordering::Relaxed), 1, "initializer ran twice");
+    });
+}
+
+#[test]
+fn notify_one_explores_waiter_selection() {
+    // Two waiters, one token, one notify_one: whichever waiter wakes
+    // consumes the token; the other must be released by the follow-up
+    // notify after the token is returned. Correct program — but only
+    // if the checker explores both wake targets.
+    let n = check_ok(&Config::new(), || {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let s = Arc::clone(&state);
+            handles.push(thread::spawn(move || {
+                let mut g = s.0.lock().unwrap();
+                while *g == 0 {
+                    g = s.1.wait(g).unwrap();
+                }
+                *g -= 1;
+                // Hand the token back for the other waiter.
+                *g += 1;
+                s.1.notify_one();
+            }));
+        }
+        {
+            let mut g = state.0.lock().unwrap();
+            *g = 1;
+        }
+        state.1.notify_one();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert!(n > 1, "waiter selection must branch, got {n}");
+}
+
+#[test]
+fn schedule_counts_are_deterministic() {
+    let body = || {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            *m2.lock().unwrap() += 1;
+        });
+        *m.lock().unwrap() += 10;
+        t.join().unwrap();
+        assert_eq!(*m.lock().unwrap(), 11);
+    };
+    let a = check_ok(&Config::new(), body);
+    let b = check_ok(&Config::new(), body);
+    assert_eq!(a, b, "exploration is deterministic");
+    assert!(a >= 2, "both lock orders explored");
+}
+
+#[test]
+fn preemption_bound_is_monotone() {
+    let body = || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c2 = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+                c2.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 4);
+    };
+    let p0 = check_ok(&Config::new().preemptions(0).spurious(0), body);
+    let p1 = check_ok(&Config::new().preemptions(1).spurious(0), body);
+    let p2 = check_ok(&Config::new().preemptions(2).spurious(0), body);
+    assert!(
+        p0 < p1 && p1 < p2,
+        "schedule count grows with the preemption bound: {p0} < {p1} < {p2}"
+    );
+}
+
+#[test]
+fn poisoned_lock_surfaces_as_err() {
+    // An uncaught virtual-thread panic is an execution failure, so the
+    // panic that poisons must be caught inside the thread; the guard
+    // drop during its unwind still marks the lock poisoned.
+    check_ok(&Config::new(), || {
+        let m = Arc::new(Mutex::new(0u32));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = m2.lock().unwrap();
+                panic!("poison it");
+            }));
+        });
+        t.join().unwrap();
+        assert!(
+            m.lock().is_err(),
+            "lock must be poisoned by the panicking holder"
+        );
+    });
+}
+
+#[test]
+fn replay_rejects_garbage_schedules() {
+    let r = std::panic::catch_unwind(|| {
+        replay(&Config::new(), "1,x9", || {});
+    });
+    assert!(r.is_err(), "bad token must panic");
+}

@@ -64,7 +64,9 @@ fn main() {
              \x20                   per-class latency summary derived from the persisted trace\n\
              \x20 lint [--root PATH]\n\
              \x20                   run the workspace's static-analysis pass (rlb-lint) over\n\
-             \x20                   crates/*/src; exits nonzero on any unsuppressed finding"
+             \x20                   crates/*/src (determinism, trace-guard, panic-discipline,\n\
+             \x20                   lossy-cast, raw-sync, plus dead-suppression detection);\n\
+             \x20                   exits nonzero on any unsuppressed finding"
         );
         return;
     }

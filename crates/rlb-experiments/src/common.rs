@@ -213,6 +213,26 @@ pub fn loglog2(x: usize) -> f64 {
     log2(x).max(1.0).log2().max(1.0)
 }
 
+/// Checked `usize → u32` narrowing for machine counts, replica picks
+/// and step budgets fed to the `u32` workload/config APIs. Sweep sizes
+/// are bounded far below `u32::MAX`; if a future sweep ever crosses it
+/// this fails loudly instead of truncating (the `lossy-cast` lint bans
+/// bare `as u32` across the suite, funnelling every narrowing here).
+pub fn m32(x: usize) -> u32 {
+    u32::try_from(x).expect("count exceeds u32 range")
+}
+
+/// `⌈x⌉` as `u32` for the O(log m) queue-capacity and probe budgets.
+pub fn ceil_u32(x: f64) -> u32 {
+    let v = x.ceil();
+    assert!(
+        (0.0..=u32::MAX as f64).contains(&v),
+        "budget out of u32 range: {x}"
+    );
+    // In range by the assert above. lint:allow(lossy-cast)
+    v as u32
+}
+
 /// Standard server-count sweep for an experiment: full and quick modes.
 pub fn m_sweep(quick: bool) -> Vec<usize> {
     if quick {

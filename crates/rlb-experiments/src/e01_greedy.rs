@@ -50,14 +50,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 SimConfig::greedy_theorem(m, d, g, 2.0).with_seed(i as u64 * 7919 + g as u64);
             config.flush_interval = None; // flush cost isolated in E14
             config.drain_mode = DrainMode::Interleaved;
-            let workload = RepeatedSet::first_k(m as u32, 31 + i as u64);
+            let workload = RepeatedSet::first_k(common::m32(m), 31 + i as u64);
             (config, Box::new(workload) as Box<dyn Workload + Send>)
         });
         (m, d, g, agg)
     });
     let mut rows = Vec::new();
     for (m, d, g, agg) in computed {
-        let q = common::log2(m).ceil() as u32 + 1;
+        let q = common::ceil_u32(common::log2(m)) + 1;
         table.row(vec![
             fmt_u(m as u64),
             fmt_u(d as u64),

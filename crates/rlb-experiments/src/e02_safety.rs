@@ -49,7 +49,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                     config.safety_check_every = Some(1);
                     let seed = 77 + i as u64;
                     let workload: Box<dyn Workload + Send> = if repeated {
-                        Box::new(RepeatedSet::first_k(m as u32, seed))
+                        Box::new(RepeatedSet::first_k(common::m32(m), seed))
                     } else {
                         Box::new(PartialRepeat::new(4 * m as u64, m, 0.5, seed))
                     };

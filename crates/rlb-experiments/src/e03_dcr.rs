@@ -37,7 +37,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let computed = common::par_rows(common::m_sweep(quick), move |&m| {
         let agg = common::aggregate_trials(trials, PolicyKind::DelayedCuckoo, steps, move |i| {
             let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(0xe3 + i as u64 * 131);
-            let workload = RepeatedSet::first_k(m as u32, 97 + i as u64);
+            let workload = RepeatedSet::first_k(common::m32(m), 97 + i as u64);
             (config, Box::new(workload) as Box<dyn Workload + Send>)
         });
         (m, agg)

@@ -65,7 +65,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let cells = common::par_rows(params, move |&(q, policy)| {
         let agg = common::aggregate_trials(trials, policy, steps, move |i| {
             let config = config_for(m, q, 0xe4 + i as u64 * 151);
-            let workload = RepeatedSet::first_k(m as u32, 7 + i as u64);
+            let workload = RepeatedSet::first_k(common::m32(m), 7 + i as u64);
             (config, Box::new(workload) as Box<dyn Workload + Send>)
         });
         agg.rejection_rate
@@ -94,7 +94,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let greedy_q = frontier(&per_policy[0].1);
     let dcr_q = frontier(&per_policy[1].1);
     let random_q = frontier(&per_policy[2].1);
-    let loglog_budget = (2.0 * common::loglog2(m)).ceil() as u32;
+    let loglog_budget = common::ceil_u32(2.0 * common::loglog2(m));
 
     let checks = vec![
         Check::new(

@@ -31,7 +31,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut rates = Vec::new();
     for d in [1usize, 2, 3, 4] {
         let agg = common::aggregate_trials(trials, PolicyKind::Greedy, steps, move |i| {
-            let q = common::log2(m).ceil() as u32 + 1;
+            let q = common::ceil_u32(common::log2(m)) + 1;
             let config = SimConfig {
                 num_servers: m,
                 num_chunks: 4 * m,
@@ -43,7 +43,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 seed: 0xe5 + i as u64 * 163 + d as u64 * 7,
                 safety_check_every: Some(4),
             };
-            let workload = RepeatedSet::first_k(m as u32, 3 + i as u64);
+            let workload = RepeatedSet::first_k(common::m32(m), 3 + i as u64);
             (config, Box::new(workload) as Box<dyn Workload + Send>)
         });
         table.row(vec![

@@ -52,7 +52,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         };
         let placement =
             planted_collision_placement(config.num_chunks, m, d, colliders, config.seed);
-        let mut workload = RepeatedSet::first_k(m as u32, 11);
+        let mut workload = RepeatedSet::first_k(common::m32(m), 11);
         let report = match policy {
             PolicyKind::Greedy => {
                 let mut sim = Simulation::with_placement(config, Greedy::new(), placement);

@@ -55,7 +55,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                     num_chunks: 4 * m,
                     replication: 2,
                     process_rate: 1,
-                    queue_capacity: (steps as u32) * 8,
+                    queue_capacity: common::m32(steps as usize) * 8,
                     flush_interval: None,
                     drain_mode: DrainMode::EndOfStep,
                     seed: 0xe8 + t as u64 * 173,
@@ -63,7 +63,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 };
                 // The lemma fixes one sequence sigma and replays it
                 // verbatim every step.
-                let mut workload = RepeatedSet::first_k(m as u32, 5 + t as u64).fixed_order();
+                let mut workload = RepeatedSet::first_k(common::m32(m), 5 + t as u64).fixed_order();
                 let mut obs = ArrivalCounter { counts: vec![0; m] };
                 let report = policy.run_observed(
                     config,

@@ -40,7 +40,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let steps = common::step_count(quick);
     let g = 16u32;
     let config = SimConfig::dcr_theorem(m, g, 4).with_seed(0xe9);
-    let mut workload = RepeatedSet::first_k(m as u32, 17);
+    let mut workload = RepeatedSet::first_k(common::m32(m), 17);
     let mut obs = PArrivals {
         m,
         current: vec![0; m],

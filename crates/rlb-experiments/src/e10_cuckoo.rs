@@ -13,6 +13,7 @@
 //!    matches the graph-theoretic optimum (also enforced by property
 //!    tests in `rlb-cuckoo`).
 
+use crate::common;
 use crate::{Check, ExperimentOutput};
 use rlb_cuckoo::offline::validate_assignment;
 use rlb_cuckoo::{
@@ -25,7 +26,7 @@ use rlb_metrics::Table;
 
 fn random_items(m: usize, k: usize, rng: &mut Pcg64) -> Vec<Choices> {
     (0..k)
-        .map(|_| Choices::new(rng.gen_index(m) as u32, rng.gen_index(m) as u32))
+        .map(|_| Choices::new(common::m32(rng.gen_index(m)), common::m32(rng.gen_index(m))))
         .collect()
 }
 

@@ -49,7 +49,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         let mut row = vec![fmt_f(rho, 2)];
         for policy in policies {
             let agg = common::aggregate_trials(trials, policy, steps, move |i| {
-                let q = common::log2(m).ceil() as u32 + 1;
+                let q = common::ceil_u32(common::log2(m)) + 1;
                 let config = SimConfig {
                     num_servers: m,
                     num_chunks: 4 * m,

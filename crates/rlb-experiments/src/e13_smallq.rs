@@ -23,7 +23,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let m = if quick { 512 } else { 2048 };
     let trials = common::trial_count(quick).min(3);
     let steps = common::step_count(quick);
-    let q = (2.0 * common::loglog2(m)).ceil() as u32;
+    let q = common::ceil_u32(2.0 * common::loglog2(m));
     let variants: Vec<(PolicyKind, u32)> = vec![
         (PolicyKind::DelayedCuckoo, 16),
         (PolicyKind::DelayedCuckoo, 8),
@@ -49,7 +49,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 seed: 0xe13 + i as u64 * 211 + g as u64,
                 safety_check_every: None,
             };
-            let workload = RepeatedSet::first_k(m as u32, 41 + i as u64);
+            let workload = RepeatedSet::first_k(common::m32(m), 41 + i as u64);
             (config, Box::new(workload) as Box<dyn Workload + Send>)
         });
         table.row(vec![

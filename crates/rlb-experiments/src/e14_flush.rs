@@ -28,13 +28,13 @@ fn run_one(m: usize, interval: Option<u64>, steps: u64, seed: u64) -> RunReport 
         num_chunks: 4 * m,
         replication: 2,
         process_rate: 1,
-        queue_capacity: common::log2(m).ceil() as u32 + 1,
+        queue_capacity: common::ceil_u32(common::log2(m)) + 1,
         flush_interval: interval,
         drain_mode: DrainMode::EndOfStep,
         seed,
         safety_check_every: Some(4),
     };
-    let mut workload = RepeatedSet::first_k((3 * m / 4) as u32, seed ^ 0x5a);
+    let mut workload = RepeatedSet::first_k(common::m32(3 * m / 4), seed ^ 0x5a);
     let mut sim = Simulation::new(config, Greedy::new());
     sim.run(&mut workload as &mut dyn Workload, steps);
     sim.finish()

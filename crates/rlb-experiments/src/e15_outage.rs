@@ -40,9 +40,9 @@ fn run_with_outage(
         seed,
         safety_check_every: None,
     };
-    let down = ((m as f64) * f) as u32;
+    let down = common::m32(((m as f64) * f) as usize);
     let outages = OutageSchedule::mass_failure(down, window.0, window.1);
-    let mut workload = RepeatedSet::first_k(m as u32, seed ^ 0x0f);
+    let mut workload = RepeatedSet::first_k(common::m32(m), seed ^ 0x0f);
     match policy {
         PolicyKind::Greedy => {
             let mut sim = Simulation::new(config, Greedy::new()).with_outages(outages);

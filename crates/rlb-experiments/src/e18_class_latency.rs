@@ -41,7 +41,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let mut per_class: Vec<(usize, u64, f64, u64, u64)> = Vec::new();
     for g in [16u32, 8] {
         let config = SimConfig::dcr_theorem(m, g, 4).with_seed(0xe18 + g as u64);
-        let mut workload = RepeatedSet::first_k(m as u32, 29);
+        let mut workload = RepeatedSet::first_k(common::m32(m), 29);
         let report =
             PolicyKind::DelayedCuckoo.run(config, &mut workload as &mut dyn Workload, steps);
         report.check_conservation().unwrap();

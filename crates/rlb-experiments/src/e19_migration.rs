@@ -12,7 +12,7 @@
 //! * `d = 2` greedy: ≈ 0 rejection from step one, zero moves — but 2×
 //!   storage.
 
-use crate::common::PolicyKind;
+use crate::common::{self, PolicyKind};
 use crate::{Check, ExperimentOutput};
 use rlb_core::migration::{MigrationConfig, MigrationSim};
 use rlb_core::{DrainMode, SimConfig, Workload};
@@ -48,7 +48,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             budget_per_step: budget,
             seed: 0xe19,
         });
-        let mut workload = RepeatedSet::first_k(m as u32, 19);
+        let mut workload = RepeatedSet::first_k(common::m32(m), 19);
         let r = sim.run(&mut workload as &mut dyn Workload, steps);
         let name = if budget == 0 {
             "d=1 static".to_string()
@@ -77,7 +77,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         seed: 0xe19,
         safety_check_every: None,
     };
-    let mut workload = RepeatedSet::first_k(m as u32, 19);
+    let mut workload = RepeatedSet::first_k(common::m32(m), 19);
     let greedy = PolicyKind::Greedy.run(config, &mut workload as &mut dyn Workload, steps);
     greedy.check_conservation().unwrap();
     table.row(vec![

@@ -43,7 +43,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
             },
         );
         let mut sim = Simulation::new(config, policy);
-        let mut workload = RepeatedSet::first_k(m as u32, 37);
+        let mut workload = RepeatedSet::first_k(common::m32(m), 37);
         sim.run(&mut workload as &mut dyn Workload, steps);
         let diag = sim.policy().diagnostics();
         let p_share = diag.p_routed as f64 / (diag.p_routed + diag.q_routed).max(1) as f64;
@@ -61,7 +61,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     table.note("L = 1 has no repeats to table-route; the theorem's Θ(loglog m) sits on a plateau");
     // Context row: plain greedy for comparison.
     let config = SimConfig::dcr_theorem(m, 16, 4).with_seed(0xe20);
-    let mut workload = RepeatedSet::first_k(m as u32, 37);
+    let mut workload = RepeatedSet::first_k(common::m32(m), 37);
     let greedy = PolicyKind::Greedy.run(config, &mut workload as &mut dyn Workload, steps);
 
     let l1 = rows[0];

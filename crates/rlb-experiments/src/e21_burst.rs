@@ -62,7 +62,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
                 seed: 0xe21 + burst,
                 safety_check_every: None,
             };
-            let mut workload = OnOffBurst::new(m as u32, m, m / 5, burst, trough, 43 + burst);
+            let mut workload = OnOffBurst::new(common::m32(m), m, m / 5, burst, trough, 43 + burst);
             let report = policy.run(config, &mut workload as &mut dyn Workload, steps);
             report.check_conservation().unwrap();
             row.push(fmt_rate(report.rejection_rate));

@@ -37,7 +37,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
     let q = 16u32;
     // Bursty traffic at a tight rate: queues actually fill, so the
     // threshold has something to cut.
-    let make_workload = || OnOffBurst::new(m as u32, m, m / 4, 4, 4, 51);
+    let make_workload = || OnOffBurst::new(common::m32(m), m, m / 4, 4, 4, 51);
     let thresholds: Vec<u32> = vec![2, 4, 8, 16];
     let mut table = Table::new(
         format!("Shedding threshold trade (m = {m}, g = 1, q = {q}, 4:4 bursty traffic)"),

@@ -55,17 +55,16 @@ fn json_output_is_byte_identical_across_jobs() {
 fn bad_jobs_values_are_rejected() {
     // `--jobs` with a missing value or a non-positive value must error
     // out (exit 2) rather than being silently ignored or promoted.
-    for bad_args in [&["e1", "--quick", "--jobs"][..], &["e1", "--quick", "--jobs", "0"][..]] {
+    for bad_args in [
+        &["e1", "--quick", "--jobs"][..],
+        &["e1", "--quick", "--jobs", "0"][..],
+    ] {
         let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
             .args(bad_args)
             .env_remove("RLB_JOBS")
             .output()
             .expect("run experiments binary");
-        assert_eq!(
-            out.status.code(),
-            Some(2),
-            "args {bad_args:?} must exit 2"
-        );
+        assert_eq!(out.status.code(), Some(2), "args {bad_args:?} must exit 2");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
             stderr.contains("--jobs expects a positive integer"),

@@ -46,18 +46,26 @@ impl LintReport {
     }
 
     /// Renders the report as the CLI prints it: one `file:line: [rule]
-    /// message` per finding plus a summary line.
+    /// message` per finding plus a summary line. Dead `lint:allow`
+    /// entries (rule `unused-suppression`) are counted out separately
+    /// so the summary shows both numbers at a glance.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(out, "{f}");
         }
+        let dead = self
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unused-suppression")
+            .count();
         let _ = writeln!(
             out,
-            "rlb-lint: {} file(s) scanned, {} finding(s)",
+            "rlb-lint: {} file(s) scanned, {} finding(s), {} dead suppression(s)",
             self.files_scanned,
-            self.findings.len()
+            self.findings.len() - dead,
+            dead
         );
         out
     }

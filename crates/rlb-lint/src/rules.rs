@@ -11,8 +11,13 @@
 //! | `determinism`      | all crates except `rlb-bench`/`rlb-cli` | `HashMap`/`HashSet`, `Instant::now`/`SystemTime`, `thread_rng`/`rand::` |
 //! | `trace-guard`      | `rlb-core`, `rlb-kv`                    | `.on_event(` outside `if S::ENABLED { … }` (sink impls exempt) |
 //! | `panic-discipline` | `rlb-core::{sim,queue}`, `rlb-kv::cluster` | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `lossy-cast`       | `rlb-core::stats`, `rlb-metrics`, `rlb-trace::aggregate` | narrowing `as u8` / `as u16` / `as u32` |
-//! | `raw-threading`    | all crates except `rlb-pool`            | `thread::spawn`, `thread::scope` — parallelism goes through the deterministic executor |
+//! | `lossy-cast`       | `rlb-core::stats`, `rlb-metrics`, `rlb-trace::aggregate`, `rlb-pool`, `rlb-experiments` | narrowing `as u8` / `as u16` / `as u32` |
+//! | `raw-sync`         | all crates except `rlb-sync`/`rlb-check` | `std::sync::*` (except `Arc`/`Weak` and the lock-result types) and `thread::spawn`/`scope`/`Builder` — primitives come from `rlb_sync`, so the `model` feature can route them through the checker |
+//!
+//! One meta rule, `unused-suppression`, runs after all of the above in
+//! every scanned file: a `lint:allow` naming a catalog rule that
+//! suppressed nothing is itself a finding (and is deliberately not
+//! suppressible — stale excuses hide real ones).
 
 use crate::lexer::{scrub, Scrubbed};
 
@@ -39,13 +44,15 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The rule catalog (names usable in `lint:allow(...)`).
+/// The rule catalog (names usable in `lint:allow(...)`). The meta rule
+/// `unused-suppression` is intentionally absent: it reports dead
+/// `lint:allow` entries and cannot itself be suppressed.
 pub const RULES: &[&str] = &[
     "determinism",
     "trace-guard",
     "panic-discipline",
     "lossy-cast",
-    "raw-threading",
+    "raw-sync",
 ];
 
 /// Crates whose code may read clocks / use ambient hashing: the bench
@@ -63,9 +70,14 @@ const PANIC_SCOPE: &[&str] = &[
 /// Crates whose emission sites must be behind `if S::ENABLED`.
 const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv"];
 
-/// The one crate allowed to spawn threads: the deterministic executor
-/// everything else submits jobs to.
-const RAW_THREADING_ALLOW_CRATES: &[&str] = &["rlb-pool"];
+/// The sync-shim layer: the only crates allowed to touch
+/// `std::sync`/`std::thread` primitives directly. `rlb-sync` is the
+/// re-export switch every concurrent crate imports from, and
+/// `rlb-check`'s cooperative runtime is the trusted base beneath the
+/// shims. Everything else — including the executor — goes through
+/// `rlb_sync`, so building with `--features model` swaps its
+/// primitives for instrumented ones.
+const RAW_SYNC_ALLOW_CRATES: &[&str] = &["rlb-sync", "rlb-check"];
 
 /// Lints one file. `rel_path` is workspace-relative with forward
 /// slashes (e.g. `crates/rlb-core/src/sim.rs`); it selects which rules
@@ -90,9 +102,10 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     if in_lossy_cast_scope(rel_path) {
         lossy_cast(rel_path, &scrubbed, &analysis, &allow, &mut findings);
     }
-    if !RAW_THREADING_ALLOW_CRATES.contains(&krate) {
-        raw_threading(rel_path, &scrubbed, &analysis, &allow, &mut findings);
+    if !RAW_SYNC_ALLOW_CRATES.contains(&krate) {
+        raw_sync(rel_path, &scrubbed, &analysis, &allow, &mut findings);
     }
+    unused_suppressions(rel_path, &scrubbed, &analysis, &allow, &mut findings);
 
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
@@ -107,6 +120,8 @@ fn in_lossy_cast_scope(rel_path: &str) -> bool {
     rel_path == "crates/rlb-core/src/stats.rs"
         || rel_path.starts_with("crates/rlb-metrics/src/")
         || rel_path == "crates/rlb-trace/src/aggregate.rs"
+        || rel_path.starts_with("crates/rlb-pool/src/")
+        || rel_path.starts_with("crates/rlb-experiments/src/")
 }
 
 // ---------------------------------------------------------------- rules
@@ -115,7 +130,7 @@ fn determinism(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     findings: &mut Vec<Finding>,
 ) {
     const TOKENS: &[(&str, &str)] = &[
@@ -158,7 +173,7 @@ fn trace_guard(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     findings: &mut Vec<Finding>,
 ) {
     for site in &analysis.on_event_sites {
@@ -186,7 +201,7 @@ fn panic_discipline(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     findings: &mut Vec<Finding>,
 ) {
     const TOKENS: &[&str] = &[
@@ -220,7 +235,7 @@ fn lossy_cast(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     findings: &mut Vec<Finding>,
 ) {
     for (pos, ty) in find_narrowing_as(&scrubbed.code) {
@@ -240,18 +255,21 @@ fn lossy_cast(
     }
 }
 
-fn raw_threading(
+fn raw_sync(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     findings: &mut Vec<Finding>,
 ) {
-    // `thread::spawn` / `thread::scope` catch both `std::thread::` and
-    // `use std::thread; thread::` spellings; a bare `spawn(`-style call
-    // through a re-import is not in the house style.
-    const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
-    for &token in TOKENS {
+    // `thread::spawn` / `thread::scope` / `thread::Builder` catch both
+    // `std::thread::` and `use std::thread; thread::` spellings — and,
+    // on purpose, `rlb_sync::thread::spawn` too: outside the shim layer
+    // threads come from pool jobs, not hand-rolled spawns. Benign
+    // `std::thread` reads (`sleep`, `available_parallelism`, `current`)
+    // stay legal.
+    const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+    for &token in THREAD_TOKENS {
         for pos in find_word(&scrubbed.code, token) {
             emit(
                 findings,
@@ -260,13 +278,55 @@ fn raw_threading(
                 analysis,
                 allow,
                 pos,
-                "raw-threading",
+                "raw-sync",
                 format!(
-                    "`{token}` outside rlb-pool: raw threads bypass the deterministic executor; \
-                     submit jobs via rlb_pool (map/map_indexed) instead"
+                    "`{token}` outside the sync-shim layer: raw threads are invisible to the \
+                     model checker; submit jobs via rlb_pool, or spawn through rlb_sync::thread \
+                     inside the executor"
                 ),
             );
         }
+    }
+
+    // Any `std::sync::` path except the sync-transparent re-exports
+    // must be imported from rlb_sync instead, or the `model` feature
+    // cannot swap it for the instrumented version.
+    const TRANSPARENT: &[&str] = &[
+        "Arc",
+        "Weak",
+        "LockResult",
+        "PoisonError",
+        "TryLockError",
+        "TryLockResult",
+    ];
+    for pos in find_word(&scrubbed.code, "std::sync::") {
+        let rest = &scrubbed.code[pos + "std::sync::".len()..];
+        let seg: String = rest
+            .chars()
+            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+            .collect();
+        if TRANSPARENT.contains(&seg.as_str()) {
+            continue;
+        }
+        let what = if seg.is_empty() {
+            "a grouped `std::sync::{..}` import".to_string()
+        } else {
+            format!("`std::sync::{seg}`")
+        };
+        emit(
+            findings,
+            rel_path,
+            scrubbed,
+            analysis,
+            allow,
+            pos,
+            "raw-sync",
+            format!(
+                "{what} outside the sync-shim layer: import the primitive from rlb_sync so the \
+                 `model` feature can route it through the checker (only `Arc` and the \
+                 lock-result types may come from std::sync directly)"
+            ),
+        );
     }
 }
 
@@ -278,7 +338,7 @@ fn emit(
     rel_path: &str,
     scrubbed: &Scrubbed,
     analysis: &Analysis,
-    allow: &[Vec<String>],
+    allow: &Suppressions,
     pos: usize,
     rule: &'static str,
     message: String,
@@ -287,12 +347,7 @@ fn emit(
         return;
     }
     let line = scrubbed.line_of(pos);
-    let suppressed = [line.checked_sub(1), line.checked_sub(2)]
-        .into_iter()
-        .flatten()
-        .filter_map(|l| allow.get(l))
-        .any(|rules| rules.iter().any(|r| r == rule));
-    if suppressed {
+    if allow.suppresses(line, rule) {
         return;
     }
     findings.push(Finding {
@@ -301,6 +356,47 @@ fn emit(
         rule,
         message,
     });
+}
+
+/// After every rule has run, reports catalog-rule `lint:allow` entries
+/// that suppressed nothing. Dead suppressions rot fastest of all
+/// annotations — the code they excused changes and the excuse outlives
+/// it — so they are findings in their own right. The meta rule is not
+/// in [`RULES`] and therefore cannot be suppressed; entries inside
+/// `#[cfg(test)]` regions and entries naming nothing in the catalog
+/// (prose like `lint:allow(<rule>)` in docs) are skipped.
+fn unused_suppressions(
+    rel_path: &str,
+    scrubbed: &Scrubbed,
+    analysis: &Analysis,
+    allow: &Suppressions,
+    findings: &mut Vec<Finding>,
+) {
+    let mut starts = vec![0usize];
+    for (i, b) in scrubbed.code.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    for (l0, entries) in allow.by_line.iter().enumerate() {
+        for (rule, used) in entries {
+            if used.get() || !RULES.contains(&rule.as_str()) {
+                continue;
+            }
+            if analysis.in_test(starts.get(l0).copied().unwrap_or(usize::MAX)) {
+                continue;
+            }
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: l0 + 1,
+                rule: "unused-suppression",
+                message: format!(
+                    "`lint:allow({rule})` suppresses no finding; delete it (stale excuses hide \
+                     real ones)"
+                ),
+            });
+        }
+    }
 }
 
 // ------------------------------------------------------------- scanning
@@ -361,10 +457,43 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// Per-line `lint:allow(rule, ...)` annotations extracted from comment
+/// Per-line `lint:allow(...)` annotations with per-entry usage
+/// tracking, so entries that suppress nothing can be reported by
+/// [`unused_suppressions`].
+struct Suppressions {
+    /// 0-indexed by line: each entry is a rule name plus a "consumed at
+    /// least one finding" flag ([`std::cell::Cell`] because the rule
+    /// passes hold the table by shared reference).
+    by_line: Vec<Vec<(String, std::cell::Cell<bool>)>>,
+}
+
+impl Suppressions {
+    /// Does an allow on `line` (1-based) or the line above name `rule`?
+    /// Every matching entry is marked used — either copy justifies the
+    /// suppression, so neither is dead.
+    fn suppresses(&self, line: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for l in [line.checked_sub(1), line.checked_sub(2)]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(entries) = self.by_line.get(l) {
+                for (r, used) in entries {
+                    if r == rule {
+                        used.set(true);
+                        hit = true;
+                    }
+                }
+            }
+        }
+        hit
+    }
+}
+
+/// Extracts `lint:allow(rule, ...)` annotations from per-line comment
 /// text (0-indexed by line).
-fn allow_by_line(comments: &[String]) -> Vec<Vec<String>> {
-    comments
+fn allow_by_line(comments: &[String]) -> Suppressions {
+    let by_line = comments
         .iter()
         .map(|c| {
             let mut rules = Vec::new();
@@ -373,7 +502,7 @@ fn allow_by_line(comments: &[String]) -> Vec<Vec<String>> {
                 rest = &rest[p + "lint:allow(".len()..];
                 if let Some(close) = rest.find(')') {
                     for r in rest[..close].split(',') {
-                        rules.push(r.trim().to_string());
+                        rules.push((r.trim().to_string(), std::cell::Cell::new(false)));
                     }
                     rest = &rest[close..];
                 } else {
@@ -382,7 +511,8 @@ fn allow_by_line(comments: &[String]) -> Vec<Vec<String>> {
             }
             rules
         })
-        .collect()
+        .collect();
+    Suppressions { by_line }
 }
 
 // ------------------------------------------------- structural analysis
@@ -529,10 +659,14 @@ mod tests {
         let same =
             "fn f() { let s = std::collections::HashSet::new(); } // lint:allow(determinism)";
         assert!(lint_core(same).is_empty());
-        // The wrong rule name does not suppress.
+        // The wrong rule name does not suppress — and, being dead, is
+        // itself reported.
         let wrong =
             "fn f() { let s = std::collections::HashSet::new(); } // lint:allow(lossy-cast)";
-        assert_eq!(lint_core(wrong).len(), 1);
+        let f = lint_core(wrong);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "determinism"));
+        assert!(f.iter().any(|x| x.rule == "unused-suppression"));
     }
 
     #[test]
@@ -632,6 +766,14 @@ mod tests {
             lint_source("crates/rlb-metrics/src/histogram.rs", src).len(),
             1
         );
+        // The executor and the experiment suite joined the scope with
+        // the rlb-check PR: index/count plumbing there narrows via
+        // checked helpers, not bare `as`.
+        assert_eq!(lint_source("crates/rlb-pool/src/lib.rs", src).len(), 1);
+        assert_eq!(
+            lint_source("crates/rlb-experiments/src/e01_greedy.rs", src).len(),
+            1
+        );
         assert!(lint_source("crates/rlb-core/src/sim.rs", src).is_empty());
     }
 
@@ -642,33 +784,70 @@ mod tests {
     }
 
     #[test]
-    fn raw_threading_fires_outside_the_pool() {
+    fn raw_sync_fires_on_threads_and_primitives() {
         for bad in [
             "fn f() { std::thread::spawn(|| {}); }",
             "fn f() { thread::scope(|s| { s.spawn(|| {}); }); }",
             "fn f() { std::thread::Builder::new(); }",
+            "use std::sync::Mutex;",
+            "use std::sync::{Mutex, Condvar};",
+            "fn f() { let x = std::sync::atomic::AtomicUsize::new(0); }",
+            "use std::sync::mpsc::channel;",
+            "use std::sync::OnceLock;",
         ] {
             let f = lint_source("crates/rlb-kv/src/runner.rs", bad);
-            assert_eq!(f.len(), 1, "{bad}");
-            assert_eq!(f[0].rule, "raw-threading");
+            assert_eq!(f.len(), 1, "{bad}: {f:?}");
+            assert_eq!(f[0].rule, "raw-sync");
         }
     }
 
     #[test]
-    fn raw_threading_exempts_pool_tests_and_allows() {
-        let src = "fn f() { std::thread::spawn(|| {}); }";
-        assert!(lint_source("crates/rlb-pool/src/lib.rs", src).is_empty());
+    fn raw_sync_exempts_shim_crates_tests_and_allows() {
+        let src = "use std::sync::{Mutex, Condvar};\nfn f() { std::thread::spawn(|| {}); }";
+        assert!(lint_source("crates/rlb-sync/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/rlb-check/src/rt.rs", src).is_empty());
+        // The executor is NOT exempt — it imports from rlb_sync now.
+        assert_eq!(lint_source("crates/rlb-pool/src/lib.rs", src).len(), 2);
         let test_src = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}";
         assert!(lint_source("crates/rlb-kv/src/runner.rs", test_src).is_empty());
-        let allowed = "// lint:allow(raw-threading)\nfn f() { std::thread::spawn(|| {}); }";
+        let allowed = "// justification here. lint:allow(raw-sync)\nfn f() { \
+                       std::thread::spawn(|| {}); }";
         assert!(lint_source("crates/rlb-kv/src/runner.rs", allowed).is_empty());
     }
 
     #[test]
-    fn raw_threading_ignores_benign_thread_uses() {
-        let ok = "fn f() { std::thread::sleep(d); let n = \
-                  std::thread::available_parallelism(); }";
+    fn raw_sync_permits_transparent_reexports_and_benign_thread_reads() {
+        let ok = "use std::sync::Arc;\nuse std::sync::PoisonError;\nfn f() { \
+                  std::thread::sleep(d); let n = std::thread::available_parallelism(); \
+                  let t = std::thread::current(); }";
         assert!(lint_source("crates/rlb-kv/src/runner.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unused_suppression_is_reported() {
+        let f = lint_core("// lint:allow(determinism)\nfn f() { let x = 3; }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-suppression");
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("determinism"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn used_suppression_is_not_reported() {
+        let f = lint_core(
+            "// membership only. lint:allow(determinism)\nfn f() { let s = \
+             std::collections::HashSet::new(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_suppression_skips_test_regions_and_unknown_names() {
+        let in_test = "#[cfg(test)]\nmod tests {\n    // lint:allow(determinism)\n    fn g() {}\n}";
+        assert!(lint_core(in_test).is_empty());
+        // Prose naming no catalog rule (docs say `lint:allow(<rule>)`).
+        let prose = "// suppress with lint:allow(some-rule)\nfn f() {}";
+        assert!(lint_core(prose).is_empty());
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   induction on nesting depth, some deepest job always runs to
 //!   completion: no deadlock. No thread is ever created for a nested
 //!   call, so at most `jobs` threads execute jobs at any moment.
+//!   A job may even own the last `Arc<Pool>` handle: the pool's `Drop`
+//!   is worker-safe (retired batches are dropped outside the queue
+//!   lock, and a worker tearing the pool down detaches itself instead
+//!   of self-joining) — proven over all schedules by the model suite
+//!   in `tests/model.rs`.
 //! * **Panic propagation.** A panicking job is caught on the executing
 //!   thread, the batch still runs to completion, and the payload is
 //!   re-raised on the submitting thread.
@@ -60,8 +65,13 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// All sync primitives come from rlb-sync (the `raw-sync` lint rule
+// enforces this workspace-wide): std re-exports normally, rlb-check's
+// instrumented model primitives under the `model` feature — which is
+// what lets tests/model.rs exhaustively explore this file's
+// interleavings.
+use rlb_sync::{thread, Arc, AtomicBool, AtomicUsize, Condvar, Mutex, OnceLock, Ordering};
 
 /// A claimable unit of batch execution, type-erased for the queue.
 trait Batch: Send + Sync {
@@ -163,33 +173,61 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pops exhausted batches off the front, then joins and clones the
-    /// first batch that accepts another executor (skipping, but
-    /// keeping, batches at their concurrency cap). Runs under the queue
-    /// lock, so the slot reservation is atomic with the scan.
-    fn next_batch(queue: &mut VecDeque<Arc<dyn Batch>>) -> Option<Arc<dyn Batch>> {
-        while queue.front().map_or(false, |front| front.exhausted()) {
-            queue.pop_front();
+    /// Moves exhausted front batches into `retired` (the caller drops
+    /// them **after** releasing the queue lock — see `worker_loop`),
+    /// then joins and clones the first batch that accepts another
+    /// executor (skipping, but keeping, batches at their concurrency
+    /// cap). Runs under the queue lock, so the slot reservation is
+    /// atomic with the scan.
+    fn next_batch(
+        queue: &mut VecDeque<Arc<dyn Batch>>,
+        retired: &mut Vec<Arc<dyn Batch>>,
+    ) -> Option<Arc<dyn Batch>> {
+        while queue.front().is_some_and(|front| front.exhausted()) {
+            retired.extend(queue.pop_front());
         }
         queue.iter().find(|batch| batch.try_join()).cloned()
     }
 }
 
+/// What a worker decided under the queue lock; acted on after release.
+enum Step {
+    Run(Arc<dyn Batch>),
+    Shutdown,
+    /// Lock released early (to drop retired batches); re-scan.
+    Retry,
+}
+
 fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let batch = {
+        // Dropping a batch can run arbitrary destructors of its job
+        // closure — including, when a job captured the last live
+        // `Arc<Pool>`, the pool's own `Drop` (which takes the queue
+        // lock). So retired batches collected during the scan are only
+        // dropped here, after the guard is gone, and the worker never
+        // waits while still holding retired batches.
+        let mut retired: Vec<Arc<dyn Batch>> = Vec::new();
+        let step = {
             let mut queue = shared.queue.lock().expect("queue lock");
             loop {
                 if shared.shutdown.load(Ordering::Relaxed) {
-                    return;
+                    break Step::Shutdown;
                 }
-                if let Some(batch) = Shared::next_batch(&mut queue) {
-                    break batch;
+                if let Some(batch) = Shared::next_batch(&mut queue, &mut retired) {
+                    break Step::Run(batch);
+                }
+                if !retired.is_empty() {
+                    break Step::Retry;
                 }
                 queue = shared.work_cv.wait(queue).expect("queue wait");
             }
         };
-        while batch.run_one() {}
+        drop(retired);
+        match step {
+            Step::Run(batch) => while batch.run_one() {},
+            Step::Shutdown => return,
+            Step::Retry => {}
+        }
     }
 }
 
@@ -200,8 +238,11 @@ fn worker_loop(shared: Arc<Shared>) {
 /// worker counts.
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
     jobs: usize,
+    /// Re-enables the PR-4 shutdown race for checker detection tests.
+    #[cfg(feature = "model")]
+    buggy_shutdown: bool,
 }
 
 impl Pool {
@@ -218,9 +259,11 @@ impl Pool {
         let workers = (1..jobs)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                // The one sanctioned spawn site in the workspace (the
-                // `raw-threading` lint funnels everything else here).
-                std::thread::Builder::new()
+                // The one sanctioned spawn site outside the shim layer:
+                // the executor everything else submits jobs to, spawning
+                // through rlb_sync so `--features model` swaps the
+                // threads for virtual ones. lint:allow(raw-sync)
+                thread::Builder::new()
                     .name("rlb-pool-worker".into())
                     .spawn(move || worker_loop(shared))
                     .expect("spawn pool worker")
@@ -230,7 +273,21 @@ impl Pool {
             shared,
             workers,
             jobs,
+            #[cfg(feature = "model")]
+            buggy_shutdown: false,
         }
+    }
+
+    /// Builds a pool whose `Drop` re-introduces the PR-4 lost-wakeup
+    /// race (shutdown stored *outside* the queue lock), so the model
+    /// checker's detection power can be proven in the test suite. Only
+    /// exists under the `model` feature; never use outside tests.
+    #[cfg(feature = "model")]
+    #[doc(hidden)]
+    pub fn new_with_buggy_shutdown(jobs: usize) -> Self {
+        let mut pool = Self::new(jobs);
+        pool.buggy_shutdown = true;
+        pool
     }
 
     /// Total executors (spawned workers + the submitting thread).
@@ -321,17 +378,36 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        // Set the flag while holding the queue mutex: a worker that has
-        // observed `shutdown == false` with an empty queue still holds
-        // the lock until it enters `wait()`, so acquiring it here orders
-        // the store after that check — the subsequent notify cannot be
-        // lost between a worker's check and its wait.
-        {
+        #[cfg(feature = "model")]
+        let buggy = self.buggy_shutdown;
+        #[cfg(not(feature = "model"))]
+        let buggy = false;
+        if buggy {
+            // The PR-4 bug, preserved verbatim for the checker's
+            // detection test: without the lock, this store (and the
+            // notify below) can slip between a worker's shutdown check
+            // and its wait entry — that worker then sleeps forever.
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        } else {
+            // Set the flag while holding the queue mutex: a worker that
+            // has observed `shutdown == false` with an empty queue still
+            // holds the lock until it enters `wait()`, so acquiring it
+            // here orders the store after that check — the subsequent
+            // notify cannot be lost between a worker's check and its
+            // wait.
             let _queue = self.shared.queue.lock().expect("queue lock");
             self.shared.shutdown.store(true, Ordering::Relaxed);
         }
         self.shared.work_cv.notify_all();
+        // When a job closure captured the last live `Arc<Pool>`, this
+        // destructor runs on the worker thread that dropped the retired
+        // batch — which must not join itself. That worker is detached
+        // instead; it observes the shutdown flag and exits on its own.
+        let me = thread::current().id();
         for handle in self.workers.drain(..) {
+            if handle.thread().id() == me {
+                continue;
+            }
             // A worker that panicked already surfaced the panic to the
             // submitter; nothing further to report here.
             let _ = handle.join();
@@ -372,12 +448,12 @@ pub fn default_jobs() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
+    thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "model")))]
 mod tests {
     use super::*;
 
@@ -435,6 +511,21 @@ mod tests {
         let _ = set_global_jobs(2);
         assert!(!set_global_jobs(5));
         assert!(global().jobs() >= 1);
+    }
+
+    #[test]
+    fn pool_owned_by_its_own_jobs_tears_down() {
+        // A job closure may capture the last live Arc<Pool> (the nested
+        // submission pattern): the queue -> batch -> closure -> pool
+        // cycle then has a worker drop the pool, so Pool::drop must
+        // tolerate running on a worker thread. Found by the model
+        // checker (tests/model.rs explores every schedule of this);
+        // this is the std-path smoke test.
+        let pool = Arc::new(Pool::new(2));
+        let p2 = Arc::clone(&pool);
+        let out = pool.map_indexed(2, move |i| p2.jobs() + i);
+        assert_eq!(out, vec![2, 3]);
+        drop(pool);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! `Vec` as the sequential loop, for every worker count — including
 //! worker counts far above the job count and far above this machine's
 //! core count.
+//!
+//! Std-path only: the `model` feature swaps the pool's primitives for
+//! rlb-check's cooperative scheduler, under which real-thread stress
+//! sweeps make no sense (tests/model.rs explores schedules instead).
+
+#![cfg(not(feature = "model"))]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

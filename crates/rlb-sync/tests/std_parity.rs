@@ -1,0 +1,64 @@
+//! Pins the zero-cost contract of the default (std) path: the
+//! re-exports are the `std` types themselves — type-identical, not
+//! merely layout-compatible — so routing the workspace through
+//! rlb-sync cannot change codegen.
+
+#![cfg(not(feature = "model"))]
+
+use std::mem::size_of;
+
+#[test]
+fn std_types_are_reexported_identically() {
+    // Assigning across the crate boundary only compiles if the types
+    // are literally the same nominal types.
+    let _: rlb_sync::Mutex<u32> = std::sync::Mutex::new(1);
+    let _: rlb_sync::Condvar = std::sync::Condvar::new();
+    let _: rlb_sync::OnceLock<u32> = std::sync::OnceLock::new();
+    let _: rlb_sync::Arc<u32> = std::sync::Arc::new(1);
+    let _: rlb_sync::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let _: rlb_sync::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let _: rlb_sync::Ordering = std::sync::atomic::Ordering::SeqCst;
+    let h: rlb_sync::thread::JoinHandle<u32> = std::thread::spawn(|| 7);
+    assert_eq!(h.join().unwrap(), 7);
+}
+
+#[test]
+fn zero_wrapper_state() {
+    assert_eq!(
+        size_of::<rlb_sync::Mutex<u64>>(),
+        size_of::<std::sync::Mutex<u64>>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::Condvar>(),
+        size_of::<std::sync::Condvar>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::OnceLock<u64>>(),
+        size_of::<std::sync::OnceLock<u64>>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::Arc<u64>>(),
+        size_of::<std::sync::Arc<u64>>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::AtomicBool>(),
+        size_of::<std::sync::atomic::AtomicBool>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::AtomicUsize>(),
+        size_of::<std::sync::atomic::AtomicUsize>()
+    );
+    assert_eq!(
+        size_of::<rlb_sync::MutexGuard<'static, u64>>(),
+        size_of::<std::sync::MutexGuard<'static, u64>>()
+    );
+}
+
+#[test]
+fn available_parallelism_is_std() {
+    // Same function, same answer.
+    assert_eq!(
+        rlb_sync::thread::available_parallelism().ok(),
+        std::thread::available_parallelism().ok()
+    );
+}
