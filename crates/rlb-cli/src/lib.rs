@@ -98,6 +98,30 @@ impl Default for CliOptions {
     }
 }
 
+/// Parses one numeric flag value, echoing the offending input on
+/// failure (a bare "not a number" with the value swallowed made typos
+/// like `--servers 1O24` needlessly hard to spot).
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: not a number: {raw:?}"))
+}
+
+/// Like [`parse_num`], additionally rejecting zero. `--servers 0`,
+/// `--chunks 0`, and `--queue 0` used to slip through parsing and blow
+/// up later — as a constructor panic (an empty cluster has no
+/// placement) or, worse, as a silently useless run — instead of the
+/// usage error (exit 2) every other malformed flag produces.
+fn parse_positive<T: std::str::FromStr + PartialEq + From<u8>>(
+    flag: &str,
+    raw: &str,
+) -> Result<T, String> {
+    let v: T = parse_num(flag, raw)?;
+    if v == T::from(0u8) {
+        return Err(format!("{flag}: must be positive, got {raw:?}"));
+    }
+    Ok(v)
+}
+
 /// Parses command-line arguments (without the program name).
 ///
 /// # Errors
@@ -126,48 +150,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 chunks_set = true;
             }
             "--servers" => {
-                opts.config.num_servers = value("--servers")?
-                    .parse()
-                    .map_err(|_| "--servers: not a number")?;
+                opts.config.num_servers = parse_positive("--servers", &value("--servers")?)?;
                 servers_set = true;
             }
             "--chunks" => {
-                opts.config.num_chunks = value("--chunks")?
-                    .parse()
-                    .map_err(|_| "--chunks: not a number")?;
+                opts.config.num_chunks = parse_positive("--chunks", &value("--chunks")?)?;
                 chunks_set = true;
             }
             "--replication" => {
-                opts.config.replication = value("--replication")?
-                    .parse()
-                    .map_err(|_| "--replication: not a number")?
+                opts.config.replication = parse_positive("--replication", &value("--replication")?)?
             }
-            "--rate" => {
-                opts.config.process_rate = value("--rate")?
-                    .parse()
-                    .map_err(|_| "--rate: not a number")?
-            }
+            "--rate" => opts.config.process_rate = parse_positive("--rate", &value("--rate")?)?,
             "--queue" => {
-                opts.config.queue_capacity = value("--queue")?
-                    .parse()
-                    .map_err(|_| "--queue: not a number")?
+                opts.config.queue_capacity = parse_positive("--queue", &value("--queue")?)?
             }
-            "--steps" => {
-                opts.steps = value("--steps")?
-                    .parse()
-                    .map_err(|_| "--steps: not a number")?
-            }
-            "--seed" => {
-                opts.config.seed = value("--seed")?
-                    .parse()
-                    .map_err(|_| "--seed: not a number")?
-            }
+            "--steps" => opts.steps = parse_num("--steps", &value("--steps")?)?,
+            "--seed" => opts.config.seed = parse_num("--seed", &value("--seed")?)?,
             "--flush" => {
-                opts.config.flush_interval = Some(
-                    value("--flush")?
-                        .parse()
-                        .map_err(|_| "--flush: not a number")?,
-                )
+                opts.config.flush_interval = Some(parse_positive("--flush", &value("--flush")?)?)
             }
             "--workload" => workload_arg = Some(value("--workload")?),
             "--record-trace" => opts.record_trace = Some(value("--record-trace")?),
@@ -433,7 +433,10 @@ pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
 }
 
 /// Runs the engine perf gate (`rlb-sim bench`) and writes the results
-/// as JSON. Returns a human-readable summary.
+/// as JSON. Returns a human-readable summary plus whether the ratio
+/// gate passed (vacuously true when no baseline file existed to compare
+/// against); the binary exits nonzero on a gate failure so CI can run
+/// the gate directly.
 ///
 /// Arguments (after the `bench` subcommand):
 /// `--out PATH` (default `BENCH_engine.json`) and
@@ -442,7 +445,7 @@ pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
 /// # Errors
 /// Returns a message on malformed arguments or an unwritable output
 /// path.
-pub fn run_bench(args: &[String]) -> Result<String, String> {
+pub fn run_bench(args: &[String]) -> Result<(String, bool), String> {
     if args.iter().any(|a| a == "--suite") {
         return run_suite_bench(args);
     }
@@ -498,12 +501,14 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
             r.name, r.steps_per_sec, r.requests_per_sec
         );
     }
+    let mut passed = true;
     if !gate_rows.is_empty() {
         let worst = gate_rows
             .iter()
             .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
             .expect("non-empty");
-        let verdict = if worst.passes() { "PASS" } else { "FAIL" };
+        passed = worst.passes();
+        let verdict = if passed { "PASS" } else { "FAIL" };
         let _ = writeln!(
             summary,
             "traced-off gate: worst ratio {:.2}x ({}) vs threshold {:.2}x -> {verdict}",
@@ -513,7 +518,7 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
         );
     }
     let _ = writeln!(summary, "wrote {out_path}");
-    Ok(summary)
+    Ok((summary, passed))
 }
 
 /// Runs the experiment-suite wall-clock gate (`rlb-sim bench --suite`):
@@ -528,7 +533,7 @@ pub fn run_bench(args: &[String]) -> Result<String, String> {
 /// # Errors
 /// Returns a message on malformed arguments, a missing `experiments`
 /// binary, a failing suite run, or an unwritable output path.
-fn run_suite_bench(args: &[String]) -> Result<String, String> {
+fn run_suite_bench(args: &[String]) -> Result<(String, bool), String> {
     let mut out_path = "BENCH_experiments.json".to_string();
     let mut quick = false;
     let mut it = args.iter();
@@ -574,12 +579,14 @@ fn run_suite_bench(args: &[String]) -> Result<String, String> {
         "parallel speedup: {:.2}x over serial (default jobs = {})",
         report.speedup, report.default_jobs
     );
+    let mut passed = true;
     if !gate_rows.is_empty() {
         let worst = gate_rows
             .iter()
             .min_by(|a, b| a.ratio.total_cmp(&b.ratio))
             .expect("non-empty");
-        let verdict = if worst.passes() { "PASS" } else { "FAIL" };
+        passed = worst.passes();
+        let verdict = if passed { "PASS" } else { "FAIL" };
         let _ = writeln!(
             summary,
             "suite gate: worst ratio {:.2}x ({}) vs threshold {:.2}x -> {verdict}",
@@ -589,7 +596,7 @@ fn run_suite_bench(args: &[String]) -> Result<String, String> {
         );
     }
     let _ = writeln!(summary, "wrote {out_path}");
-    Ok(summary)
+    Ok((summary, passed))
 }
 
 #[cfg(test)]
@@ -637,6 +644,51 @@ mod tests {
         assert!(parse_args(&args("--workload nope:1")).is_err());
         // Workload universe larger than the chunk space.
         assert!(parse_args(&args("--servers 8 --chunks 4 --workload repeated:100")).is_err());
+    }
+
+    #[test]
+    fn numeric_errors_echo_the_offending_value() {
+        // Regression: the old parse errors were static strings
+        // ("--servers: not a number"), swallowing the input that failed.
+        for (flag, bad) in [
+            ("--servers", "1O24"),
+            ("--chunks", "4k"),
+            ("--replication", "two"),
+            ("--rate", "16x"),
+            ("--queue", "-1"),
+            ("--steps", "10e3"),
+            ("--seed", "0x2a"),
+            ("--flush", "never"),
+        ] {
+            let err = parse_args(&args(&format!("{flag} {bad}"))).unwrap_err();
+            assert!(err.contains(flag), "{flag}: error names the flag: {err}");
+            assert!(err.contains(bad), "{flag}: error echoes {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn zero_values_are_rejected_at_parse_time() {
+        // Regression: `--servers 0`, `--chunks 0`, and `--queue 0` used
+        // to sail through parsing and only die in config validation
+        // with a message naming the config field, not the flag typed.
+        for flag in [
+            "--servers",
+            "--chunks",
+            "--replication",
+            "--rate",
+            "--queue",
+            "--flush",
+        ] {
+            let err = parse_args(&args(&format!("{flag} 0"))).unwrap_err();
+            assert!(err.contains(flag), "{flag}: error names the flag: {err}");
+            assert!(
+                err.contains("positive") && err.contains('0'),
+                "{flag}: error states the constraint and echoes the value: {err}"
+            );
+        }
+        // Zero is fine where it is meaningful.
+        assert!(parse_args(&args("--seed 0")).is_ok());
+        assert!(parse_args(&args("--steps 0")).is_ok());
     }
 
     #[test]

@@ -4,7 +4,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         match rlb_cli::run_bench(&args[1..]) {
-            Ok(summary) => print!("{summary}"),
+            Ok((summary, gate_passed)) => {
+                print!("{summary}");
+                if !gate_passed {
+                    std::process::exit(1);
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -56,6 +61,7 @@ fn main() {
              subcommands:\n\
              \x20 bench [--out PATH] [--sizes M1,M2,...]\n\
              \x20                   run the engine perf gate and write BENCH_engine.json\n\
+             \x20                   (exits nonzero if any ratio falls below the 0.95x gate)\n\
              \x20 bench --suite [--out PATH] [--quick]\n\
              \x20                   time the experiments binary serial vs default-jobs and\n\
              \x20                   write BENCH_experiments.json (same 0.95x ratio gate)\n\

@@ -40,14 +40,23 @@ impl Policy for Greedy {
         let mut best: Option<u32> = None;
         let mut best_backlog = u32::MAX;
         for &server in ctx.replicas {
-            if !view.is_available(server, 0) {
+            // One load per candidate: a down server advertises the
+            // `u32::MAX` sentinel and can never beat `best_backlog`
+            // (live backlogs are bounded by the per-server capacity,
+            // which the queue constructor keeps below `u32::MAX`), so
+            // no liveness branch is needed. The fullness check runs
+            // only for candidates that would win; skipping a full
+            // candidate is safe because any non-full competitor has a
+            // strictly smaller backlog in the single-class setup.
+            let b = view.route_backlog(server);
+            if b >= best_backlog {
                 continue;
             }
-            let b = view.backlog(server);
-            if b < best_backlog {
-                best = Some(server);
-                best_backlog = b;
+            if view.is_full(server, 0) {
+                continue;
             }
+            best = Some(server);
+            best_backlog = b;
         }
         match best {
             Some(server) => Decision::Route { server, class: 0 },
@@ -151,6 +160,44 @@ mod tests {
         let q = view_with(&[(0, 2), (1, 2)], 2);
         let view = ClusterView::new(&q);
         let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
+        assert_eq!(d, Decision::Reject(RejectReason::Policy));
+    }
+
+    #[test]
+    fn down_server_never_wins_via_sentinel() {
+        // Server 0 is empty but down: its sentinel backlog loses to any
+        // live candidate; with every replica down the request rejects.
+        let mut q = view_with(&[(1, 3)], 8);
+        q.set_live(0, false);
+        let view = ClusterView::new(&q);
+        let mut p = Greedy::new();
+        let d = p.route(
+            RouteCtx {
+                step: 0,
+                chunk: 0,
+                replicas: &[0, 1],
+            },
+            &view,
+        );
+        assert_eq!(
+            d,
+            Decision::Route {
+                server: 1,
+                class: 0
+            }
+        );
+        let mut q = view_with(&[(0, 1), (1, 1)], 8);
+        q.set_live(0, false);
+        q.set_live(1, false);
+        let view = ClusterView::new(&q);
         let d = p.route(
             RouteCtx {
                 step: 0,

@@ -2,9 +2,14 @@
 //!
 //! Each server owns `K` queue *classes* (greedy uses one; delayed cuckoo
 //! routing uses four: `Q`, `P`, `Q'`, `P'`), each a bounded ring buffer of
-//! request arrival steps. All buffers for all servers live in one flat
-//! allocation — the routing hot loop touches only a few cache lines per
-//! request and performs no allocation.
+//! request arrival steps. The structure is data-oriented: all ring
+//! payloads are carved out of one arena (`buf`) laid out **class-major**
+//! — class `c`'s rings for servers `0..m` are adjacent — and the scalar
+//! state lives in two flat rows sized so that everything one routing or
+//! queue operation touches shares a cache line: the packed ring-control
+//! row `ctrl` (head, length, occupancy slot per `(class, server)`) and
+//! the load row `loads` (aggregate backlog and its liveness-mirrored
+//! routing view per server). See ARCHITECTURE.md "SoA arena layout".
 
 /// Specification of one queue class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,39 +24,90 @@ pub struct ClassSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
-/// Sentinel in `occ_slot` for "this (server, class) queue is empty".
+/// Sentinel in the occupancy-slot word for "this queue is empty".
 const NOT_OCCUPIED: u32 = u32::MAX;
+
+/// Sentinel in the routing-backlog word for a down server. Live
+/// backlogs can never reach it: the constructor rejects a per-server
+/// capacity of `u32::MAX`.
+const DOWN: u32 = u32::MAX;
+
+/// Words per `(class, server)` entry in the packed ring-control row
+/// `ctrl`: head, length, occupancy slot, plus one pad word so entries
+/// are 16 bytes and never span more than one cache line. One load pulls
+/// in every control word an enqueue or dequeue touches — with separate
+/// parallel arrays the same operation missed three distinct lines.
+const CTRL_WORDS: usize = 4;
+/// Offset of the ring head within a `ctrl` entry.
+const CTRL_HEAD: usize = 0;
+/// Offset of the ring length within a `ctrl` entry.
+const CTRL_LEN: usize = 1;
+/// Offset of the occupancy-slot back-pointer within a `ctrl` entry.
+const CTRL_SLOT: usize = 2;
+
+/// Words per server in the load row `loads`: the aggregate backlog and
+/// its routing view, adjacent so the routing read warms the line the
+/// accept path then updates.
+const LOAD_WORDS: usize = 2;
+/// Offset of the aggregate backlog within a `loads` entry.
+const LOAD_BACKLOG: usize = 0;
+/// Offset of the routing (liveness-mirrored) backlog within a `loads`
+/// entry.
+const LOAD_ROUTE: usize = 1;
 
 /// Flat storage of all (server × class) bounded FIFO queues.
 ///
-/// Besides the ring buffers themselves, the array maintains an
-/// *occupancy index*: for every class, an unordered list of the servers
-/// whose queue in that class is non-empty, with a per-(server, class)
-/// slot back-pointer so membership updates are O(1) swap-removes. Bulk
-/// operations ([`QueueArray::migrate_class`], [`QueueArray::flush_all`])
-/// and the engine's drain loop visit only occupied servers, so their
-/// cost scales with the number of servers holding work rather than with
-/// cluster size.
+/// # Layout
+///
+/// * `buf` is one arena holding every ring payload. Class `c`'s block
+///   starts at `class_base[c] = m * (caps[0] + … + caps[c-1])`; inside
+///   it, server `s`'s ring occupies `[class_base[c] + s*caps[c] ..)[..caps[c]]`.
+///   All offsets are computed with checked arithmetic at construction,
+///   so blocks can neither alias nor overrun.
+/// * `ctrl` packs `(head, len, occ_slot)` per `(class, server)` into
+///   16-byte entries, indexed `(class * m + server) * CTRL_WORDS` —
+///   class-major, so a per-class sweep is one contiguous scan, and a
+///   random-server enqueue costs one cache line of control state
+///   instead of three.
+/// * `loads` packs `(backlog, route_backlog)` per server into 8-byte
+///   pairs, indexed `server * LOAD_WORDS`.
+///
+/// # Liveness
+///
+/// The array owns server liveness. The routing word of `loads` mirrors
+/// the backlog word while server `s` is live and pins to `u32::MAX`
+/// while it is down, so routing policies can min-select over candidates
+/// with a single load and no liveness branch (a down server simply
+/// never wins).
+///
+/// # Occupancy index
+///
+/// For every class, an unordered list of the servers whose queue in
+/// that class is non-empty, with a per-(server, class) slot back-pointer
+/// so membership updates are O(1) swap-removes. Bulk operations
+/// ([`QueueArray::drain_class`], [`QueueArray::migrate_class`],
+/// [`QueueArray::flush_all`]) visit only occupied servers when occupancy
+/// is sparse, so their cost scales with the number of servers holding
+/// work rather than with cluster size.
 #[derive(Debug, Clone)]
 pub struct QueueArray {
-    /// Entry payload: the arrival step of each queued request.
+    /// Arena of entry payloads (arrival steps), class-major.
     buf: Vec<u32>,
-    /// Ring-buffer heads, indexed by `server * K + class`.
-    head: Vec<u32>,
-    /// Ring-buffer lengths, indexed by `server * K + class`.
-    len: Vec<u32>,
-    /// Aggregate backlog per server (sum of class lengths).
-    backlog: Vec<u32>,
+    /// Packed ring control (head, len, occupancy slot, pad), indexed by
+    /// `(class * num_servers + server) * CTRL_WORDS`.
+    ctrl: Vec<u32>,
+    /// Packed per-server loads (backlog, routing backlog), indexed by
+    /// `server * LOAD_WORDS`.
+    loads: Vec<u32>,
+    /// Per-server liveness.
+    live: Vec<bool>,
     /// Per-class capacity.
     caps: Vec<u32>,
-    /// Byte offset of class `c` inside a server's segment.
-    class_offset: Vec<u32>,
+    /// Arena offset of class `c`'s block (`m * prefix_sum(caps[..c])`).
+    class_base: Vec<usize>,
     /// Per class: servers with a non-empty queue in that class
     /// (unordered; membership maintained by swap-remove).
     occupied: Vec<Vec<u32>>,
-    /// Position of `server` in `occupied[class]`, indexed by
-    /// `server * K + class`; [`NOT_OCCUPIED`] when the queue is empty.
-    occ_slot: Vec<u32>,
     /// Cluster-wide queued total, maintained incrementally.
     total: u64,
     /// Total capacity per server (sum of class capacities).
@@ -61,9 +117,12 @@ pub struct QueueArray {
 
 impl QueueArray {
     /// Creates queues for `num_servers` servers with the given classes.
+    /// Every server starts live.
     ///
     /// # Panics
-    /// Panics if `classes` is empty or any capacity is zero.
+    /// Panics if `classes` is empty, any capacity is zero, the summed
+    /// per-server capacity reaches `u32::MAX` (the down-server routing
+    /// sentinel), or the arena size overflows `usize`.
     pub fn new(num_servers: usize, classes: &[ClassSpec]) -> Self {
         assert!(!classes.is_empty(), "need at least one queue class");
         assert!(
@@ -71,36 +130,79 @@ impl QueueArray {
             "class capacities must be positive"
         );
         let caps: Vec<u32> = classes.iter().map(|c| c.capacity).collect();
-        let mut class_offset = Vec::with_capacity(caps.len());
-        let mut acc = 0u32;
-        for &c in &caps {
-            class_offset.push(acc);
-            acc += c;
-        }
-        let per_server = acc;
         let k = caps.len();
+        let mut per_server = 0u32;
+        for &c in &caps {
+            per_server = match per_server.checked_add(c) {
+                Some(v) => v,
+                // Constructor-time validation, never on the per-step
+                // hot path. lint:allow(panic-discipline)
+                None => panic!(
+                    "QueueArray: class capacities overflow u32 ({per_server} + {c} per server)"
+                ),
+            };
+        }
+        assert!(
+            per_server < u32::MAX,
+            "QueueArray: per-server capacity {per_server} must stay below u32::MAX (the down-server routing sentinel)"
+        );
+        // Class-major arena: class c's block of rings starts at
+        // m * prefix_sum(caps[..c]). A capacity sum that fits u32 can
+        // still overflow the arena when multiplied by m, so the full
+        // product is checked once; every class offset below is
+        // m * prefix with prefix <= per_server, hence in range.
+        let arena = match num_servers.checked_mul(per_server as usize) {
+            Some(v) => v,
+            // Constructor-time validation, never on the per-step
+            // hot path. lint:allow(panic-discipline)
+            None => panic!(
+                "QueueArray: arena size overflows usize ({num_servers} servers x {per_server} capacity per server)"
+            ),
+        };
+        let mut class_base = Vec::with_capacity(k);
+        let mut prefix = 0usize;
+        for &c in &caps {
+            class_base.push(num_servers * prefix);
+            prefix += c as usize;
+        }
+        debug_assert_eq!(num_servers * prefix, arena);
+        let mut ctrl = vec![0u32; CTRL_WORDS * k * num_servers];
+        for entry in ctrl.chunks_exact_mut(CTRL_WORDS) {
+            entry[CTRL_SLOT] = NOT_OCCUPIED;
+        }
         Self {
-            buf: vec![0; num_servers * per_server as usize],
-            head: vec![0; num_servers * k],
-            len: vec![0; num_servers * k],
-            backlog: vec![0; num_servers],
+            buf: vec![0; arena],
+            ctrl,
+            loads: vec![0; LOAD_WORDS * num_servers],
+            live: vec![true; num_servers],
             caps,
-            class_offset,
+            class_base,
             occupied: vec![Vec::new(); k],
-            occ_slot: vec![NOT_OCCUPIED; num_servers * k],
             total: 0,
             per_server,
             num_servers,
         }
     }
 
+    /// Index of `(server, class)`'s entry into the packed `ctrl` row.
+    #[inline]
+    fn ctrl_ix(&self, server: u32, class: usize) -> usize {
+        (class * self.num_servers + server as usize) * CTRL_WORDS
+    }
+
+    /// Base index of `(server, class)`'s ring in the arena.
+    #[inline]
+    fn base(&self, server: u32, class: usize) -> usize {
+        self.class_base[class] + server as usize * self.caps[class] as usize
+    }
+
     /// Marks `(server, class)` occupied (its queue just became
     /// non-empty).
     #[inline]
     fn occ_insert(&mut self, server: u32, class: usize) {
-        let idx = server as usize * self.caps.len() + class;
-        debug_assert_eq!(self.occ_slot[idx], NOT_OCCUPIED);
-        self.occ_slot[idx] = self.occupied[class].len() as u32;
+        let idx = self.ctrl_ix(server, class);
+        debug_assert_eq!(self.ctrl[idx + CTRL_SLOT], NOT_OCCUPIED);
+        self.ctrl[idx + CTRL_SLOT] = self.occupied[class].len() as u32;
         self.occupied[class].push(server);
     }
 
@@ -108,11 +210,11 @@ impl QueueArray {
     /// last list entry swaps into the vacated slot.
     #[inline]
     fn occ_remove(&mut self, server: u32, class: usize) {
-        let k = self.caps.len();
-        let idx = server as usize * k + class;
-        let slot = self.occ_slot[idx] as usize;
+        let idx = self.ctrl_ix(server, class);
+        let slot = self.ctrl[idx + CTRL_SLOT] as usize;
         debug_assert_ne!(slot as u32, NOT_OCCUPIED);
-        self.occ_slot[idx] = NOT_OCCUPIED;
+        self.ctrl[idx + CTRL_SLOT] = NOT_OCCUPIED;
+        let m = self.num_servers;
         let list = &mut self.occupied[class];
         // The slot back-pointer guarantees membership, so the list is
         // non-empty here; an infallible pop keeps the drain hot path
@@ -121,7 +223,7 @@ impl QueueArray {
         if let Some(last) = list.pop() {
             if last != server {
                 list[slot] = last;
-                self.occ_slot[last as usize * k + class] = slot as u32;
+                self.ctrl[(class * m + last as usize) * CTRL_WORDS + CTRL_SLOT] = slot as u32;
             }
         }
     }
@@ -144,28 +246,76 @@ impl QueueArray {
         self.caps[class]
     }
 
+    /// Total capacity per server (sum of class capacities). Always
+    /// strictly below `u32::MAX`, so a live server's total backlog can
+    /// never collide with the down-server routing sentinel.
+    #[inline]
+    pub fn per_server_capacity(&self) -> u32 {
+        self.per_server
+    }
+
     /// Total backlog (all classes) of `server`.
     #[inline]
     pub fn backlog(&self, server: u32) -> u32 {
-        self.backlog[server as usize]
+        self.loads[server as usize * LOAD_WORDS + LOAD_BACKLOG]
+    }
+
+    /// The routing view of `server`'s backlog: its total backlog while
+    /// live, `u32::MAX` while down. Lets min-selection loops fold the
+    /// liveness check into the comparison (a down server never wins).
+    #[inline]
+    pub fn route_backlog(&self, server: u32) -> u32 {
+        self.loads[server as usize * LOAD_WORDS + LOAD_ROUTE]
+    }
+
+    /// Whether `server` is live.
+    #[inline]
+    pub fn is_live(&self, server: u32) -> bool {
+        self.live[server as usize]
+    }
+
+    /// Sets one server's liveness. A downed server keeps its queued
+    /// work (frozen until it returns) but advertises a `u32::MAX`
+    /// routing backlog and is skipped by [`QueueArray::drain_class`].
+    #[inline]
+    pub fn set_live(&mut self, server: u32, live: bool) {
+        let l = server as usize * LOAD_WORDS;
+        self.live[server as usize] = live;
+        self.loads[l + LOAD_ROUTE] = if live {
+            self.loads[l + LOAD_BACKLOG]
+        } else {
+            DOWN
+        };
+    }
+
+    /// Sets every server's liveness from a mask (`up.len()` must equal
+    /// the server count).
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the server count.
+    pub fn set_liveness(&mut self, up: &[bool]) {
+        assert_eq!(up.len(), self.num_servers, "liveness mask length");
+        for (s, &live) in up.iter().enumerate() {
+            self.live[s] = live;
+            let l = s * LOAD_WORDS;
+            self.loads[l + LOAD_ROUTE] = if live {
+                self.loads[l + LOAD_BACKLOG]
+            } else {
+                DOWN
+            };
+        }
     }
 
     /// Backlog of one class of one server.
     #[inline]
     pub fn class_backlog(&self, server: u32, class: usize) -> u32 {
-        self.len[server as usize * self.num_classes() + class]
+        self.ctrl[self.ctrl_ix(server, class) + CTRL_LEN]
     }
 
     /// Whether `class` at `server` is full.
     #[inline]
     pub fn is_full(&self, server: u32, class: usize) -> bool {
         self.class_backlog(server, class) >= self.caps[class]
-    }
-
-    /// Base index of `(server, class)` in `buf`.
-    #[inline]
-    fn base(&self, server: u32, class: usize) -> usize {
-        server as usize * self.per_server as usize + self.class_offset[class] as usize
     }
 
     /// Enqueues a request (by arrival step) into `(server, class)`.
@@ -180,22 +330,30 @@ impl QueueArray {
         class: usize,
         arrival_step: u32,
     ) -> Result<(), QueueFull> {
-        let k = self.num_classes();
-        let idx = server as usize * k + class;
+        let idx = self.ctrl_ix(server, class);
         let cap = self.caps[class];
-        let len = self.len[idx];
+        let len = self.ctrl[idx + CTRL_LEN];
         if len >= cap {
             return Err(QueueFull);
         }
         let base = self.base(server, class);
-        // head < cap and len < cap, so one conditional subtraction wraps.
-        let mut pos = self.head[idx] + len;
-        if pos >= cap {
-            pos -= cap;
-        }
+        // Wrap-free tail position: head < cap and len < cap, and
+        // `head >= cap - len` iff `head + len >= cap`, so every
+        // intermediate value stays in range even for caps near u32::MAX
+        // (the old `head + len` form wrapped there).
+        let head = self.ctrl[idx + CTRL_HEAD];
+        let pos = if head >= cap - len {
+            head - (cap - len)
+        } else {
+            head + len
+        };
         self.buf[base + pos as usize] = arrival_step;
-        self.len[idx] = len + 1;
-        self.backlog[server as usize] += 1;
+        self.ctrl[idx + CTRL_LEN] = len + 1;
+        let l = server as usize * LOAD_WORDS;
+        self.loads[l + LOAD_BACKLOG] += 1;
+        // Branchless liveness mirror: saturates at the DOWN sentinel
+        // (live values cannot reach it — per_server < u32::MAX).
+        self.loads[l + LOAD_ROUTE] = self.loads[l + LOAD_ROUTE].saturating_add(1);
         self.total += 1;
         if len == 0 {
             self.occ_insert(server, class);
@@ -205,7 +363,8 @@ impl QueueArray {
 
     /// Dequeues up to `count` requests from `(server, class)` in FIFO
     /// order, invoking `on_complete(arrival_step)` for each. Returns the
-    /// number dequeued.
+    /// number dequeued. Liveness-agnostic: callers decide whether a
+    /// down server drains (the engine skips them).
     #[inline]
     pub fn dequeue_up_to(
         &mut self,
@@ -214,16 +373,15 @@ impl QueueArray {
         count: u32,
         mut on_complete: impl FnMut(u32),
     ) -> u32 {
-        let k = self.num_classes();
-        let idx = server as usize * k + class;
+        let idx = self.ctrl_ix(server, class);
         let cap = self.caps[class];
         let base = self.base(server, class);
-        let len = self.len[idx];
+        let len = self.ctrl[idx + CTRL_LEN];
         let n = count.min(len);
         if n == 0 {
             return 0;
         }
-        let mut h = self.head[idx];
+        let mut h = self.ctrl[idx + CTRL_HEAD];
         for _ in 0..n {
             on_complete(self.buf[base + h as usize]);
             h += 1;
@@ -231,14 +389,136 @@ impl QueueArray {
                 h = 0;
             }
         }
-        self.head[idx] = h;
-        self.len[idx] = len - n;
-        self.backlog[server as usize] -= n;
+        self.ctrl[idx + CTRL_HEAD] = h;
+        self.ctrl[idx + CTRL_LEN] = len - n;
+        let l = server as usize * LOAD_WORDS;
+        self.loads[l + LOAD_BACKLOG] -= n;
+        if self.live[server as usize] {
+            self.loads[l + LOAD_ROUTE] -= n;
+        }
         self.total -= n as u64;
         if len == n {
             self.occ_remove(server, class);
         }
         n
+    }
+
+    /// Drains up to `take` requests from every *live* occupied server's
+    /// `class` queue in one bulk sweep, invoking
+    /// `on_complete(arrival_step)` per request. Returns the number
+    /// drained. Down servers keep their queued work and their occupancy
+    /// membership.
+    ///
+    /// This is the engine's untraced drain path: when occupancy is
+    /// dense (at least half the servers hold work) it sweeps the
+    /// class-major `ctrl` row and the class's arena block sequentially
+    /// and rebuilds the occupancy list wholesale — no per-server
+    /// swap-remove churn; when sparse it compacts the occupancy list in
+    /// place. Visit order differs between the paths, but per-completion
+    /// statistics are order-independent accumulations, so reports are
+    /// identical either way.
+    pub fn drain_class(
+        &mut self,
+        class: usize,
+        take: u32,
+        mut on_complete: impl FnMut(u32),
+    ) -> u64 {
+        if take == 0 || self.occupied[class].is_empty() {
+            return 0;
+        }
+        let m = self.num_servers;
+        let cap = self.caps[class];
+        let cbase = self.class_base[class];
+        let lo = class * m * CTRL_WORDS;
+        let mut drained = 0u64;
+        let mut list = std::mem::take(&mut self.occupied[class]);
+        if list.len() * 2 >= m {
+            // Dense: sequential sweep over this class's contiguous
+            // control row and arena block; rebuild the occupancy list
+            // from scratch (cheaper and cache-friendlier than per-server
+            // swap-removes).
+            list.clear();
+            for s in 0..m {
+                let idx = lo + s * CTRL_WORDS;
+                let len = self.ctrl[idx + CTRL_LEN];
+                if len == 0 {
+                    continue;
+                }
+                if !self.live[s] {
+                    self.ctrl[idx + CTRL_SLOT] = list.len() as u32;
+                    list.push(s as u32);
+                    continue;
+                }
+                let n = take.min(len);
+                let base = cbase + s * cap as usize;
+                let mut h = self.ctrl[idx + CTRL_HEAD];
+                for _ in 0..n {
+                    on_complete(self.buf[base + h as usize]);
+                    h += 1;
+                    if h == cap {
+                        h = 0;
+                    }
+                }
+                self.ctrl[idx + CTRL_HEAD] = h;
+                let rem = len - n;
+                self.ctrl[idx + CTRL_LEN] = rem;
+                let l = s * LOAD_WORDS;
+                self.loads[l + LOAD_BACKLOG] -= n;
+                self.loads[l + LOAD_ROUTE] -= n;
+                drained += n as u64;
+                if rem > 0 {
+                    self.ctrl[idx + CTRL_SLOT] = list.len() as u32;
+                    list.push(s as u32);
+                } else {
+                    self.ctrl[idx + CTRL_SLOT] = NOT_OCCUPIED;
+                }
+            }
+        } else {
+            // Sparse: walk the detached occupancy list, compacting
+            // still-occupied servers toward the front.
+            let mut kept = 0usize;
+            for i in 0..list.len() {
+                let server = list[i];
+                let s = server as usize;
+                let idx = lo + s * CTRL_WORDS;
+                if !self.live[s] {
+                    self.ctrl[idx + CTRL_SLOT] = kept as u32;
+                    list[kept] = server;
+                    kept += 1;
+                    continue;
+                }
+                let len = self.ctrl[idx + CTRL_LEN];
+                debug_assert!(len > 0, "occupancy lists only hold non-empty queues");
+                let n = take.min(len);
+                let base = cbase + s * cap as usize;
+                let mut h = self.ctrl[idx + CTRL_HEAD];
+                for _ in 0..n {
+                    on_complete(self.buf[base + h as usize]);
+                    h += 1;
+                    if h == cap {
+                        h = 0;
+                    }
+                }
+                self.ctrl[idx + CTRL_HEAD] = h;
+                let rem = len - n;
+                self.ctrl[idx + CTRL_LEN] = rem;
+                let l = s * LOAD_WORDS;
+                self.loads[l + LOAD_BACKLOG] -= n;
+                self.loads[l + LOAD_ROUTE] -= n;
+                drained += n as u64;
+                if rem > 0 {
+                    self.ctrl[idx + CTRL_SLOT] = kept as u32;
+                    list[kept] = server;
+                    kept += 1;
+                } else {
+                    self.ctrl[idx + CTRL_SLOT] = NOT_OCCUPIED;
+                }
+            }
+            list.truncate(kept);
+        }
+        self.total -= drained;
+        self.occupied[class] = list;
+        drained
     }
 
     /// Servers whose `class` queue is currently non-empty, in
@@ -263,29 +543,31 @@ impl QueueArray {
     /// Panics if `from == to`.
     pub fn migrate_class(&mut self, from: usize, to: usize, mut on_drop: impl FnMut(u32)) -> u64 {
         assert_ne!(from, to, "cannot migrate a class onto itself");
-        let k = self.num_classes();
         let mut dropped = 0u64;
         // Visit only servers with pending `from` entries; every one of
         // them leaves the `from` occupancy list, so the list is detached
         // wholesale and its allocation reused.
         let movers = std::mem::take(&mut self.occupied[from]);
         for &server in &movers {
-            let from_idx = server as usize * k + from;
-            let pending = self.len[from_idx];
+            let from_idx = self.ctrl_ix(server, from);
+            let pending = self.ctrl[from_idx + CTRL_LEN];
             debug_assert!(pending > 0, "occupancy lists only hold non-empty queues");
-            let to_idx = server as usize * k + to;
-            let to_len = self.len[to_idx];
+            let to_idx = self.ctrl_ix(server, to);
+            let to_len = self.ctrl[to_idx + CTRL_LEN];
             let room = self.caps[to] - to_len;
             let moved = pending.min(room);
             let from_cap = self.caps[from];
             let from_base = self.base(server, from);
             let to_cap = self.caps[to];
             let to_base = self.base(server, to);
-            let mut from_h = self.head[from_idx];
-            let mut to_pos = self.head[to_idx] + to_len;
-            if to_pos >= to_cap {
-                to_pos -= to_cap;
-            }
+            let mut from_h = self.ctrl[from_idx + CTRL_HEAD];
+            let to_head = self.ctrl[to_idx + CTRL_HEAD];
+            // Same wrap-free tail position as `enqueue`.
+            let mut to_pos = if to_head >= to_cap - to_len {
+                to_head - (to_cap - to_len)
+            } else {
+                to_head + to_len
+            };
             for _ in 0..moved {
                 self.buf[to_base + to_pos as usize] = self.buf[from_base + from_h as usize];
                 from_h += 1;
@@ -305,15 +587,20 @@ impl QueueArray {
                 }
                 dropped += 1;
             }
-            self.head[from_idx] = from_h;
-            self.len[from_idx] = 0;
-            self.occ_slot[from_idx] = NOT_OCCUPIED;
-            self.len[to_idx] = to_len + moved;
+            self.ctrl[from_idx + CTRL_HEAD] = from_h;
+            self.ctrl[from_idx + CTRL_LEN] = 0;
+            self.ctrl[from_idx + CTRL_SLOT] = NOT_OCCUPIED;
+            self.ctrl[to_idx + CTRL_LEN] = to_len + moved;
             if to_len == 0 && moved > 0 {
                 self.occ_insert(server, to);
             }
-            self.backlog[server as usize] -= pending - moved;
-            self.total -= (pending - moved) as u64;
+            let lost = pending - moved;
+            let l = server as usize * LOAD_WORDS;
+            self.loads[l + LOAD_BACKLOG] -= lost;
+            if self.live[server as usize] {
+                self.loads[l + LOAD_ROUTE] -= lost;
+            }
+            self.total -= lost as u64;
         }
         self.occupied[from] = {
             let mut v = movers;
@@ -323,9 +610,10 @@ impl QueueArray {
         dropped
     }
 
-    /// Empties every queue, invoking `on_drop(arrival_step)` for each
-    /// dropped request. Returns the number dropped. Used for the greedy
-    /// algorithm's periodic flush (requests count as rejections).
+    /// Empties every queue (live or not), invoking
+    /// `on_drop(arrival_step)` for each dropped request. Returns the
+    /// number dropped. Used for the greedy algorithm's periodic flush
+    /// (requests count as rejections).
     pub fn flush_all(&mut self, mut on_drop: impl FnMut(u32)) -> u64 {
         let k = self.num_classes();
         let mut dropped = 0u64;
@@ -333,10 +621,10 @@ impl QueueArray {
             let cap = self.caps[class];
             let servers = std::mem::take(&mut self.occupied[class]);
             for &server in &servers {
-                let idx = server as usize * k + class;
+                let idx = self.ctrl_ix(server, class);
                 let base = self.base(server, class);
-                let n = self.len[idx];
-                let mut h = self.head[idx];
+                let n = self.ctrl[idx + CTRL_LEN];
+                let mut h = self.ctrl[idx + CTRL_HEAD];
                 for _ in 0..n {
                     on_drop(self.buf[base + h as usize]);
                     h += 1;
@@ -344,10 +632,14 @@ impl QueueArray {
                         h = 0;
                     }
                 }
-                self.head[idx] = h;
-                self.len[idx] = 0;
-                self.occ_slot[idx] = NOT_OCCUPIED;
-                self.backlog[server as usize] -= n;
+                self.ctrl[idx + CTRL_HEAD] = h;
+                self.ctrl[idx + CTRL_LEN] = 0;
+                self.ctrl[idx + CTRL_SLOT] = NOT_OCCUPIED;
+                let l = server as usize * LOAD_WORDS;
+                self.loads[l + LOAD_BACKLOG] -= n;
+                if self.live[server as usize] {
+                    self.loads[l + LOAD_ROUTE] -= n;
+                }
                 dropped += n as u64;
             }
             self.occupied[class] = {
@@ -360,10 +652,12 @@ impl QueueArray {
         dropped
     }
 
-    /// Per-server total backlogs, indexed by server id (length
+    /// Per-server total backlogs, in server-id order (length
     /// `num_servers`).
-    pub fn backlogs(&self) -> &[u32] {
-        &self.backlog
+    pub fn backlogs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.loads
+            .chunks_exact(LOAD_WORDS)
+            .map(|pair| pair[LOAD_BACKLOG])
     }
 
     /// Total requests queued across the cluster. O(1); maintained
@@ -381,46 +675,77 @@ impl QueueArray {
 #[cfg(feature = "sanitize")]
 impl QueueArray {
     /// Re-derives every structural invariant from scratch and reports
-    /// the first violation: ring `head`/`len` bounds, per-server
-    /// `backlog` vs. the sum of class lengths, the incremental `total`
-    /// vs. a full recount, and the occupancy index against actual queue
-    /// membership (both directions, including back-pointer integrity
-    /// and list lengths).
+    /// the first violation: arena geometry (offset monotonicity, block
+    /// sizes that tile `buf` exactly — hence no ring aliasing), ring
+    /// `head`/`len` bounds, per-server backlog vs. the sum of class
+    /// lengths, the liveness mirror (the routing word equals the backlog
+    /// word when live, the down sentinel when not), the incremental
+    /// `total` vs. a full recount, and the occupancy index against
+    /// actual queue membership (both directions, including back-pointer
+    /// integrity and list lengths).
     ///
     /// # Errors
     /// A human-readable description of the first invariant violated.
     pub fn sanitize_check(&self) -> Result<(), String> {
         let k = self.caps.len();
         let m = self.num_servers;
-        if self.head.len() != m * k
-            || self.len.len() != m * k
-            || self.occ_slot.len() != m * k
-            || self.backlog.len() != m
+        if self.ctrl.len() != CTRL_WORDS * m * k
+            || self.loads.len() != LOAD_WORDS * m
+            || self.live.len() != m
             || self.occupied.len() != k
+            || self.class_base.len() != k
         {
-            return Err("sanitize: index array length drifted from m * K".into());
+            return Err("sanitize: packed row length drifted from m * K".into());
+        }
+        // Arena geometry: class offsets must be exactly the class-major
+        // prefix sums (monotone, non-aliasing) and tile `buf` exactly.
+        let mut expected_base = 0usize;
+        let mut expected_per_server = 0u64;
+        for class in 0..k {
+            if self.class_base[class] != expected_base {
+                return Err(format!(
+                    "sanitize: class {class} arena offset {} != expected prefix {expected_base} \
+                     (blocks alias or leave gaps)",
+                    self.class_base[class]
+                ));
+            }
+            expected_base += self.caps[class] as usize * m;
+            expected_per_server += self.caps[class] as u64;
+        }
+        if expected_base != self.buf.len() {
+            return Err(format!(
+                "sanitize: arena length {} != sum of class blocks {expected_base}",
+                self.buf.len()
+            ));
+        }
+        if expected_per_server != self.per_server as u64 || self.per_server == u32::MAX {
+            return Err(format!(
+                "sanitize: per-server capacity {} != class capacity sum {expected_per_server} \
+                 (or collides with the down sentinel)",
+                self.per_server
+            ));
         }
         let mut total: u64 = 0;
         for server in 0..m {
             let mut server_sum: u64 = 0;
             for class in 0..k {
-                let idx = server * k + class;
+                let idx = (class * m + server) * CTRL_WORDS;
                 let cap = self.caps[class];
-                if self.head[idx] >= cap {
+                if self.ctrl[idx + CTRL_HEAD] >= cap {
                     return Err(format!(
                         "sanitize: ring head {} out of bounds (cap {cap}) at server {server} class {class}",
-                        self.head[idx]
+                        self.ctrl[idx + CTRL_HEAD]
                     ));
                 }
-                if self.len[idx] > cap {
+                if self.ctrl[idx + CTRL_LEN] > cap {
                     return Err(format!(
                         "sanitize: ring len {} exceeds cap {cap} at server {server} class {class}",
-                        self.len[idx]
+                        self.ctrl[idx + CTRL_LEN]
                     ));
                 }
-                server_sum += self.len[idx] as u64;
-                let slot = self.occ_slot[idx];
-                if self.len[idx] > 0 {
+                server_sum += self.ctrl[idx + CTRL_LEN] as u64;
+                let slot = self.ctrl[idx + CTRL_SLOT];
+                if self.ctrl[idx + CTRL_LEN] > 0 {
                     if slot == NOT_OCCUPIED {
                         return Err(format!(
                             "sanitize: occupancy index lost non-empty queue (server {server}, class {class})"
@@ -438,10 +763,25 @@ impl QueueArray {
                     ));
                 }
             }
-            if self.backlog[server] as u64 != server_sum {
+            let l = server * LOAD_WORDS;
+            if self.loads[l + LOAD_BACKLOG] as u64 != server_sum {
                 return Err(format!(
                     "sanitize: per-server backlog {} != class-length sum {server_sum} at server {server}",
-                    self.backlog[server]
+                    self.loads[l + LOAD_BACKLOG]
+                ));
+            }
+            let expected_route = if self.live[server] {
+                self.loads[l + LOAD_BACKLOG]
+            } else {
+                DOWN
+            };
+            if self.loads[l + LOAD_ROUTE] != expected_route {
+                return Err(format!(
+                    "sanitize: routing backlog {} desynced from liveness mirror \
+                     (server {server}, live {}, backlog {})",
+                    self.loads[l + LOAD_ROUTE],
+                    self.live[server],
+                    self.loads[l + LOAD_BACKLOG]
                 ));
             }
             total += server_sum;
@@ -453,7 +793,9 @@ impl QueueArray {
             ));
         }
         for (class, list) in self.occupied.iter().enumerate() {
-            let nonempty = (0..m).filter(|&s| self.len[s * k + class] > 0).count();
+            let nonempty = (0..m)
+                .filter(|&s| self.ctrl[(class * m + s) * CTRL_WORDS + CTRL_LEN] > 0)
+                .count();
             if list.len() != nonempty {
                 return Err(format!(
                     "sanitize: occupancy list for class {class} holds {} entries, {nonempty} queues are non-empty",
@@ -472,8 +814,8 @@ impl QueueArray {
         for list in &mut self.occupied {
             list.clear();
         }
-        for slot in &mut self.occ_slot {
-            *slot = NOT_OCCUPIED;
+        for entry in self.ctrl.chunks_exact_mut(CTRL_WORDS) {
+            entry[CTRL_SLOT] = NOT_OCCUPIED;
         }
     }
 
@@ -482,6 +824,15 @@ impl QueueArray {
     #[doc(hidden)]
     pub fn sanitize_corrupt_total(&mut self) {
         self.total = self.total.wrapping_add(1);
+    }
+
+    /// Test hook: desynchronizes the routing-backlog liveness mirror
+    /// from the true per-server backlog.
+    #[doc(hidden)]
+    pub fn sanitize_corrupt_route_backlog(&mut self) {
+        if self.loads.len() >= LOAD_WORDS {
+            self.loads[LOAD_ROUTE] = self.loads[LOAD_ROUTE].wrapping_add(1);
+        }
     }
 }
 
@@ -627,7 +978,7 @@ mod tests {
         q.enqueue(1, 0, 1).unwrap();
         q.enqueue(1, 1, 1).unwrap();
         assert_eq!(q.total_backlog(), 3);
-        assert_eq!(q.backlogs(), &[1, 2, 0]);
+        assert_eq!(q.backlogs().collect::<Vec<_>>(), vec![1, 2, 0]);
     }
 
     #[test]
@@ -714,5 +1065,128 @@ mod tests {
         assert!(q.occupied_servers(0).is_empty());
         assert_eq!(q.occupied_servers(1), &[0]);
         assert_eq!(q.total_backlog(), 1);
+    }
+
+    #[test]
+    fn drain_class_matches_per_server_dequeues() {
+        // Bulk drain (dense and sparse) must complete exactly what the
+        // per-server dequeue loop would, skipping down servers.
+        for occupied in [2usize, 7] {
+            let mut bulk = QueueArray::new(
+                8,
+                &[ClassSpec {
+                    capacity: 4,
+                    drain_per_step: 2,
+                }],
+            );
+            let mut reference = bulk.clone();
+            for s in 0..occupied as u32 {
+                for v in 0..3u32 {
+                    bulk.enqueue(s, 0, s * 10 + v).unwrap();
+                    reference.enqueue(s, 0, s * 10 + v).unwrap();
+                }
+            }
+            bulk.set_live(1, false);
+            reference.set_live(1, false);
+            let mut bulk_seen = Vec::new();
+            let drained = bulk.drain_class(0, 2, |a| bulk_seen.push(a));
+            let mut ref_seen = Vec::new();
+            for s in 0..8u32 {
+                if reference.is_live(s) {
+                    reference.dequeue_up_to(s, 0, 2, |a| ref_seen.push(a));
+                }
+            }
+            bulk_seen.sort_unstable();
+            ref_seen.sort_unstable();
+            assert_eq!(bulk_seen, ref_seen, "occupied = {occupied}");
+            assert_eq!(drained, ref_seen.len() as u64);
+            for s in 0..8u32 {
+                assert_eq!(bulk.backlog(s), reference.backlog(s), "server {s}");
+            }
+            assert_eq!(
+                occupied_sorted(&bulk, 0),
+                occupied_sorted(&reference, 0),
+                "occupied = {occupied}"
+            );
+            // Down server kept its work and its membership.
+            assert_eq!(bulk.backlog(1), 3);
+        }
+    }
+
+    #[test]
+    fn liveness_sentinel_gates_route_backlog() {
+        let mut q = two_class();
+        q.enqueue(1, 0, 1).unwrap();
+        assert!(q.is_live(1));
+        assert_eq!(q.route_backlog(1), 1);
+        q.set_live(1, false);
+        assert!(!q.is_live(1));
+        assert_eq!(q.route_backlog(1), u32::MAX);
+        // Backlog changes while down leave the sentinel pinned.
+        q.dequeue_up_to(1, 0, 1, |_| {});
+        assert_eq!(q.route_backlog(1), u32::MAX);
+        q.set_live(1, true);
+        assert_eq!(q.route_backlog(1), 0);
+        // Mask form agrees with per-server form.
+        q.enqueue(0, 0, 2).unwrap();
+        q.set_liveness(&[false, true, true]);
+        assert_eq!(q.route_backlog(0), u32::MAX);
+        assert_eq!(q.route_backlog(1), 0);
+        q.set_liveness(&[true, true, true]);
+        assert_eq!(q.route_backlog(0), 1);
+    }
+
+    // Satellite regression tests: the pre-SoA constructor accumulated
+    // class capacities with an unchecked `acc += c` and sized the arena
+    // with an unchecked multiply, so near-u32::MAX capacities wrapped
+    // and silently aliased rings across servers.
+
+    #[test]
+    #[should_panic(expected = "class capacities overflow u32")]
+    fn near_max_capacity_sum_is_rejected() {
+        let _ = QueueArray::new(
+            1,
+            &[
+                ClassSpec {
+                    capacity: u32::MAX - 1,
+                    drain_per_step: 1,
+                },
+                ClassSpec {
+                    capacity: 2,
+                    drain_per_step: 1,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "below u32::MAX")]
+    fn sentinel_capacity_is_rejected() {
+        // u32::MAX exactly: no u32 overflow, but it would collide with
+        // the down-server routing sentinel. (Zero servers so the failed
+        // construction cannot allocate.)
+        let _ = QueueArray::new(
+            0,
+            &[ClassSpec {
+                capacity: u32::MAX,
+                drain_per_step: 1,
+            }],
+        );
+    }
+
+    #[test]
+    fn near_max_capacity_with_no_servers_constructs() {
+        // The largest legal per-server capacity is fine; with zero
+        // servers no arena is allocated and all bookkeeping is empty.
+        let q = QueueArray::new(
+            0,
+            &[ClassSpec {
+                capacity: u32::MAX - 1,
+                drain_per_step: 1,
+            }],
+        );
+        assert_eq!(q.num_servers(), 0);
+        assert_eq!(q.capacity(0), u32::MAX - 1);
+        assert_eq!(q.total_backlog(), 0);
     }
 }

@@ -21,6 +21,15 @@ use crate::view::ClusterView;
 use rlb_hash::ReplicaPlacement;
 use rlb_metrics::BacklogSnapshot;
 
+/// Requests per warm/route block in the routing loop (see
+/// `Simulation::route_range`).
+const PREFETCH_BLOCK: usize = 32;
+
+/// Cluster size from which the routing loop warms each block's cache
+/// lines before routing it; below this the replica table and load rows
+/// are cache resident and the warm pass is pure overhead.
+const PREFETCH_MIN_SERVERS: usize = 4096;
+
 /// A source of per-step request sets.
 ///
 /// Implementations must produce chunk ids `< num_chunks` that are
@@ -104,6 +113,14 @@ pub struct Simulation<P: Policy, S: TraceSink = NoopSink> {
     up_prev: Vec<bool>,
     /// Reusable buffer of completed-arrival steps for drain events.
     drain_scratch: Vec<u32>,
+    /// Per-latency completion counts accumulated within one bulk drain
+    /// call (indexed by latency), flushed into the histograms after.
+    lat_counts: Vec<u64>,
+    /// Latencies holding a non-zero `lat_counts` entry, in first-seen
+    /// order — flushing in that order replays the per-request histogram
+    /// growth sequence, keeping serialized reports byte-identical to
+    /// the unbatched path.
+    lat_touched: Vec<u64>,
     sink: S,
 }
 
@@ -171,6 +188,8 @@ impl<P: Policy> Simulation<P> {
             up_mask: vec![true; config.num_servers],
             up_prev: Vec::new(),
             drain_scratch: Vec::new(),
+            lat_counts: Vec::new(),
+            lat_touched: Vec::new(),
             sink: NoopSink,
             config,
         }
@@ -208,6 +227,8 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             up_mask: self.up_mask,
             up_prev: self.up_prev,
             drain_scratch: self.drain_scratch,
+            lat_counts: self.lat_counts,
+            lat_touched: self.lat_touched,
             sink,
         }
     }
@@ -269,23 +290,31 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
     }
 
     /// Runs `steps` steps drawing requests from `workload`.
-    pub fn run(&mut self, workload: &mut dyn Workload, steps: u64) {
+    ///
+    /// Generic (with `?Sized`) so both concrete workloads and
+    /// `&mut dyn Workload` callers monomorphize naturally; closures and
+    /// the null observer inline into the routing loop.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W, steps: u64) {
         self.run_observed(workload, steps, &mut NullObserver)
     }
 
     /// Runs `steps` steps with an observer attached.
-    pub fn run_observed(
+    pub fn run_observed<W: Workload + ?Sized, O: Observer + ?Sized>(
         &mut self,
-        workload: &mut dyn Workload,
+        workload: &mut W,
         steps: u64,
-        observer: &mut dyn Observer,
+        observer: &mut O,
     ) {
         for _ in 0..steps {
             self.execute_step(workload, observer);
         }
     }
 
-    fn execute_step(&mut self, workload: &mut dyn Workload, observer: &mut dyn Observer) {
+    fn execute_step<W: Workload + ?Sized, O: Observer + ?Sized>(
+        &mut self,
+        workload: &mut W,
+        observer: &mut O,
+    ) {
         let step = self.step;
         self.chunk_scratch.clear();
         workload.next_step(step, &mut self.chunk_scratch);
@@ -300,6 +329,10 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                 }
             }
             self.outages.fill_up_mask(step, &mut self.up_mask);
+            // The queue array owns the liveness the routing/drain hot
+            // paths consult (sentinel route backlogs); keep it synced
+            // with the schedule-derived mask.
+            self.queues.set_liveness(&self.up_mask);
             if S::ENABLED {
                 for server in 0..self.config.num_servers {
                     match (self.up_prev[server], self.up_mask[server]) {
@@ -361,7 +394,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             }
         }
 
-        let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
+        let view = ClusterView::new(&self.queues);
         self.policy.on_step_end(step, &self.chunk_scratch, &view);
 
         if let Some(f) = self.config.flush_interval {
@@ -378,11 +411,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
 
         if let Some(every) = self.config.safety_check_every {
             if step.is_multiple_of(every) {
-                for (dst, &b) in self
-                    .backlog_scratch
-                    .iter_mut()
-                    .zip(self.queues.backlogs().iter())
-                {
+                for (dst, b) in self.backlog_scratch.iter_mut().zip(self.queues.backlogs()) {
                     *dst = b as u64;
                 }
                 let snapshot = BacklogSnapshot::from_backlogs(&self.backlog_scratch);
@@ -390,7 +419,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             }
         }
 
-        let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
+        let view = ClusterView::new(&self.queues);
         observer.on_step_end(step, &view);
         #[cfg(feature = "sanitize")]
         self.sanitize_step(step);
@@ -411,110 +440,151 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
     ///   path needs `&mut self.queues` for `enqueue`, so a loop-lived
     ///   shared borrow would not compile.
     ///
-    /// Neither costs anything: the view is a two-pointer `Copy` wrapper
-    /// (`&QueueArray`, `&[bool]`), so "rebuilding" it is two register
-    /// moves, not a scan. The engine-equivalence goldens pin the
+    /// Neither costs anything: the view is a one-pointer `Copy` wrapper
+    /// over `&QueueArray` (which owns liveness), so "rebuilding" it is a
+    /// register move, not a scan. The engine-equivalence goldens pin the
     /// resulting routing sequence.
-    fn route_range(&mut self, lo: usize, hi: usize, step: u64, observer: &mut dyn Observer) {
+    fn route_range<O: Observer + ?Sized>(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        step: u64,
+        observer: &mut O,
+    ) {
         // Detach the scratch list so a slice over it can coexist with
         // queue mutations; reattached (untouched) at the end.
         let chunks = std::mem::take(&mut self.chunk_scratch);
         self.stats.arrived += (hi - lo) as u64;
-        for &chunk in &chunks[lo..hi] {
-            let replicas = self.placement.replicas(chunk);
-            let ctx = RouteCtx {
-                step,
-                chunk,
-                replicas,
-            };
-            let view = ClusterView::with_liveness(&self.queues, &self.up_mask);
-            let mut decision = self.policy.route(ctx, &view);
-            match decision {
-                Decision::Route { server, class } => {
-                    debug_assert!(
-                        replicas.contains(&server),
-                        "policy routed chunk {chunk} to non-replica server {server}"
-                    );
-                    if S::ENABLED {
-                        self.sink.on_event(&TraceEvent::Route {
-                            step,
-                            chunk,
-                            server,
-                            class,
-                            candidates: replicas.to_vec(),
-                            backlogs: replicas.iter().map(|&r| self.queues.backlog(r)).collect(),
-                        });
+        // On large clusters each request's replica-table row and each
+        // candidate's packed control/load words sit on random cold cache
+        // lines, and the serial routing loop eats one miss latency after
+        // another. Walking the requests in blocks with a read-only warm
+        // pass ahead of the routing pass lets those misses overlap: the
+        // warm reads are folded into a checksum handed to `black_box` so
+        // they cannot be elided, and the routing pass right behind hits
+        // lines already in flight or resident. The warm pass never
+        // changes state, so the routed sequence is untouched (pinned by
+        // the engine-equivalence goldens). Small clusters stay cache
+        // resident and skip the extra pass.
+        let warm_blocks = self.config.num_servers >= PREFETCH_MIN_SERVERS;
+        for block in chunks[lo..hi].chunks(PREFETCH_BLOCK) {
+            if warm_blocks {
+                let mut warm = 0u32;
+                for &chunk in block {
+                    for &server in self.placement.replicas(chunk) {
+                        warm = warm
+                            .wrapping_add(self.queues.route_backlog(server))
+                            .wrapping_add(self.queues.class_backlog(server, 0));
                     }
-                    if !self.up_mask[server as usize] {
-                        decision = Decision::Reject(RejectReason::ServerDown);
-                        self.stats.record_reject(RejectReason::ServerDown);
+                }
+                std::hint::black_box(warm);
+            }
+            for &chunk in block {
+                let replicas = self.placement.replicas(chunk);
+                let ctx = RouteCtx {
+                    step,
+                    chunk,
+                    replicas,
+                };
+                let view = ClusterView::new(&self.queues);
+                let mut decision = self.policy.route(ctx, &view);
+                match decision {
+                    Decision::Route { server, class } => {
+                        debug_assert!(
+                            replicas.contains(&server),
+                            "policy routed chunk {chunk} to non-replica server {server}"
+                        );
                         if S::ENABLED {
-                            self.sink.on_event(&TraceEvent::Reject {
+                            self.sink.on_event(&TraceEvent::Route {
                                 step,
                                 chunk,
-                                cause: TraceCause::Outage,
+                                server,
+                                class,
+                                candidates: replicas.to_vec(),
+                                backlogs: replicas
+                                    .iter()
+                                    .map(|&r| self.queues.backlog(r))
+                                    .collect(),
                             });
                         }
-                        observer.on_route(step, chunk, decision);
-                        continue;
-                    }
-                    match self.queues.enqueue(server, class as usize, step as u32) {
-                        Ok(()) => {
-                            self.stats.accepted += 1;
-                            let backlog = self.queues.backlog(server);
-                            self.stats.record_enqueue_backlog(backlog);
-                            if S::ENABLED {
-                                self.sink.on_event(&TraceEvent::Enqueue {
-                                    step,
-                                    server,
-                                    class,
-                                    backlog,
-                                });
-                            }
-                        }
-                        Err(_) => {
-                            decision = Decision::Reject(RejectReason::Overflow);
-                            self.stats.record_reject(RejectReason::Overflow);
+                        if !self.up_mask[server as usize] {
+                            decision = Decision::Reject(RejectReason::ServerDown);
+                            self.stats.record_reject(RejectReason::ServerDown);
                             if S::ENABLED {
                                 self.sink.on_event(&TraceEvent::Reject {
                                     step,
                                     chunk,
-                                    cause: TraceCause::Overflow,
+                                    cause: TraceCause::Outage,
                                 });
+                            }
+                            observer.on_route(step, chunk, decision);
+                            continue;
+                        }
+                        match self.queues.enqueue(server, class as usize, step as u32) {
+                            Ok(()) => {
+                                self.stats.accepted += 1;
+                                let backlog = self.queues.backlog(server);
+                                self.stats.record_enqueue_backlog(backlog);
+                                if S::ENABLED {
+                                    self.sink.on_event(&TraceEvent::Enqueue {
+                                        step,
+                                        server,
+                                        class,
+                                        backlog,
+                                    });
+                                }
+                            }
+                            Err(_) => {
+                                decision = Decision::Reject(RejectReason::Overflow);
+                                self.stats.record_reject(RejectReason::Overflow);
+                                if S::ENABLED {
+                                    self.sink.on_event(&TraceEvent::Reject {
+                                        step,
+                                        chunk,
+                                        cause: TraceCause::Overflow,
+                                    });
+                                }
                             }
                         }
                     }
-                }
-                Decision::Reject(reason) => {
-                    self.stats.record_reject(reason);
-                    if S::ENABLED {
-                        self.sink.on_event(&TraceEvent::Reject {
-                            step,
-                            chunk,
-                            cause: TraceCause::from_reason(reason),
-                        });
+                    Decision::Reject(reason) => {
+                        self.stats.record_reject(reason);
+                        if S::ENABLED {
+                            self.sink.on_event(&TraceEvent::Reject {
+                                step,
+                                chunk,
+                                cause: TraceCause::from_reason(reason),
+                            });
+                        }
                     }
                 }
+                observer.on_route(step, chunk, decision);
             }
-            observer.on_route(step, chunk, decision);
         }
         self.chunk_scratch = chunks;
     }
 
     /// Drains each class by its share for sub-step `s` of `substeps`.
     ///
-    /// When a class is sparsely occupied, only servers holding queued
-    /// work are visited, via the queue array's occupancy index — the
-    /// per-sub-step cost is proportional to occupied state, not to
-    /// cluster size. Once at least half the servers hold work, a plain
-    /// sequential sweep wins on cache locality and is used instead.
-    /// Visit order differs between the two paths, but every
-    /// per-completion statistic is an order-independent accumulation, so
-    /// reports are bit-identical either way.
+    /// Untraced runs take the queue array's bulk
+    /// [`QueueArray::drain_class`] sweep: one call per class, visiting
+    /// the class-major rows (dense) or the occupancy list (sparse) with
+    /// no per-server call or swap-remove churn. Traced runs keep the
+    /// per-server dequeue loop so each server's completions can be
+    /// emitted as one [`TraceEvent::Drain`]. Visit order differs
+    /// between the paths, but every per-completion statistic is an
+    /// order-independent accumulation, so reports are bit-identical
+    /// either way (pinned by the `traced_run_matches_untraced` test and
+    /// the engine-equivalence goldens).
     fn drain(&mut self, s: u32, substeps: u32, step: u64) {
         let stats = &mut self.stats;
         let scratch = &mut self.drain_scratch;
+        let lat_counts = &mut self.lat_counts;
+        let lat_touched = &mut self.lat_touched;
         let sink = &mut self.sink;
+        let queues = &mut self.queues;
+        let up_mask = &self.up_mask;
+        let m = self.config.num_servers;
         for (class, spec) in self.classes.iter().enumerate() {
             let rate = spec.drain_per_step;
             // Cumulative-quota split: over `substeps` sub-steps the class
@@ -523,23 +593,45 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             if take == 0 {
                 continue;
             }
-            let m = self.config.num_servers;
-            if self.queues.occupied_servers(class).len() * 2 >= m {
+            if !S::ENABLED {
+                // A bulk drain under load completes thousands of
+                // requests sharing a handful of distinct latencies;
+                // tally per-latency counts and fold each into a single
+                // histogram update. Counts flush in first-seen order,
+                // which replays the per-request histogram growth
+                // sequence exactly, so serialized reports stay
+                // byte-identical to the unbatched path. Outside this
+                // call every `lat_counts` entry is zero and
+                // `lat_touched` is empty.
+                queues.drain_class(class, take, |arrival| {
+                    let lat = (step - arrival as u64) as usize;
+                    if lat >= lat_counts.len() {
+                        lat_counts.resize(lat + 1, 0);
+                    }
+                    if lat_counts[lat] == 0 {
+                        lat_touched.push(lat as u64);
+                    }
+                    lat_counts[lat] += 1;
+                });
+                for &lat in lat_touched.iter() {
+                    let n = std::mem::take(&mut lat_counts[lat as usize]);
+                    stats.record_completion_in_class_n(class, lat, n);
+                }
+                lat_touched.clear();
+                continue;
+            }
+            if queues.occupied_servers(class).len() * 2 >= m {
                 // Dense: most servers hold work, so a sequential sweep
                 // beats list order on cache locality (empty queues cost
                 // one length check).
                 for server in 0..m as u32 {
-                    if !self.up_mask[server as usize] {
+                    if !up_mask[server as usize] {
                         continue;
                     }
-                    if S::ENABLED {
-                        scratch.clear();
-                    }
-                    self.queues.dequeue_up_to(server, class, take, |arrival| {
+                    scratch.clear();
+                    queues.dequeue_up_to(server, class, take, |arrival| {
                         stats.record_completion_in_class(class, step - arrival as u64);
-                        if S::ENABLED {
-                            scratch.push(arrival);
-                        }
+                        scratch.push(arrival);
                     });
                     if S::ENABLED && !scratch.is_empty() {
                         sink.on_event(&TraceEvent::Drain {
@@ -553,20 +645,16 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                 continue;
             }
             let mut i = 0;
-            while i < self.queues.occupied_servers(class).len() {
-                let server = self.queues.occupied_servers(class)[i];
-                if !self.up_mask[server as usize] {
+            while i < queues.occupied_servers(class).len() {
+                let server = queues.occupied_servers(class)[i];
+                if !up_mask[server as usize] {
                     i += 1;
                     continue;
                 }
-                if S::ENABLED {
-                    scratch.clear();
-                }
-                self.queues.dequeue_up_to(server, class, take, |arrival| {
+                scratch.clear();
+                queues.dequeue_up_to(server, class, take, |arrival| {
                     stats.record_completion_in_class(class, step - arrival as u64);
-                    if S::ENABLED {
-                        scratch.push(arrival);
-                    }
+                    scratch.push(arrival);
                 });
                 if S::ENABLED && !scratch.is_empty() {
                     sink.on_event(&TraceEvent::Drain {
@@ -579,7 +667,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                 // An emptied server is swap-removed from the occupancy
                 // list, pulling an unvisited candidate into slot `i`;
                 // advance only while `server` kept its slot.
-                let occ = self.queues.occupied_servers(class);
+                let occ = queues.occupied_servers(class);
                 if i < occ.len() && occ[i] == server {
                     i += 1;
                 }
@@ -608,6 +696,18 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             panic!(
                 "sanitize failed after step {step}: liveness mask drifted from the outage schedule"
             );
+        }
+        // The queue array's owned liveness (consulted by the routing
+        // sentinel backlogs and the bulk drain) must agree with the
+        // schedule too. With no schedule it stays the all-live default.
+        for (server, &up) in expected.iter().enumerate() {
+            if self.queues.is_live(server as u32) != up {
+                // lint:allow(panic-discipline)
+                panic!(
+                    "sanitize failed after step {step}: queue-owned liveness of server {server} \
+                     drifted from the outage schedule"
+                );
+            }
         }
     }
 

@@ -93,13 +93,40 @@ impl RunStats {
     }
 
     /// Records a completed request served from queue `class`.
+    ///
+    /// The per-class vector still sizes lazily on first use (the
+    /// serialized report only carries classes that completed work), but
+    /// the growth branch is kept out of the inlined hot path: the drain
+    /// sweep calls this once per completed request.
     #[inline]
     pub fn record_completion_in_class(&mut self, class: usize, latency: u64) {
         if self.latency_by_class.len() <= class {
-            self.latency_by_class.resize_with(class + 1, Histogram::new);
+            self.grow_latency_classes(class);
         }
         self.latency_by_class[class].record(latency);
         self.record_completion(latency);
+    }
+
+    /// Records `n` completed requests served from queue `class`, all
+    /// sharing the same latency. Equivalent to `n` calls of
+    /// [`RunStats::record_completion_in_class`] — the bulk drain path
+    /// folds its per-latency counts into one histogram update each.
+    #[inline]
+    pub fn record_completion_in_class_n(&mut self, class: usize, latency: u64, n: u64) {
+        if self.latency_by_class.len() <= class {
+            self.grow_latency_classes(class);
+        }
+        self.latency_by_class[class].record_n(latency, n);
+        self.completed += n;
+        self.latency.record_n(latency, n);
+    }
+
+    /// Cold growth path for [`RunStats::record_completion_in_class`]:
+    /// runs at most once per class over a whole run.
+    #[cold]
+    #[inline(never)]
+    fn grow_latency_classes(&mut self, class: usize) {
+        self.latency_by_class.resize_with(class + 1, Histogram::new);
     }
 
     /// Ingests a backlog snapshot (called at sampling points).

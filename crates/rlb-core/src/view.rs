@@ -7,32 +7,24 @@ use crate::queue::QueueArray;
 /// Policies receive a `ClusterView` when routing; it intentionally
 /// exposes only queue-occupancy information — a policy cannot see the
 /// identity of queued requests, matching the model (routing decisions
-/// depend on backlogs, not on which chunks are waiting).
+/// depend on backlogs, not on which chunks are waiting). Server
+/// liveness is owned by the queue array (the engine syncs it from the
+/// outage schedule each step), so the view is a single-pointer wrapper.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterView<'a> {
     queues: &'a QueueArray,
-    /// Per-server liveness (`None` = every server up).
-    up: Option<&'a [bool]>,
 }
 
 impl<'a> ClusterView<'a> {
-    /// Wraps a queue array with every server up.
+    /// Wraps a queue array.
     pub(crate) fn new(queues: &'a QueueArray) -> Self {
-        Self { queues, up: None }
-    }
-
-    /// Wraps a queue array with an explicit liveness mask.
-    pub(crate) fn with_liveness(queues: &'a QueueArray, up: &'a [bool]) -> Self {
-        Self {
-            queues,
-            up: Some(up),
-        }
+        Self { queues }
     }
 
     /// Whether `server` is currently serving (failure-detector view).
     #[inline]
     pub fn is_up(&self, server: u32) -> bool {
-        self.up.is_none_or(|u| u[server as usize])
+        self.queues.is_live(server)
     }
 
     /// Whether `server` can accept a request into `class`: up and not
@@ -46,6 +38,15 @@ impl<'a> ClusterView<'a> {
     #[inline]
     pub fn backlog(&self, server: u32) -> u32 {
         self.queues.backlog(server)
+    }
+
+    /// The routing view of `server`'s backlog: its total backlog while
+    /// up, `u32::MAX` while down. Min-selection loops can compare this
+    /// directly — a down server never wins — instead of branching on
+    /// [`ClusterView::is_up`] per candidate.
+    #[inline]
+    pub fn route_backlog(&self, server: u32) -> u32 {
+        self.queues.route_backlog(server)
     }
 
     /// Backlog of one queue class of `server`.
@@ -78,10 +79,17 @@ impl<'a> ClusterView<'a> {
         self.queues.num_classes()
     }
 
-    /// Per-server total backlogs.
+    /// Per-server total backlogs, in server-id order.
     #[inline]
-    pub fn backlogs(&self) -> &[u32] {
+    pub fn backlogs(&self) -> impl Iterator<Item = u32> + 'a {
         self.queues.backlogs()
+    }
+
+    /// Total requests queued across the cluster. O(1); the queue
+    /// array's incrementally maintained counter.
+    #[inline]
+    pub fn total_backlog(&self) -> u64 {
+        self.queues.total_backlog()
     }
 
     /// Servers whose `class` queue is non-empty, in unspecified order
@@ -116,28 +124,35 @@ mod tests {
         assert_eq!(v.capacity(0), 2);
         assert_eq!(v.num_servers(), 2);
         assert_eq!(v.num_classes(), 1);
-        assert_eq!(v.backlogs(), &[0, 1]);
+        assert_eq!(v.backlogs().collect::<Vec<_>>(), vec![0, 1]);
         assert!(v.is_up(0));
         assert!(v.is_available(0, 0));
+        assert_eq!(v.route_backlog(1), 1);
     }
 
     #[test]
-    fn liveness_mask_gates_availability() {
-        let q = QueueArray::new(
+    fn liveness_gates_availability_and_route_backlog() {
+        let mut q = QueueArray::new(
             2,
             &[ClassSpec {
                 capacity: 2,
                 drain_per_step: 1,
             }],
         );
-        let up = [true, false];
-        let v = ClusterView::with_liveness(&q, &up);
+        q.set_live(1, false);
+        let v = ClusterView::new(&q);
         assert!(v.is_up(0));
         assert!(!v.is_up(1));
         assert!(v.is_available(0, 0));
         assert!(
             !v.is_available(1, 0),
             "down server is unavailable even when empty"
+        );
+        assert_eq!(v.route_backlog(0), 0);
+        assert_eq!(
+            v.route_backlog(1),
+            u32::MAX,
+            "down server advertises the sentinel backlog"
         );
     }
 }

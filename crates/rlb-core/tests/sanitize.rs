@@ -72,7 +72,7 @@ fn corrupted_occupancy_index_is_caught() {
     let mut sim = Simulation::new(config(), Greedy::new());
     sim.run(&mut workload(), 5);
     assert!(
-        sim.view().backlogs().iter().any(|&b| b > 0),
+        sim.view().backlogs().any(|b| b > 0),
         "scenario must leave work queued so corruption is observable"
     );
     sim.sanitize_queues_mut().sanitize_corrupt_occupancy();
@@ -97,6 +97,46 @@ fn corrupted_total_backlog_is_caught() {
         msg.contains("total backlog"),
         "panic should name the broken invariant: {msg}"
     );
+}
+
+#[test]
+fn corrupted_route_backlog_is_caught() {
+    let mut sim = Simulation::new(config(), Greedy::new());
+    sim.run(&mut workload(), 5);
+    sim.sanitize_queues_mut().sanitize_corrupt_route_backlog();
+    let msg = step_panic_message(&mut sim).expect("sanitizer must panic");
+    assert!(
+        msg.contains("routing backlog"),
+        "panic should name the broken invariant: {msg}"
+    );
+}
+
+#[test]
+fn heavy_saturating_run_passes_every_step() {
+    // A scaled-down cut of the bench suite's `heavy/m*` scenario: one
+    // request per server per step over a repeated chunk set, far above
+    // the drain rate, so the arena sits at capacity with the dense
+    // drain sweep active — re-deriving every invariant after each step.
+    for mode in [DrainMode::EndOfStep, DrainMode::Interleaved] {
+        let m = 512usize;
+        let cfg = SimConfig {
+            num_servers: m,
+            num_chunks: 4 * m,
+            replication: 2,
+            process_rate: 16,
+            queue_capacity: 16,
+            flush_interval: None,
+            drain_mode: mode,
+            seed: 42,
+            safety_check_every: None,
+        };
+        let mut sim = Simulation::new(cfg, Greedy::new());
+        let mut heavy = move |_step: u64, out: &mut Vec<u32>| out.extend(0..m as u32);
+        sim.run(&mut heavy, 48);
+        let report = sim.finish();
+        report.check_conservation().unwrap();
+        assert!(report.completed > 0, "saturating run must complete work");
+    }
 }
 
 #[test]

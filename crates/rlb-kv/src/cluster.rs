@@ -263,6 +263,19 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
         self.pending.len()
     }
 
+    /// Requests already accepted into server queues but not yet
+    /// processed (excludes [`KvCluster::pending_requests`], which have
+    /// not been committed). O(1).
+    pub fn queued(&self) -> u64 {
+        self.sim.view().total_backlog()
+    }
+
+    /// Per-server backlogs right now, in server-id order — the live
+    /// load signal an admission controller polls between commits.
+    pub fn server_backlogs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.sim.view().backlogs()
+    }
+
     /// Executes one time step with the accumulated requests.
     pub fn commit_step(&mut self) -> StepSummary {
         let step = self.sim.step_count();
@@ -357,6 +370,28 @@ mod tests {
         report.check_conservation().unwrap();
         assert_eq!(report.in_flight, 0, "queues should fully drain");
         assert_eq!(report.completed + report.rejected_total, report.arrived);
+    }
+
+    #[test]
+    fn queued_tracks_committed_backlog() {
+        let mut kv = cluster();
+        assert_eq!(kv.queued(), 0);
+        for key in 0..200u64 {
+            kv.get(key);
+        }
+        // Uncommitted requests are pending, not queued.
+        assert_eq!(kv.queued(), 0);
+        let summary = kv.commit_step();
+        let queued = kv.queued();
+        let per_server: u64 = kv.server_backlogs().map(u64::from).sum();
+        assert_eq!(queued, per_server);
+        assert_eq!(
+            queued + summary.rejected + kv.simulation().stats().completed,
+            summary.chunk_requests
+        );
+        kv.idle(16);
+        assert_eq!(kv.queued(), 0);
+        assert!(kv.server_backlogs().all(|b| b == 0));
     }
 
     #[test]

@@ -27,7 +27,16 @@ impl Ewma {
     /// Panics if `halflife` is not positive and finite.
     pub fn with_halflife(halflife: f64) -> Self {
         assert!(halflife > 0.0 && halflife.is_finite());
-        Self::new(1.0 - 0.5f64.powf(1.0 / halflife))
+        let mut alpha = 1.0 - 0.5f64.powf(1.0 / halflife);
+        if alpha <= 0.0 {
+            // For very large half-lives `0.5^(1/h)` rounds to exactly
+            // 1.0 and the subtraction cancels to 0.0, which `new`
+            // rejects. `-expm1(ln(0.5)/h)` computes the same quantity
+            // without the cancellation; clamp to the smallest positive
+            // double in case `ln2/h` itself underflows.
+            alpha = (-(-std::f64::consts::LN_2 / halflife).exp_m1()).max(f64::MIN_POSITIVE);
+        }
+        Self::new(alpha)
     }
 
     /// Feeds one observation and returns the updated average.
@@ -109,5 +118,25 @@ mod tests {
     #[should_panic(expected = "alpha must be in (0, 1]")]
     fn zero_alpha_panics() {
         let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn huge_halflife_still_constructs() {
+        // Regression: `1 - 0.5^(1/h)` cancels to exactly 0.0 once
+        // `0.5^(1/h)` rounds to 1.0 (h ≳ 2^53), and construction
+        // panicked on its own alpha. The expm1 fallback keeps alpha
+        // positive for every finite positive half-life.
+        for h in [1e16, 1e20, 1e300, f64::MAX] {
+            let mut e = Ewma::with_halflife(h);
+            // An astronomically long half-life behaves like "hold the
+            // first sample".
+            e.update(4.0);
+            e.update(0.0);
+            assert!((e.value().unwrap() - 4.0).abs() < 1e-9, "halflife {h}");
+        }
+        // Sanity: moderate half-lives are unaffected by the fallback.
+        let direct = 1.0 - 0.5f64.powf(1.0 / 10.0);
+        let via = Ewma::with_halflife(10.0);
+        assert_eq!(via, Ewma::new(direct));
     }
 }
