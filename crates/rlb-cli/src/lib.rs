@@ -48,6 +48,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_load;
+
+pub use serve_load::{parse_serve_load_args, run_load, run_serve, ServeLoadOptions};
+
 use rlb_core::policies::{
     DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
 };

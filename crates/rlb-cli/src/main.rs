@@ -32,6 +32,32 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        match rlb_cli::run_serve(&args[1..]) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("load") {
+        // Flag errors exit 2 like every other subcommand; a run that
+        // parses but fails (e.g. clients erroring out) exits 1.
+        if let Err(e) = rlb_cli::parse_serve_load_args(&args[1..]) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        match rlb_cli::run_load(&args[1..]) {
+            Ok(summary) => print!("{summary}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("trace") {
         match rlb_cli::run_trace(&args[1..]) {
             Ok(summary) => print!("{summary}"),
@@ -68,6 +94,15 @@ fn main() {
              \x20 trace [RUN OPTIONS] [--out PATH]\n\
              \x20                   run with the JSONL trace sink, write trace.jsonl, print the\n\
              \x20                   per-class latency summary derived from the persisted trace\n\
+             \x20 serve [--listen ADDR] [--sim-clock] [--policy NAME] [--servers M]\n\
+             \x20       [--gate L] [--max-requests N] [--jobs J] [load flags in --sim-clock]\n\
+             \x20                   run the KV serving daemon over TCP; with --sim-clock run the\n\
+             \x20                   deterministic virtual-time serve+load co-simulation instead\n\
+             \x20 load [--connect ADDR] [--sim-clock] [--clients C] [--requests N]\n\
+             \x20      [--mode open:R|closed:K] [--popularity uniform:U|zipf:A,U|phased:W,K,T,U]\n\
+             \x20      [--put-ratio F] [--tenants T] [--tick-micros U] [--max-seconds S] [--jobs J]\n\
+             \x20                   drive a running server and report latency/rejection rates;\n\
+             \x20                   with --sim-clock run the same co-simulation as serve\n\
              \x20 lint [--root PATH]\n\
              \x20                   run the workspace's static-analysis pass (rlb-lint) over\n\
              \x20                   crates/*/src (determinism, trace-guard, panic-discipline,\n\

@@ -1,0 +1,524 @@
+//! The `serve` and `load` subcommands: the serving layer's CLI.
+//!
+//! `rlb-sim serve` binds a TCP listener and runs the live daemon
+//! ([`rlb_serve::serve_blocking`]); `rlb-sim load` drives a running
+//! server over TCP ([`rlb_load::run_live`]). Both accept `--sim-clock`,
+//! which runs the *same server core and client state machines* as a
+//! virtual-time co-simulation over framed pipes
+//! ([`rlb_load::run_sim`]) — no sockets, no wall clock, byte-identical
+//! output for a fixed seed regardless of `--jobs` (the property
+//! `rlb-load`'s golden test pins).
+
+use rlb_core::policies::{
+    DelayedCuckoo, Greedy, OneChoice, RoundRobin, TimeStepIsolated, UniformRandom,
+};
+use rlb_core::SimConfig;
+use rlb_load::{run_live, run_sim, Client, ClientConfig, LiveSpec, Mode, Popularity, SimSpec};
+use rlb_pool::Pool;
+use rlb_serve::{serve_blocking, ServeConfig, ServeOptions, ServerCore};
+
+/// Parsed options shared by `serve` and `load` (the union: `--sim-clock`
+/// runs the co-simulation, which needs both the engine and the load
+/// shape; flags irrelevant to the chosen mode are simply unused).
+#[derive(Debug, Clone)]
+pub struct ServeLoadOptions {
+    /// Run the virtual-time co-simulation instead of touching TCP.
+    pub sim_clock: bool,
+    /// Listen address (`serve`) e.g. `127.0.0.1:7070`.
+    pub listen: String,
+    /// Connect address (`load`).
+    pub connect: String,
+    /// Routing policy name (same names as the top-level simulator).
+    pub policy: String,
+    /// Engine configuration (servers/chunks/replication/rate/queue/seed).
+    pub engine: SimConfig,
+    /// Admission gate limit; `None` = capacity-scaled default.
+    pub gate: Option<u64>,
+    /// Live serve: stop after this many responses.
+    pub max_requests: Option<u64>,
+    /// Executor size for the run's private pool.
+    pub jobs: usize,
+    /// Number of load clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: u64,
+    /// Issuing discipline.
+    pub mode: Mode,
+    /// Key popularity shape.
+    pub popularity: Popularity,
+    /// Fraction of requests that are puts.
+    pub put_ratio: f64,
+    /// Tenants to spread clients over (client `i` runs as `i % tenants`).
+    pub tenants: u16,
+    /// Master seed (client `i` derives its own stream from it).
+    pub seed: u64,
+    /// Sim-clock: ticks in the issue window.
+    pub ticks: u64,
+    /// Sim-clock: include the per-frame transcript in the output.
+    pub transcript: bool,
+    /// Live load: wall microseconds per open-loop tick.
+    pub tick_micros: u64,
+    /// Live load: abort after this many wall seconds.
+    pub max_seconds: u64,
+}
+
+impl Default for ServeLoadOptions {
+    fn default() -> Self {
+        let servers = 64;
+        Self {
+            sim_clock: false,
+            listen: "127.0.0.1:7070".into(),
+            connect: "127.0.0.1:7070".into(),
+            policy: "greedy".into(),
+            engine: SimConfig::baseline(servers),
+            gate: None,
+            max_requests: None,
+            jobs: rlb_pool::default_jobs(),
+            clients: 4,
+            requests: 256,
+            mode: Mode::Closed { concurrency: 8 },
+            popularity: Popularity::Zipf {
+                alpha: 1.1,
+                universe: 1024,
+            },
+            put_ratio: 0.25,
+            tenants: 2,
+            seed: 0,
+            ticks: 64,
+            transcript: false,
+            tick_micros: 1000,
+            max_seconds: 30,
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: not a number: {raw:?}"))
+}
+
+fn parse_positive<T: std::str::FromStr + PartialEq + From<u8>>(
+    flag: &str,
+    raw: &str,
+) -> Result<T, String> {
+    let v: T = parse_num(flag, raw)?;
+    if v == T::from(0u8) {
+        return Err(format!("{flag}: must be positive, got {raw:?}"));
+    }
+    Ok(v)
+}
+
+/// Parses `open:RATE` / `closed:K`.
+fn parse_mode(spec: &str) -> Result<Mode, String> {
+    let err = || format!("--mode: expected open:RATE or closed:K, got {spec:?}");
+    let (kind, arg) = spec.split_once(':').ok_or_else(err)?;
+    match kind {
+        "open" => {
+            let rate: f64 = arg.parse().map_err(|_| err())?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("--mode: open rate must be positive, got {arg:?}"));
+            }
+            Ok(Mode::Open { rate })
+        }
+        "closed" => {
+            let concurrency: u32 = arg.parse().map_err(|_| err())?;
+            if concurrency == 0 {
+                return Err(format!(
+                    "--mode: closed window must be positive, got {arg:?}"
+                ));
+            }
+            Ok(Mode::Closed { concurrency })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Parses `uniform:U` / `zipf:ALPHA,U` / `phased:W,K,T,U`.
+fn parse_popularity(spec: &str) -> Result<Popularity, String> {
+    let err = || {
+        format!("--popularity: expected uniform:U | zipf:ALPHA,U | phased:W,K,T,U, got {spec:?}")
+    };
+    let (kind, args) = spec.split_once(':').ok_or_else(err)?;
+    let parts: Vec<&str> = args.split(',').collect();
+    match (kind, parts.as_slice()) {
+        ("uniform", [u]) => Ok(Popularity::Uniform {
+            universe: parse_positive("--popularity", u)?,
+        }),
+        ("zipf", [alpha, u]) => {
+            let alpha: f64 = alpha
+                .parse()
+                .map_err(|_| format!("--popularity: bad alpha {alpha:?}"))?;
+            Ok(Popularity::Zipf {
+                alpha,
+                universe: parse_positive("--popularity", u)?,
+            })
+        }
+        ("phased", [w, k, t, u]) => Ok(Popularity::Phased {
+            sets: parse_positive("--popularity", w)?,
+            set_size: parse_positive("--popularity", k)?,
+            ticks_per_phase: parse_positive("--popularity", t)?,
+            universe: parse_positive("--popularity", u)?,
+        }),
+        _ => Err(err()),
+    }
+}
+
+/// Parses the shared serve/load flag set.
+///
+/// # Errors
+/// Returns a usage-style message on malformed input.
+pub fn parse_serve_load_args(args: &[String]) -> Result<ServeLoadOptions, String> {
+    let mut opts = ServeLoadOptions::default();
+    let mut servers_set = false;
+    let mut chunks_set = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--sim-clock" => opts.sim_clock = true,
+            "--listen" => opts.listen = value("--listen")?,
+            "--connect" => opts.connect = value("--connect")?,
+            "--policy" => opts.policy = value("--policy")?,
+            "--servers" => {
+                opts.engine.num_servers = parse_positive("--servers", &value("--servers")?)?;
+                servers_set = true;
+            }
+            "--chunks" => {
+                opts.engine.num_chunks = parse_positive("--chunks", &value("--chunks")?)?;
+                chunks_set = true;
+            }
+            "--replication" => {
+                opts.engine.replication = parse_positive("--replication", &value("--replication")?)?
+            }
+            "--rate" => opts.engine.process_rate = parse_positive("--rate", &value("--rate")?)?,
+            "--queue" => {
+                opts.engine.queue_capacity = parse_positive("--queue", &value("--queue")?)?
+            }
+            "--seed" => opts.engine.seed = parse_num("--seed", &value("--seed")?)?,
+            "--gate" => opts.gate = Some(parse_positive("--gate", &value("--gate")?)?),
+            "--max-requests" => {
+                opts.max_requests =
+                    Some(parse_positive("--max-requests", &value("--max-requests")?)?)
+            }
+            "--jobs" => opts.jobs = parse_positive("--jobs", &value("--jobs")?)?,
+            "--clients" => opts.clients = parse_positive("--clients", &value("--clients")?)?,
+            "--requests" => opts.requests = parse_positive("--requests", &value("--requests")?)?,
+            "--mode" => opts.mode = parse_mode(&value("--mode")?)?,
+            "--popularity" => opts.popularity = parse_popularity(&value("--popularity")?)?,
+            "--put-ratio" => {
+                let r: f64 = parse_num("--put-ratio", &value("--put-ratio")?)?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--put-ratio: must be in [0,1], got {r}"));
+                }
+                opts.put_ratio = r;
+            }
+            "--tenants" => opts.tenants = parse_positive("--tenants", &value("--tenants")?)?,
+            "--ticks" => opts.ticks = parse_positive("--ticks", &value("--ticks")?)?,
+            "--transcript" => opts.transcript = true,
+            "--tick-micros" => {
+                opts.tick_micros = parse_positive("--tick-micros", &value("--tick-micros")?)?
+            }
+            "--max-seconds" => {
+                opts.max_seconds = parse_positive("--max-seconds", &value("--max-seconds")?)?
+            }
+            other => return Err(format!("unknown serve/load option {other:?}")),
+        }
+    }
+    if servers_set && !chunks_set {
+        opts.engine.num_chunks = 4 * opts.engine.num_servers;
+    }
+    opts.engine.validate()?;
+    opts.seed = opts.engine.seed;
+    Ok(opts)
+}
+
+impl ServeLoadOptions {
+    fn serve_config(&self) -> ServeConfig {
+        let gate_limit = self.gate.unwrap_or_else(|| {
+            (self.engine.num_servers as u64) * u64::from(self.engine.process_rate) * 4
+        });
+        ServeConfig {
+            engine: self.engine.clone(),
+            gate_limit,
+        }
+    }
+
+    /// Builds the client fleet the load side runs (used by both the
+    /// sim-clock co-simulation and the live generator).
+    fn client_configs(&self) -> Vec<ClientConfig> {
+        (0..self.clients)
+            .map(|i| ClientConfig {
+                tenant: (i as u16) % self.tenants.max(1),
+                mode: self.mode.clone(),
+                popularity: self.popularity.clone(),
+                put_ratio: self.put_ratio,
+                total_requests: self.requests,
+                seed: self.seed ^ rlb_hash::mix::fmix64(0x10ad ^ i as u64),
+            })
+            .collect()
+    }
+}
+
+/// Dispatches on the policy name, handing a constructed [`ServerCore`]
+/// to `f`. The same names (and the `dcr` d=2 restriction) as the
+/// top-level simulator.
+fn with_core<R>(opts: &ServeLoadOptions, f: impl FnOnce(CoreAny) -> R) -> Result<R, String> {
+    let cfg = opts.serve_config();
+    let engine = &cfg.engine;
+    Ok(match opts.policy.as_str() {
+        "greedy" => f(CoreAny::Greedy(ServerCore::new(cfg.clone(), Greedy::new()))),
+        "delayed-cuckoo" | "dcr" => {
+            if engine.replication != 2 {
+                return Err("delayed-cuckoo requires --replication 2".into());
+            }
+            let policy = DelayedCuckoo::new(engine);
+            f(CoreAny::DelayedCuckoo(ServerCore::new(cfg.clone(), policy)))
+        }
+        "one-choice" => f(CoreAny::OneChoice(ServerCore::new(
+            cfg.clone(),
+            OneChoice::new(),
+        ))),
+        "uniform-random" => {
+            let policy = UniformRandom::new(engine.seed ^ 0xa7);
+            f(CoreAny::UniformRandom(ServerCore::new(cfg.clone(), policy)))
+        }
+        "round-robin" => {
+            let policy = RoundRobin::new(engine.num_chunks);
+            f(CoreAny::RoundRobin(ServerCore::new(cfg.clone(), policy)))
+        }
+        "step-isolated" => {
+            let policy = TimeStepIsolated::new(engine.num_servers);
+            f(CoreAny::StepIsolated(ServerCore::new(cfg.clone(), policy)))
+        }
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+/// A policy-erased [`ServerCore`] (each driver is generic over the
+/// policy; this enum lets one closure accept any of them).
+enum CoreAny {
+    Greedy(ServerCore<Greedy>),
+    DelayedCuckoo(ServerCore<DelayedCuckoo>),
+    OneChoice(ServerCore<OneChoice>),
+    UniformRandom(ServerCore<UniformRandom>),
+    RoundRobin(ServerCore<RoundRobin>),
+    StepIsolated(ServerCore<TimeStepIsolated>),
+}
+
+/// Runs the sim-clock co-simulation and renders its deterministic text.
+fn run_sim_clock(opts: &ServeLoadOptions, pool: &Pool) -> Result<String, String> {
+    let clients: Vec<Client> = opts.client_configs().into_iter().map(Client::new).collect();
+    let spec = SimSpec {
+        ticks: opts.ticks,
+        transcript: opts.transcript,
+    };
+    let out = with_core(opts, |core| match core {
+        CoreAny::Greedy(c) => run_sim(c, clients, &spec, pool),
+        CoreAny::DelayedCuckoo(c) => run_sim(c, clients, &spec, pool),
+        CoreAny::OneChoice(c) => run_sim(c, clients, &spec, pool),
+        CoreAny::UniformRandom(c) => run_sim(c, clients, &spec, pool),
+        CoreAny::RoundRobin(c) => run_sim(c, clients, &spec, pool),
+        CoreAny::StepIsolated(c) => run_sim(c, clients, &spec, pool),
+    })?;
+    Ok(out.text)
+}
+
+/// Runs the `serve` subcommand. Live mode binds `--listen` and serves
+/// until `--max-requests` responses have been sent (without it, until
+/// the process is killed); `--sim-clock` runs the co-simulation and
+/// prints its deterministic transcript/report instead.
+///
+/// # Errors
+/// Returns a message on malformed arguments, an unbindable listen
+/// address, or a policy/config mismatch.
+pub fn run_serve(args: &[String]) -> Result<String, String> {
+    let opts = parse_serve_load_args(args)?;
+    let pool = Pool::new(opts.jobs);
+    if opts.sim_clock {
+        return run_sim_clock(&opts, &pool);
+    }
+    let listener = std::net::TcpListener::bind(&opts.listen)
+        .map_err(|e| format!("cannot bind {}: {e}", opts.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    eprintln!("rlb-serve: listening on {addr} (policy {})", opts.policy);
+    let serve_opts = ServeOptions {
+        max_requests: opts.max_requests,
+        ..Default::default()
+    };
+    let outcome = with_core(&opts, |core| match core {
+        CoreAny::Greedy(c) => serve_blocking(listener, c, &serve_opts, &pool),
+        CoreAny::DelayedCuckoo(c) => serve_blocking(listener, c, &serve_opts, &pool),
+        CoreAny::OneChoice(c) => serve_blocking(listener, c, &serve_opts, &pool),
+        CoreAny::UniformRandom(c) => serve_blocking(listener, c, &serve_opts, &pool),
+        CoreAny::RoundRobin(c) => serve_blocking(listener, c, &serve_opts, &pool),
+        CoreAny::StepIsolated(c) => serve_blocking(listener, c, &serve_opts, &pool),
+    })?
+    .map_err(|e| format!("serve: {e}"))?;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} responses over {} sessions",
+        outcome.responses, outcome.sessions
+    );
+    out.push_str(&outcome.summary);
+    Ok(out)
+}
+
+/// Runs the `load` subcommand. Live mode connects every client to
+/// `--connect` and reports wall-clock latency (unit: tens of
+/// microseconds); `--sim-clock` runs the co-simulation instead.
+///
+/// # Errors
+/// Returns a message on malformed arguments or if any client failed to
+/// run cleanly (partial results are still reported first).
+pub fn run_load(args: &[String]) -> Result<String, String> {
+    let opts = parse_serve_load_args(args)?;
+    let pool = Pool::new(opts.jobs.max(opts.clients));
+    if opts.sim_clock {
+        return run_sim_clock(&opts, &pool);
+    }
+    let spec = LiveSpec {
+        addr: opts.connect.clone(),
+        tick_micros: opts.tick_micros,
+        max_seconds: opts.max_seconds,
+    };
+    let results = run_live(opts.client_configs(), &spec, &pool);
+    let report = rlb_load::aggregate(&results);
+    let mut out = report.render("10us");
+    let mut failed = 0;
+    for (i, r) in results.iter().enumerate() {
+        if let Some(e) = &r.error {
+            use std::fmt::Write as _;
+            let _ = writeln!(out, "client {i}: {e}");
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        print!("{out}");
+        return Err(format!("{failed} of {} clients failed", results.len()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let opts = parse_serve_load_args(&[]).unwrap();
+        assert!(!opts.sim_clock);
+        assert_eq!(opts.policy, "greedy");
+        assert_eq!(opts.engine.num_servers, 64);
+        assert_eq!(opts.engine.num_chunks, 256);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let opts = parse_serve_load_args(&args(
+            "--sim-clock --policy dcr --servers 32 --rate 8 --queue 8 --seed 9 \
+             --gate 100 --jobs 2 --clients 3 --requests 50 --mode open:1.5 \
+             --popularity phased:4,8,10,512 --put-ratio 0.5 --tenants 3 \
+             --ticks 40 --transcript",
+        ))
+        .unwrap();
+        assert!(opts.sim_clock && opts.transcript);
+        assert_eq!(opts.engine.num_chunks, 128, "chunks default to 4m");
+        assert_eq!(opts.gate, Some(100));
+        assert_eq!(opts.mode, Mode::Open { rate: 1.5 });
+        assert_eq!(
+            opts.popularity,
+            Popularity::Phased {
+                sets: 4,
+                set_size: 8,
+                ticks_per_phase: 10,
+                universe: 512
+            }
+        );
+        assert_eq!(opts.seed, 9, "master seed follows the engine seed");
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        for bad in [
+            "--bogus",
+            "--servers 0",
+            "--mode sometimes:3",
+            "--mode open:-1",
+            "--mode closed:0",
+            "--popularity zipf:1.1",
+            "--popularity phased:1,2,3",
+            "--put-ratio 1.5",
+            "--jobs 0",
+        ] {
+            assert!(parse_serve_load_args(&args(bad)).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn client_fleet_spreads_tenants_and_seeds() {
+        let mut opts = parse_serve_load_args(&args("--clients 4 --tenants 2 --seed 5")).unwrap();
+        opts.requests = 10;
+        let cfgs = opts.client_configs();
+        assert_eq!(cfgs.len(), 4);
+        assert_eq!(
+            cfgs.iter().map(|c| c.tenant).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+        let mut seeds: Vec<u64> = cfgs.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "every client gets a distinct seed");
+    }
+
+    #[test]
+    fn sim_clock_serve_runs_all_policies_deterministically() {
+        for policy in [
+            "greedy",
+            "delayed-cuckoo",
+            "one-choice",
+            "uniform-random",
+            "round-robin",
+            "step-isolated",
+        ] {
+            let a = run_serve(&args(&format!(
+                "--sim-clock --policy {policy} --servers 16 --clients 2 \
+                 --requests 20 --ticks 16 --jobs 1"
+            )))
+            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            let b = run_serve(&args(&format!(
+                "--sim-clock --policy {policy} --servers 16 --clients 2 \
+                 --requests 20 --ticks 16 --jobs 3"
+            )))
+            .unwrap_or_else(|e| panic!("{policy}: {e}"));
+            assert_eq!(a, b, "{policy}: sim-clock output depends on --jobs");
+            assert!(a.contains("clients: sent="), "{policy}:\n{a}");
+            assert!(a.contains("server: replies="), "{policy}:\n{a}");
+        }
+    }
+
+    #[test]
+    fn sim_clock_load_matches_sim_clock_serve() {
+        let flags = "--sim-clock --servers 16 --clients 2 --requests 15 --ticks 12";
+        let via_serve = run_serve(&args(flags)).unwrap();
+        let via_load = run_load(&args(flags)).unwrap();
+        assert_eq!(via_serve, via_load, "both subcommands run the same co-sim");
+    }
+
+    #[test]
+    fn dcr_requires_d2() {
+        let err = run_serve(&args("--sim-clock --policy dcr --replication 3")).unwrap_err();
+        assert!(err.contains("replication 2"), "{err}");
+    }
+}

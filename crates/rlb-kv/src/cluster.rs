@@ -118,6 +118,21 @@ impl Observer for TenantAttribution<'_> {
     }
 }
 
+/// Observer adaptor: tenant attribution plus a caller-supplied tap on
+/// every per-chunk routing decision (see
+/// [`KvCluster::commit_step_observed`]).
+struct DecisionTap<'a, F: FnMut(u32, Decision)> {
+    attribution: TenantAttribution<'a>,
+    on_decision: &'a mut F,
+}
+
+impl<F: FnMut(u32, Decision)> Observer for DecisionTap<'_, F> {
+    fn on_route(&mut self, step: u64, chunk: u32, decision: Decision) {
+        self.attribution.on_route(step, chunk, decision);
+        (self.on_decision)(chunk, decision);
+    }
+}
+
 /// One-shot workload feeding a prepared request set into the engine.
 struct OneShot<'a> {
     chunks: &'a [u32],
@@ -278,6 +293,19 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
 
     /// Executes one time step with the accumulated requests.
     pub fn commit_step(&mut self) -> StepSummary {
+        self.commit_step_observed(|_, _| {})
+    }
+
+    /// Like [`KvCluster::commit_step`], but also invokes `on_decision`
+    /// with each pending chunk's routing decision as the engine makes
+    /// it, in engine routing order. This is how a serving layer learns
+    /// *which replica* each accepted request landed on (and why each
+    /// reject happened) without re-deriving policy state: the tap fires
+    /// inside the same observer pass that drives tenant attribution.
+    pub fn commit_step_observed<F>(&mut self, mut on_decision: F) -> StepSummary
+    where
+        F: FnMut(u32, Decision),
+    {
         let step = self.sim.step_count();
         let rejected_before = self.sim.stats().rejected_total();
         let chunk_requests = self.pending.len() as u64;
@@ -285,11 +313,15 @@ impl<P: Policy, S: TraceSink> KvCluster<P, S> {
             let mut oneshot = OneShot {
                 chunks: &self.pending,
             };
-            let mut attribution = TenantAttribution {
+            let attribution = TenantAttribution {
                 owner_of_chunk: &self.pending_index,
                 stats: &mut self.tenant_stats,
             };
-            self.sim.run_observed(&mut oneshot, 1, &mut attribution);
+            let mut tap = DecisionTap {
+                attribution,
+                on_decision: &mut on_decision,
+            };
+            self.sim.run_observed(&mut oneshot, 1, &mut tap);
         }
         let rejected = self.sim.stats().rejected_total() - rejected_before;
         let summary = StepSummary {
@@ -429,6 +461,26 @@ mod tests {
         let t0 = kv.tenant_stats(0);
         assert_eq!(t0.key_requests, 1);
         assert_eq!(t0.accepted + t0.rejected, 1);
+    }
+
+    #[test]
+    fn observed_commit_taps_every_decision() {
+        let mut kv = cluster();
+        for key in 0..50u64 {
+            kv.get(key);
+        }
+        let mut decisions = Vec::new();
+        let summary = kv.commit_step_observed(|chunk, d| decisions.push((chunk, d)));
+        assert_eq!(decisions.len() as u64, summary.chunk_requests);
+        let rejects = decisions
+            .iter()
+            .filter(|(_, d)| matches!(d, Decision::Reject(_)))
+            .count() as u64;
+        assert_eq!(rejects, summary.rejected);
+        // The tap and the plain commit share one observer pass, so
+        // tenant attribution still balances.
+        let t0 = kv.tenant_stats(0);
+        assert_eq!(t0.accepted + t0.rejected + t0.coalesced, t0.key_requests);
     }
 
     #[test]

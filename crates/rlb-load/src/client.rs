@@ -1,0 +1,325 @@
+//! Virtual-time client state machines.
+//!
+//! A [`Client`] is a pure state machine over ticks and frames — it
+//! owns no transport. The sim driver wires it to a framed pipe; tests
+//! drive it directly. Two modes:
+//!
+//! * **Open loop**: requests arrive by a Poisson process regardless of
+//!   outstanding work — the mode that exposes overload behavior
+//!   (admission rejects, latency growth);
+//! * **Closed loop**: a fixed concurrency window; a new request is
+//!   issued the moment a response retires an old one. The outstanding
+//!   high-water mark equals the window (pinned by `tests/stats.rs`).
+
+use std::collections::BTreeMap;
+
+use rlb_metrics::Histogram;
+use rlb_serve::proto::{Frame, REJECT_CAUSES};
+
+use crate::arrivals::PoissonArrivals;
+use crate::keys::{KeyPicker, Popularity};
+
+/// Request-issuing discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mode {
+    /// Poisson arrivals at `rate` requests per tick.
+    Open {
+        /// Mean requests per tick.
+        rate: f64,
+    },
+    /// Keep exactly `concurrency` requests outstanding.
+    Closed {
+        /// Window size.
+        concurrency: u32,
+    },
+}
+
+/// Per-client construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Tenant id stamped on every request.
+    pub tenant: u16,
+    /// Issuing discipline.
+    pub mode: Mode,
+    /// Key popularity shape.
+    pub popularity: Popularity,
+    /// Fraction of requests that are puts (rest are gets).
+    pub put_ratio: f64,
+    /// Stop issuing after this many requests.
+    pub total_requests: u64,
+    /// Client seed (arrivals, keys, and op choice derive from it).
+    pub seed: u64,
+}
+
+/// One simulated client.
+pub struct Client {
+    cfg: ClientConfig,
+    arrivals: Option<PoissonArrivals>,
+    picker: KeyPicker,
+    op_rng: rlb_hash::Pcg64,
+    next_req_id: u32,
+    /// req_id → issue tick.
+    outstanding: BTreeMap<u32, u64>,
+    /// Outstanding high-water mark.
+    hwm: usize,
+    sent: u64,
+    /// Successful responses, latency in ticks.
+    pub latency: Histogram,
+    /// Replies received.
+    pub replies: u64,
+    /// Rejects received, by cause wire tag.
+    pub rejects_by_cause: [u64; REJECT_CAUSES.len()],
+}
+
+impl Client {
+    /// Builds the client; all randomness derives from `cfg.seed`.
+    pub fn new(cfg: ClientConfig) -> Self {
+        let arrivals = match cfg.mode {
+            Mode::Open { rate } => Some(PoissonArrivals::new(rate, cfg.seed ^ 0x6f70)),
+            Mode::Closed { .. } => None,
+        };
+        let picker = KeyPicker::new(&cfg.popularity, cfg.seed);
+        let op_rng = rlb_hash::Pcg64::new(cfg.seed, 0x6f70_7321); // "op s"
+        Self {
+            cfg,
+            arrivals,
+            picker,
+            op_rng,
+            next_req_id: 1,
+            outstanding: BTreeMap::new(),
+            hwm: 0,
+            sent: 0,
+            latency: Histogram::new(),
+            replies: 0,
+            rejects_by_cause: [0; REJECT_CAUSES.len()],
+        }
+    }
+
+    /// The tenant this client runs as.
+    pub fn tenant(&self) -> u16 {
+        self.cfg.tenant
+    }
+
+    /// The issuing discipline (the live driver paces open-loop clients
+    /// by ticks but lets closed-loop clients refill continuously).
+    pub fn mode(&self) -> Mode {
+        self.cfg.mode.clone()
+    }
+
+    /// Requests issued so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Outstanding high-water mark over the run.
+    pub fn high_water(&self) -> usize {
+        self.hwm
+    }
+
+    /// Total responses received (replies + rejects).
+    pub fn responses(&self) -> u64 {
+        self.replies + self.rejects()
+    }
+
+    /// Total rejects received.
+    pub fn rejects(&self) -> u64 {
+        self.rejects_by_cause.iter().sum()
+    }
+
+    /// All requests issued and every one answered.
+    pub fn done(&self) -> bool {
+        self.sent >= self.cfg.total_requests && self.outstanding.is_empty()
+    }
+
+    /// Issues this tick's requests into `out`.
+    pub fn on_tick(&mut self, now: u64, out: &mut Vec<Frame>) {
+        let want = match self.cfg.mode {
+            Mode::Open { .. } => {
+                let n = self
+                    .arrivals
+                    .as_mut()
+                    .map(|a| a.arrivals_in_tick())
+                    .unwrap_or(0);
+                u64::from(n)
+            }
+            Mode::Closed { concurrency } => {
+                (concurrency as u64).saturating_sub(self.outstanding.len() as u64)
+            }
+        };
+        let remaining = self.cfg.total_requests.saturating_sub(self.sent);
+        for _ in 0..want.min(remaining) {
+            out.push(self.issue(now));
+        }
+    }
+
+    fn issue(&mut self, now: u64) -> Frame {
+        use rlb_hash::Rng as _;
+        let req_id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1);
+        let key_id = self.picker.pick(now);
+        let key = key_id.to_le_bytes().to_vec();
+        self.outstanding.insert(req_id, now);
+        self.hwm = self.hwm.max(self.outstanding.len());
+        self.sent += 1;
+        if self.op_rng.gen_f64() < self.cfg.put_ratio {
+            // Value content derives from the key so runs are seed-pure.
+            let value = rlb_hash::mix::fmix64(key_id).to_le_bytes().to_vec();
+            Frame::Put {
+                req_id,
+                tenant: self.cfg.tenant,
+                key,
+                value,
+            }
+        } else {
+            Frame::Get {
+                req_id,
+                tenant: self.cfg.tenant,
+                key,
+            }
+        }
+    }
+
+    /// Consumes one server frame; returns whether it retired an
+    /// outstanding request.
+    pub fn on_frame(&mut self, now: u64, frame: &Frame) -> bool {
+        match frame {
+            Frame::Reply { req_id, .. } => {
+                if let Some(sent_at) = self.outstanding.remove(req_id) {
+                    self.replies += 1;
+                    self.latency.record(now.saturating_sub(sent_at));
+                    return true;
+                }
+                false
+            }
+            Frame::Reject { req_id, cause } => {
+                // Session-level rejects (req_id 0) retire nothing.
+                if let Some(_sent_at) = self.outstanding.remove(req_id) {
+                    self.rejects_by_cause[*cause as usize] += 1;
+                    return true;
+                }
+                false
+            }
+            Frame::Ping { .. } | Frame::Get { .. } | Frame::Put { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_serve::proto::RejectCause;
+
+    fn closed(concurrency: u32, total: u64) -> Client {
+        Client::new(ClientConfig {
+            tenant: 1,
+            mode: Mode::Closed { concurrency },
+            popularity: Popularity::Uniform { universe: 100 },
+            put_ratio: 0.25,
+            total_requests: total,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn closed_loop_holds_its_window() {
+        let mut c = closed(4, 100);
+        let mut out = Vec::new();
+        c.on_tick(0, &mut out);
+        assert_eq!(out.len(), 4, "fills the window");
+        let mut out2 = Vec::new();
+        c.on_tick(1, &mut out2);
+        assert!(out2.is_empty(), "window full, nothing issued");
+        // Retire one; the next tick issues exactly one.
+        let req_id = match &out[0] {
+            Frame::Get { req_id, .. } | Frame::Put { req_id, .. } => *req_id,
+            other => panic!("unexpected frame {other:?}"),
+        };
+        assert!(c.on_frame(
+            3,
+            &Frame::Reply {
+                req_id,
+                latency: 3,
+                value: Vec::new(),
+            }
+        ));
+        let mut out3 = Vec::new();
+        c.on_tick(3, &mut out3);
+        assert_eq!(out3.len(), 1);
+        assert_eq!(c.high_water(), 4);
+        assert_eq!(c.latency.max(), Some(3));
+    }
+
+    #[test]
+    fn rejects_are_counted_by_cause() {
+        let mut c = closed(2, 10);
+        let mut out = Vec::new();
+        c.on_tick(0, &mut out);
+        let ids: Vec<u32> = out
+            .iter()
+            .map(|f| match f {
+                Frame::Get { req_id, .. } | Frame::Put { req_id, .. } => *req_id,
+                other => panic!("unexpected frame {other:?}"),
+            })
+            .collect();
+        c.on_frame(
+            1,
+            &Frame::Reject {
+                req_id: ids[0],
+                cause: RejectCause::Admission,
+            },
+        );
+        c.on_frame(
+            1,
+            &Frame::Reject {
+                req_id: ids[1],
+                cause: RejectCause::Overflow,
+            },
+        );
+        assert_eq!(c.rejects(), 2);
+        assert_eq!(c.rejects_by_cause[RejectCause::Admission as usize], 1);
+        assert_eq!(c.rejects_by_cause[RejectCause::Overflow as usize], 1);
+        // Unknown req_id retires nothing.
+        assert!(!c.on_frame(
+            1,
+            &Frame::Reject {
+                req_id: 999,
+                cause: RejectCause::Admission,
+            }
+        ));
+    }
+
+    #[test]
+    fn open_loop_respects_total_and_finishes() {
+        let mut c = Client::new(ClientConfig {
+            tenant: 0,
+            mode: Mode::Open { rate: 2.0 },
+            popularity: Popularity::Uniform { universe: 10 },
+            put_ratio: 0.0,
+            total_requests: 20,
+            seed: 9,
+        });
+        let mut all = Vec::new();
+        for t in 0..100 {
+            let mut out = Vec::new();
+            c.on_tick(t, &mut out);
+            all.extend(out);
+        }
+        assert_eq!(all.len(), 20, "total_requests caps the run");
+        assert_eq!(c.sent(), 20);
+        for f in &all {
+            let Frame::Get { req_id, .. } = f else {
+                panic!("put_ratio 0 issued a non-get")
+            };
+            assert!(c.on_frame(
+                50,
+                &Frame::Reply {
+                    req_id: *req_id,
+                    latency: 1,
+                    value: Vec::new(),
+                }
+            ));
+        }
+        assert!(c.done());
+        assert_eq!(c.responses(), 20);
+    }
+}

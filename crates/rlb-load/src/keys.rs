@@ -1,0 +1,188 @@
+//! Key popularity: which key does the next request touch?
+//!
+//! Three shapes, all seeded and fully deterministic:
+//!
+//! * **Uniform** over a key universe — the paper's baseline;
+//! * **Zipf(α)** by rank (key 0 most popular), via the alias-method
+//!   [`ZipfSampler`] — rank-frequency ratios are pinned by
+//!   `tests/stats.rs`;
+//! * **Phased** working sets via [`PhasedWorkingSets`] — the
+//!   reappearance-dependency stress shape: a rotating set of hot keys
+//!   whose chunks keep reappearing in consecutive steps.
+
+use rlb_core::Workload as _;
+use rlb_hash::sample::ZipfSampler;
+use rlb_hash::{Pcg64, Rng};
+use rlb_workloads::PhasedWorkingSets;
+
+/// Popularity shape parameters (CLI-facing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Popularity {
+    /// Every key in `[0, universe)` equally likely.
+    Uniform {
+        /// Key universe size.
+        universe: u64,
+    },
+    /// `P(rank) ∝ 1/(rank+1)^alpha` over `[0, universe)`.
+    Zipf {
+        /// Skew exponent.
+        alpha: f64,
+        /// Key universe size.
+        universe: usize,
+    },
+    /// `sets` rotating disjoint working sets of `set_size` keys from
+    /// `[0, universe)`, switching every `ticks_per_phase` ticks.
+    Phased {
+        /// Number of working sets.
+        sets: usize,
+        /// Keys per working set.
+        set_size: usize,
+        /// Ticks before rotating to the next set.
+        ticks_per_phase: u64,
+        /// Key universe size.
+        universe: u64,
+    },
+}
+
+enum PickerKind {
+    Uniform {
+        universe: u64,
+    },
+    Zipf(ZipfSampler),
+    Phased {
+        gen: PhasedWorkingSets,
+        current: Vec<u32>,
+        tick: Option<u64>,
+    },
+}
+
+/// A seeded key source for one client.
+pub struct KeyPicker {
+    kind: PickerKind,
+    rng: Pcg64,
+}
+
+impl KeyPicker {
+    /// Builds a picker for `shape`, seeded independently of every other
+    /// random stream.
+    pub fn new(shape: &Popularity, seed: u64) -> Self {
+        let kind = match shape {
+            Popularity::Uniform { universe } => PickerKind::Uniform {
+                universe: (*universe).max(1),
+            },
+            Popularity::Zipf { alpha, universe } => {
+                PickerKind::Zipf(ZipfSampler::new((*universe).max(1), *alpha))
+            }
+            Popularity::Phased {
+                sets,
+                set_size,
+                ticks_per_phase,
+                universe,
+            } => PickerKind::Phased {
+                gen: PhasedWorkingSets::random(
+                    (*universe).max((sets * set_size) as u64),
+                    (*sets).max(1),
+                    (*set_size).max(1),
+                    (*ticks_per_phase).max(1),
+                    seed ^ 0x5068_6173, // "Phas"
+                ),
+                current: Vec::new(),
+                tick: None,
+            },
+        };
+        Self {
+            kind,
+            rng: Pcg64::new(seed, 0x4b65_7973), // "Keys"
+        }
+    }
+
+    /// Draws the key for one request issued at `tick`.
+    pub fn pick(&mut self, tick: u64) -> u64 {
+        match &mut self.kind {
+            PickerKind::Uniform { universe } => self.rng.gen_range(*universe),
+            PickerKind::Zipf(sampler) => sampler.sample(&mut self.rng),
+            PickerKind::Phased {
+                gen,
+                current,
+                tick: at,
+            } => {
+                if *at != Some(tick) {
+                    current.clear();
+                    gen.next_step(tick, current);
+                    *at = Some(tick);
+                }
+                u64::from(current[self.rng.gen_index(current.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_universe() {
+        let mut p = KeyPicker::new(&Popularity::Uniform { universe: 8 }, 3);
+        let mut seen = [false; 8];
+        for t in 0..500 {
+            seen[p.pick(t) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut p = KeyPicker::new(
+            &Popularity::Zipf {
+                alpha: 1.0,
+                universe: 100,
+            },
+            5,
+        );
+        let mut counts = [0u32; 100];
+        for t in 0..20_000 {
+            counts[p.pick(t) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn phased_keys_stay_inside_one_set_per_phase() {
+        let shape = Popularity::Phased {
+            sets: 4,
+            set_size: 8,
+            ticks_per_phase: 10,
+            universe: 1000,
+        };
+        let mut p = KeyPicker::new(&shape, 11);
+        // Within one phase, at most set_size distinct keys.
+        let mut distinct: Vec<u64> = (0..200).map(|i| p.pick(3 + (i % 2))).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() <= 8, "phase leaked: {distinct:?}");
+    }
+
+    #[test]
+    fn same_seed_same_keys() {
+        for shape in [
+            Popularity::Uniform { universe: 50 },
+            Popularity::Zipf {
+                alpha: 0.8,
+                universe: 50,
+            },
+            Popularity::Phased {
+                sets: 2,
+                set_size: 5,
+                ticks_per_phase: 3,
+                universe: 64,
+            },
+        ] {
+            let mut a = KeyPicker::new(&shape, 21);
+            let mut b = KeyPicker::new(&shape, 21);
+            for t in 0..200 {
+                assert_eq!(a.pick(t), b.pick(t), "shape {shape:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # rlb-load — the load generator
+//!
+//! Drives rlb-serve with open-loop Poisson ([`arrivals`]) and
+//! closed-loop clients ([`client`]) under Zipf / phased-working-set
+//! key popularity ([`keys`]), and reports p50/p99/max latency plus
+//! rejection rates ([`report`]).
+//!
+//! Two drivers share the same client state machines:
+//!
+//! * [`sim_driver`] — a deterministic virtual-time co-simulation over
+//!   framed pipes: same server code, no sockets, byte-identical
+//!   transcripts across runs and `--jobs` settings (the committed
+//!   golden in `tests/sim_golden.rs` pins this);
+//! * [`live_driver`] — real TCP, one pool job per client, wall-clock
+//!   latency.
+
+#![forbid(unsafe_code)]
+
+pub mod arrivals;
+pub mod client;
+pub mod keys;
+pub mod live_driver;
+pub mod report;
+pub mod sim_driver;
+
+pub use arrivals::PoissonArrivals;
+pub use client::{Client, ClientConfig, Mode};
+pub use keys::{KeyPicker, Popularity};
+pub use live_driver::{aggregate, run_live, LiveClientResult, LiveSpec};
+pub use report::LoadReport;
+pub use sim_driver::{run_sim, SimOutput, SimSpec};

@@ -1,0 +1,172 @@
+//! Virtual-time serve+load co-simulation over framed pipes.
+//!
+//! One driver thread owns the server core, every client, and a framed
+//! pipe per session. Each virtual tick runs a fixed phase order:
+//!
+//! 1. **deliver** — move last tick's response bytes to each client,
+//!    decode, record latencies (client order);
+//! 2. **issue** — each client issues this tick's requests; frame
+//!    batches are *encoded on pool workers*, bytes move into the pipes
+//!    serially (client order);
+//! 3. **serve** — per-session byte batches are *decoded on pool
+//!    workers*; decoded frames feed [`ServerCore::on_frame`] serially
+//!    in session order; [`ServerCore::tick`] commits the engine step;
+//!    response batches are encoded on pool workers and written back.
+//!
+//! Every pool interaction is a pure `map` whose results come back in
+//! submission order, and every piece of shared state mutates only in
+//! the serial phases — so the transcript and report are byte-identical
+//! for any `--jobs` setting, which `tests/sim_golden.rs` pins against
+//! a committed golden.
+
+use rlb_core::Policy;
+use rlb_pool::Pool;
+use rlb_serve::pipe::{pipe, PipeEnd};
+use rlb_serve::proto::{fmt_frame, Frame, FrameReader};
+use rlb_serve::ServerCore;
+
+use crate::client::Client;
+use crate::report::LoadReport;
+
+/// Sim run parameters.
+#[derive(Debug, Clone)]
+pub struct SimSpec {
+    /// Ticks during which clients issue requests; after this window the
+    /// driver only drains.
+    pub ticks: u64,
+    /// Record a per-frame transcript (`t=.. c<i> >/< frame`) in the
+    /// output text.
+    pub transcript: bool,
+}
+
+/// Result of one co-simulation.
+pub struct SimOutput {
+    /// Stable text: optional transcript lines, then the client report,
+    /// then the server summary. This exact string is the golden.
+    pub text: String,
+    /// Structured client-side aggregate.
+    pub report: LoadReport,
+    /// Ticks actually executed (issue window + drain).
+    pub ticks_run: u64,
+}
+
+/// Extra drain ticks after the issue window before the driver gives up
+/// on undrained work (it never triggers for healthy configurations;
+/// the bound keeps a bugged run from spinning forever).
+const DRAIN_CAP: u64 = 1000;
+
+/// Runs the co-simulation to completion.
+pub fn run_sim<P: Policy>(
+    mut core: ServerCore<P>,
+    mut clients: Vec<Client>,
+    spec: &SimSpec,
+    pool: &Pool,
+) -> SimOutput {
+    let n = clients.len();
+    let mut client_ends: Vec<PipeEnd> = Vec::with_capacity(n);
+    let mut server_ends: Vec<PipeEnd> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (c, s) = pipe();
+        client_ends.push(c);
+        server_ends.push(s);
+    }
+
+    let mut text = String::new();
+    let mut t: u64 = 0;
+    loop {
+        // Phase 1: deliver last tick's responses to the clients.
+        let incoming: Vec<Vec<u8>> = client_ends.iter().map(PipeEnd::take_bytes).collect();
+        let delivered: Vec<Vec<Frame>> = pool.map(incoming, |bytes: &Vec<u8>| decode_batch(bytes));
+        for (i, frames) in delivered.into_iter().enumerate() {
+            for frame in &frames {
+                if spec.transcript {
+                    text.push_str(&format!("t={t} c{i} < {}\n", fmt_frame(frame)));
+                }
+                clients[i].on_frame(t, frame);
+            }
+        }
+
+        // Termination: issue window over, everything answered, nothing
+        // buffered anywhere.
+        let issuing = t < spec.ticks;
+        let all_done = clients.iter().all(Client::done);
+        if !issuing && all_done && core.drained() {
+            break;
+        }
+        if t >= spec.ticks + DRAIN_CAP {
+            text.push_str("drain cap hit: undrained work remains\n");
+            break;
+        }
+
+        // Phase 2: clients issue; encode on the pool; bytes move in
+        // client order.
+        let mut batches: Vec<Vec<Frame>> = vec![Vec::new(); n];
+        if issuing {
+            for (i, c) in clients.iter_mut().enumerate() {
+                c.on_tick(t, &mut batches[i]);
+            }
+        }
+        if spec.transcript {
+            for (i, frames) in batches.iter().enumerate() {
+                for frame in frames {
+                    text.push_str(&format!("t={t} c{i} > {}\n", fmt_frame(frame)));
+                }
+            }
+        }
+        let encoded: Vec<Vec<u8>> = pool.map(batches, encode_batch);
+        for (i, bytes) in encoded.iter().enumerate() {
+            client_ends[i].send_bytes(bytes);
+        }
+
+        // Phase 3: server pass — decode on the pool, core serially.
+        let incoming: Vec<Vec<u8>> = server_ends.iter().map(PipeEnd::take_bytes).collect();
+        let decoded: Vec<Vec<Frame>> = pool.map(incoming, |bytes: &Vec<u8>| decode_batch(bytes));
+        let mut responses: Vec<Vec<Frame>> = vec![Vec::new(); n];
+        for (i, frames) in decoded.into_iter().enumerate() {
+            for frame in frames {
+                if let Some(resp) = core.on_frame(i as u32, frame) {
+                    responses[i].push(resp);
+                }
+            }
+        }
+        for (sid, frame) in core.tick() {
+            responses[sid as usize].push(frame);
+        }
+        let encoded: Vec<Vec<u8>> = pool.map(responses, encode_batch);
+        for (i, bytes) in encoded.iter().enumerate() {
+            server_ends[i].send_bytes(bytes);
+        }
+
+        t += 1;
+    }
+
+    let report = LoadReport::from_clients(&clients);
+    text.push_str(&report.render("ticks"));
+    text.push_str(&core.render_summary());
+    SimOutput {
+        text,
+        report,
+        ticks_run: t,
+    }
+}
+
+/// Encodes a frame batch (pure; runs on pool workers).
+fn encode_batch(frames: &Vec<Frame>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        f.encode(&mut out);
+    }
+    out
+}
+
+/// Decodes a byte batch that is known to hold whole frames (both ends
+/// of a sim pipe only ever write complete frames). Pure; runs on pool
+/// workers.
+fn decode_batch(bytes: &[u8]) -> Vec<Frame> {
+    let mut reader = FrameReader::new();
+    reader.push(bytes);
+    let (frames, err) = reader.drain();
+    debug_assert!(err.is_none(), "sim pipes carry whole valid frames: {err:?}");
+    debug_assert_eq!(reader.pending(), 0, "partial frame in a sim batch");
+    frames
+}

@@ -1,0 +1,130 @@
+//! Live TCP smoke: a real server on a real socket, driven by the real
+//! load generator, with **exact** accounting equality between the two
+//! sides — every request the clients count must appear in the server's
+//! per-tenant summary, and vice versa.
+//!
+//! The default run completes 100k requests (the CI smoke contract);
+//! set `RLB_SMOKE_REQUESTS` to scale it down for constrained machines.
+
+use rlb_core::policies::Greedy;
+use rlb_load::{aggregate, run_live, ClientConfig, LiveSpec, Mode, Popularity};
+use rlb_pool::Pool;
+use rlb_serve::{serve_blocking, ServeConfig, ServeOptions, ServerCore};
+
+/// Parses `tenant {id}: replies={r} rejects={j} ...` lines out of the
+/// server's stable summary text.
+fn parse_tenant_lines(summary: &str) -> Vec<(u16, u64, u64)> {
+    let mut out = Vec::new();
+    for line in summary.lines() {
+        let Some(rest) = line.strip_prefix("tenant ") else {
+            continue;
+        };
+        let (id, rest) = rest.split_once(':').expect("tenant line shape");
+        let mut replies = None;
+        let mut rejects = None;
+        for tok in rest.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("replies=") {
+                replies = Some(v.parse().unwrap());
+            } else if let Some(v) = tok.strip_prefix("rejects=") {
+                rejects = Some(v.parse().unwrap());
+            }
+        }
+        out.push((
+            id.parse().expect("tenant id"),
+            replies.expect("replies field"),
+            rejects.expect("rejects field"),
+        ));
+    }
+    out
+}
+
+#[test]
+fn live_tcp_round_trip_accounts_exactly() {
+    let per_client: u64 = std::env::var("RLB_SMOKE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+        / 8;
+    let clients = 8usize;
+    let tenants = 4u16;
+    let total = per_client * clients as u64;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+
+    let server = std::thread::spawn(move || {
+        let core = ServerCore::new(ServeConfig::baseline(16, 0xacce55), Greedy::new());
+        let opts = ServeOptions {
+            max_requests: Some(total),
+            ..Default::default()
+        };
+        let pool = Pool::new(4);
+        serve_blocking(listener, core, &opts, &pool).expect("serve")
+    });
+
+    let configs: Vec<ClientConfig> = (0..clients)
+        .map(|i| ClientConfig {
+            tenant: (i as u16) % tenants,
+            mode: Mode::Closed { concurrency: 16 },
+            popularity: Popularity::Zipf {
+                alpha: 1.0,
+                universe: 512,
+            },
+            put_ratio: 0.25,
+            total_requests: per_client,
+            seed: 0xbeef + i as u64,
+        })
+        .collect();
+    let spec = LiveSpec {
+        addr,
+        tick_micros: 200,
+        max_seconds: 120,
+    };
+    let pool = Pool::new(clients);
+    let results = run_live(configs, &spec, &pool);
+
+    let outcome = server.join().expect("server thread");
+
+    // Client side: clean finishes, every request answered.
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.error, None, "client {i} failed");
+        assert!(r.client.done(), "client {i} left requests outstanding");
+    }
+    let report = aggregate(&results);
+    assert_eq!(report.sent, total, "generator issued the full run");
+    assert_eq!(
+        report.replies + report.rejects(),
+        total,
+        "every request resolved"
+    );
+
+    // The two sides agree exactly: response totals...
+    assert_eq!(
+        outcome.responses, total,
+        "server-side response count != generator-side"
+    );
+    assert_eq!(outcome.sessions, clients as u64, "one session per client");
+
+    // ...and per-tenant accounting, down to each reject.
+    let mut expected: Vec<(u16, u64, u64)> = Vec::new();
+    for t in 0..tenants {
+        let (mut replies, mut rejects) = (0u64, 0u64);
+        for r in &results {
+            if r.client.tenant() == t {
+                replies += r.client.replies;
+                rejects += r.client.rejects();
+            }
+        }
+        expected.push((t, replies, rejects));
+    }
+    let server_side = parse_tenant_lines(&outcome.summary);
+    assert_eq!(
+        server_side, expected,
+        "per-tenant accounting diverged\nserver summary:\n{}",
+        outcome.summary
+    );
+
+    // Latency histogram actually measured something real.
+    assert!(report.latency.count() > 0);
+    assert!(report.latency.max().unwrap() >= 1, "nonzero wall latency");
+}

@@ -1,0 +1,152 @@
+//! Statistical pinning of the load generator's random processes.
+//!
+//! Every test runs under a fixed PCG seed, so these are deterministic
+//! regression tests with *statistically derived* tolerances, the same
+//! discipline as `rlb-hash`'s own statistical suite: the empirical
+//! moments of a 200k-sample run sit well inside the asserted bands
+//! unless the underlying sampler changes.
+
+use rlb_load::{Client, ClientConfig, KeyPicker, Mode, PoissonArrivals, Popularity};
+use rlb_serve::proto::Frame;
+
+/// Exponential interarrivals: mean 1/λ, variance 1/λ² (the defining
+/// moments of a Poisson process).
+#[test]
+fn poisson_interarrival_mean_and_variance() {
+    for (rate, seed) in [(0.5_f64, 1_u64), (2.0, 2), (8.0, 3)] {
+        let mut arr = PoissonArrivals::new(rate, seed);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| arr.sample_interarrival()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let expect_mean = 1.0 / rate;
+        let expect_var = 1.0 / (rate * rate);
+        assert!(
+            (mean - expect_mean).abs() / expect_mean < 0.02,
+            "rate {rate}: mean {mean} vs {expect_mean}"
+        );
+        assert!(
+            (var - expect_var).abs() / expect_var < 0.05,
+            "rate {rate}: variance {var} vs {expect_var}"
+        );
+    }
+}
+
+/// Per-tick arrival counts: a Poisson(λ) variable has mean λ and
+/// variance λ (index of dispersion 1 — the open-loop property that
+/// distinguishes it from a paced generator).
+#[test]
+fn poisson_counts_mean_equals_variance() {
+    let rate = 3.0;
+    let mut arr = PoissonArrivals::new(rate, 7);
+    let n = 200_000;
+    let counts: Vec<f64> = (0..n).map(|_| f64::from(arr.arrivals_in_tick())).collect();
+    let mean = counts.iter().sum::<f64>() / n as f64;
+    let var = counts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    assert!((mean - rate).abs() / rate < 0.02, "mean {mean} vs {rate}");
+    assert!(
+        (var / mean - 1.0).abs() < 0.03,
+        "dispersion {} should be ~1",
+        var / mean
+    );
+}
+
+/// Zipf rank-frequency: `f(r) ∝ 1/(r+1)^α`, so `f(0)/f(1) = 2^α` and
+/// `f(0)/f(9) = 10^α`.
+#[test]
+fn zipf_rank_frequency_ratios() {
+    for (alpha, seed) in [(0.8_f64, 11_u64), (1.2, 12)] {
+        let universe = 1000;
+        let mut picker = KeyPicker::new(&Popularity::Zipf { alpha, universe }, seed);
+        let mut counts = vec![0u64; universe];
+        let n = 400_000;
+        for t in 0..n {
+            counts[picker.pick(t) as usize] += 1;
+        }
+        let f = |r: usize| counts[r] as f64;
+        let r01 = f(0) / f(1);
+        let r09 = f(0) / f(9);
+        let expect01 = 2f64.powf(alpha);
+        let expect09 = 10f64.powf(alpha);
+        assert!(
+            (r01 - expect01).abs() / expect01 < 0.10,
+            "alpha {alpha}: f0/f1 {r01} vs {expect01}"
+        );
+        assert!(
+            (r09 - expect09).abs() / expect09 < 0.10,
+            "alpha {alpha}: f0/f9 {r09} vs {expect09}"
+        );
+        // Rank 0 is the mode.
+        assert!(counts[0] >= *counts.iter().max().unwrap());
+    }
+}
+
+/// A closed-loop client's outstanding high-water mark equals its
+/// configured window exactly: it fills the window at start and never
+/// exceeds it.
+#[test]
+fn closed_loop_high_water_equals_the_window() {
+    for concurrency in [1u32, 4, 32] {
+        let mut c = Client::new(ClientConfig {
+            tenant: 0,
+            mode: Mode::Closed { concurrency },
+            popularity: Popularity::Uniform { universe: 100 },
+            put_ratio: 0.2,
+            total_requests: 500,
+            seed: 42,
+        });
+        // Drive to completion: each tick, answer everything outstanding.
+        let mut t = 0u64;
+        while !c.done() {
+            let mut out = Vec::new();
+            c.on_tick(t, &mut out);
+            assert!(
+                out.len() <= concurrency as usize,
+                "window {concurrency}: issued {} at once",
+                out.len()
+            );
+            for f in &out {
+                let (Frame::Get { req_id, .. } | Frame::Put { req_id, .. }) = f else {
+                    panic!("unexpected frame {f:?}")
+                };
+                c.on_frame(
+                    t + 1,
+                    &Frame::Reply {
+                        req_id: *req_id,
+                        latency: 1,
+                        value: Vec::new(),
+                    },
+                );
+            }
+            t += 1;
+        }
+        assert_eq!(c.high_water(), concurrency as usize, "window {concurrency}");
+        assert_eq!(c.sent(), 500);
+        assert_eq!(c.responses(), 500);
+    }
+}
+
+/// Open-loop issuing is independent of responses: the total issued over
+/// the run tracks rate × ticks even when nothing answers.
+#[test]
+fn open_loop_issues_at_its_rate_unanswered() {
+    let rate = 2.5;
+    let ticks = 100_000u64;
+    let mut c = Client::new(ClientConfig {
+        tenant: 0,
+        mode: Mode::Open { rate },
+        popularity: Popularity::Uniform { universe: 100 },
+        put_ratio: 0.0,
+        total_requests: u64::MAX,
+        seed: 9,
+    });
+    let mut out = Vec::new();
+    for t in 0..ticks {
+        c.on_tick(t, &mut out);
+    }
+    let mean = c.sent() as f64 / ticks as f64;
+    assert!(
+        (mean - rate).abs() / rate < 0.02,
+        "issued {mean}/tick vs rate {rate}"
+    );
+}

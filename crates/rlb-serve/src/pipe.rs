@@ -1,0 +1,163 @@
+//! In-memory framed-pipe transport for `--sim-clock` mode.
+//!
+//! A [`pipe`] is a duplex pair of endpoints exchanging raw protocol
+//! bytes through shared buffers — the same byte stream TCP would carry,
+//! minus the kernel. The sim driver owns both ends of every pipe and
+//! moves bytes at virtual-tick boundaries, so a serve+load co-simulation
+//! is a deterministic function of its seeds: no socket timing, no
+//! scheduler, no wall clock.
+//!
+//! The buffers sit behind `rlb_sync` mutexes purely for lint/API
+//! uniformity; in sim mode all access is from the single driver thread.
+
+use rlb_sync::{Arc, Mutex};
+
+use crate::proto::{DecodeError, Frame, FrameReader};
+
+/// One direction of byte flow.
+#[derive(Default)]
+struct Lane {
+    bytes: Vec<u8>,
+    closed: bool,
+}
+
+struct Duplex {
+    /// Bytes flowing a → b.
+    ab: Mutex<Lane>,
+    /// Bytes flowing b → a.
+    ba: Mutex<Lane>,
+}
+
+/// One endpoint of an in-memory duplex byte pipe.
+pub struct PipeEnd {
+    duplex: Arc<Duplex>,
+    /// True for the `a` side (writes into `ab`, reads from `ba`).
+    is_a: bool,
+    reader: FrameReader,
+}
+
+/// Creates a connected endpoint pair.
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let duplex = Arc::new(Duplex {
+        ab: Mutex::new(Lane::default()),
+        ba: Mutex::new(Lane::default()),
+    });
+    (
+        PipeEnd {
+            duplex: Arc::clone(&duplex),
+            is_a: true,
+            reader: FrameReader::new(),
+        },
+        PipeEnd {
+            duplex,
+            is_a: false,
+            reader: FrameReader::new(),
+        },
+    )
+}
+
+impl PipeEnd {
+    fn tx(&self) -> &Mutex<Lane> {
+        if self.is_a {
+            &self.duplex.ab
+        } else {
+            &self.duplex.ba
+        }
+    }
+
+    fn rx(&self) -> &Mutex<Lane> {
+        if self.is_a {
+            &self.duplex.ba
+        } else {
+            &self.duplex.ab
+        }
+    }
+
+    /// Encodes a frame into the outgoing lane.
+    pub fn send(&self, frame: &Frame) {
+        let mut lane = self.tx().lock().expect("pipe lane lock");
+        if !lane.closed {
+            frame.encode(&mut lane.bytes);
+        }
+    }
+
+    /// Moves every buffered incoming byte into this end's frame reader
+    /// and decodes complete frames, mirroring `TcpSession::read_frames`.
+    pub fn recv(&mut self) -> (Vec<Frame>, Option<DecodeError>) {
+        let incoming = {
+            let mut lane = self.rx().lock().expect("pipe lane lock");
+            std::mem::take(&mut lane.bytes)
+        };
+        if !incoming.is_empty() {
+            self.reader.push(&incoming);
+        }
+        self.reader.drain()
+    }
+
+    /// Appends pre-encoded frame bytes to the outgoing lane (the sim
+    /// driver encodes frame batches on pool workers, then moves the
+    /// bytes serially).
+    pub fn send_bytes(&self, bytes: &[u8]) {
+        let mut lane = self.tx().lock().expect("pipe lane lock");
+        if !lane.closed {
+            lane.bytes.extend_from_slice(bytes);
+        }
+    }
+
+    /// Drains the incoming lane's raw bytes without decoding (the sim
+    /// driver decodes them on pool workers instead).
+    pub fn take_bytes(&self) -> Vec<u8> {
+        let mut lane = self.rx().lock().expect("pipe lane lock");
+        std::mem::take(&mut lane.bytes)
+    }
+
+    /// Closes the outgoing lane; subsequent sends are dropped.
+    pub fn close(&self) {
+        self.tx().lock().expect("pipe lane lock").closed = true;
+    }
+
+    /// Whether the peer has closed its outgoing lane and every byte it
+    /// sent has been consumed.
+    pub fn peer_done(&self) -> bool {
+        let lane = self.rx().lock().expect("pipe lane lock");
+        lane.closed && lane.bytes.is_empty()
+    }
+}
+
+#[cfg(all(test, not(feature = "model")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_cross_the_pipe_both_ways() {
+        let (a, mut b) = pipe();
+        let mut a = a;
+        a.send(&Frame::Ping { nonce: 1 });
+        a.send(&Frame::Ping { nonce: 2 });
+        let (frames, err) = b.recv();
+        assert!(err.is_none());
+        assert_eq!(
+            frames,
+            vec![Frame::Ping { nonce: 1 }, Frame::Ping { nonce: 2 }]
+        );
+        b.send(&Frame::Ping { nonce: 3 });
+        let (back, err) = a.recv();
+        assert!(err.is_none());
+        assert_eq!(back, vec![Frame::Ping { nonce: 3 }]);
+    }
+
+    #[test]
+    fn close_is_observed_after_drain() {
+        let (a, mut b) = pipe();
+        a.send(&Frame::Ping { nonce: 9 });
+        a.close();
+        assert!(!b.peer_done(), "unread bytes keep the peer not-done");
+        let (frames, _) = b.recv();
+        assert_eq!(frames.len(), 1);
+        assert!(b.peer_done());
+        // Sends after close are dropped, not buffered.
+        a.send(&Frame::Ping { nonce: 10 });
+        let (frames, _) = b.recv();
+        assert!(frames.is_empty());
+    }
+}

@@ -1,0 +1,691 @@
+//! The wire protocol: tiny, length-prefixed, binary.
+//!
+//! Every message on a connection is one **frame**:
+//!
+//! ```text
+//! +----------------+-----+------------------------+
+//! | len: u32 LE    | tag | body (len - 1 bytes)   |
+//! +----------------+-----+------------------------+
+//! ```
+//!
+//! `len` counts the tag byte plus the body, so an empty-body frame has
+//! `len == 1`. All integers are little-endian. Keys and values are raw
+//! byte strings with explicit length prefixes and hard caps
+//! ([`MAX_KEY_LEN`], [`MAX_VALUE_LEN`]); a frame whose declared `len`
+//! exceeds [`MAX_FRAME_LEN`] is rejected *before* any allocation, so a
+//! corrupt or adversarial length prefix cannot balloon memory.
+//!
+//! | tag | frame | body |
+//! |-----|-------|------|
+//! | 1 | [`Frame::Get`]    | `req_id: u32`, `tenant: u16`, `key_len: u16`, key |
+//! | 2 | [`Frame::Put`]    | `req_id: u32`, `tenant: u16`, `key_len: u16`, key, `value_len: u32`, value |
+//! | 3 | [`Frame::Reply`]  | `req_id: u32`, `latency: u32`, `value_len: u32`, value |
+//! | 4 | [`Frame::Reject`] | `req_id: u32`, `cause: u8` |
+//! | 5 | [`Frame::Ping`]   | `nonce: u64` |
+//!
+//! Decoding is **total**: any byte sequence produces either a frame, a
+//! "need more bytes" signal, or a typed [`DecodeError`] — never a panic
+//! and never an out-of-bounds read (`tests/proto_roundtrip.rs` sweeps
+//! truncations and corruptions of every frame type to pin this).
+
+/// Hard cap on a key, in bytes.
+pub const MAX_KEY_LEN: usize = 128;
+
+/// Hard cap on a value, in bytes.
+pub const MAX_VALUE_LEN: usize = 4096;
+
+/// Hard cap on one frame's `len` field (tag + body). Derived from the
+/// largest legal frame (a max-key max-value put) plus its fixed fields,
+/// rounded up; anything larger is a corrupt or hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 1 + 4 + 2 + 2 + MAX_KEY_LEN + 4 + MAX_VALUE_LEN;
+
+/// Why a request was refused (the body of a [`Frame::Reject`]).
+///
+/// The first five variants mirror the engine's
+/// [`rlb_core::RejectReason`] causes one-to-one; the rest are
+/// serve-layer causes that never reach the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCause {
+    /// The routing policy declined the request.
+    Policy,
+    /// Delayed cuckoo routing's table-failure event.
+    TableFailed,
+    /// The chosen replica's queue class was full.
+    Overflow,
+    /// Dropped by a voluntary queue flush after acceptance.
+    Flush,
+    /// The chosen (or only) replica server is down.
+    ServerDown,
+    /// The admission gate refused the request: the cluster's bounded
+    /// backlog (queued plus reply-pending work) is at its limit.
+    Admission,
+    /// The request arrived on a session whose byte stream failed to
+    /// decode; the session is closed after this frame.
+    Malformed,
+    /// The server is shutting down and no longer admits requests.
+    Shutdown,
+}
+
+/// All causes, in wire-tag order (`cause as u8` indexes this table).
+pub const REJECT_CAUSES: [RejectCause; 8] = [
+    RejectCause::Policy,
+    RejectCause::TableFailed,
+    RejectCause::Overflow,
+    RejectCause::Flush,
+    RejectCause::ServerDown,
+    RejectCause::Admission,
+    RejectCause::Malformed,
+    RejectCause::Shutdown,
+];
+
+impl RejectCause {
+    /// Short stable name (used in transcripts and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCause::Policy => "policy",
+            RejectCause::TableFailed => "table",
+            RejectCause::Overflow => "overflow",
+            RejectCause::Flush => "flush",
+            RejectCause::ServerDown => "down",
+            RejectCause::Admission => "admission",
+            RejectCause::Malformed => "malformed",
+            RejectCause::Shutdown => "shutdown",
+        }
+    }
+
+    /// The engine cause behind a reject, mapped onto the wire enum.
+    pub fn from_engine(reason: rlb_core::RejectReason) -> Self {
+        match reason {
+            rlb_core::RejectReason::Policy => RejectCause::Policy,
+            rlb_core::RejectReason::TableFailed => RejectCause::TableFailed,
+            rlb_core::RejectReason::Overflow => RejectCause::Overflow,
+            rlb_core::RejectReason::Flush => RejectCause::Flush,
+            rlb_core::RejectReason::ServerDown => RejectCause::ServerDown,
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: read `key` on behalf of `tenant`.
+    Get {
+        /// Client-assigned correlation id, echoed in the response.
+        req_id: u32,
+        /// Tenant the request is accounted to.
+        tenant: u16,
+        /// Key bytes (`<= MAX_KEY_LEN`).
+        key: Vec<u8>,
+    },
+    /// Client → server: write `value` under `key`.
+    Put {
+        /// Client-assigned correlation id, echoed in the response.
+        req_id: u32,
+        /// Tenant the request is accounted to.
+        tenant: u16,
+        /// Key bytes (`<= MAX_KEY_LEN`).
+        key: Vec<u8>,
+        /// Value bytes (`<= MAX_VALUE_LEN`).
+        value: Vec<u8>,
+    },
+    /// Server → client: the request completed.
+    Reply {
+        /// The request's correlation id.
+        req_id: u32,
+        /// Modeled service latency in engine steps (virtual ticks).
+        latency: u32,
+        /// For a get: the stored value (empty if the key is unset).
+        /// For a put: empty.
+        value: Vec<u8>,
+    },
+    /// Server → client: the request was refused.
+    Reject {
+        /// The request's correlation id (0 for session-level rejects).
+        req_id: u32,
+        /// Why.
+        cause: RejectCause,
+    },
+    /// Liveness probe; the server echoes it back verbatim.
+    Ping {
+        /// Opaque correlation payload.
+        nonce: u64,
+    },
+}
+
+/// A typed decode failure. Every variant names what was wrong and
+/// where, so transports can log it and sessions can be closed with a
+/// [`RejectCause::Malformed`] instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLong {
+        /// The declared length.
+        declared: usize,
+    },
+    /// The length prefix says `len == 0` (a frame has at least a tag).
+    EmptyFrame,
+    /// The tag byte names no known frame type.
+    BadTag(u8),
+    /// A reject frame carries an out-of-range cause byte.
+    BadCause(u8),
+    /// The body ended before a declared field (the *frame* is complete
+    /// per its length prefix, but its internal lengths overrun it).
+    Truncated {
+        /// The frame tag being decoded.
+        tag: u8,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining in the body.
+        had: usize,
+    },
+    /// A key length field exceeds [`MAX_KEY_LEN`].
+    KeyTooLong(usize),
+    /// A value length field exceeds [`MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// The body had bytes left over after the last field.
+    TrailingBytes {
+        /// The frame tag being decoded.
+        tag: u8,
+        /// How many bytes were left.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::FrameTooLong { declared } => {
+                write!(f, "frame length {declared} exceeds max {MAX_FRAME_LEN}")
+            }
+            DecodeError::EmptyFrame => write!(f, "zero-length frame"),
+            DecodeError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            DecodeError::BadCause(c) => write!(f, "unknown reject cause {c}"),
+            DecodeError::Truncated { tag, needed, had } => {
+                write!(
+                    f,
+                    "frame tag {tag}: field needs {needed} bytes, body has {had}"
+                )
+            }
+            DecodeError::KeyTooLong(n) => write!(f, "key length {n} exceeds max {MAX_KEY_LEN}"),
+            DecodeError::ValueTooLong(n) => {
+                write!(f, "value length {n} exceeds max {MAX_VALUE_LEN}")
+            }
+            DecodeError::TrailingBytes { tag, extra } => {
+                write!(
+                    f,
+                    "frame tag {tag}: {extra} trailing bytes after last field"
+                )
+            }
+        }
+    }
+}
+
+impl Frame {
+    /// The wire tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Get { .. } => 1,
+            Frame::Put { .. } => 2,
+            Frame::Reply { .. } => 3,
+            Frame::Reject { .. } => 4,
+            Frame::Ping { .. } => 5,
+        }
+    }
+
+    /// Appends the full frame (length prefix included) to `out`.
+    ///
+    /// # Panics
+    /// Panics if a key or value exceeds its cap — encoding oversized
+    /// frames is a caller bug, not a runtime condition (decode-side
+    /// violations are typed errors instead).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0; 4]); // length back-patched below
+        out.push(self.tag());
+        match self {
+            Frame::Get {
+                req_id,
+                tenant,
+                key,
+            } => {
+                assert!(key.len() <= MAX_KEY_LEN, "key exceeds MAX_KEY_LEN");
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(key);
+            }
+            Frame::Put {
+                req_id,
+                tenant,
+                key,
+                value,
+            } => {
+                assert!(key.len() <= MAX_KEY_LEN, "key exceeds MAX_KEY_LEN");
+                assert!(value.len() <= MAX_VALUE_LEN, "value exceeds MAX_VALUE_LEN");
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(key);
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            Frame::Reply {
+                req_id,
+                latency,
+                value,
+            } => {
+                assert!(value.len() <= MAX_VALUE_LEN, "value exceeds MAX_VALUE_LEN");
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.extend_from_slice(&latency.to_le_bytes());
+                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(value);
+            }
+            Frame::Reject { req_id, cause } => {
+                out.extend_from_slice(&req_id.to_le_bytes());
+                out.push(*cause as u8);
+            }
+            Frame::Ping { nonce } => {
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+        }
+        let len = (out.len() - start - 4) as u32;
+        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame *body* (tag byte + fields, length prefix
+    /// already stripped and validated by [`FrameReader`]).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, DecodeError> {
+        let mut cur = Cursor { buf: body, at: 0 };
+        let tag = cur.u8(0)?;
+        let frame = match tag {
+            1 => {
+                let req_id = cur.u32(tag)?;
+                let tenant = cur.u16(tag)?;
+                let key_len = cur.u16(tag)? as usize;
+                if key_len > MAX_KEY_LEN {
+                    return Err(DecodeError::KeyTooLong(key_len));
+                }
+                let key = cur.bytes(tag, key_len)?.to_vec();
+                Frame::Get {
+                    req_id,
+                    tenant,
+                    key,
+                }
+            }
+            2 => {
+                let req_id = cur.u32(tag)?;
+                let tenant = cur.u16(tag)?;
+                let key_len = cur.u16(tag)? as usize;
+                if key_len > MAX_KEY_LEN {
+                    return Err(DecodeError::KeyTooLong(key_len));
+                }
+                let key = cur.bytes(tag, key_len)?.to_vec();
+                let value_len = cur.u32(tag)? as usize;
+                if value_len > MAX_VALUE_LEN {
+                    return Err(DecodeError::ValueTooLong(value_len));
+                }
+                let value = cur.bytes(tag, value_len)?.to_vec();
+                Frame::Put {
+                    req_id,
+                    tenant,
+                    key,
+                    value,
+                }
+            }
+            3 => {
+                let req_id = cur.u32(tag)?;
+                let latency = cur.u32(tag)?;
+                let value_len = cur.u32(tag)? as usize;
+                if value_len > MAX_VALUE_LEN {
+                    return Err(DecodeError::ValueTooLong(value_len));
+                }
+                let value = cur.bytes(tag, value_len)?.to_vec();
+                Frame::Reply {
+                    req_id,
+                    latency,
+                    value,
+                }
+            }
+            4 => {
+                let req_id = cur.u32(tag)?;
+                let cause_byte = cur.u8(tag)?;
+                let cause = *REJECT_CAUSES
+                    .get(cause_byte as usize)
+                    .ok_or(DecodeError::BadCause(cause_byte))?;
+                Frame::Reject { req_id, cause }
+            }
+            5 => {
+                let nonce = cur.u64(tag)?;
+                Frame::Ping { nonce }
+            }
+            other => return Err(DecodeError::BadTag(other)),
+        };
+        if cur.at != body.len() {
+            return Err(DecodeError::TrailingBytes {
+                tag,
+                extra: body.len() - cur.at,
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Bounds-checked field reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn bytes(&mut self, tag: u8, n: usize) -> Result<&[u8], DecodeError> {
+        let had = self.buf.len() - self.at;
+        if had < n {
+            return Err(DecodeError::Truncated {
+                tag,
+                needed: n,
+                had,
+            });
+        }
+        let out = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, tag: u8) -> Result<u8, DecodeError> {
+        Ok(self.bytes(tag, 1)?[0])
+    }
+
+    fn u16(&mut self, tag: u8) -> Result<u16, DecodeError> {
+        let b = self.bytes(tag, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, tag: u8) -> Result<u32, DecodeError> {
+        let b = self.bytes(tag, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, tag: u8) -> Result<u64, DecodeError> {
+        let b = self.bytes(tag, 8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// Push bytes in whatever fragments the transport delivers; pull
+/// complete frames out. The reader never holds more than one frame of
+/// lookahead beyond the unconsumed tail, and compacts its buffer as
+/// frames complete.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily).
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by one
+        // partial frame plus one read's worth of bytes.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Pulls the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". A [`DecodeError`] is
+    /// terminal for the stream: the reader makes no attempt to
+    /// resynchronize (callers close the session).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if declared == 0 {
+            return Err(DecodeError::EmptyFrame);
+        }
+        if declared > MAX_FRAME_LEN {
+            return Err(DecodeError::FrameTooLong { declared });
+        }
+        if avail.len() < 4 + declared {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + declared];
+        let frame = Frame::decode_body(body)?;
+        self.consumed += 4 + declared;
+        Ok(Some(frame))
+    }
+
+    /// Drains every complete frame currently buffered.
+    ///
+    /// On a decode error, returns the frames decoded before it together
+    /// with the error.
+    pub fn drain(&mut self) -> (Vec<Frame>, Option<DecodeError>) {
+        let mut out = Vec::new();
+        loop {
+            match self.next_frame() {
+                Ok(Some(frame)) => out.push(frame),
+                Ok(None) => return (out, None),
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+}
+
+/// Stable single-line rendering of a frame for transcripts (keys and
+/// values render as lowercase hex so arbitrary bytes stay printable and
+/// byte-for-byte reproducible).
+pub fn fmt_frame(frame: &Frame) -> String {
+    fn hex(bytes: &[u8]) -> String {
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+    match frame {
+        Frame::Get {
+            req_id,
+            tenant,
+            key,
+        } => {
+            format!("get id={req_id} tn={tenant} key={}", hex(key))
+        }
+        Frame::Put {
+            req_id,
+            tenant,
+            key,
+            value,
+        } => format!(
+            "put id={req_id} tn={tenant} key={} vlen={}",
+            hex(key),
+            value.len()
+        ),
+        Frame::Reply {
+            req_id,
+            latency,
+            value,
+        } => format!("reply id={req_id} lat={latency} vlen={}", value.len()),
+        Frame::Reject { req_id, cause } => {
+            format!("reject id={req_id} cause={}", cause.name())
+        }
+        Frame::Ping { nonce } => format!("ping nonce={nonce}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.to_bytes();
+        let mut r = FrameReader::new();
+        r.push(&bytes);
+        let back = r.next_frame().unwrap().unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(r.pending(), 0);
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn every_frame_type_round_trips() {
+        roundtrip(Frame::Get {
+            req_id: 7,
+            tenant: 3,
+            key: b"hello".to_vec(),
+        });
+        roundtrip(Frame::Put {
+            req_id: 8,
+            tenant: 0,
+            key: vec![0xff; MAX_KEY_LEN],
+            value: vec![0xab; MAX_VALUE_LEN],
+        });
+        roundtrip(Frame::Reply {
+            req_id: 9,
+            latency: 42,
+            value: b"v".to_vec(),
+        });
+        for cause in REJECT_CAUSES {
+            roundtrip(Frame::Reject { req_id: 10, cause });
+        }
+        roundtrip(Frame::Ping { nonce: u64::MAX });
+    }
+
+    #[test]
+    fn fragmented_delivery_reassembles() {
+        let frames = [
+            Frame::Get {
+                req_id: 1,
+                tenant: 0,
+                key: b"k1".to_vec(),
+            },
+            Frame::Ping { nonce: 5 },
+            Frame::Reply {
+                req_id: 1,
+                latency: 2,
+                value: b"abc".to_vec(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode(&mut stream);
+        }
+        // Deliver one byte at a time.
+        let mut r = FrameReader::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            r.push(std::slice::from_ref(b));
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.as_slice(), &frames);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut r = FrameReader::new();
+        r.push(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            r.next_frame(),
+            Err(DecodeError::FrameTooLong {
+                declared: u32::MAX as usize
+            })
+        );
+    }
+
+    #[test]
+    fn zero_length_frame_is_an_error() {
+        let mut r = FrameReader::new();
+        r.push(&0u32.to_le_bytes());
+        assert_eq!(r.next_frame(), Err(DecodeError::EmptyFrame));
+    }
+
+    #[test]
+    fn bad_tag_and_bad_cause_are_typed() {
+        assert_eq!(Frame::decode_body(&[99]), Err(DecodeError::BadTag(99)));
+        // Reject with cause byte out of range.
+        let mut body = vec![4u8];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.push(200);
+        assert_eq!(Frame::decode_body(&body), Err(DecodeError::BadCause(200)));
+    }
+
+    #[test]
+    fn oversized_key_and_value_are_typed() {
+        // Get with key_len > MAX_KEY_LEN.
+        let mut body = vec![1u8];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&(MAX_KEY_LEN as u16 + 1).to_le_bytes());
+        assert_eq!(
+            Frame::decode_body(&body),
+            Err(DecodeError::KeyTooLong(MAX_KEY_LEN + 1))
+        );
+        // Reply with value_len > MAX_VALUE_LEN.
+        let mut body = vec![3u8];
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&(MAX_VALUE_LEN as u32 + 1).to_le_bytes());
+        assert_eq!(
+            Frame::decode_body(&body),
+            Err(DecodeError::ValueTooLong(MAX_VALUE_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut bytes = Frame::Ping { nonce: 1 }.to_bytes();
+        // Grow the body by one byte and patch the length prefix.
+        bytes.push(0);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let mut r = FrameReader::new();
+        r.push(&bytes);
+        assert_eq!(
+            r.next_frame(),
+            Err(DecodeError::TrailingBytes { tag: 5, extra: 1 })
+        );
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        let f = Frame::Get {
+            req_id: 3,
+            tenant: 1,
+            key: vec![0xde, 0xad],
+        };
+        assert_eq!(fmt_frame(&f), "get id=3 tn=1 key=dead");
+        let r = Frame::Reject {
+            req_id: 4,
+            cause: RejectCause::Admission,
+        };
+        assert_eq!(fmt_frame(&r), "reject id=4 cause=admission");
+    }
+}

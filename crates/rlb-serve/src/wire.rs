@@ -1,0 +1,128 @@
+//! Non-blocking TCP session transport.
+//!
+//! One [`TcpSession`] wraps one accepted connection. All socket I/O is
+//! non-blocking: reads drain whatever the kernel has buffered into the
+//! session's [`FrameReader`], writes push from a session-owned outbox
+//! and keep whatever did not fit for the next flush. The reactor loop
+//! in `server.rs` therefore never blocks on any single client — a slow
+//! or stalled peer just accumulates outbox bytes until it drains or is
+//! dropped.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use crate::proto::{DecodeError, Frame, FrameReader};
+
+/// What a read pass learned about the connection.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// Connection still live (possibly zero new bytes).
+    Open,
+    /// Peer closed its write half cleanly (EOF).
+    Eof,
+    /// Socket error; the session is dead.
+    Broken,
+}
+
+/// One accepted client connection with framing and write buffering.
+pub struct TcpSession {
+    stream: TcpStream,
+    reader: FrameReader,
+    outbox: Vec<u8>,
+    /// Prefix of `outbox` already written to the socket.
+    sent: usize,
+    /// Set once a decode error has been observed; the session takes no
+    /// further input.
+    poisoned: bool,
+}
+
+impl TcpSession {
+    /// Wraps an accepted stream, switching it to non-blocking mode.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        // Latency over batching: frames are small and the reactor
+        // already batches per pass. Best effort — not all platforms
+        // honor it.
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Drains the socket's receive buffer and decodes complete frames.
+    ///
+    /// Returns the decoded frames, the first decode error if the stream
+    /// is corrupt (the session is poisoned and reads nothing further),
+    /// and the connection status.
+    pub fn read_frames(&mut self) -> (Vec<Frame>, Option<DecodeError>, ReadStatus) {
+        if self.poisoned {
+            return (Vec::new(), None, ReadStatus::Open);
+        }
+        let mut status = ReadStatus::Open;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    status = ReadStatus::Eof;
+                    break;
+                }
+                Ok(n) => self.reader.push(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    status = ReadStatus::Broken;
+                    break;
+                }
+            }
+        }
+        let (frames, err) = self.reader.drain();
+        if err.is_some() {
+            self.poisoned = true;
+        }
+        (frames, err, status)
+    }
+
+    /// Queues a frame for sending (no socket I/O until [`flush`]).
+    ///
+    /// [`flush`]: TcpSession::flush
+    pub fn queue(&mut self, frame: &Frame) {
+        frame.encode(&mut self.outbox);
+    }
+
+    /// Bytes queued but not yet accepted by the kernel.
+    pub fn unsent(&self) -> usize {
+        self.outbox.len() - self.sent
+    }
+
+    /// Writes as much of the outbox as the socket will take without
+    /// blocking. `Ok(true)` means fully drained; `Err` means the
+    /// connection is dead.
+    pub fn flush(&mut self) -> Result<bool, std::io::Error> {
+        while self.sent < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.sent..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.outbox.clear();
+        self.sent = 0;
+        Ok(true)
+    }
+
+    /// Whether a decode error has permanently stopped input.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
