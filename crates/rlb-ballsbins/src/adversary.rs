@@ -52,6 +52,7 @@ pub enum ChoiceReuse {
 
 /// Result of running a churn experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// return type of `run_churn`. lint:allow(dead-pub)
 pub struct ChurnReport {
     /// Final gap: `max load − k/m`.
     pub final_gap: i64,

@@ -13,8 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod adversary;
-pub mod batched;
+pub mod adversary; // churn-adversary experiment surface, exercised by its tests. lint:allow(dead-pub)
+pub(crate) mod batched;
 pub mod rounds;
 pub mod strategies;
 

@@ -19,6 +19,7 @@ use rlb_hash::Rng;
 
 /// Outcome of a multi-round experiment.
 #[derive(Debug, Clone, PartialEq)]
+// return type of `run_rounds`. lint:allow(dead-pub)
 pub struct RoundsReport {
     /// Maximum end-of-round load observed in any round.
     pub max_load: u32,

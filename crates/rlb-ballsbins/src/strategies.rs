@@ -15,6 +15,7 @@
 use rlb_hash::Rng;
 
 /// An online placement strategy for one ball given its candidate bins.
+// bound on the public `run_rounds` entry points. lint:allow(dead-pub)
 pub trait Strategy {
     /// Number of candidate bins the strategy consumes per ball.
     fn choices(&self) -> usize;

@@ -13,7 +13,6 @@
 //!   a naive engine pays the full `O(m · classes)` scan once per
 //!   sub-step even when almost every queue is empty.
 
-use crate::wallclock::BenchRecord;
 use rlb_core::policies::Greedy;
 use rlb_core::{DrainMode, SimConfig, Simulation, Workload};
 use rlb_workloads::{FreshRandom, RepeatedSet};
@@ -190,6 +189,7 @@ pub const GATE_MIN_RATIO: f64 = 0.95;
 
 /// One scenario compared against its recorded baseline.
 #[derive(Debug, Clone)]
+// row type of `compare_to_baseline`'s return. lint:allow(dead-pub)
 pub struct GateRow {
     /// Scenario name (`"<kind>/m<m>"`).
     pub name: String,
@@ -252,17 +252,6 @@ pub fn compare_to_baseline(report: &EngineBenchReport, baseline: &[(String, f64)
             })
         })
         .collect()
-}
-
-/// Converts a result into a [`BenchRecord`] for harness-style display.
-pub fn to_record(r: &EngineBenchResult) -> BenchRecord {
-    BenchRecord {
-        group: "engine_gate".into(),
-        name: r.name.clone(),
-        iters: r.steps,
-        nanos_per_iter: r.elapsed_nanos as f64 / r.steps as f64,
-        elements_per_sec: Some(r.requests_per_sec),
-    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Timed samples per configuration; the fastest is reported.
-pub const SUITE_SAMPLES: usize = 3;
+pub(crate) const SUITE_SAMPLES: usize = 3;
 
 /// One timed suite configuration, as recorded in
 /// `BENCH_experiments.json`.

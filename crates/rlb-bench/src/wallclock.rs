@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 /// One measured benchmark.
 #[derive(Debug, Clone)]
+// element type of `Harness::records`. lint:allow(dead-pub)
 pub struct BenchRecord {
     /// Logical group (e.g. `"engine_step_scaling"`).
     pub group: String,

@@ -94,12 +94,6 @@ impl Config {
         self
     }
 
-    /// Sets the schedule-count cap.
-    pub fn max_schedules(mut self, n: usize) -> Self {
-        self.max_schedules = n;
-        self
-    }
-
     /// Sets the per-execution visible-op budget.
     pub fn max_steps(mut self, n: usize) -> Self {
         self.max_steps = n;
@@ -151,6 +145,7 @@ impl std::fmt::Display for FailureKind {
 
 /// A failing schedule: what went wrong, where, and how to re-run it.
 #[derive(Debug)]
+// carried by `Outcome::Fail`, destructured downstream. lint:allow(dead-pub)
 pub struct Failure {
     /// The failure class.
     pub kind: FailureKind,

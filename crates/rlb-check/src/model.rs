@@ -115,6 +115,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Non-blocking acquisition attempt. A decision point like `lock`,
     /// but returns `WouldBlock` instead of blocking when contended.
     #[track_caller]
+    // Mirrors `std::sync::Mutex::try_lock` for code under test. lint:allow(dead-pub)
     pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
         let loc = Location::caller();
         let (rt, me) = rt::ctx();

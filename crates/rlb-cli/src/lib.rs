@@ -48,7 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod serve_load;
+pub(crate) mod serve_load;
 
 pub use serve_load::{parse_serve_load_args, run_load, run_serve, ServeLoadOptions};
 
@@ -60,6 +60,7 @@ use rlb_workloads::{Trace, WorkloadSpec};
 
 /// A fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
+// threaded through `parse_args` -> `run` by callers. lint:allow(dead-pub)
 pub struct CliOptions {
     /// Policy name (validated at run time).
     pub policy: String,
@@ -413,27 +414,51 @@ pub fn render_text(opts: &CliOptions, report: &RunReport) -> String {
 }
 
 /// Runs the `lint` subcommand: the workspace's self-hosted static
-/// analysis (`rlb-lint`) over every `crates/*/src` file. Returns the
-/// rendered report and whether the workspace is clean; the binary exits
-/// nonzero on any finding.
+/// analysis (`rlb-lint`) over every `crates/*/src` file, with
+/// `crates/*/{tests,examples,benches}` and the root `tests/` as
+/// reference material and `lint-roots.toml` as the panic-reachability
+/// manifest. Returns the rendered report and whether the workspace is
+/// clean; the binary exits nonzero on any finding.
 ///
 /// Arguments (after the `lint` subcommand): `--root PATH` (default
-/// `.`), the workspace root containing `crates/`.
+/// `.`), the workspace root containing `crates/`; `--json [PATH]`
+/// renders the machine-readable report — to stdout when no path
+/// follows, otherwise to the file at PATH (the human-readable summary
+/// stays on stdout).
 ///
 /// # Errors
-/// Returns a message on malformed arguments or an unreadable tree
+/// Returns a message on malformed arguments, an unreadable tree, a
+/// malformed `lint-roots.toml`, or an unwritable `--json` path
 /// (findings are reported in the summary, not as errors).
 pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
     let mut root = ".".to_string();
-    let mut it = args.iter();
+    let mut json: Option<Option<String>> = None;
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => root = it.next().ok_or("--root requires a path")?.clone(),
+            "--json" => {
+                // An optional operand: consume the next token unless it
+                // is itself a flag.
+                json = match it.peek() {
+                    Some(next) if !next.starts_with("--") => Some(it.next().cloned()),
+                    _ => Some(None),
+                };
+            }
             other => return Err(format!("unknown lint option {other:?}")),
         }
     }
     let report = rlb_lint::lint_workspace(std::path::Path::new(&root))?;
-    Ok((report.render(), report.is_clean()))
+    let out = match json {
+        Some(Some(path)) => {
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            report.render()
+        }
+        Some(None) => report.to_json(),
+        None => report.render(),
+    };
+    Ok((out, report.is_clean()))
 }
 
 /// Runs the engine perf gate (`rlb-sim bench`) and writes the results

@@ -21,6 +21,7 @@ use rlb_serve::{serve_blocking, ServeConfig, ServeOptions, ServerCore};
 /// runs the co-simulation, which needs both the engine and the load
 /// shape; flags irrelevant to the chosen mode are simply unused).
 #[derive(Debug, Clone)]
+// return type of `parse_serve_load_args`. lint:allow(dead-pub)
 pub struct ServeLoadOptions {
     /// Run the virtual-time co-simulation instead of touching TCP.
     pub sim_clock: bool,

@@ -39,6 +39,7 @@ pub struct MigrationConfig {
 
 /// Outcome of a migration-baseline run.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// return type of `MigrationSim::run`. lint:allow(dead-pub)
 pub struct MigrationReport {
     /// Requests presented.
     pub arrived: u64,

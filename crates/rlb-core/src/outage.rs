@@ -86,6 +86,11 @@ impl OutageSchedule {
         self.outages.is_empty()
     }
 
+    /// Largest server id referenced by the schedule, if any.
+    pub(crate) fn max_server(&self) -> Option<u32> {
+        self.outages.iter().map(|o| o.server).max()
+    }
+
     /// Number of scheduled outages.
     pub fn len(&self) -> usize {
         self.outages.len()
@@ -97,7 +102,9 @@ impl OutageSchedule {
         up.fill(true);
         for o in &self.outages {
             if step >= o.from && step < o.until {
-                up[o.server as usize] = false;
+                if let Some(slot) = up.get_mut(o.server as usize) {
+                    *slot = false;
+                }
             }
         }
     }

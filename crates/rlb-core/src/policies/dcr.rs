@@ -81,6 +81,7 @@ impl StepTable {
 
 /// Counters exposed for experiments and debugging.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+// return type of `Dcr::diagnostics`. lint:allow(dead-pub)
 pub struct DcrDiagnostics {
     /// Repeat requests rejected because their table had failed.
     pub table_failure_rejects: u64,

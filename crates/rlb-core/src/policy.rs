@@ -30,7 +30,7 @@ pub enum RejectReason {
 }
 
 /// Number of [`RejectReason`] variants (sizes the per-cause counters).
-pub const NUM_REJECT_REASONS: usize = 5;
+pub(crate) const NUM_REJECT_REASONS: usize = 5;
 
 /// A routing decision for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

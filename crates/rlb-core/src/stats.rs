@@ -73,7 +73,7 @@ impl RunStats {
 
     /// Records the backlog of a server right after an enqueue.
     #[inline]
-    pub fn record_enqueue_backlog(&mut self, backlog: u32) {
+    pub(crate) fn record_enqueue_backlog(&mut self, backlog: u32) {
         if backlog > self.peak_backlog {
             self.peak_backlog = backlog;
         }
@@ -82,13 +82,15 @@ impl RunStats {
     /// Records a rejection.
     #[inline]
     pub fn record_reject(&mut self, reason: RejectReason) {
-        self.rejected[reason as usize] += 1;
+        if let Some(slot) = self.rejected.get_mut(reason as usize) {
+            *slot = slot.saturating_add(1);
+        }
     }
 
     /// Records a completed request with the given latency.
     #[inline]
     pub fn record_completion(&mut self, latency: u64) {
-        self.completed += 1;
+        self.completed = self.completed.saturating_add(1);
         self.latency.record(latency);
     }
 
@@ -99,11 +101,13 @@ impl RunStats {
     /// the growth branch is kept out of the inlined hot path: the drain
     /// sweep calls this once per completed request.
     #[inline]
-    pub fn record_completion_in_class(&mut self, class: usize, latency: u64) {
+    pub(crate) fn record_completion_in_class(&mut self, class: usize, latency: u64) {
         if self.latency_by_class.len() <= class {
             self.grow_latency_classes(class);
         }
-        self.latency_by_class[class].record(latency);
+        if let Some(h) = self.latency_by_class.get_mut(class) {
+            h.record(latency);
+        }
         self.record_completion(latency);
     }
 
@@ -112,12 +116,14 @@ impl RunStats {
     /// [`RunStats::record_completion_in_class`] — the bulk drain path
     /// folds its per-latency counts into one histogram update each.
     #[inline]
-    pub fn record_completion_in_class_n(&mut self, class: usize, latency: u64, n: u64) {
+    pub(crate) fn record_completion_in_class_n(&mut self, class: usize, latency: u64, n: u64) {
         if self.latency_by_class.len() <= class {
             self.grow_latency_classes(class);
         }
-        self.latency_by_class[class].record_n(latency, n);
-        self.completed += n;
+        if let Some(h) = self.latency_by_class.get_mut(class) {
+            h.record_n(latency, n);
+        }
+        self.completed = self.completed.saturating_add(n);
         self.latency.record_n(latency, n);
     }
 
@@ -126,23 +132,25 @@ impl RunStats {
     #[cold]
     #[inline(never)]
     fn grow_latency_classes(&mut self, class: usize) {
-        self.latency_by_class.resize_with(class + 1, Histogram::new);
+        self.latency_by_class
+            .resize_with(class.saturating_add(1), Histogram::new);
     }
 
     /// Ingests a backlog snapshot (called at sampling points).
     pub fn record_snapshot(&mut self, snapshot: &BacklogSnapshot) {
-        self.safety_samples += 1;
+        self.safety_samples = self.safety_samples.saturating_add(1);
         let report = snapshot.safety(1.0);
         if !report.safe {
-            self.safety_violations += 1;
+            self.safety_violations = self.safety_violations.saturating_add(1);
         }
         if report.worst_ratio > self.worst_safety_ratio {
             self.worst_safety_ratio = report.worst_ratio;
         }
         self.max_backlog = self.max_backlog.max(snapshot.max_backlog());
         let mean = snapshot.mean_backlog();
+        // f64 accumulation: no wrap semantics. lint:allow(unchecked-arith)
         self.backlog_mean_sum += mean;
-        self.backlog_mean_count += 1;
+        self.backlog_mean_count = self.backlog_mean_count.saturating_add(1);
         self.backlog_series.push(mean);
     }
 

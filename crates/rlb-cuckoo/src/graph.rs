@@ -34,6 +34,7 @@ impl Dsu {
 
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
+        // DSU parent entries are < n by construction. lint:allow(panic-path)
         while self.parent[root as usize] != root {
             root = self.parent[root as usize];
         }
@@ -78,7 +79,7 @@ pub struct ComponentStats {
 impl ComponentStats {
     /// Items that must be stashed from this component.
     #[inline]
-    pub fn excess(&self) -> u32 {
+    pub(crate) fn excess(&self) -> u32 {
         self.edges.saturating_sub(self.vertices)
     }
 }
@@ -125,16 +126,6 @@ impl CuckooGraph {
             "choice out of range"
         );
         self.items.push(c);
-    }
-
-    /// Number of items (edges).
-    pub fn num_items(&self) -> usize {
-        self.items.len()
-    }
-
-    /// Number of positions (vertices).
-    pub fn num_positions(&self) -> usize {
-        self.num_positions
     }
 
     /// The item choice list.

@@ -33,8 +33,8 @@
 pub mod bfs;
 pub mod graph;
 pub mod offline;
-pub mod online;
-pub mod tripartite;
+pub(crate) mod online;
+pub(crate) mod tripartite;
 
 pub use bfs::BfsCuckoo;
 pub use graph::CuckooGraph;

@@ -61,7 +61,7 @@ impl OfflineAssignment {
 
     /// Position assigned to `item`, or `None` if stashed.
     #[inline]
-    pub fn position_of(&self, item: usize) -> Option<u32> {
+    pub(crate) fn position_of(&self, item: usize) -> Option<u32> {
         self.slot_of[item]
     }
 

@@ -27,6 +27,7 @@ struct Entry<V> {
 
 /// Error returned when an insertion cannot complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// error type of `OnlineCuckoo::insert`, matched structurally downstream. lint:allow(dead-pub)
 pub enum InsertError {
     /// The stash is full; the table is effectively over capacity.
     StashFull,

@@ -37,7 +37,8 @@ impl PolicyKind {
         }
     }
 
-    /// All policies.
+    /// All policies. Exercised by this module's tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub const ALL: [PolicyKind; 6] = [
         PolicyKind::Greedy,
         PolicyKind::DelayedCuckoo,
@@ -102,7 +103,7 @@ impl PolicyKind {
 
 /// Aggregate of several independent trials of the same configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Aggregate {
+pub(crate) struct Aggregate {
     /// Trials run.
     pub trials: usize,
     /// Mean rejection rate.
@@ -148,7 +149,7 @@ where
 /// for the serial `for row in rows` loop around a table. Rows must derive all
 /// randomness from their parameters (house seeding style), so the
 /// output is bit-identical to the serial loop.
-pub fn par_rows<I, T, F>(rows: Vec<I>, f: F) -> Vec<T>
+pub(crate) fn par_rows<I, T, F>(rows: Vec<I>, f: F) -> Vec<T>
 where
     I: Send + Sync + 'static,
     T: Send + 'static,
@@ -158,7 +159,7 @@ where
 }
 
 /// Pools a set of reports into an [`Aggregate`].
-pub fn summarize(reports: &[RunReport]) -> Aggregate {
+pub(crate) fn summarize(reports: &[RunReport]) -> Aggregate {
     assert!(!reports.is_empty(), "need at least one report");
     let n = reports.len() as f64;
     let mut agg = Aggregate {
@@ -218,12 +219,12 @@ pub fn loglog2(x: usize) -> f64 {
 /// are bounded far below `u32::MAX`; if a future sweep ever crosses it
 /// this fails loudly instead of truncating (the `lossy-cast` lint bans
 /// bare `as u32` across the suite, funnelling every narrowing here).
-pub fn m32(x: usize) -> u32 {
+pub(crate) fn m32(x: usize) -> u32 {
     u32::try_from(x).expect("count exceeds u32 range")
 }
 
 /// `⌈x⌉` as `u32` for the O(log m) queue-capacity and probe budgets.
-pub fn ceil_u32(x: f64) -> u32 {
+pub(crate) fn ceil_u32(x: f64) -> u32 {
     let v = x.ceil();
     assert!(
         (0.0..=u32::MAX as f64).contains(&v),

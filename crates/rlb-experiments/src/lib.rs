@@ -37,30 +37,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod common;
-pub mod e01_greedy;
-pub mod e02_safety;
-pub mod e03_dcr;
-pub mod e04_frontier;
-pub mod e05_replication;
-pub mod e06_one_step;
-pub mod e07_collision;
-pub mod e08_isolated;
-pub mod e09_ptail;
-pub mod e10_cuckoo;
-pub mod e11_heavy;
-pub mod e12_load;
-pub mod e13_smallq;
-pub mod e14_flush;
-pub mod e15_outage;
-pub mod e16_skew;
-pub mod e17_batched;
-pub mod e18_class_latency;
-pub mod e19_migration;
-pub mod e20_phase;
-pub mod e21_burst;
-pub mod e22_shedding;
-pub mod theory;
+pub(crate) mod common;
+pub(crate) mod e01_greedy;
+pub(crate) mod e02_safety;
+pub(crate) mod e03_dcr;
+pub(crate) mod e04_frontier;
+pub(crate) mod e05_replication;
+pub(crate) mod e06_one_step;
+pub(crate) mod e07_collision;
+pub(crate) mod e08_isolated;
+pub(crate) mod e09_ptail;
+pub(crate) mod e10_cuckoo;
+pub(crate) mod e11_heavy;
+pub(crate) mod e12_load;
+pub(crate) mod e13_smallq;
+pub(crate) mod e14_flush;
+pub(crate) mod e15_outage;
+pub(crate) mod e16_skew;
+pub(crate) mod e17_batched;
+pub(crate) mod e18_class_latency;
+pub(crate) mod e19_migration;
+pub(crate) mod e20_phase;
+pub(crate) mod e21_burst;
+pub(crate) mod e22_shedding;
+pub(crate) mod theory;
 
 use rlb_json::{Json, ToJson};
 use rlb_metrics::Table;

@@ -49,6 +49,7 @@ pub fn predicted_two_choice_max(m: usize) -> f64 {
 ///
 /// # Panics
 /// Panics if `p` is outside `[0, 1]`.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn binomial_tail(n: u32, p: f64, k: u32) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     if k == 0 {

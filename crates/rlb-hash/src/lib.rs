@@ -27,7 +27,7 @@ pub mod mix;
 pub mod pcg;
 pub mod placement;
 pub mod sample;
-pub mod splitmix;
+pub(crate) mod splitmix;
 
 pub use pcg::Pcg64;
 pub use placement::ReplicaPlacement;

@@ -35,7 +35,7 @@ pub fn mix2(a: u64, b: u64) -> u64 {
 
 /// Combines three words into one well-mixed word.
 #[inline]
-pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
     moremur(mix2(a, b) ^ c.wrapping_mul(0xd6e8_feb8_6659_fd93))
 }
 

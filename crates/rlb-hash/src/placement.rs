@@ -97,8 +97,10 @@ impl ReplicaPlacement {
     /// The replica servers of `chunk`, a slice of length `replication()`.
     #[inline]
     pub fn replicas(&self, chunk: u32) -> &[u32] {
-        let base = chunk as usize * self.replication;
-        &self.servers[base..base + self.replication]
+        let base = (chunk as usize).saturating_mul(self.replication);
+        self.servers
+            .get(base..base.saturating_add(self.replication))
+            .unwrap_or(&[])
     }
 
     /// Number of chunks in the table.

@@ -26,7 +26,7 @@ impl SplitMix64 {
     /// Produces the next raw output (also usable as a stateless finalizer
     /// chain by constructing with the value to mix).
     #[inline]
-    pub fn mix_next(&mut self) -> u64 {
+    pub(crate) fn mix_next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(GOLDEN_GAMMA);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -134,7 +134,7 @@ impl Json {
     }
 
     /// Serializes compactly (no whitespace).
-    pub fn write_compact(&self, out: &mut String) {
+    pub(crate) fn write_compact(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),

@@ -1,0 +1,719 @@
+//! A name-resolution-approximate workspace call graph.
+//!
+//! One pass over every parsed file builds a function table and, per
+//! function body, the outgoing call edges plus the *site lists* the
+//! transitive passes consume: panic sites (`unwrap`/`expect`/panic
+//! macros/indexing/slice patterns/`/`-`%`), bare-arithmetic sites
+//! (`+ - * <<` and their compound assignments), and `?` try sites.
+//!
+//! Resolution is deliberately approximate, erring toward *fewer*
+//! edges, with the boundaries documented here and in ARCHITECTURE.md:
+//!
+//! * `Type::name(..)` and `Self::name(..)` resolve through the
+//!   (owner, name) table; `module::name(..)` falls back to free
+//!   functions by name.
+//! * `.name(..)` method calls resolve to the enclosing impl's method
+//!   when one exists, else to the *unique* `self`-taking function of
+//!   that name in the workspace. Two or more candidates go to the
+//!   explicit ambiguity set instead of guessing — an ambiguous call is
+//!   a documented false-negative edge, surfaced in the lint stats.
+//! * Calls that resolve to nothing are assumed to be std (or another
+//!   non-workspace) call and treated as non-panicking; so are trait
+//!   calls through `dyn`/generic dispatch and turbofish forms
+//!   (`f::<T>(..)`). `?` propagates errors, not panics, so try sites
+//!   are counted but create no panic edge.
+//! * `#[cfg(test)]` functions are excluded from the table: a test
+//!   helper must never capture resolution of a hot-path name.
+
+use crate::items::ParsedFile;
+use crate::token::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What kind of potentially-panicking site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PanicKind {
+    /// `.unwrap()`
+    Unwrap,
+    /// `.expect(..)`
+    Expect,
+    /// `panic!(..)`
+    Panic,
+    /// `unreachable!(..)`
+    Unreachable,
+    /// `todo!(..)`
+    Todo,
+    /// `unimplemented!(..)`
+    Unimplemented,
+    /// `x[i]` indexing (slices, arrays, `Vec`, maps)
+    Index,
+    /// `let [a, b] = ..` refutable-looking slice binding
+    SlicePattern,
+    /// `/` or `%` (division by zero; `MIN / -1` overflow)
+    DivMod,
+}
+
+impl PanicKind {
+    /// Human label used in findings.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`",
+            PanicKind::Expect => "`.expect(..)`",
+            PanicKind::Panic => "`panic!`",
+            PanicKind::Unreachable => "`unreachable!`",
+            PanicKind::Todo => "`todo!`",
+            PanicKind::Unimplemented => "`unimplemented!`",
+            PanicKind::Index => "indexing `[..]`",
+            PanicKind::SlicePattern => "slice pattern",
+            PanicKind::DivMod => "`/`-`%` arithmetic",
+        }
+    }
+}
+
+/// A potentially-panicking site inside a function body.
+#[derive(Debug, Clone, Copy)]
+// element of `CallGraph::panic_sites`. lint:allow(dead-pub)
+pub struct PanicSite {
+    /// Which kind.
+    pub kind: PanicKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// A bare-arithmetic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    /// The operator (`+`, `<<=`, …).
+    pub op: &'static str,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Inside a `debug_assert*!(..)` argument (exempt: compiled out in
+    /// release, and the assert *is* the overflow justification).
+    pub debug_asserted: bool,
+}
+
+/// One function in the workspace graph.
+#[derive(Debug, Clone)]
+// element of `CallGraph::nodes`. lint:allow(dead-pub)
+pub struct FnNode {
+    /// Index into the parsed-file slice.
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub item: usize,
+    /// `Owner::name` or bare `name`.
+    pub qname: String,
+    /// Defining crate (`rlb-core`).
+    pub krate: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// Inside `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// The workspace call graph plus per-function site lists.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// All function nodes, in file/declaration order.
+    pub nodes: Vec<FnNode>,
+    /// Adjacency: `edges[n]` = resolved callee node ids (sorted, deduped).
+    pub edges: Vec<Vec<usize>>,
+    /// Per-node panic sites.
+    pub panic_sites: Vec<Vec<PanicSite>>,
+    /// Per-node bare-arithmetic sites.
+    pub arith_sites: Vec<Vec<ArithSite>>,
+    /// Per-node `?` try-site count (error propagation, not panic).
+    pub try_counts: Vec<usize>,
+    /// Method/free-call names that matched 2+ candidates: name → the
+    /// candidate qnames. These calls produce *no* edge (documented
+    /// false-negative boundary); the set is surfaced in lint stats.
+    pub ambiguities: BTreeMap<String, BTreeSet<String>>,
+    /// Total resolved call edges (pre-dedup), for stats.
+    pub calls_resolved: usize,
+    /// Calls that matched nothing in the workspace table (assumed std).
+    pub calls_unresolved: usize,
+}
+
+impl CallGraph {
+    /// Node ids whose qname is `q` (`Owner::name` or a bare free-fn
+    /// name), excluding test fns. Bare names also match methods when
+    /// unambiguous across the workspace.
+    pub fn resolve_qname(&self, q: &str) -> Vec<usize> {
+        let direct: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.in_test && n.qname == q)
+            .map(|(i, _)| i)
+            .collect();
+        if !direct.is_empty() || q.contains("::") {
+            return direct;
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.in_test && n.qname.rsplit("::").next() == Some(q))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Node ids of every non-test fn defined in `rel_path`.
+    pub fn fns_in_file(&self, files: &[ParsedFile], rel_path: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.in_test && files[n.file].rel_path == rel_path)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Keywords that never produce a value, so an operator right after one
+/// is unary / a type position, not binary arithmetic or indexing.
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while", "yield",
+];
+
+fn is_value_ident(text: &str) -> bool {
+    !NON_VALUE_KEYWORDS.contains(&text)
+}
+
+/// `Send`, `FnOnce`, `Iterator` … — CamelCase identifiers next to a
+/// `+` are trait bounds (`dyn Fn() + Send`), not arithmetic.
+/// ALL-CAPS constants (`MAX_FRAME_LEN`) stay arithmetic operands.
+fn is_camel_type(text: &str) -> bool {
+    text.starts_with(|c: char| c.is_ascii_uppercase())
+        && text.chars().any(|c| c.is_ascii_lowercase())
+}
+
+/// Builds the graph over every parsed file.
+pub fn build(files: &[ParsedFile]) -> CallGraph {
+    let mut g = CallGraph::default();
+    // ---- node table
+    for (fi, pf) in files.iter().enumerate() {
+        for (ii, f) in pf.items.fns.iter().enumerate() {
+            g.nodes.push(FnNode {
+                file: fi,
+                item: ii,
+                qname: f.qname(),
+                krate: pf.crate_name().to_string(),
+                line: f.line,
+                in_test: f.in_test,
+            });
+        }
+    }
+    // ---- resolution tables (test fns excluded)
+    let mut by_owner_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut method_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        if n.in_test {
+            continue;
+        }
+        let f = &files[n.file].items.fns[n.item];
+        match &f.owner {
+            Some(o) => {
+                by_owner_name
+                    .entry((o.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(id);
+                if f.has_self {
+                    method_by_name.entry(f.name.as_str()).or_default().push(id);
+                }
+            }
+            None => free_by_name.entry(f.name.as_str()).or_default().push(id),
+        }
+    }
+    g.edges = vec![Vec::new(); g.nodes.len()];
+    g.panic_sites = vec![Vec::new(); g.nodes.len()];
+    g.arith_sites = vec![Vec::new(); g.nodes.len()];
+    g.try_counts = vec![0; g.nodes.len()];
+
+    // node id lookup for (file, item)
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        node_of.insert((n.file, n.item), id);
+    }
+
+    // ---- body walks
+    for (fi, pf) in files.iter().enumerate() {
+        let src = &pf.source;
+        let toks = &pf.tokens.toks;
+        // Code-token positions (comments dropped) for O(1) prev/next.
+        let code: Vec<usize> = pf.tokens.code_tokens().map(|(i, _)| i).collect();
+        let text = |p: usize| toks[code[p]].text(src);
+        let kind = |p: usize| toks[code[p]].kind;
+        // debug_assert*!(..) argument byte spans.
+        let da_spans = debug_assert_spans(pf, &code);
+
+        for p in 0..code.len() {
+            let ti = code[p];
+            let Some(item) = pf.items.fn_at(ti) else {
+                continue;
+            };
+            let node = node_of[&(fi, item)];
+            let lo = toks[ti].lo;
+            let line = pf.tokens.line_of(lo);
+            let col = pf.tokens.col_of(lo);
+            let prev = p.checked_sub(1).map(&text);
+            let prev_kind = p.checked_sub(1).map(&kind);
+            let next = code.get(p + 1).map(|_| text(p + 1));
+            let prev_is_value = match prev_kind {
+                Some(TokenKind::Ident) => is_value_ident(prev.unwrap_or("")),
+                Some(TokenKind::Int | TokenKind::Float | TokenKind::Str | TokenKind::Char) => true,
+                Some(TokenKind::Punct) => matches!(prev, Some(")") | Some("]")),
+                _ => false,
+            };
+
+            match kind(p) {
+                TokenKind::Ident => {
+                    let name = text(p);
+                    // Macro invocation?
+                    if next == Some("!") {
+                        let mk = match name {
+                            "panic" => Some(PanicKind::Panic),
+                            "unreachable" => Some(PanicKind::Unreachable),
+                            "todo" => Some(PanicKind::Todo),
+                            "unimplemented" => Some(PanicKind::Unimplemented),
+                            _ => None,
+                        };
+                        if let Some(k) = mk {
+                            g.panic_sites[node].push(PanicSite { kind: k, line, col });
+                        }
+                        continue;
+                    }
+                    if next != Some("(") || prev == Some("fn") {
+                        continue;
+                    }
+                    // A call. `.unwrap()` / `.expect(` are panic sites,
+                    // everything else resolves to an edge when it can.
+                    if prev == Some(".") {
+                        match name {
+                            "unwrap" => {
+                                g.panic_sites[node].push(PanicSite {
+                                    kind: PanicKind::Unwrap,
+                                    line,
+                                    col,
+                                });
+                                continue;
+                            }
+                            "expect" => {
+                                g.panic_sites[node].push(PanicSite {
+                                    kind: PanicKind::Expect,
+                                    line,
+                                    col,
+                                });
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let owner = files[fi].items.fns[item].owner.as_deref();
+                    resolve_call(
+                        &mut g,
+                        node,
+                        name,
+                        prev,
+                        p.checked_sub(2).map(&text),
+                        owner,
+                        &by_owner_name,
+                        &method_by_name,
+                        &free_by_name,
+                    );
+                }
+                TokenKind::Punct => {
+                    let op = text(p);
+                    match op {
+                        "?" => g.try_counts[node] += 1,
+                        "[" => {
+                            if prev == Some("let") {
+                                g.panic_sites[node].push(PanicSite {
+                                    kind: PanicKind::SlicePattern,
+                                    line,
+                                    col,
+                                });
+                            } else if prev_is_value {
+                                g.panic_sites[node].push(PanicSite {
+                                    kind: PanicKind::Index,
+                                    line,
+                                    col,
+                                });
+                            }
+                        }
+                        // Float division cannot panic; `x as f64 / y`
+                        // and `m / 2f64.powi(..)` are visible without
+                        // type inference.
+                        "/" | "%" | "/=" | "%="
+                            if prev_is_value && !float_adjacent(pf, &code, p) =>
+                        {
+                            g.panic_sites[node].push(PanicSite {
+                                kind: PanicKind::DivMod,
+                                line,
+                                col,
+                            });
+                        }
+                        "+" | "-" | "*" | "<<" | "+=" | "-=" | "*=" | "<<=" if prev_is_value => {
+                            if arith_is_exempt(pf, &code, p) {
+                                continue;
+                            }
+                            let op_static = match op {
+                                "+" => "+",
+                                "-" => "-",
+                                "*" => "*",
+                                "<<" => "<<",
+                                "+=" => "+=",
+                                "-=" => "-=",
+                                "*=" => "*=",
+                                _ => "<<=",
+                            };
+                            let byte = toks[ti].lo;
+                            g.arith_sites[node].push(ArithSite {
+                                op: op_static,
+                                line,
+                                col,
+                                debug_asserted: da_spans
+                                    .iter()
+                                    .any(|&(a, b)| a <= byte && byte < b),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for e in &mut g.edges {
+        e.sort_unstable();
+        e.dedup();
+    }
+    g
+}
+
+/// Operand-level exemptions for the arithmetic pass: float-adjacent
+/// operations (no wrap semantics), `+ 'static` / `+ Send` trait-bound
+/// positions, and `*`-deref/`-`-negation already excluded by the
+/// binary-position check at the call site.
+fn arith_is_exempt(pf: &ParsedFile, code: &[usize], p: usize) -> bool {
+    if float_adjacent(pf, code, p) {
+        return true;
+    }
+    let toks = &pf.tokens.toks;
+    let src = &pf.source;
+    let neighbor = |q: Option<usize>| q.map(|q| (&toks[code[q]], toks[code[q]].text(src)));
+    for nb in [p.checked_sub(1), (p + 1 < code.len()).then_some(p + 1)] {
+        if let Some((t, s)) = neighbor(nb) {
+            if t.kind == TokenKind::Lifetime {
+                return true;
+            }
+            if t.kind == TokenKind::Ident && is_camel_type(s) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Whether either operand next to the operator at code position `p` is
+/// visibly a float: a float literal, or an `f64`/`f32` ident (the tail
+/// of an `as f64` cast).
+fn float_adjacent(pf: &ParsedFile, code: &[usize], p: usize) -> bool {
+    let toks = &pf.tokens.toks;
+    let src = &pf.source;
+    for q in [p.checked_sub(1), (p + 1 < code.len()).then_some(p + 1)]
+        .into_iter()
+        .flatten()
+    {
+        let t = &toks[code[q]];
+        if t.kind == TokenKind::Float {
+            return true;
+        }
+        if t.kind == TokenKind::Ident && matches!(t.text(src), "f64" | "f32") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `debug_assert*!( … )` argument byte spans in one file.
+fn debug_assert_spans(pf: &ParsedFile, code: &[usize]) -> Vec<(usize, usize)> {
+    let toks = &pf.tokens.toks;
+    let src = &pf.source;
+    let mut spans = Vec::new();
+    let mut p = 0;
+    while p + 2 < code.len() {
+        let name = toks[code[p]].text(src);
+        if toks[code[p]].kind == TokenKind::Ident
+            && name.starts_with("debug_assert")
+            && toks[code[p + 1]].text(src) == "!"
+            && matches!(toks[code[p + 2]].text(src), "(" | "[")
+        {
+            let open = code[p + 2];
+            let mut depth = 0i32;
+            let mut q = p + 2;
+            while q < code.len() {
+                match toks[code[q]].text(src) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                q += 1;
+            }
+            let close = code
+                .get(q)
+                .copied()
+                .unwrap_or(*code.last().unwrap_or(&open));
+            spans.push((toks[open].lo, toks[close].hi));
+            p = q + 1;
+            continue;
+        }
+        p += 1;
+    }
+    spans
+}
+
+/// Resolves one call and records the edge / ambiguity / miss.
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    g: &mut CallGraph,
+    node: usize,
+    name: &str,
+    prev: Option<&str>,
+    prev2: Option<&str>,
+    owner: Option<&str>,
+    by_owner_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    method_by_name: &BTreeMap<&str, Vec<usize>>,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+) {
+    let add_edge = |g: &mut CallGraph, callee: usize| {
+        g.calls_resolved += 1;
+        g.edges[node].push(callee);
+    };
+    let record_ambiguous = |g: &mut CallGraph, name: &str, cands: &[usize]| {
+        let qnames: BTreeSet<String> = cands.iter().map(|&c| g.nodes[c].qname.clone()).collect();
+        g.ambiguities
+            .entry(name.to_string())
+            .or_default()
+            .extend(qnames);
+    };
+    match prev {
+        Some(".") => {
+            // Method call: same-owner method wins, else unique-name.
+            if let Some(o) = owner {
+                if let Some(c) = by_owner_name.get(&(o, name)) {
+                    if c.len() == 1 {
+                        add_edge(g, c[0]);
+                        return;
+                    }
+                }
+            }
+            match method_by_name.get(name).map(Vec::as_slice) {
+                Some([one]) => add_edge(g, *one),
+                Some(many) if many.len() > 1 => record_ambiguous(g, name, many),
+                _ => g.calls_unresolved += 1,
+            }
+        }
+        Some("::") => {
+            let qualifier = prev2.unwrap_or("");
+            let looked_up_owner = if qualifier == "Self" {
+                owner
+            } else {
+                Some(qualifier)
+            };
+            if let Some(o) = looked_up_owner {
+                if let Some(c) = by_owner_name.get(&(o, name)) {
+                    match c.as_slice() {
+                        [one] => add_edge(g, *one),
+                        many => record_ambiguous(g, name, many),
+                    }
+                    return;
+                }
+            }
+            // `module::name(..)`: fall back to free fns by name.
+            match free_by_name.get(name).map(Vec::as_slice) {
+                Some([one]) => add_edge(g, *one),
+                Some(many) if many.len() > 1 => record_ambiguous(g, name, many),
+                _ => g.calls_unresolved += 1,
+            }
+        }
+        _ => {
+            // Bare call: a free fn, unique workspace-wide (or unique in
+            // the calling crate — local names shadow).
+            match free_by_name.get(name).map(Vec::as_slice) {
+                Some([one]) => add_edge(g, *one),
+                Some(many) if many.len() > 1 => {
+                    let same_crate: Vec<usize> = many
+                        .iter()
+                        .copied()
+                        .filter(|&c| g.nodes[c].krate == g.nodes[node].krate)
+                        .collect();
+                    if let [one] = same_crate.as_slice() {
+                        add_edge(g, *one);
+                    } else {
+                        record_ambiguous(g, name, many);
+                    }
+                }
+                _ => g.calls_unresolved += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| ParsedFile::new(p, s)).collect();
+        let g = build(&parsed);
+        (parsed, g)
+    }
+
+    fn node(g: &CallGraph, q: &str) -> usize {
+        let ids = g.resolve_qname(q);
+        assert_eq!(ids.len(), 1, "{q} -> {ids:?}");
+        ids[0]
+    }
+
+    #[test]
+    fn direct_and_qualified_calls_resolve() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn top() { helper(3); QueueArray::route(q); }\n\
+             fn helper(x: u32) -> u32 { x }\n\
+             impl QueueArray { fn route(&mut self) { self.inner(); } fn inner(&mut self) {} }",
+        )]);
+        let top = node(&g, "top");
+        assert!(g.edges[top].contains(&node(&g, "helper")));
+        assert!(g.edges[top].contains(&node(&g, "QueueArray::route")));
+        let route = node(&g, "QueueArray::route");
+        assert!(g.edges[route].contains(&node(&g, "QueueArray::inner")));
+    }
+
+    #[test]
+    fn cross_crate_method_resolution_is_unique_name() {
+        let (_, g) = graph_of(&[
+            (
+                "crates/rlb-serve/src/proto.rs",
+                "impl Cursor { fn u16at(&mut self) -> u16 { 0 } }",
+            ),
+            (
+                "crates/rlb-serve/src/wire.rs",
+                "fn decode(c: &mut Cursor) { c.u16at(); }",
+            ),
+        ]);
+        let d = node(&g, "decode");
+        assert_eq!(g.edges[d], vec![node(&g, "Cursor::u16at")]);
+    }
+
+    #[test]
+    fn ambiguous_methods_get_no_edge_but_are_recorded() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\n\
+             fn f(x: &C) { x.go(); }",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.edges[f].is_empty());
+        let cands = g.ambiguities.get("go").expect("recorded");
+        assert!(cands.contains("A::go") && cands.contains("B::go"));
+    }
+
+    #[test]
+    fn test_fns_do_not_capture_resolution() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn f(x: &T) { x.probe(); }\n\
+             #[cfg(test)]\nmod tests { impl Fake { fn probe(&self) { panic!() } } }",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.edges[f].is_empty());
+        assert_eq!(g.calls_unresolved, 1);
+    }
+
+    #[test]
+    fn panic_sites_are_classified() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn f(v: &[u32], x: Option<u32>, n: u32) -> u32 {\n\
+             let a = x.unwrap();\n\
+             let b = x.expect(\"m\");\n\
+             if n == 0 { panic!(\"n\"); }\n\
+             let c = v[0];\n\
+             let [d, e] = v else { unreachable!() };\n\
+             a + b + c + d + e + n / 2\n}",
+        )]);
+        let f = node(&g, "f");
+        let kinds: Vec<PanicKind> = g.panic_sites[f].iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&PanicKind::Unwrap));
+        assert!(kinds.contains(&PanicKind::Expect));
+        assert!(kinds.contains(&PanicKind::Panic));
+        assert!(kinds.contains(&PanicKind::Index));
+        assert!(kinds.contains(&PanicKind::SlicePattern));
+        assert!(kinds.contains(&PanicKind::Unreachable));
+        assert!(kinds.contains(&PanicKind::DivMod));
+    }
+
+    #[test]
+    fn arith_sites_skip_floats_bounds_and_debug_asserts() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn f(a: u32, b: u32, x: f64) -> u32 {\n\
+             let c = a + b;\n\
+             let d = x * 2.0;\n\
+             let e: Box<dyn Fn() + Send> = Box::new(|| {});\n\
+             debug_assert!(a + b < 1000);\n\
+             c - 1\n}",
+        )]);
+        let f = node(&g, "f");
+        let live: Vec<&ArithSite> = g.arith_sites[f]
+            .iter()
+            .filter(|s| !s.debug_asserted)
+            .collect();
+        assert_eq!(live.len(), 2, "{:?}", g.arith_sites[f]);
+        assert_eq!(live[0].op, "+");
+        assert_eq!(live[1].op, "-");
+        assert!(g.arith_sites[f].iter().any(|s| s.debug_asserted));
+    }
+
+    #[test]
+    fn checked_and_saturating_ops_are_naturally_exempt() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn f(a: u32, b: u32) -> u32 { a.checked_add(b).unwrap_or(0).saturating_mul(2) }",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.arith_sites[f].is_empty());
+    }
+
+    #[test]
+    fn try_sites_are_counted_not_panics() {
+        let (_, g) = graph_of(&[(
+            "crates/rlb-core/src/sim.rs",
+            "fn f(x: Option<u32>) -> Option<u32> { let y = x?; Some(y) }",
+        )]);
+        let f = node(&g, "f");
+        assert_eq!(g.try_counts[f], 1);
+        assert!(g.panic_sites[f].is_empty());
+    }
+
+    #[test]
+    fn file_roots_enumerate_non_test_fns() {
+        let (files, g) = graph_of(&[(
+            "crates/rlb-serve/src/proto.rs",
+            "fn a() {} fn b() {}\n#[cfg(test)]\nmod t { fn c() {} }",
+        )]);
+        let ids = g.fns_in_file(&files, "crates/rlb-serve/src/proto.rs");
+        assert_eq!(ids.len(), 2);
+    }
+}

@@ -18,6 +18,7 @@
 /// The result of [`scrub`]: code with comments/literals blanked, and
 /// the per-line comment text.
 #[derive(Debug, Clone)]
+// return type of `scrub`/`scrub_via_tokens`. lint:allow(dead-pub)
 pub struct Scrubbed {
     /// The source with every comment byte and literal-content byte
     /// replaced by a space. String delimiters (`"`) are kept so the
@@ -161,6 +162,9 @@ pub fn scrub(source: &str) -> Scrubbed {
             if b == b'b' && src.get(i + 1) == Some(&b'\'') {
                 let end = scan_char_literal(src, i + 1);
                 blank(&mut out, i + 2, end.saturating_sub(1));
+                // An unterminated literal's scan can swallow the line's
+                // newline; keep the comment-line accounting true.
+                line += src[i..end].iter().filter(|&&b| b == b'\n').count();
                 i = end;
                 continue;
             }
@@ -172,7 +176,16 @@ pub fn scrub(source: &str) -> Scrubbed {
             loop {
                 match src.get(k) {
                     None => break,
-                    Some(b'\\') => k += 2,
+                    Some(b'\\') => {
+                        // A `\` line continuation escapes the newline;
+                        // it still ends a source line, so count it or
+                        // every comment after the string lands one line
+                        // short (mis-attaching `lint:allow` entries).
+                        if src.get(k + 1) == Some(&b'\n') {
+                            line += 1;
+                        }
+                        k += 2;
+                    }
                     Some(b'"') => break,
                     Some(b'\n') => {
                         line += 1;
@@ -192,6 +205,9 @@ pub fn scrub(source: &str) -> Scrubbed {
         if b == b'\'' {
             if let Some(end) = try_char_literal(src, i) {
                 blank(&mut out, i + 1, end - 1);
+                // As with byte-chars above: an unterminated escape scan
+                // can swallow the newline; count it.
+                line += src[i..end].iter().filter(|&&b| b == b'\n').count();
                 i = end;
                 continue;
             }
@@ -224,8 +240,10 @@ fn scan_char_literal(src: &[u8], quote: usize) -> usize {
 fn try_char_literal(src: &[u8], start: usize) -> Option<usize> {
     let next = *src.get(start + 1)?;
     if next == b'\\' {
-        // Escape: definitely a char literal.
-        let mut k = start + 2;
+        // Escape: definitely a char literal. Skip the backslash AND the
+        // escaped byte before searching for the closing quote, or
+        // `'\''` ends at its escaped quote.
+        let mut k = start + 3;
         while k < src.len() && src[k] != b'\'' && src[k] != b'\n' {
             k += 1;
         }

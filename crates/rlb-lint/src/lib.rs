@@ -7,14 +7,27 @@
 //! **zero-overhead when disabled** (the `rlb-sim bench` 0.95x gate).
 //! One stray `HashMap` iteration, `Instant::now()` in accounting code,
 //! or an unguarded `sink.on_event(..)` silently breaks both. This crate
-//! guards them statically: a small lexer strips comments and string
-//! literals ([`lexer`]), and rule passes ([`rules`]) scan every
-//! `crates/*/src` file, reporting `file:line` diagnostics.
+//! guards them statically.
+//!
+//! The analysis is two-phase:
+//!
+//! 1. **Per-file rules** ([`rules`]) over a spanned token stream
+//!    ([`token`]) — determinism, trace-guard, panic-discipline,
+//!    lossy-cast, raw-sync.
+//! 2. **Workspace passes** ([`passes`]) over a name-resolution-
+//!    approximate call graph ([`callgraph`]) built from the parsed
+//!    item structure ([`items`]): panic-reachability and unchecked
+//!    arithmetic inside the cones of the roots declared in
+//!    `lint-roots.toml` ([`roots`]), plus a dead-pub-surface sweep
+//!    that counts references from every crate, test, example, and
+//!    binary in the workspace.
 //!
 //! * Suppress a benign finding with `// lint:allow(<rule>)` on the
 //!   same line or the line above — always with a justification comment.
 //! * `#[cfg(test)]` modules are exempt (tests may unwrap and hash).
-//! * Run it as `rlb-sim lint [--root PATH]`; exits nonzero on findings.
+//! * Run it as `rlb-sim lint [--root PATH] [--json [PATH]]`; exits
+//!   nonzero on findings. `unused-suppression` and `lint-roots`
+//!   (manifest rot) findings are not themselves suppressible.
 //!
 //! No external dependencies, consistent with the workspace's in-repo
 //! serde/proptest replacements; the linter lints itself (it is part of
@@ -23,20 +36,51 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
+pub mod passes;
+pub mod roots;
 pub mod rules;
+pub mod token;
 
-pub use rules::{lint_source, Finding, RULES};
+pub use rules::{lint_source, Finding};
 
+use items::ParsedFile;
+use rules::Suppressions;
 use std::path::{Path, PathBuf};
+
+/// Counters from the workspace analysis, for the report footer and the
+/// JSON artifact — they make a "0 findings" run auditable (a lint that
+/// resolved 0 roots or built 0 edges is vacuously green, not clean).
+#[derive(Debug, Clone, Copy, Default)]
+// field type of `LintReport::stats`. lint:allow(dead-pub)
+pub struct LintStats {
+    /// Non-test functions in the call graph.
+    pub fns: usize,
+    /// Resolved call edges between them.
+    pub edges: usize,
+    /// Root functions resolved from `lint-roots.toml`.
+    pub root_fns: usize,
+    /// Functions reachable from any root (roots included).
+    pub cone_fns: usize,
+    /// Method/free-fn names left unresolved because several candidates
+    /// share the name (documented false-negative surface: no edge is
+    /// drawn for these).
+    pub ambiguous_names: usize,
+    /// `pub` items checked by the dead-pub-surface pass.
+    pub pub_items: usize,
+}
 
 /// The outcome of a workspace scan.
 #[derive(Debug, Clone)]
 pub struct LintReport {
-    /// Files scanned, in scan order.
+    /// Files scanned (linted, not counting reference-only files).
     pub files_scanned: usize,
-    /// All unsuppressed findings, sorted by file then line.
+    /// All unsuppressed findings, sorted by file, line, column, rule.
     pub findings: Vec<Finding>,
+    /// Analysis counters.
+    pub stats: LintStats,
 }
 
 impl LintReport {
@@ -45,21 +89,24 @@ impl LintReport {
         self.findings.is_empty()
     }
 
-    /// Renders the report as the CLI prints it: one `file:line: [rule]
-    /// message` per finding plus a summary line. Dead `lint:allow`
-    /// entries (rule `unused-suppression`) are counted out separately
-    /// so the summary shows both numbers at a glance.
+    /// Dead `lint:allow` entries (rule `unused-suppression`).
+    pub fn dead_suppressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.rule == "unused-suppression")
+            .count()
+    }
+
+    /// Renders the report as the CLI prints it: one `file:line:col:
+    /// [rule] message` per finding, a summary line, and an analysis
+    /// stats line.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(out, "{f}");
         }
-        let dead = self
-            .findings
-            .iter()
-            .filter(|f| f.rule == "unused-suppression")
-            .count();
+        let dead = self.dead_suppressions();
         let _ = writeln!(
             out,
             "rlb-lint: {} file(s) scanned, {} finding(s), {} dead suppression(s)",
@@ -67,16 +114,163 @@ impl LintReport {
             self.findings.len() - dead,
             dead
         );
+        let s = &self.stats;
+        let _ = writeln!(
+            out,
+            "rlb-lint: call graph: {} fn(s), {} edge(s), {} root(s) -> {} reachable, \
+             {} ambiguous name(s); {} pub item(s) checked",
+            s.fns, s.edges, s.root_fns, s.cone_fns, s.ambiguous_names, s.pub_items
+        );
+        out
+    }
+
+    /// Renders the report as a single JSON object (hand-rolled — the
+    /// workspace takes no external dependencies) for the CI artifact.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"files_scanned\": ");
+        let _ = write!(out, "{}", self.files_scanned);
+        out.push_str(",\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(f.rule),
+                json_escape(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let s = &self.stats;
+        let _ = write!(
+            out,
+            "  \"dead_suppressions\": {},\n  \"stats\": {{\"fns\": {}, \"edges\": {}, \
+             \"root_fns\": {}, \"cone_fns\": {}, \"ambiguous_names\": {}, \
+             \"pub_items\": {}}},\n  \"clean\": {}\n}}\n",
+            self.dead_suppressions(),
+            s.fns,
+            s.edges,
+            s.root_fns,
+            s.cone_fns,
+            s.ambiguous_names,
+            s.pub_items,
+            self.is_clean()
+        );
         out
     }
 }
 
-/// Lints every `.rs` file under `crates/*/src` of the workspace at
-/// `root`.
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether a workspace-relative path is *linted* (subject to rules and
+/// passes) as opposed to reference-only (scanned for identifiers by the
+/// dead-pub pass: crate `tests/`/`examples/`/`benches/`, root `tests/`).
+fn is_linted_path(rel_path: &str) -> bool {
+    match rel_path.strip_prefix("crates/") {
+        Some(rest) => rest
+            .split_once('/')
+            .is_some_and(|(_, tail)| tail.starts_with("src/")),
+        None => false,
+    }
+}
+
+/// Pure in-memory entry point: lints `files` (workspace-relative path,
+/// source text) with the optional `lint-roots.toml` text. Files under
+/// `crates/*/src/` are linted; everything else participates only as
+/// reference material for the dead-pub pass.
 ///
 /// # Errors
-/// Returns a message when `root` has no `crates/` directory or a file
-/// cannot be read (findings are diagnostics, not errors).
+/// Returns a message when the roots manifest is malformed (findings are
+/// diagnostics, not errors; a broken manifest is an error).
+pub fn lint_files(
+    files: &[(String, String)],
+    roots_toml: Option<&str>,
+) -> Result<LintReport, String> {
+    let manifest = match roots_toml {
+        Some(text) => roots::parse_manifest(text).map_err(|e| format!("lint-roots.toml: {e}"))?,
+        None => roots::Manifest::default(),
+    };
+    let mut linted: Vec<ParsedFile> = Vec::new();
+    let mut reference: Vec<ParsedFile> = Vec::new();
+    for (path, source) in files {
+        let pf = ParsedFile::new(path, source);
+        if is_linted_path(path) {
+            linted.push(pf);
+        } else {
+            reference.push(pf);
+        }
+    }
+    let allows: Vec<Suppressions> = linted
+        .iter()
+        .map(|pf| rules::allow_by_line(&pf.comments))
+        .collect();
+
+    let mut findings = Vec::new();
+    // Phase 1: per-file rules.
+    for (pf, allow) in linted.iter().zip(&allows) {
+        rules::file_rules(pf, allow, &mut findings);
+    }
+    // Phase 2: workspace passes over the call graph.
+    let g = callgraph::build(&linted);
+    let reach = passes::cone_passes(&linted, &allows, &g, &manifest, &mut findings);
+    let pub_items = passes::dead_pub(&linted, &reference, &allows, &mut findings);
+    // Unused-suppression audit runs last: every rule above has marked
+    // the `lint:allow` entries it consumed.
+    for (pf, allow) in linted.iter().zip(&allows) {
+        rules::unused_suppressions(pf, allow, rules::RULES, &mut findings);
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(LintReport {
+        files_scanned: linted.len(),
+        findings,
+        stats: LintStats {
+            fns: g.nodes.len(),
+            edges: g.edges.iter().map(Vec::len).sum(),
+            root_fns: reach.root_fns,
+            cone_fns: reach.cone_fns,
+            ambiguous_names: g.ambiguities.len(),
+            pub_items,
+        },
+    })
+}
+
+/// Lints every `.rs` file under `crates/*/src` of the workspace at
+/// `root`, using `crates/*/{tests,examples,benches}` and the root
+/// `tests/` directory as reference material and `lint-roots.toml` (if
+/// present) as the panic-reachability root manifest.
+///
+/// # Errors
+/// Returns a message when `root` has no `crates/` directory, a file
+/// cannot be read, or the roots manifest is malformed (findings are
+/// diagnostics, not errors).
 pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
@@ -91,22 +285,36 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
         .filter(|p| p.join("src").is_dir())
         .collect();
     crate_dirs.sort();
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for dir in &crate_dirs {
-        collect_rs_files(&dir.join("src"), &mut files)?;
+        collect_rs_files(&dir.join("src"), &mut paths)?;
+        for aux in ["tests", "examples", "benches"] {
+            let d = dir.join(aux);
+            if d.is_dir() {
+                collect_rs_files(&d, &mut paths)?;
+            }
+        }
     }
-    let mut findings = Vec::new();
-    for file in &files {
-        let rel = rel_path(root, file);
+    let root_tests = root.join("tests");
+    if root_tests.is_dir() {
+        collect_rs_files(&root_tests, &mut paths)?;
+    }
+    let mut files = Vec::new();
+    for file in &paths {
         let source = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        findings.extend(lint_source(&rel, &source));
+        files.push((rel_path(root, file), source));
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(LintReport {
-        files_scanned: files.len(),
-        findings,
-    })
+    let manifest_path = root.join("lint-roots.toml");
+    let roots_toml = if manifest_path.is_file() {
+        Some(
+            std::fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?,
+        )
+    } else {
+        None
+    };
+    lint_files(&files, roots_toml.as_deref())
 }
 
 /// Recursively collects `.rs` files, sorted for deterministic output.
@@ -166,6 +374,63 @@ mod tests {
         assert_eq!(report.findings[0].file, "crates/rlb-core/src/sim.rs");
         let text = report.render();
         assert!(text.contains("2 file(s) scanned, 1 finding(s)"), "{text}");
+        assert!(text.contains("call graph:"), "{text}");
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn walker_reads_roots_manifest_and_reference_dirs() {
+        let root = std::env::temp_dir().join("rlb_lint_walk_roots_test");
+        let _ = std::fs::remove_dir_all(&root);
+        let src = root.join("crates/rlb-core/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(root.join("crates/rlb-core/tests")).unwrap();
+        std::fs::write(
+            src.join("sim.rs"),
+            "pub fn run(x: Option<u32>) -> u32 { x.unwrap() }\npub fn spare() {}\n",
+        )
+        .unwrap();
+        // The crate's own tests/ keep `spare` alive; `run` panics.
+        std::fs::write(
+            root.join("crates/rlb-core/tests/api.rs"),
+            "fn t() { rlb_core::spare(); rlb_core::run(None); }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            root.join("lint-roots.toml"),
+            "[[root]]\nfn = \"run\"\nreason = \"test root\"\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&root).unwrap();
+        assert_eq!(report.files_scanned, 1, "{report:?}");
+        assert_eq!(report.stats.root_fns, 1);
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"panic-path"), "{report:?}");
+        assert!(!rules.contains(&"dead-pub"), "{report:?}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_manifest_is_an_error_not_a_finding() {
+        let files = vec![(
+            "crates/rlb-core/src/sim.rs".to_string(),
+            "fn f() {}\n".to_string(),
+        )];
+        let err = lint_files(&files, Some("[[root]]\nreason = \"no target\"\n"));
+        assert!(err.is_err(), "{err:?}");
+    }
+
+    #[test]
+    fn json_report_shape_and_escaping() {
+        let files = vec![(
+            "crates/rlb-core/src/sim.rs".to_string(),
+            "fn f() { let m = std::collections::HashMap::new(); }\n".to_string(),
+        )];
+        let report = lint_files(&files, None).unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 1"), "{json}");
+        assert!(json.contains("\"rule\": \"determinism\""), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

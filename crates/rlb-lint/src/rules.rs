@@ -1,25 +1,28 @@
-//! The rule passes.
+//! The per-file rule passes.
 //!
-//! Every rule scans the *scrubbed* source (comments and literals
-//! blanked, see [`crate::lexer`]), so findings never fire on prose.
-//! `#[cfg(test)]` regions are exempt from every rule, and a finding is
-//! suppressed by a `// lint:allow(<rule>)` comment on the same line or
-//! the line above.
+//! Every rule scans the *token stream* (see [`crate::token`]) of a
+//! parsed file, so findings carry exact line:column positions and never
+//! fire on comment or string-literal prose. `#[cfg(test)]` regions are
+//! exempt from every rule, and a finding is suppressed by a
+//! `// lint:allow(<rule>)` comment on the same line or the line above.
 //!
 //! | rule               | scope                                   | forbids |
 //! |--------------------|-----------------------------------------|---------|
 //! | `determinism`      | all crates except `rlb-bench`/`rlb-cli` | `HashMap`/`HashSet`, `Instant::now`/`SystemTime`, `thread_rng`/`rand::` |
-//! | `trace-guard`      | `rlb-core`, `rlb-kv`                    | `.on_event(` outside `if S::ENABLED { … }` (sink impls exempt) |
-//! | `panic-discipline` | `rlb-core::{sim,queue}`, `rlb-kv::cluster` | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `lossy-cast`       | `rlb-core::stats`, `rlb-metrics`, `rlb-trace::aggregate`, `rlb-pool`, `rlb-experiments` | narrowing `as u8` / `as u16` / `as u32` |
+//! | `trace-guard`      | `rlb-core`, `rlb-kv`, `rlb-serve`, `rlb-load` | `.on_event(` outside `if S::ENABLED { … }` (sink impls exempt) |
+//! | `panic-discipline` | engine hot path + serve/load hot files  | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `lossy-cast`       | accounting code + `rlb-serve`/`rlb-load` | narrowing `as u8` / `as u16` / `as u32` |
 //! | `raw-sync`         | all crates except `rlb-sync`/`rlb-check` | `std::sync::*` (except `Arc`/`Weak` and the lock-result types) and `thread::spawn`/`scope`/`Builder` — primitives come from `rlb_sync`, so the `model` feature can route them through the checker |
 //!
-//! One meta rule, `unused-suppression`, runs after all of the above in
-//! every scanned file: a `lint:allow` naming a catalog rule that
-//! suppressed nothing is itself a finding (and is deliberately not
-//! suppressible — stale excuses hide real ones).
+//! The transitive workspace passes (`panic-path`, `unchecked-arith`,
+//! `dead-pub` — see [`crate::passes`]) share this module's [`Finding`]
+//! and suppression machinery. One meta rule, `unused-suppression`,
+//! runs after everything else: a `lint:allow` naming a catalog rule
+//! that suppressed nothing is itself a finding (and is deliberately
+//! not suppressible — stale excuses hide real ones).
 
-use crate::lexer::{scrub, Scrubbed};
+use crate::items::ParsedFile;
+use crate::token::TokenKind;
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +31,9 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
+    /// 1-based column (0 when the finding has no single token, e.g.
+    /// manifest rot).
+    pub col: usize,
     /// Rule name (one of [`RULES`]).
     pub rule: &'static str,
     /// What fired and what to do about it.
@@ -36,18 +42,24 @@ pub struct Finding {
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
+        if self.col > 0 {
+            write!(
+                f,
+                "{}:{}:{}: [{}] {}",
+                self.file, self.line, self.col, self.rule, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
     }
 }
 
-/// The rule catalog (names usable in `lint:allow(...)`). The meta rule
-/// `unused-suppression` is intentionally absent: it reports dead
-/// `lint:allow` entries and cannot itself be suppressed.
-pub const RULES: &[&str] = &[
+/// The per-file rules (appliable by [`lint_source`] on one file alone).
+pub(crate) const FILE_RULES: &[&str] = &[
     "determinism",
     "trace-guard",
     "panic-discipline",
@@ -55,20 +67,43 @@ pub const RULES: &[&str] = &[
     "raw-sync",
 ];
 
+/// The full rule catalog (names usable in `lint:allow(...)`): the
+/// per-file rules plus the transitive workspace passes. The meta rules
+/// `unused-suppression` and `lint-roots` are intentionally absent:
+/// dead excuses and manifest rot cannot be suppressed.
+pub(crate) const RULES: &[&str] = &[
+    "determinism",
+    "trace-guard",
+    "panic-discipline",
+    "lossy-cast",
+    "raw-sync",
+    "panic-path",
+    "unchecked-arith",
+    "dead-pub",
+];
+
 /// Crates whose code may read clocks / use ambient hashing: the bench
 /// harness measures wall time by design, and the CLI reports it.
 const DETERMINISM_ALLOW_CRATES: &[&str] = &["rlb-bench", "rlb-cli"];
 
-/// Files holding the engine hot path, where a panic aborts a
-/// simulation mid-step.
+/// Files holding hot paths where a panic aborts a simulation mid-step
+/// (engine) or kills a serving connection on attacker-controlled bytes
+/// (serve/load, widened with the call-graph PR).
 const PANIC_SCOPE: &[&str] = &[
     "crates/rlb-core/src/sim.rs",
     "crates/rlb-core/src/queue.rs",
     "crates/rlb-kv/src/cluster.rs",
+    "crates/rlb-serve/src/proto.rs",
+    "crates/rlb-serve/src/core.rs",
+    "crates/rlb-load/src/client.rs",
+    "crates/rlb-load/src/sim_driver.rs",
 ];
 
-/// Crates whose emission sites must be behind `if S::ENABLED`.
-const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv"];
+/// Crates whose emission sites must be behind `if S::ENABLED`. The
+/// serve/load layer joined when its hot paths gained trace hooks as a
+/// possibility: the rule is a no-op there until one exists, and then
+/// it is not.
+const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv", "rlb-serve", "rlb-load"];
 
 /// The sync-shim layer: the only crates allowed to touch
 /// `std::sync`/`std::thread` primitives directly. `rlb-sync` is the
@@ -79,61 +114,89 @@ const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv"];
 /// primitives for instrumented ones.
 const RAW_SYNC_ALLOW_CRATES: &[&str] = &["rlb-sync", "rlb-check"];
 
-/// Lints one file. `rel_path` is workspace-relative with forward
-/// slashes (e.g. `crates/rlb-core/src/sim.rs`); it selects which rules
-/// apply.
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let scrubbed = scrub(source);
-    let analysis = analyze(&scrubbed.code);
-    let allow = allow_by_line(&scrubbed.comments);
-    let mut findings = Vec::new();
-
-    let krate = crate_of(rel_path).unwrap_or("");
-
-    if !DETERMINISM_ALLOW_CRATES.contains(&krate) {
-        determinism(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-    }
-    if TRACE_GUARD_CRATES.contains(&krate) {
-        trace_guard(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-    }
-    if PANIC_SCOPE.contains(&rel_path) {
-        panic_discipline(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-    }
-    if in_lossy_cast_scope(rel_path) {
-        lossy_cast(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-    }
-    if !RAW_SYNC_ALLOW_CRATES.contains(&krate) {
-        raw_sync(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-    }
-    unused_suppressions(rel_path, &scrubbed, &analysis, &allow, &mut findings);
-
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
-}
-
-/// The crate name of `crates/<name>/src/...` paths.
-fn crate_of(rel_path: &str) -> Option<&str> {
-    rel_path.strip_prefix("crates/")?.split('/').next()
-}
-
 fn in_lossy_cast_scope(rel_path: &str) -> bool {
     rel_path == "crates/rlb-core/src/stats.rs"
         || rel_path.starts_with("crates/rlb-metrics/src/")
         || rel_path == "crates/rlb-trace/src/aggregate.rs"
         || rel_path.starts_with("crates/rlb-pool/src/")
         || rel_path.starts_with("crates/rlb-experiments/src/")
+        || rel_path.starts_with("crates/rlb-serve/src/")
+        || rel_path.starts_with("crates/rlb-load/src/")
+}
+
+/// Lints one file in isolation: the per-file rules plus the dead-
+/// suppression check against [`FILE_RULES`] (a `lint:allow` naming a
+/// workspace pass is left for the workspace engine to judge).
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let pf = ParsedFile::new(rel_path, source);
+    let allow = allow_by_line(&pf.comments);
+    let mut findings = Vec::new();
+    file_rules(&pf, &allow, &mut findings);
+    unused_suppressions(&pf, &allow, FILE_RULES, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+/// Runs every in-scope per-file rule on a parsed file. The caller owns
+/// the suppression table so workspace passes can share its usage flags
+/// before the dead-suppression check runs.
+pub(crate) fn file_rules(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
+    let krate = pf.crate_name();
+    if !DETERMINISM_ALLOW_CRATES.contains(&krate) {
+        determinism(pf, allow, findings);
+    }
+    if TRACE_GUARD_CRATES.contains(&krate) {
+        trace_guard(pf, allow, findings);
+    }
+    if PANIC_SCOPE.contains(&pf.rel_path.as_str()) {
+        panic_discipline(pf, allow, findings);
+    }
+    if in_lossy_cast_scope(&pf.rel_path) {
+        lossy_cast(pf, allow, findings);
+    }
+    if !RAW_SYNC_ALLOW_CRATES.contains(&krate) {
+        raw_sync(pf, allow, findings);
+    }
 }
 
 // ---------------------------------------------------------------- rules
 
-fn determinism(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
-    allow: &Suppressions,
-    findings: &mut Vec<Finding>,
-) {
-    const TOKENS: &[(&str, &str)] = &[
+/// A file's code tokens as `(position-in-code-list, token-index)` with
+/// text/kind helpers — the shape every rule iterates over.
+struct Scan<'a> {
+    pf: &'a ParsedFile,
+    code: Vec<usize>,
+}
+
+impl<'a> Scan<'a> {
+    fn new(pf: &'a ParsedFile) -> Self {
+        let code = pf.tokens.code_tokens().map(|(i, _)| i).collect();
+        Scan { pf, code }
+    }
+
+    fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    fn text(&self, p: usize) -> &str {
+        self.pf.tokens.toks[self.code[p]].text(&self.pf.source)
+    }
+
+    fn kind(&self, p: usize) -> TokenKind {
+        self.pf.tokens.toks[self.code[p]].kind
+    }
+
+    fn at(&self, p: usize, s: &str) -> bool {
+        p < self.len() && self.text(p) == s
+    }
+
+    fn byte(&self, p: usize) -> usize {
+        self.pf.tokens.toks[self.code[p]].lo
+    }
+}
+
+fn determinism(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
+    const IDENTS: &[(&str, &str)] = &[
         (
             "HashMap",
             "iteration order and hasher seeding are nondeterministic; use a Vec / stamp array / BTreeMap",
@@ -142,53 +205,71 @@ fn determinism(
             "HashSet",
             "iteration order and hasher seeding are nondeterministic; use a Vec / stamp array / BTreeSet",
         ),
-        ("Instant::now", "wall-clock reads make runs irreproducible"),
         ("SystemTime", "wall-clock reads make runs irreproducible"),
         (
             "thread_rng",
             "ambient RNG breaks per-seed determinism; thread rlb_hash::Pcg64 from the config seed",
         ),
-        (
-            "rand::",
-            "ambient RNG breaks per-seed determinism; thread rlb_hash::Pcg64 from the config seed",
-        ),
     ];
-    for &(token, why) in TOKENS {
-        for pos in find_word(&scrubbed.code, token) {
+    let s = Scan::new(pf);
+    for p in 0..s.len() {
+        if s.kind(p) != TokenKind::Ident {
+            continue;
+        }
+        let t = s.text(p);
+        if let Some(&(token, why)) = IDENTS.iter().find(|(i, _)| *i == t) {
             emit(
                 findings,
-                rel_path,
-                scrubbed,
-                analysis,
+                pf,
                 allow,
-                pos,
+                s.byte(p),
                 "determinism",
                 format!("`{token}`: {why}"),
+            );
+            continue;
+        }
+        if t == "Instant" && s.at(p + 1, "::") && s.at(p + 2, "now") {
+            emit(
+                findings,
+                pf,
+                allow,
+                s.byte(p),
+                "determinism",
+                "`Instant::now`: wall-clock reads make runs irreproducible".to_string(),
+            );
+        }
+        if t == "rand" && s.at(p + 1, "::") {
+            emit(
+                findings,
+                pf,
+                allow,
+                s.byte(p),
+                "determinism",
+                "`rand::`: ambient RNG breaks per-seed determinism; thread rlb_hash::Pcg64 \
+                 from the config seed"
+                    .to_string(),
             );
         }
     }
 }
 
-fn trace_guard(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
-    allow: &Suppressions,
-    findings: &mut Vec<Finding>,
-) {
-    for site in &analysis.on_event_sites {
+fn trace_guard(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
+    let s = Scan::new(pf);
+    for p in 0..s.len() {
+        if !(s.at(p, "on_event") && p > 0 && s.at(p - 1, ".") && s.at(p + 1, "(")) {
+            continue;
+        }
+        let byte = s.byte(p - 1);
         // Sink implementations (and forwarders) live inside
         // `fn on_event` bodies; those are receivers, not emitters.
-        if site.guarded || site.in_fn_on_event {
+        if pf.items.in_guard(byte) || pf.items.in_on_event_fn(byte) {
             continue;
         }
         emit(
             findings,
-            rel_path,
-            scrubbed,
-            analysis,
+            pf,
             allow,
-            site.pos,
+            byte,
             "trace-guard",
             "`.on_event(..)` outside an `if S::ENABLED { .. }` guard: the emission (and its \
              argument construction) must compile out when the sink is disabled"
@@ -197,55 +278,61 @@ fn trace_guard(
     }
 }
 
-fn panic_discipline(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
-    allow: &Suppressions,
-    findings: &mut Vec<Finding>,
-) {
-    const TOKENS: &[&str] = &[
-        ".unwrap()",
-        ".expect(",
-        "panic!",
-        "unreachable!",
-        "todo!",
-        "unimplemented!",
-    ];
-    for &token in TOKENS {
-        for pos in find_word(&scrubbed.code, token) {
-            emit(
-                findings,
-                rel_path,
-                scrubbed,
-                analysis,
-                allow,
-                pos,
-                "panic-discipline",
-                format!(
-                    "`{token}` in engine hot-path code: convert to a debug-asserted infallible \
-                     path or propagate an error"
-                ),
-            );
+fn panic_discipline(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
+    const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let s = Scan::new(pf);
+    for p in 0..s.len() {
+        if s.kind(p) != TokenKind::Ident {
+            continue;
         }
+        let t = s.text(p);
+        let (byte, shown) =
+            if (t == "unwrap" || t == "expect") && p > 0 && s.at(p - 1, ".") && s.at(p + 1, "(") {
+                let shown = if t == "unwrap" {
+                    ".unwrap()"
+                } else {
+                    ".expect("
+                };
+                (s.byte(p - 1), shown)
+            } else if MACROS.contains(&t) && s.at(p + 1, "!") {
+                let shown = match t {
+                    "panic" => "panic!",
+                    "unreachable" => "unreachable!",
+                    "todo" => "todo!",
+                    _ => "unimplemented!",
+                };
+                (s.byte(p), shown)
+            } else {
+                continue;
+            };
+        emit(
+            findings,
+            pf,
+            allow,
+            byte,
+            "panic-discipline",
+            format!(
+                "`{shown}` in engine hot-path code: convert to a debug-asserted infallible \
+                 path or propagate an error"
+            ),
+        );
     }
 }
 
-fn lossy_cast(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
-    allow: &Suppressions,
-    findings: &mut Vec<Finding>,
-) {
-    for (pos, ty) in find_narrowing_as(&scrubbed.code) {
+fn lossy_cast(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
+    let s = Scan::new(pf);
+    for p in 0..s.len() {
+        if !s.at(p, "as") || s.kind(p) != TokenKind::Ident {
+            continue;
+        }
+        let Some(ty) = ["u8", "u16", "u32"].iter().find(|ty| s.at(p + 1, ty)) else {
+            continue;
+        };
         emit(
             findings,
-            rel_path,
-            scrubbed,
-            analysis,
+            pf,
             allow,
-            pos,
+            s.byte(p),
             "lossy-cast",
             format!(
                 "narrowing `as {ty}` in accounting code silently truncates; use `try_from` or \
@@ -255,42 +342,14 @@ fn lossy_cast(
     }
 }
 
-fn raw_sync(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
-    allow: &Suppressions,
-    findings: &mut Vec<Finding>,
-) {
+fn raw_sync(pf: &ParsedFile, allow: &Suppressions, findings: &mut Vec<Finding>) {
     // `thread::spawn` / `thread::scope` / `thread::Builder` catch both
     // `std::thread::` and `use std::thread; thread::` spellings — and,
     // on purpose, `rlb_sync::thread::spawn` too: outside the shim layer
     // threads come from pool jobs, not hand-rolled spawns. Benign
     // `std::thread` reads (`sleep`, `available_parallelism`, `current`)
     // stay legal.
-    const THREAD_TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
-    for &token in THREAD_TOKENS {
-        for pos in find_word(&scrubbed.code, token) {
-            emit(
-                findings,
-                rel_path,
-                scrubbed,
-                analysis,
-                allow,
-                pos,
-                "raw-sync",
-                format!(
-                    "`{token}` outside the sync-shim layer: raw threads are invisible to the \
-                     model checker; submit jobs via rlb_pool, or spawn through rlb_sync::thread \
-                     inside the executor"
-                ),
-            );
-        }
-    }
-
-    // Any `std::sync::` path except the sync-transparent re-exports
-    // must be imported from rlb_sync instead, or the `model` feature
-    // cannot swap it for the instrumented version.
+    const THREAD_FNS: &[&str] = &["spawn", "scope", "Builder"];
     const TRANSPARENT: &[&str] = &[
         "Arc",
         "Weak",
@@ -299,96 +358,114 @@ fn raw_sync(
         "TryLockError",
         "TryLockResult",
     ];
-    for pos in find_word(&scrubbed.code, "std::sync::") {
-        let rest = &scrubbed.code[pos + "std::sync::".len()..];
-        let seg: String = rest
-            .chars()
-            .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
-            .collect();
-        if TRANSPARENT.contains(&seg.as_str()) {
-            continue;
+    let s = Scan::new(pf);
+    for p in 0..s.len() {
+        if s.at(p, "thread") && s.at(p + 1, "::") {
+            if let Some(f) = THREAD_FNS.iter().find(|f| s.at(p + 2, f)) {
+                emit(
+                    findings,
+                    pf,
+                    allow,
+                    s.byte(p),
+                    "raw-sync",
+                    format!(
+                        "`thread::{f}` outside the sync-shim layer: raw threads are invisible \
+                         to the model checker; submit jobs via rlb_pool, or spawn through \
+                         rlb_sync::thread inside the executor"
+                    ),
+                );
+            }
         }
-        let what = if seg.is_empty() {
-            "a grouped `std::sync::{..}` import".to_string()
-        } else {
-            format!("`std::sync::{seg}`")
-        };
-        emit(
-            findings,
-            rel_path,
-            scrubbed,
-            analysis,
-            allow,
-            pos,
-            "raw-sync",
-            format!(
-                "{what} outside the sync-shim layer: import the primitive from rlb_sync so the \
-                 `model` feature can route it through the checker (only `Arc` and the \
-                 lock-result types may come from std::sync directly)"
-            ),
-        );
+        // Any `std::sync::` path except the sync-transparent re-exports
+        // must be imported from rlb_sync instead, or the `model`
+        // feature cannot swap it for the instrumented version.
+        if s.at(p, "std") && s.at(p + 1, "::") && s.at(p + 2, "sync") && s.at(p + 3, "::") {
+            let seg = (p + 4 < s.len() && s.kind(p + 4) == TokenKind::Ident)
+                .then(|| s.text(p + 4).to_string());
+            if seg.as_deref().is_some_and(|g| TRANSPARENT.contains(&g)) {
+                continue;
+            }
+            let what = match &seg {
+                Some(g) => format!("`std::sync::{g}`"),
+                None => "a grouped `std::sync::{..}` import".to_string(),
+            };
+            emit(
+                findings,
+                pf,
+                allow,
+                s.byte(p),
+                "raw-sync",
+                format!(
+                    "{what} outside the sync-shim layer: import the primitive from rlb_sync so \
+                     the `model` feature can route it through the checker (only `Arc` and the \
+                     lock-result types may come from std::sync directly)"
+                ),
+            );
+        }
     }
 }
 
-/// Pushes a finding at `pos` unless it is in a test region or
-/// suppressed by a `lint:allow` on its line or the line above.
-#[allow(clippy::too_many_arguments)]
-fn emit(
+/// Pushes a finding at byte offset `pos` unless it is in a test region
+/// or suppressed by a `lint:allow` on its line or the line above.
+pub(crate) fn emit(
     findings: &mut Vec<Finding>,
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
+    pf: &ParsedFile,
     allow: &Suppressions,
     pos: usize,
     rule: &'static str,
     message: String,
 ) {
-    if analysis.in_test(pos) {
+    if pf.items.in_test(pos) {
         return;
     }
-    let line = scrubbed.line_of(pos);
+    let line = pf.tokens.line_of(pos);
     if allow.suppresses(line, rule) {
         return;
     }
     findings.push(Finding {
-        file: rel_path.to_string(),
+        file: pf.rel_path.clone(),
         line,
+        col: pf.tokens.col_of(pos),
         rule,
         message,
     });
 }
 
-/// After every rule has run, reports catalog-rule `lint:allow` entries
-/// that suppressed nothing. Dead suppressions rot fastest of all
-/// annotations — the code they excused changes and the excuse outlives
-/// it — so they are findings in their own right. The meta rule is not
-/// in [`RULES`] and therefore cannot be suppressed; entries inside
-/// `#[cfg(test)]` regions and entries naming nothing in the catalog
-/// (prose like `lint:allow(<rule>)` in docs) are skipped.
-fn unused_suppressions(
-    rel_path: &str,
-    scrubbed: &Scrubbed,
-    analysis: &Analysis,
+/// After every pass has run, reports `lint:allow` entries naming a rule
+/// in `checked_rules` that suppressed nothing. Dead suppressions rot
+/// fastest of all annotations — the code they excused changes and the
+/// excuse outlives it — so they are findings in their own right. The
+/// meta rule is not in [`RULES`] and therefore cannot be suppressed;
+/// entries inside `#[cfg(test)]` regions and entries naming nothing in
+/// `checked_rules` (prose like `lint:allow(<rule>)` in docs, or a
+/// workspace-pass rule when only one file is linted) are skipped.
+pub(crate) fn unused_suppressions(
+    pf: &ParsedFile,
     allow: &Suppressions,
+    checked_rules: &[&str],
     findings: &mut Vec<Finding>,
 ) {
     let mut starts = vec![0usize];
-    for (i, b) in scrubbed.code.bytes().enumerate() {
+    for (i, b) in pf.source.bytes().enumerate() {
         if b == b'\n' {
             starts.push(i + 1);
         }
     }
     for (l0, entries) in allow.by_line.iter().enumerate() {
         for (rule, used) in entries {
-            if used.get() || !RULES.contains(&rule.as_str()) {
+            if used.get() || !checked_rules.contains(&rule.as_str()) {
                 continue;
             }
-            if analysis.in_test(starts.get(l0).copied().unwrap_or(usize::MAX)) {
+            if pf
+                .items
+                .in_test(starts.get(l0).copied().unwrap_or(usize::MAX))
+            {
                 continue;
             }
             findings.push(Finding {
-                file: rel_path.to_string(),
+                file: pf.rel_path.clone(),
                 line: l0 + 1,
+                col: 0,
                 rule: "unused-suppression",
                 message: format!(
                     "`lint:allow({rule})` suppresses no finding; delete it (stale excuses hide \
@@ -399,79 +476,21 @@ fn unused_suppressions(
     }
 }
 
-// ------------------------------------------------------------- scanning
-
-/// Byte positions of `token` in `code` with identifier boundaries: the
-/// byte before (and, when the token ends in an identifier byte, the
-/// byte after) must not be part of an identifier.
-fn find_word(code: &str, token: &str) -> Vec<usize> {
-    let bytes = code.as_bytes();
-    let tb = token.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0usize;
-    while let Some(off) = code[from..].find(token) {
-        let pos = from + off;
-        from = pos + 1;
-        if (tb[0].is_ascii_alphanumeric() || tb[0] == b'_')
-            && pos > 0
-            && is_ident_byte(bytes[pos - 1])
-        {
-            continue;
-        }
-        let last = tb[tb.len() - 1];
-        if (last.is_ascii_alphanumeric() || last == b'_')
-            && bytes
-                .get(pos + tb.len())
-                .copied()
-                .is_some_and(is_ident_byte)
-        {
-            continue;
-        }
-        out.push(pos);
-    }
-    out
-}
-
-/// Positions of `as u8` / `as u16` / `as u32` casts (any spacing).
-fn find_narrowing_as(code: &str) -> Vec<(usize, &'static str)> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    for pos in find_word(code, "as") {
-        let mut k = pos + 2;
-        while bytes.get(k).is_some_and(|b| b" \t\n".contains(b)) {
-            k += 1;
-        }
-        for ty in ["u8", "u16", "u32"] {
-            if code[k..].starts_with(ty)
-                && !bytes.get(k + ty.len()).is_some_and(|&b| is_ident_byte(b))
-            {
-                out.push((pos, ty));
-                break;
-            }
-        }
-    }
-    out
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
 /// Per-line `lint:allow(...)` annotations with per-entry usage
 /// tracking, so entries that suppress nothing can be reported by
 /// [`unused_suppressions`].
-struct Suppressions {
+pub(crate) struct Suppressions {
     /// 0-indexed by line: each entry is a rule name plus a "consumed at
     /// least one finding" flag ([`std::cell::Cell`] because the rule
     /// passes hold the table by shared reference).
-    by_line: Vec<Vec<(String, std::cell::Cell<bool>)>>,
+    pub(crate) by_line: Vec<Vec<(String, std::cell::Cell<bool>)>>,
 }
 
 impl Suppressions {
     /// Does an allow on `line` (1-based) or the line above name `rule`?
     /// Every matching entry is marked used — either copy justifies the
     /// suppression, so neither is dead.
-    fn suppresses(&self, line: usize, rule: &str) -> bool {
+    pub(crate) fn suppresses(&self, line: usize, rule: &str) -> bool {
         let mut hit = false;
         for l in [line.checked_sub(1), line.checked_sub(2)]
             .into_iter()
@@ -492,7 +511,7 @@ impl Suppressions {
 
 /// Extracts `lint:allow(rule, ...)` annotations from per-line comment
 /// text (0-indexed by line).
-fn allow_by_line(comments: &[String]) -> Suppressions {
+pub(crate) fn allow_by_line(comments: &[String]) -> Suppressions {
     let by_line = comments
         .iter()
         .map(|c| {
@@ -515,117 +534,6 @@ fn allow_by_line(comments: &[String]) -> Suppressions {
     Suppressions { by_line }
 }
 
-// ------------------------------------------------- structural analysis
-
-/// An `.on_event(` call site and its enclosing context.
-struct OnEventSite {
-    pos: usize,
-    /// Some enclosing block is `if <T>::ENABLED { .. }` (not negated).
-    guarded: bool,
-    /// Inside a `fn on_event` body (a sink impl or forwarder).
-    in_fn_on_event: bool,
-}
-
-/// Block structure of a scrubbed file: `#[cfg(test)]` regions and the
-/// contexts of every `.on_event(` call.
-struct Analysis {
-    test_ranges: Vec<(usize, usize)>,
-    on_event_sites: Vec<OnEventSite>,
-}
-
-impl Analysis {
-    fn in_test(&self, pos: usize) -> bool {
-        self.test_ranges
-            .iter()
-            .any(|&(lo, hi)| lo <= pos && pos < hi)
-    }
-}
-
-/// Walks the scrubbed code once, tracking brace nesting. Each `{` is
-/// classified by its *header* — the text since the last `{`, `}` or
-/// `;` — which is where `#[cfg(test)]`, `if S::ENABLED` and
-/// `fn on_event` necessarily appear.
-fn analyze(code: &str) -> Analysis {
-    struct Region {
-        start: usize,
-        test: bool,
-        guard: bool,
-        fn_on_event: bool,
-    }
-    let bytes = code.as_bytes();
-    let mut header = String::new();
-    let mut stack: Vec<Region> = Vec::new();
-    let mut test_ranges = Vec::new();
-    let mut on_event_sites = Vec::new();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b == b'.' && code[i..].starts_with(".on_event(") {
-            on_event_sites.push(OnEventSite {
-                pos: i,
-                guarded: stack.iter().any(|r| r.guard),
-                in_fn_on_event: stack.iter().any(|r| r.fn_on_event),
-            });
-        }
-        match b {
-            b'{' => {
-                stack.push(Region {
-                    start: i,
-                    test: header.contains("#[cfg(test)]") || header.contains("#[cfg(all(test"),
-                    guard: header_is_enabled_guard(&header),
-                    fn_on_event: header.contains("fn on_event"),
-                });
-                header.clear();
-            }
-            b'}' => {
-                if let Some(r) = stack.pop() {
-                    if r.test {
-                        test_ranges.push((r.start, i));
-                    }
-                }
-                header.clear();
-            }
-            b';' => header.clear(),
-            _ => header.push(b as char),
-        }
-    }
-    for r in stack {
-        if r.test {
-            test_ranges.push((r.start, bytes.len()));
-        }
-    }
-    Analysis {
-        test_ranges,
-        on_event_sites,
-    }
-}
-
-/// Does this block header read `if <path>::ENABLED` (possibly with
-/// further `&&` clauses), and not a negation of it?
-fn header_is_enabled_guard(header: &str) -> bool {
-    let bytes = header.as_bytes();
-    let mut from = 0usize;
-    while let Some(off) = header[from..].find("::ENABLED") {
-        let idx = from + off;
-        from = idx + "::ENABLED".len();
-        // Walk back over the type path (`S`, `Self`, `some::Sink`).
-        let mut j = idx;
-        while j > 0 && (is_ident_byte(bytes[j - 1]) || bytes[j - 1] == b':') {
-            j -= 1;
-        }
-        let mut k = j;
-        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
-            k -= 1;
-        }
-        if k > 0 && bytes[k - 1] == b'!' {
-            continue; // `if !S::ENABLED { .. }` does not protect the body
-        }
-        let before = header[..j].trim_end();
-        if before.ends_with("if") || before.contains("if ") {
-            return true;
-        }
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,6 +548,7 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "determinism");
         assert_eq!(f[0].line, 1);
+        assert!(f[0].col > 1, "col is exact: {}", f[0].col);
     }
 
     #[test]
@@ -721,10 +630,12 @@ mod tests {
     }
 
     #[test]
-    fn trace_guard_only_in_core_and_kv() {
+    fn trace_guard_covers_serve_and_load_now() {
         let src = "fn f(&mut self) { self.inner.on_event(&ev); }";
         assert!(lint_source("crates/rlb-trace/src/recorder.rs", src).is_empty());
         assert_eq!(lint_source("crates/rlb-kv/src/cluster.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/rlb-serve/src/server.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/rlb-load/src/client.rs", src).len(), 1);
     }
 
     #[test]
@@ -732,6 +643,10 @@ mod tests {
         let src = "fn f(x: Option<u32>) { x.unwrap(); }";
         assert_eq!(lint_source("crates/rlb-core/src/queue.rs", src).len(), 1);
         assert_eq!(lint_source("crates/rlb-kv/src/cluster.rs", src).len(), 1);
+        // The serve decode surface and load client joined the scope
+        // with the call-graph PR.
+        assert_eq!(lint_source("crates/rlb-serve/src/proto.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/rlb-load/src/client.rs", src).len(), 1);
         // Not a hot-path file: no rule.
         assert!(lint_source("crates/rlb-core/src/config.rs", src).is_empty());
     }
@@ -774,6 +689,9 @@ mod tests {
             lint_source("crates/rlb-experiments/src/e01_greedy.rs", src).len(),
             1
         );
+        // Frame math in serve/load joined with the call-graph PR.
+        assert_eq!(lint_source("crates/rlb-serve/src/proto.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/rlb-load/src/report.rs", src).len(), 1);
         assert!(lint_source("crates/rlb-core/src/sim.rs", src).is_empty());
     }
 
@@ -848,6 +766,9 @@ mod tests {
         // Prose naming no catalog rule (docs say `lint:allow(<rule>)`).
         let prose = "// suppress with lint:allow(some-rule)\nfn f() {}";
         assert!(lint_core(prose).is_empty());
+        // A workspace-pass rule is not judged by the per-file path.
+        let wsp = "// justified elsewhere. lint:allow(panic-path)\nfn f() {}";
+        assert!(lint_core(wsp).is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The workspace must pass its own lint pass: every rule violation in
 //! `crates/*/src` is either fixed or carries a justified
-//! `lint:allow(...)` suppression. A regression here means new code
-//! introduced an unsuppressed finding — run `rlb-sim lint` locally for
-//! the file/line list.
+//! `lint:allow(...)` suppression, and every suppression must still be
+//! earning its keep. A regression here means new code introduced an
+//! unsuppressed finding — run `rlb-sim lint` locally for the file/line
+//! list.
 
 use std::path::Path;
 
@@ -19,5 +20,40 @@ fn workspace_is_lint_clean() {
         report.is_clean(),
         "workspace has unsuppressed lint findings:\n{}",
         report.render()
+    );
+    assert_eq!(
+        report.dead_suppressions(),
+        0,
+        "stale lint:allow comments:\n{}",
+        report.render()
+    );
+}
+
+/// The call-graph passes only mean something if `lint-roots.toml`
+/// actually resolved and the reachability cone is non-trivial. A clean
+/// report with zero roots would be vacuous — this pins the analysis as
+/// live, not silently skipped.
+#[test]
+fn call_graph_passes_are_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = rlb_lint::lint_workspace(&root).expect("workspace walk");
+    let s = &report.stats;
+    assert!(s.fns > 500, "call graph too small: {} fns", s.fns);
+    assert!(s.edges > 1000, "call graph too sparse: {} edges", s.edges);
+    assert!(
+        s.root_fns >= 10,
+        "lint-roots.toml resolved only {} root fns — manifest rot?",
+        s.root_fns
+    );
+    assert!(
+        s.cone_fns > s.root_fns,
+        "reachability cone ({} fns) never left the {} roots",
+        s.cone_fns,
+        s.root_fns
+    );
+    assert!(
+        s.pub_items > 300,
+        "dead-pub pass checked only {} items",
+        s.pub_items
     );
 }

@@ -19,9 +19,9 @@
 pub mod arrivals;
 pub mod client;
 pub mod keys;
-pub mod live_driver;
+pub(crate) mod live_driver;
 pub mod report;
-pub mod sim_driver;
+pub(crate) mod sim_driver;
 
 pub use arrivals::PoissonArrivals;
 pub use client::{Client, ClientConfig, Mode};

@@ -40,6 +40,7 @@ pub struct SimSpec {
 }
 
 /// Result of one co-simulation.
+// return type of `run_sim`. lint:allow(dead-pub)
 pub struct SimOutput {
     /// Stable text: optional transcript lines, then the client report,
     /// then the server summary. This exact string is the golden.
@@ -123,8 +124,9 @@ pub fn run_sim<P: Policy>(
         let decoded: Vec<Vec<Frame>> = pool.map(incoming, |bytes: &Vec<u8>| decode_batch(bytes));
         let mut responses: Vec<Vec<Frame>> = vec![Vec::new(); n];
         for (i, frames) in decoded.into_iter().enumerate() {
+            let sid = u32::try_from(i).unwrap_or(u32::MAX);
             for frame in frames {
-                if let Some(resp) = core.on_frame(i as u32, frame) {
+                if let Some(resp) = core.on_frame(sid, frame) {
                     responses[i].push(resp);
                 }
             }

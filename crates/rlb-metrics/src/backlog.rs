@@ -28,21 +28,25 @@ impl BacklogSnapshot {
     pub fn from_backlogs(backlogs: &[u64]) -> Self {
         assert!(!backlogs.is_empty(), "need at least one server");
         let max_backlog = backlogs.iter().copied().max().unwrap_or(0);
+        let len = usize::try_from(max_backlog)
+            .unwrap_or(usize::MAX)
+            .saturating_add(1);
         // counts[v] = number of servers with backlog exactly v.
-        let mut counts = vec![0u64; max_backlog as usize + 1];
+        let mut counts = vec![0u64; len];
         let mut total_backlog = 0u64;
         for &b in backlogs {
-            counts[b as usize] += 1;
-            total_backlog += b;
-        }
-        // tail[j] = #servers with backlog > j (suffix sums).
-        let mut tail = vec![0u64; max_backlog as usize + 1];
-        let mut running = 0u64;
-        for v in (0..=max_backlog as usize).rev() {
-            if v < max_backlog as usize {
-                running += counts[v + 1];
+            if let Some(slot) = counts.get_mut(usize::try_from(b).unwrap_or(usize::MAX)) {
+                *slot = slot.saturating_add(1);
             }
-            tail[v] = running;
+            total_backlog = total_backlog.saturating_add(b);
+        }
+        // tail[j] = #servers with backlog > j: suffix-sum counts from
+        // the top down (tail[v] holds what was summed *above* v).
+        let mut tail = vec![0u64; len];
+        let mut running = 0u64;
+        for (t, &c) in tail.iter_mut().zip(counts.iter()).rev() {
+            *t = running;
+            running = running.saturating_add(c);
         }
         Self {
             tail,
@@ -96,6 +100,7 @@ impl BacklogSnapshot {
             let above = self.servers_above(j) as f64;
             let bound = m / 2f64.powi(j as i32);
             let ratio = if bound > 0.0 {
+                // f64 division: cannot panic. lint:allow(panic-path)
                 above / bound
             } else {
                 f64::INFINITY
@@ -103,6 +108,7 @@ impl BacklogSnapshot {
             if ratio > worst_ratio {
                 worst_ratio = ratio;
             }
+            // f64 multiply: no wrap semantics. lint:allow(unchecked-arith)
             if above > slack * bound && first_violation.is_none() {
                 first_violation = Some(j);
             }
@@ -117,6 +123,7 @@ impl BacklogSnapshot {
 
 /// Outcome of a safe-distribution check (Definition 3.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
+// return type of `BacklogSnapshot::safety`. lint:allow(dead-pub)
 pub struct SafeDistributionReport {
     /// Whether the snapshot satisfied the (slack-scaled) definition.
     pub safe: bool,

@@ -9,6 +9,7 @@
 
 /// A two-sided confidence interval for a proportion.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// return type of `wilson95`. lint:allow(dead-pub)
 pub struct ProportionCi {
     /// Point estimate `k / n`.
     pub estimate: f64,
@@ -23,7 +24,7 @@ pub struct ProportionCi {
 ///
 /// # Panics
 /// Panics if `k > n`, `n == 0`, or `z <= 0`.
-pub fn wilson(k: u64, n: u64, z: f64) -> ProportionCi {
+pub(crate) fn wilson(k: u64, n: u64, z: f64) -> ProportionCi {
     assert!(n > 0, "need at least one trial");
     assert!(k <= n, "successes exceed trials");
     assert!(z > 0.0, "z must be positive");

@@ -53,14 +53,26 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        let idx = value as usize;
+        let idx = usize::try_from(value).unwrap_or(usize::MAX);
         if idx >= self.counts.len() {
-            let new_len = (idx + 1).max(self.counts.len() * 2).max(8);
+            // Grow geometrically, saturating near usize::MAX: the old
+            // `(idx + 1).max(len * 2)` wrapped to 0 for idx ==
+            // usize::MAX in release builds and then indexed out of
+            // bounds below.
+            let new_len = idx
+                .saturating_add(1)
+                .max(self.counts.len().saturating_mul(2))
+                .max(8);
             self.counts.resize(new_len, 0);
         }
-        self.counts[idx] += n;
-        self.total += n;
-        self.sum += value as u128 * n as u128;
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot = slot.saturating_add(n);
+        }
+        self.total = self.total.saturating_add(n);
+        // Both factors fit in u64, so the u128 product is exact.
+        self.sum = self
+            .sum
+            .saturating_add(u128::from(value).saturating_mul(u128::from(n)));
         if value > self.max {
             self.max = value;
         }

@@ -17,11 +17,11 @@
 
 pub mod backlog;
 pub mod ci;
-pub mod ewma;
-pub mod histogram;
+pub(crate) mod ewma;
+pub(crate) mod histogram;
 pub mod summary;
 pub mod table;
-pub mod timeseries;
+pub(crate) mod timeseries;
 
 pub use backlog::{BacklogSnapshot, SafeDistributionReport};
 pub use ci::{wilson95, ProportionCi};

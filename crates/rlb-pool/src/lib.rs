@@ -133,7 +133,7 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch for BatchState<T, F> {
         }
         match catch_unwind(AssertUnwindSafe(|| (self.f)(i))) {
             Ok(value) => {
-                *self.slots[i].lock().expect("slot lock") = Some(value);
+                *self.slots[i].lock().expect("slot lock") = Some(value); // i < n checked above; lock poisoning means a job already panicked. lint:allow(panic-path)
             }
             Err(payload) => {
                 let mut first = self.panic.lock().expect("panic lock");
@@ -141,7 +141,7 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch for BatchState<T, F> {
             }
         }
         let mut done = self.done.lock().expect("done lock");
-        *done += 1;
+        *done = done.saturating_add(1);
         if *done == self.n {
             self.done_cv.notify_all();
         }
@@ -158,7 +158,7 @@ impl<T: Send, F: Fn(usize) -> T + Send + Sync> Batch for BatchState<T, F> {
         }
         self.active
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
-                (active < self.cap).then_some(active + 1)
+                (active < self.cap).then_some(active.saturating_add(1))
             })
             .is_ok()
     }
@@ -208,7 +208,7 @@ fn worker_loop(shared: Arc<Shared>) {
         // waits while still holding retired batches.
         let mut retired: Vec<Arc<dyn Batch>> = Vec::new();
         let step = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.queue.lock().expect("queue lock"); // lock poisoning means a job already panicked; die with it. lint:allow(panic-path)
             loop {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     break Step::Shutdown;
@@ -333,7 +333,7 @@ impl Pool {
         }
         let batch = Arc::new(BatchState::new(n, cap, f));
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = self.shared.queue.lock().expect("queue lock"); // lock poisoning means a job already panicked; die with it. lint:allow(panic-path)
             queue.push_back(Arc::clone(&batch) as Arc<dyn Batch>);
         }
         self.shared.work_cv.notify_all();
@@ -372,7 +372,7 @@ impl Pool {
     {
         let n = items.len();
         let items = Arc::new(items);
-        self.map_indexed(n, move |i| f(&items[i]))
+        self.map_indexed(n, move |i| f(&items[i])) // i < items.len() by the map_indexed contract. lint:allow(panic-path)
     }
 }
 

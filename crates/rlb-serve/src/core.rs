@@ -32,14 +32,14 @@
 use std::collections::BTreeMap;
 
 use rlb_core::{Decision, Policy, SimConfig};
-use rlb_kv::{KvCluster, StepSummary, TenantStats};
+use rlb_kv::{KvCluster, StepSummary};
 
 use crate::gate::BacklogGate;
 use crate::proto::{Frame, RejectCause, REJECT_CAUSES};
 
 /// Caller-assigned session identity (index into the transport's
 /// session table).
-pub type SessionId = u32;
+pub(crate) type SessionId = u32;
 
 /// What the server does with one admitted request at service time.
 enum Op {
@@ -80,6 +80,7 @@ struct PendingReply {
 /// Per-tenant serving-layer accounting (frame-level, unlike the
 /// chunk-level [`TenantStats`] inside the cluster).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+// return type of `ServerCore::tenant_serve_stats`. lint:allow(dead-pub)
 pub struct TenantServeStats {
     /// Get/put frames admitted and eventually replied to.
     pub replies: u64,
@@ -175,11 +176,6 @@ impl<P: Policy> ServerCore<P> {
             .get(tenant as usize)
             .copied()
             .unwrap_or_default()
-    }
-
-    /// Chunk-level cluster accounting for `tenant`.
-    pub fn tenant_cluster_stats(&self, tenant: u16) -> TenantStats {
-        self.kv.tenant_stats(tenant)
     }
 
     /// Ping frames served.
@@ -304,7 +300,7 @@ impl<P: Policy> ServerCore<P> {
                         .unwrap_or(0);
                     let wait = u64::from(backlog) / u64::from(self.process_rate.max(1));
                     let due = self.tick + 1 + wait;
-                    let latency = (due - self.tick).min(u64::from(u32::MAX)) as u32;
+                    let latency = u32::try_from(due - self.tick).unwrap_or(u32::MAX);
                     self.scheduled.insert(
                         (due, self.seq),
                         PendingReply {

@@ -27,7 +27,7 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use crate::core::{key_to_u64, ServeConfig, ServerCore, SessionId, TenantServeStats};
+pub use crate::core::{key_to_u64, ServeConfig, ServerCore};
 pub use crate::gate::BacklogGate;
 pub use crate::pipe::{pipe, PipeEnd};
 pub use crate::proto::{fmt_frame, DecodeError, Frame, FrameReader, RejectCause};

@@ -66,7 +66,7 @@ pub enum RejectCause {
     Shutdown,
 }
 
-/// All causes, in wire-tag order (`cause as u8` indexes this table).
+/// All causes, in wire-tag order (`cause.code()` indexes this table).
 pub const REJECT_CAUSES: [RejectCause; 8] = [
     RejectCause::Policy,
     RejectCause::TableFailed,
@@ -93,8 +93,22 @@ impl RejectCause {
         }
     }
 
+    /// The wire byte for this cause (its index in [`REJECT_CAUSES`]).
+    pub fn code(self) -> u8 {
+        match self {
+            RejectCause::Policy => 0,
+            RejectCause::TableFailed => 1,
+            RejectCause::Overflow => 2,
+            RejectCause::Flush => 3,
+            RejectCause::ServerDown => 4,
+            RejectCause::Admission => 5,
+            RejectCause::Malformed => 6,
+            RejectCause::Shutdown => 7,
+        }
+    }
+
     /// The engine cause behind a reject, mapped onto the wire enum.
-    pub fn from_engine(reason: rlb_core::RejectReason) -> Self {
+    pub(crate) fn from_engine(reason: rlb_core::RejectReason) -> Self {
         match reason {
             rlb_core::RejectReason::Policy => RejectCause::Policy,
             rlb_core::RejectReason::TableFailed => RejectCause::TableFailed,
@@ -251,7 +265,7 @@ impl Frame {
                 assert!(key.len() <= MAX_KEY_LEN, "key exceeds MAX_KEY_LEN");
                 out.extend_from_slice(&req_id.to_le_bytes());
                 out.extend_from_slice(&tenant.to_le_bytes());
-                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(&len_u16(key).to_le_bytes());
                 out.extend_from_slice(key);
             }
             Frame::Put {
@@ -264,9 +278,9 @@ impl Frame {
                 assert!(value.len() <= MAX_VALUE_LEN, "value exceeds MAX_VALUE_LEN");
                 out.extend_from_slice(&req_id.to_le_bytes());
                 out.extend_from_slice(&tenant.to_le_bytes());
-                out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+                out.extend_from_slice(&len_u16(key).to_le_bytes());
                 out.extend_from_slice(key);
-                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(value).to_le_bytes());
                 out.extend_from_slice(value);
             }
             Frame::Reply {
@@ -277,19 +291,30 @@ impl Frame {
                 assert!(value.len() <= MAX_VALUE_LEN, "value exceeds MAX_VALUE_LEN");
                 out.extend_from_slice(&req_id.to_le_bytes());
                 out.extend_from_slice(&latency.to_le_bytes());
-                out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(value).to_le_bytes());
                 out.extend_from_slice(value);
             }
             Frame::Reject { req_id, cause } => {
                 out.extend_from_slice(&req_id.to_le_bytes());
-                out.push(*cause as u8);
+                out.push(cause.code());
             }
             Frame::Ping { nonce } => {
                 out.extend_from_slice(&nonce.to_le_bytes());
             }
         }
-        let len = (out.len() - start - 4) as u32;
-        out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+        // Both subtractions are structurally safe (the prefix and tag
+        // were pushed above), but the encoder stays total anyway: a
+        // saturated zero length fails loudly at decode as EmptyFrame
+        // instead of corrupting the stream framing.
+        let body_len = out.len().saturating_sub(start).saturating_sub(4);
+        debug_assert!(
+            body_len <= MAX_FRAME_LEN,
+            "encoded frame exceeds MAX_FRAME_LEN"
+        );
+        let len = u32::try_from(body_len).unwrap_or(u32::MAX);
+        if let Some(slot) = out.get_mut(start..start.saturating_add(4)) {
+            slot.copy_from_slice(&len.to_le_bytes());
+        }
     }
 
     /// Encodes into a fresh buffer.
@@ -370,14 +395,27 @@ impl Frame {
         if cur.at != body.len() {
             return Err(DecodeError::TrailingBytes {
                 tag,
-                extra: body.len() - cur.at,
+                extra: body.len().saturating_sub(cur.at),
             });
         }
         Ok(frame)
     }
 }
 
-/// Bounds-checked field reader over a frame body.
+/// Encode-side length field helpers: the caller asserted the cap, so
+/// these never actually saturate; saturating keeps the encoder total
+/// without an `as` truncation.
+fn len_u16(bytes: &[u8]) -> u16 {
+    u16::try_from(bytes.len()).unwrap_or(u16::MAX)
+}
+
+fn len_u32(bytes: &[u8]) -> u32 {
+    u32::try_from(bytes.len()).unwrap_or(u32::MAX)
+}
+
+/// Bounds-checked field reader over a frame body. Every accessor is
+/// total: the cursor never indexes, slices, or does bare arithmetic on
+/// attacker-controlled lengths.
 struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
@@ -385,38 +423,37 @@ struct Cursor<'a> {
 
 impl Cursor<'_> {
     fn bytes(&mut self, tag: u8, n: usize) -> Result<&[u8], DecodeError> {
-        let had = self.buf.len() - self.at;
-        if had < n {
+        let had = self.buf.len().saturating_sub(self.at);
+        let (end, overflow) = self.at.overflowing_add(n);
+        if had < n || overflow {
             return Err(DecodeError::Truncated {
                 tag,
                 needed: n,
                 had,
             });
         }
-        let out = &self.buf[self.at..self.at + n];
-        self.at += n;
+        let out = self.buf.get(self.at..end).unwrap_or(&[]);
+        self.at = end;
         Ok(out)
     }
 
     fn u8(&mut self, tag: u8) -> Result<u8, DecodeError> {
-        Ok(self.bytes(tag, 1)?[0])
+        Ok(self.bytes(tag, 1)?.first().copied().unwrap_or(0))
     }
 
     fn u16(&mut self, tag: u8) -> Result<u16, DecodeError> {
-        let b = self.bytes(tag, 2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        let b: [u8; 2] = self.bytes(tag, 2)?.try_into().unwrap_or([0; 2]);
+        Ok(u16::from_le_bytes(b))
     }
 
     fn u32(&mut self, tag: u8) -> Result<u32, DecodeError> {
-        let b = self.bytes(tag, 4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self.bytes(tag, 4)?.try_into().unwrap_or([0; 4]);
+        Ok(u32::from_le_bytes(b))
     }
 
     fn u64(&mut self, tag: u8) -> Result<u64, DecodeError> {
-        let b = self.bytes(tag, 8)?;
-        let mut a = [0u8; 8];
-        a.copy_from_slice(b);
-        Ok(u64::from_le_bytes(a))
+        let b: [u8; 8] = self.bytes(tag, 8)?.try_into().unwrap_or([0; 8]);
+        Ok(u64::from_le_bytes(b))
     }
 }
 
@@ -452,7 +489,7 @@ impl FrameReader {
 
     /// Bytes buffered but not yet decoded into frames.
     pub fn pending(&self) -> usize {
-        self.buf.len() - self.consumed
+        self.buf.len().saturating_sub(self.consumed)
     }
 
     /// Pulls the next complete frame, if one is buffered.
@@ -461,23 +498,26 @@ impl FrameReader {
     /// terminal for the stream: the reader makes no attempt to
     /// resynchronize (callers close the session).
     pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
-        let avail = &self.buf[self.consumed..];
-        if avail.len() < 4 {
+        let avail = self.buf.get(self.consumed..).unwrap_or(&[]);
+        let Some(prefix) = avail.get(..4) else {
             return Ok(None);
-        }
-        let declared = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        };
+        let prefix: [u8; 4] = prefix.try_into().unwrap_or([0; 4]);
+        let declared = u32::from_le_bytes(prefix) as usize;
         if declared == 0 {
             return Err(DecodeError::EmptyFrame);
         }
         if declared > MAX_FRAME_LEN {
             return Err(DecodeError::FrameTooLong { declared });
         }
-        if avail.len() < 4 + declared {
+        // declared <= MAX_FRAME_LEN, so the prefix+body total can't
+        // overflow usize.
+        let total = declared.saturating_add(4);
+        let Some(body) = avail.get(4..total) else {
             return Ok(None);
-        }
-        let body = &avail[4..4 + declared];
+        };
         let frame = Frame::decode_body(body)?;
-        self.consumed += 4 + declared;
+        self.consumed = self.consumed.saturating_add(total);
         Ok(Some(frame))
     }
 
@@ -502,7 +542,7 @@ impl FrameReader {
 /// byte-for-byte reproducible).
 pub fn fmt_frame(frame: &Frame) -> String {
     fn hex(bytes: &[u8]) -> String {
-        let mut s = String::with_capacity(bytes.len() * 2);
+        let mut s = String::with_capacity(bytes.len().saturating_mul(2));
         for b in bytes {
             use std::fmt::Write as _;
             let _ = write!(s, "{b:02x}");

@@ -94,7 +94,7 @@ impl TcpSession {
     }
 
     /// Bytes queued but not yet accepted by the kernel.
-    pub fn unsent(&self) -> usize {
+    pub(crate) fn unsent(&self) -> usize {
         self.outbox.len() - self.sent
     }
 

@@ -396,7 +396,7 @@ impl OnOffBurst {
     }
 
     /// Whether `step` falls in the burst phase of the cycle.
-    pub fn is_burst_step(&self, step: u64) -> bool {
+    pub(crate) fn is_burst_step(&self, step: u64) -> bool {
         step % (self.burst_len + self.trough_len) < self.burst_len
     }
 }

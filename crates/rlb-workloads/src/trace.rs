@@ -88,6 +88,7 @@ rlb_json::json_struct!(Trace { steps });
 
 /// Replays a [`Trace`] as a [`Workload`], cycling past the end.
 #[derive(Debug, Clone, Copy)]
+// Return type of `Trace::replayer`. lint:allow(dead-pub)
 pub struct TraceReplayer<'a> {
     trace: &'a Trace,
 }
