@@ -21,6 +21,7 @@
 use rlb_core::{DrainMode, SimConfig};
 
 pub mod engine;
+pub mod meanfield;
 pub mod suite;
 pub mod wallclock;
 

@@ -37,6 +37,24 @@
 //!   to PATH (default BENCH_experiments.json) with the same 0.95x
 //!   ratio gate against the previously committed numbers.
 //!
+//! rlb-sim bench --meanfield [--out PATH]
+//!
+//!   Times mean-field steady-state solves across m plus the
+//!   solver-vs-engine comparison at m = 65536, writes the results to
+//!   PATH (default BENCH_meanfield.json), and exits 1 if the recorded
+//!   speedup drops below the committed 100x floor.
+//!
+//! rlb-sim fastforward [--m M] [--rate G] [--queue Q | --uncapped K]
+//!                     [--lambda X | --per-step N] [--replication D]
+//!                     [--policy NAME] [--mode fixpoint|ode]
+//!                     [--phases L:T,...] [--damping A] [--tolerance T]
+//!                     [--max-iters N] [--euler-dt DT] [--json]
+//!
+//!   Solves the mean-field fluid model instead of simulating servers:
+//!   steady-state rejection/latency/backlog for m up to 10^8 in
+//!   milliseconds (see `rlb-meanfield`). Exits 1 if the solve did not
+//!   converge.
+//!
 //! rlb-sim trace [RUN OPTIONS] [--out PATH]
 //!
 //!   Runs the scenario with the JSONL trace sink attached, writes the
@@ -48,8 +66,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod fastforward;
 pub(crate) mod serve_load;
 
+pub use fastforward::{
+    parse_fastforward_args, run_fastforward, solve_fastforward, FastForwardOptions,
+};
 pub use serve_load::{parse_serve_load_args, run_load, run_serve, ServeLoadOptions};
 
 use rlb_core::policies::{
@@ -478,6 +500,9 @@ pub fn run_bench(args: &[String]) -> Result<(String, bool), String> {
     if args.iter().any(|a| a == "--suite") {
         return run_suite_bench(args);
     }
+    if args.iter().any(|a| a == "--meanfield") {
+        return run_meanfield_bench(args);
+    }
     let mut out_path = "BENCH_engine.json".to_string();
     let mut sizes: Vec<usize> = rlb_bench::engine::GATE_SIZES.to_vec();
     let mut it = args.iter();
@@ -546,6 +571,67 @@ pub fn run_bench(args: &[String]) -> Result<(String, bool), String> {
             rlb_bench::engine::GATE_MIN_RATIO
         );
     }
+    let _ = writeln!(summary, "wrote {out_path}");
+    Ok((summary, passed))
+}
+
+/// Runs the mean-field speedup gate (`rlb-sim bench --meanfield`):
+/// times steady-state solves across `m` plus the solver-vs-engine
+/// comparison at `m = 65536`, writes `BENCH_meanfield.json`, and fails
+/// (exit 1) if the recorded speedup drops below the committed 100x
+/// floor.
+///
+/// Arguments: `--out PATH` (default `BENCH_meanfield.json`).
+///
+/// # Errors
+/// Returns a message on malformed arguments or an unwritable output
+/// path.
+fn run_meanfield_bench(args: &[String]) -> Result<(String, bool), String> {
+    let mut out_path = "BENCH_meanfield.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--meanfield" => {}
+            "--out" => {
+                out_path = it.next().ok_or("--out requires a path")?.clone();
+            }
+            other => return Err(format!("unknown bench --meanfield option {other:?}")),
+        }
+    }
+    let report = rlb_bench::meanfield::run_gate();
+    let json = rlb_json::to_string_pretty(&report);
+    std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path:?}: {e}"))?;
+    use std::fmt::Write as _;
+    let mut summary = String::new();
+    for r in &report.results {
+        let engine = if r.engine_steps > 0 {
+            format!(
+                "  engine {:>9.2} ms/{} steps  {:>8.0}x speedup",
+                r.engine_nanos as f64 / 1e6,
+                r.engine_steps,
+                r.speedup
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            summary,
+            "{:<20} depth {:>3}  solver {:>8.3} ms ({} iters){engine}",
+            r.name,
+            r.depth,
+            r.solver_nanos as f64 / 1e6,
+            r.iterations
+        );
+    }
+    let passed = report.gate_passes();
+    let verdict = if passed { "PASS" } else { "FAIL" };
+    let _ = writeln!(
+        summary,
+        "meanfield gate: {:.0}x solver-vs-engine at m={} vs floor {:.0}x -> {verdict}",
+        report.speedup,
+        rlb_bench::meanfield::SPEEDUP_M,
+        report.gate_min_speedup
+    );
     let _ = writeln!(summary, "wrote {out_path}");
     Ok((summary, passed))
 }

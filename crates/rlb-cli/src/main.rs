@@ -58,6 +58,21 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("fastforward") {
+        match rlb_cli::run_fastforward(&args[1..]) {
+            Ok((summary, converged)) => {
+                print!("{summary}");
+                if !converged {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     if args.first().map(String::as_str) == Some("trace") {
         match rlb_cli::run_trace(&args[1..]) {
             Ok(summary) => print!("{summary}"),
@@ -91,6 +106,16 @@ fn main() {
              \x20 bench --suite [--out PATH] [--quick]\n\
              \x20                   time the experiments binary serial vs default-jobs and\n\
              \x20                   write BENCH_experiments.json (same 0.95x ratio gate)\n\
+             \x20 bench --meanfield [--out PATH]\n\
+             \x20                   mean-field solver wall-time plus the solver-vs-engine\n\
+             \x20                   speedup gate at m=65536 (100x floor, BENCH_meanfield.json)\n\
+             \x20 fastforward [--m M] [--rate G] [--queue Q | --uncapped K]\n\
+             \x20             [--lambda X | --per-step N] [--replication D] [--policy NAME]\n\
+             \x20             [--mode fixpoint|ode] [--phases L:T,...] [--damping A]\n\
+             \x20             [--tolerance T] [--max-iters N] [--euler-dt DT] [--json]\n\
+             \x20                   solve the mean-field fluid model instead of simulating\n\
+             \x20                   servers: steady state for m up to 10^8 in milliseconds;\n\
+             \x20                   exits 1 if the solve did not converge\n\
              \x20 trace [RUN OPTIONS] [--out PATH]\n\
              \x20                   run with the JSONL trace sink, write trace.jsonl, print the\n\
              \x20                   per-class latency summary derived from the persisted trace\n\

@@ -6,7 +6,7 @@
 //! statistics, and safe-distribution compliance (Definition 3.2).
 
 use crate::policy::RejectReason;
-use rlb_metrics::{BacklogSnapshot, Histogram, TimeSeries};
+use rlb_metrics::{BacklogSnapshot, Histogram, KahanSum, RunningMean, TimeSeries};
 
 /// Mutable statistics accumulated during a run.
 #[derive(Debug, Clone)]
@@ -39,9 +39,14 @@ pub struct RunStats {
     /// step, before the drain) — the quantity the queue capacity `q`
     /// actually bounds.
     pub peak_backlog: u32,
-    /// Sum of mean backlogs over sampled steps (for the run average).
-    backlog_mean_sum: f64,
-    backlog_mean_count: u64,
+    /// Compensated running mean of per-sample mean backlogs. Long
+    /// validation runs sample every step; a plain `sum += mean` drifts
+    /// at those scales (see `rlb_metrics::KahanSum`).
+    backlog_mean: RunningMean,
+    /// Per-level compensated sums of tail occupancy: `tail_sums[j]`
+    /// accumulates the fraction of servers with backlog `>= j + 1`
+    /// over sampled snapshots.
+    tail_sums: Vec<KahanSum>,
 }
 
 impl Default for RunStats {
@@ -66,8 +71,8 @@ impl RunStats {
             worst_safety_ratio: 0.0,
             max_backlog: 0,
             peak_backlog: 0,
-            backlog_mean_sum: 0.0,
-            backlog_mean_count: 0,
+            backlog_mean: RunningMean::new(),
+            tail_sums: Vec::new(),
         }
     }
 
@@ -148,10 +153,19 @@ impl RunStats {
         }
         self.max_backlog = self.max_backlog.max(snapshot.max_backlog());
         let mean = snapshot.mean_backlog();
-        // f64 accumulation: no wrap semantics. lint:allow(unchecked-arith)
-        self.backlog_mean_sum += mean;
-        self.backlog_mean_count = self.backlog_mean_count.saturating_add(1);
+        self.backlog_mean.add(mean);
         self.backlog_series.push(mean);
+        // Accumulate the tail-occupancy fractions: level j covers
+        // servers with backlog >= j + 1. Levels this snapshot does not
+        // reach contribute an exact zero via `servers_above`.
+        let levels = usize::try_from(snapshot.max_backlog()).unwrap_or(usize::MAX);
+        if self.tail_sums.len() < levels {
+            self.tail_sums.resize_with(levels, KahanSum::new);
+        }
+        let m = snapshot.num_servers() as f64;
+        for (j, slot) in self.tail_sums.iter_mut().enumerate() {
+            slot.add(snapshot.servers_above(j as u64) as f64 / m);
+        }
     }
 
     /// Total rejections across causes.
@@ -184,10 +198,23 @@ impl RunStats {
             max_latency: self.latency.max().unwrap_or(0),
             latency: self.latency,
             latency_by_class: self.latency_by_class,
-            mean_backlog: if self.backlog_mean_count > 0 {
-                self.backlog_mean_sum / self.backlog_mean_count as f64
-            } else {
-                0.0
+            mean_backlog: self.backlog_mean.mean().unwrap_or(0.0),
+            backlog_tail: {
+                let samples = self.backlog_mean.count();
+                if samples == 0 {
+                    Vec::new()
+                } else {
+                    let n = samples as f64;
+                    let mut tail = Vec::with_capacity(self.tail_sums.len().saturating_add(1));
+                    // Every server trivially has backlog >= 0.
+                    tail.push(1.0);
+                    tail.extend(
+                        self.tail_sums
+                            .iter()
+                            .map(|s| (s.value() / n).clamp(0.0, 1.0)),
+                    );
+                    tail
+                }
             },
             max_backlog: self.max_backlog,
             peak_backlog: self.peak_backlog,
@@ -239,6 +266,13 @@ pub struct RunReport {
     pub latency_by_class: Vec<Histogram>,
     /// Mean of per-sample mean backlogs.
     pub mean_backlog: f64,
+    /// Time-averaged tail occupancy over sampled snapshots:
+    /// `backlog_tail[k]` is the mean fraction of servers with backlog
+    /// `>= k` (`backlog_tail[0]` is 1.0 by construction; empty when no
+    /// snapshot was sampled). This is the discrete counterpart of the
+    /// mean-field solver's state vector `s[k]` and the quantity the
+    /// solver-vs-engine cross-validation compares.
+    pub backlog_tail: Vec<f64>,
     /// Largest per-server backlog at any sample point.
     pub max_backlog: u64,
     /// Largest per-server backlog at any enqueue (within-step peak; this
@@ -298,6 +332,7 @@ rlb_json::json_struct!(RunReport {
     latency,
     latency_by_class,
     mean_backlog,
+    backlog_tail,
     max_backlog,
     peak_backlog,
     safety_samples,
@@ -349,6 +384,31 @@ mod tests {
         assert_eq!(s.safety_violations, 1);
         assert!(s.worst_safety_ratio > 1.0);
         assert_eq!(s.max_backlog, 30);
+    }
+
+    #[test]
+    fn backlog_tail_is_the_time_averaged_occupancy() {
+        let mut s = RunStats::new();
+        // Two snapshots over 4 servers: backlogs (0,1,2,2) then (0,0,0,2).
+        s.record_snapshot(&BacklogSnapshot::from_backlogs(&[0, 1, 2, 2]));
+        s.record_snapshot(&BacklogSnapshot::from_backlogs(&[0, 0, 0, 2]));
+        let r = s.finish(2, 0);
+        // tail[0] = 1; tail[1] = (3/4 + 1/4)/2 = 0.5; tail[2] = (2/4 + 1/4)/2.
+        assert_eq!(r.backlog_tail.len(), 3);
+        assert!((r.backlog_tail[0] - 1.0).abs() < 1e-12);
+        assert!((r.backlog_tail[1] - 0.5).abs() < 1e-12);
+        assert!((r.backlog_tail[2] - 0.375).abs() < 1e-12);
+        // Monotone non-increasing, as a tail vector must be.
+        assert!(r.backlog_tail.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        // Mean backlog agrees with the tail-vector identity Σ_{k>=1} s[k].
+        let tail_mean: f64 = r.backlog_tail.iter().skip(1).sum();
+        assert!((r.mean_backlog - tail_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backlog_tail_is_empty_without_snapshots() {
+        let r = RunStats::new().finish(5, 0);
+        assert!(r.backlog_tail.is_empty());
     }
 
     #[test]

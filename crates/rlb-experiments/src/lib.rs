@@ -33,6 +33,7 @@
 //! | E20 | ablation: DCR phase length | [`e20_phase`] |
 //! | E21 | extension: queues as burst absorbers | [`e21_burst`] |
 //! | E22 | the model's third knob: voluntary rejection / latency flooring | [`e22_shedding`] |
+//! | E23 | capacity thresholds at scale via the mean-field solver | [`e23_threshold`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +61,7 @@ pub(crate) mod e19_migration;
 pub(crate) mod e20_phase;
 pub(crate) mod e21_burst;
 pub(crate) mod e22_shedding;
+pub(crate) mod e23_threshold;
 pub(crate) mod theory;
 
 use rlb_json::{Json, ToJson};
@@ -239,6 +241,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "e22",
             "The third knob: voluntary rejection (latency flooring)",
             e22_shedding::run,
+        ),
+        (
+            "e23",
+            "Capacity thresholds at scale: log m vs log log m",
+            e23_threshold::run,
         ),
     ]
 }

@@ -97,6 +97,7 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/rlb-serve/src/core.rs",
     "crates/rlb-load/src/client.rs",
     "crates/rlb-load/src/sim_driver.rs",
+    "crates/rlb-meanfield/src/solver.rs",
 ];
 
 /// Crates whose emission sites must be behind `if S::ENABLED`. The
@@ -122,6 +123,7 @@ fn in_lossy_cast_scope(rel_path: &str) -> bool {
         || rel_path.starts_with("crates/rlb-experiments/src/")
         || rel_path.starts_with("crates/rlb-serve/src/")
         || rel_path.starts_with("crates/rlb-load/src/")
+        || rel_path.starts_with("crates/rlb-meanfield/src/")
 }
 
 /// Lints one file in isolation: the per-file rules plus the dead-
@@ -647,6 +649,12 @@ mod tests {
         // with the call-graph PR.
         assert_eq!(lint_source("crates/rlb-serve/src/proto.rs", src).len(), 1);
         assert_eq!(lint_source("crates/rlb-load/src/client.rs", src).len(), 1);
+        // The mean-field solver joined with the fastforward PR: a
+        // panic there kills a solve the CLI already validated.
+        assert_eq!(
+            lint_source("crates/rlb-meanfield/src/solver.rs", src).len(),
+            1
+        );
         // Not a hot-path file: no rule.
         assert!(lint_source("crates/rlb-core/src/config.rs", src).is_empty());
     }
@@ -692,6 +700,12 @@ mod tests {
         // Frame math in serve/load joined with the call-graph PR.
         assert_eq!(lint_source("crates/rlb-serve/src/proto.rs", src).len(), 1);
         assert_eq!(lint_source("crates/rlb-load/src/report.rs", src).len(), 1);
+        // Occupancy accounting in the mean-field solver joined with
+        // the fastforward PR.
+        assert_eq!(
+            lint_source("crates/rlb-meanfield/src/model.rs", src).len(),
+            1
+        );
         assert!(lint_source("crates/rlb-core/src/sim.rs", src).is_empty());
     }
 

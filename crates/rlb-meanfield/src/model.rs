@@ -1,0 +1,281 @@
+//! Model configuration for the mean-field fast-forward solver.
+//!
+//! The solver never materializes `m` servers: the cluster appears only
+//! through the arrival intensity `λ = per_step / m` (requests per server
+//! per step) and through finite-`m` report quantities (the predicted
+//! maximum backlog is the deepest level with occupancy ≥ `1/m`). The
+//! state it evolves is the tail-occupancy vector `s[k] = P(backlog ≥ k)`
+//! truncated at the queue capacity `q` (or at an explicit truncation
+//! depth when modelling an uncapped queue).
+
+/// Routing policies with a mean-field drift.
+///
+/// [`MfPolicy::Greedy`] is the paper's d-choice policy: an arrival joins
+/// the least-loaded of `d` replica servers, giving the power-of-d drift
+/// `ds[k]/dτ = s[k−1]^d − s[k]^d`. [`MfPolicy::OneChoice`] (route to the
+/// first replica) and [`MfPolicy::UniformRandom`] (route to a uniformly
+/// random replica) both land on a uniformly random server in the fluid
+/// limit, i.e. the same drift with `d = 1`; they are kept as distinct
+/// names so reports read like their discrete-engine counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MfPolicy {
+    /// d-choice greedy (power of d).
+    Greedy,
+    /// Always the first replica: d = 1 drift.
+    OneChoice,
+    /// A uniformly random replica: d = 1 drift.
+    UniformRandom,
+}
+
+rlb_json::json_unit_enum!(MfPolicy {
+    Greedy,
+    OneChoice,
+    UniformRandom
+});
+
+impl MfPolicy {
+    /// Parses the CLI spelling used by `rlb-sim` (`greedy`,
+    /// `one-choice`, `uniform-random`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "greedy" => Ok(Self::Greedy),
+            "one-choice" => Ok(Self::OneChoice),
+            "uniform-random" => Ok(Self::UniformRandom),
+            other => Err(format!(
+                "unknown mean-field policy {other:?} (expected greedy, one-choice, or uniform-random)"
+            )),
+        }
+    }
+
+    /// Number of independent choices the drift raises the tail to.
+    pub fn choices(self, replication: u32) -> u32 {
+        match self {
+            Self::Greedy => replication.max(1),
+            Self::OneChoice | Self::UniformRandom => 1,
+        }
+    }
+}
+
+/// Mean-field model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfConfig {
+    /// Cluster size. Only enters finite-`m` report quantities (and the
+    /// record of what was asked); solver cost is independent of `m`.
+    pub m: u64,
+    /// Arrival intensity: requests per server per step (`per_step / m`).
+    pub lambda: f64,
+    /// Replicas per chunk (the `d` of power-of-d for Greedy).
+    pub replication: u32,
+    /// Requests drained per server per step (`g`).
+    pub process_rate: u32,
+    /// Queue capacity `q`; `None` models an uncapped queue truncated at
+    /// [`MfConfig::truncation_depth`], where mass pinned at the final
+    /// level is *censored* (reported as `>= depth`, never as observed).
+    pub queue_capacity: Option<u32>,
+    /// Tail-vector truncation depth for the uncapped model.
+    pub truncation_depth: u32,
+    /// Routing policy.
+    pub policy: MfPolicy,
+    /// Explicit-Euler substep for the within-step arrival flow `dτ`.
+    /// Smaller is more accurate and proportionally slower; 0.05 keeps
+    /// the discretization error well below finite-`m` noise at
+    /// `m = 4096`.
+    pub euler_dt: f64,
+}
+
+impl MfConfig {
+    /// A baseline configuration mirroring `SimConfig::baseline`:
+    /// `g = 8`, `q = log2 m + 1`, `d = 2`, greedy routing, and a
+    /// near-critical arrival intensity `λ = 0.9 · g`.
+    pub fn baseline(m: u64) -> Self {
+        let q = (64 - m.max(2).leading_zeros()).max(4);
+        Self {
+            m,
+            lambda: 7.2,
+            replication: 2,
+            process_rate: 8,
+            queue_capacity: Some(q),
+            truncation_depth: q,
+            policy: MfPolicy::Greedy,
+            euler_dt: 0.05,
+        }
+    }
+
+    /// The depth of the evolved tail vector (`q` when capped).
+    pub fn depth(&self) -> u32 {
+        match self.queue_capacity {
+            Some(q) => q,
+            None => self.truncation_depth,
+        }
+    }
+
+    /// Validates the configuration, naming the offending field.
+    ///
+    /// # Errors
+    /// Returns a message naming the field and echoing its value.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m == 0 {
+            return Err("m must be positive, got 0".into());
+        }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return Err(format!(
+                "lambda must be finite and >= 0, got {}",
+                self.lambda
+            ));
+        }
+        if self.replication == 0 {
+            return Err("replication must be positive, got 0".into());
+        }
+        if self.process_rate == 0 {
+            return Err("process_rate must be positive, got 0".into());
+        }
+        if self.queue_capacity == Some(0) {
+            return Err("queue_capacity must be positive when set, got 0".into());
+        }
+        if self.queue_capacity.is_none() && self.truncation_depth == 0 {
+            return Err("truncation_depth must be positive for an uncapped queue, got 0".into());
+        }
+        if self.depth() > 1 << 20 {
+            return Err(format!(
+                "tail depth {} too large (max 2^20 levels)",
+                self.depth()
+            ));
+        }
+        if !self.euler_dt.is_finite() || self.euler_dt <= 0.0 {
+            return Err(format!(
+                "euler_dt must be finite and positive, got {}",
+                self.euler_dt
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Options for the damped fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Damping factor `α ∈ (0, 1]`: each iterate moves `α` of the way
+    /// to the mapped state. `1.0` is the undamped map; the solver
+    /// halves `α` on its own when it detects a non-converging
+    /// oscillation.
+    pub damping: f64,
+    /// Convergence tolerance on the L∞ fixed-point residual
+    /// `‖T(s) − s‖∞`; must be positive.
+    pub tolerance: f64,
+    /// Iteration budget before giving up (reported as `converged:
+    /// false`).
+    pub max_iters: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            damping: 1.0,
+            tolerance: 1e-12,
+            max_iters: 20_000,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Validates the options, naming the offending field.
+    ///
+    /// # Errors
+    /// Returns a message naming the field and echoing its value.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.damping.is_finite() || self.damping <= 0.0 || self.damping > 1.0 {
+            return Err(format!("damping must be in (0, 1], got {}", self.damping));
+        }
+        if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
+            return Err(format!(
+                "tolerance must be positive, got {}",
+                self.tolerance
+            ));
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be positive, got 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// One phase of a piecewise-constant transient workload: `steps` steps
+/// at arrival intensity `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Arrival intensity during the phase (requests per server per step).
+    pub lambda: f64,
+    /// Number of simulated steps.
+    pub steps: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid_and_scales_capacity_with_log_m() {
+        let small = MfConfig::baseline(1024);
+        small.validate().unwrap();
+        assert_eq!(small.queue_capacity, Some(11));
+        let big = MfConfig::baseline(1 << 26);
+        assert_eq!(big.queue_capacity, Some(27));
+        assert_eq!(big.depth(), 27);
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let mut c = MfConfig::baseline(4096);
+        c.m = 0;
+        assert!(c.validate().unwrap_err().contains("m must be positive"));
+        let mut c = MfConfig::baseline(4096);
+        c.lambda = f64::NAN;
+        assert!(c.validate().unwrap_err().contains("lambda"));
+        let mut c = MfConfig::baseline(4096);
+        c.queue_capacity = Some(0);
+        assert!(c.validate().unwrap_err().contains("queue_capacity"));
+        let mut c = MfConfig::baseline(4096);
+        c.queue_capacity = None;
+        c.truncation_depth = 0;
+        assert!(c.validate().unwrap_err().contains("truncation_depth"));
+        let mut c = MfConfig::baseline(4096);
+        c.euler_dt = 0.0;
+        assert!(c.validate().unwrap_err().contains("euler_dt"));
+
+        let ok = SolveOptions::default();
+        ok.validate().unwrap();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let o = SolveOptions {
+                damping: bad,
+                ..SolveOptions::default()
+            };
+            assert!(o.validate().unwrap_err().contains("damping"), "{bad}");
+        }
+        for bad in [0.0, -1e-9, f64::INFINITY] {
+            let o = SolveOptions {
+                tolerance: bad,
+                ..SolveOptions::default()
+            };
+            assert!(o.validate().unwrap_err().contains("tolerance"), "{bad}");
+        }
+        let o = SolveOptions {
+            max_iters: 0,
+            ..SolveOptions::default()
+        };
+        assert!(o.validate().unwrap_err().contains("max_iters"));
+    }
+
+    #[test]
+    fn policy_choices_and_parsing() {
+        assert_eq!(MfPolicy::Greedy.choices(3), 3);
+        assert_eq!(MfPolicy::OneChoice.choices(3), 1);
+        assert_eq!(MfPolicy::UniformRandom.choices(3), 1);
+        assert_eq!(MfPolicy::parse("greedy").unwrap(), MfPolicy::Greedy);
+        assert_eq!(MfPolicy::parse("one-choice").unwrap(), MfPolicy::OneChoice);
+        assert_eq!(
+            MfPolicy::parse("uniform-random").unwrap(),
+            MfPolicy::UniformRandom
+        );
+        assert!(MfPolicy::parse("dcr").is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Solver-vs-engine cross-validation on the overlap range.
+//!
+//! The mean-field solver and the discrete engine model the same
+//! synchronized step (online routing, then a g-deep drain), so on the
+//! range the engine can still reach (m ≤ 65536) the two must agree up
+//! to finite-m fluctuations and the reappearance correlations the
+//! fluid limit ignores. The tolerances below are committed contract
+//! values: they were measured at roughly half these margins, and a
+//! regression past them means the solver (or the engine) changed
+//! behaviour, not that the run was unlucky.
+//!
+//! The m = 16384 and m = 65536 cases run under `--ignored` in the
+//! `meanfield` CI job (release build); the m = 4096 case always runs.
+
+use rlb_core::policies::{Greedy, OneChoice};
+use rlb_core::{DrainMode, Policy, SimConfig, Simulation};
+use rlb_meanfield::{solve_fixpoint, MfConfig, MfPolicy, SolveOptions};
+use rlb_metrics::linf_distance;
+use rlb_workloads::FreshRandom;
+
+/// One validation scenario: engine and solver parameterized alike.
+struct Scenario {
+    name: &'static str,
+    policy: MfPolicy,
+    /// Load ratio λ/g.
+    ratio: f64,
+    queue: u32,
+    rate: u32,
+    /// Committed bound on |rejection_solver − rejection_engine|.
+    rejection_abs: f64,
+    /// Committed bound on the relative rejection error, applied only
+    /// when the engine's rejection rate is large enough to estimate
+    /// reliably (> 1e-3).
+    rejection_rel: f64,
+    /// Committed bound on L∞ between the backlog tail vectors.
+    tail_linf: f64,
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    // Greedy tracks the fluid limit tightly in both regimes: the
+    // d-choice comparison actively erases the quenched placement
+    // heterogeneity that d = 1 policies are exposed to (see below).
+    Scenario {
+        name: "greedy-near-critical",
+        policy: MfPolicy::Greedy,
+        ratio: 0.95,
+        queue: 10,
+        rate: 4,
+        rejection_abs: 0.005,
+        rejection_rel: f64::INFINITY,
+        tail_linf: 0.03,
+    },
+    Scenario {
+        name: "greedy-overload",
+        policy: MfPolicy::Greedy,
+        ratio: 1.25,
+        queue: 8,
+        rate: 4,
+        rejection_abs: 0.01,
+        rejection_rel: 0.02,
+        tail_linf: 0.02,
+    },
+    // In overload, flow conservation pins the rejection rate (the
+    // excess (λ − g)/λ must be shed no matter how arrivals spread), so
+    // the d = 1 drift can be pinned with a tight relative tolerance.
+    // The tail *shape* still feels the placement heterogeneity, hence
+    // the looser L∞ bound than greedy gets.
+    Scenario {
+        name: "one-choice-overload",
+        policy: MfPolicy::OneChoice,
+        ratio: 1.25,
+        queue: 12,
+        rate: 4,
+        rejection_abs: 0.02,
+        rejection_rel: 0.05,
+        tail_linf: 0.09,
+    },
+    // Near criticality a d = 1 policy feels the placement graph: each
+    // server is the first replica of ~Poisson(chunks/m) chunks, a
+    // quenched ±12% arrival-rate spread at a 64·m universe, and
+    // rejection is convex in the arrival rate, so the engine rejects
+    // roughly twice the fluid prediction *at every m* (the gap is a
+    // modelling bias, not finite-m noise — it does not shrink as m
+    // grows). This scenario documents that boundary: the tail shape
+    // and the absolute bias stay bounded, but no relative tolerance
+    // is claimed.
+    Scenario {
+        name: "one-choice-heavy",
+        policy: MfPolicy::OneChoice,
+        ratio: 0.9,
+        queue: 12,
+        rate: 4,
+        rejection_abs: 0.035,
+        rejection_rel: f64::INFINITY,
+        tail_linf: 0.10,
+    },
+];
+
+fn engine_config(m: usize, s: &Scenario, seed: u64) -> SimConfig {
+    SimConfig {
+        num_servers: m,
+        num_chunks: 64 * m,
+        replication: 2,
+        process_rate: s.rate,
+        queue_capacity: s.queue,
+        flush_interval: None,
+        drain_mode: DrainMode::EndOfStep,
+        seed,
+        safety_check_every: Some(1),
+    }
+}
+
+/// Runs the engine to steady state and measures a post-warmup window,
+/// returning `(rejection_rate, backlog_tail)`.
+fn engine_measure<P: Policy>(m: usize, s: &Scenario, policy: P, seed: u64) -> (f64, Vec<f64>) {
+    let per_step = (s.ratio * s.rate as f64 * m as f64).round() as usize;
+    let mut workload = FreshRandom::new(64 * m as u64, per_step, seed ^ 0x9E37);
+    // The release CI job measures a long window; debug (tier-1) keeps
+    // the same scenarios on a shorter one so the suite stays quick.
+    // Sampling noise is ~1e-3 at m = 4096 even on the short window,
+    // far inside every committed tolerance.
+    let (warmup, measure) = if cfg!(debug_assertions) {
+        (100, 200)
+    } else {
+        (300, 500)
+    };
+    let mut sim = Simulation::new(engine_config(m, s, seed), policy);
+    sim.run(&mut workload, warmup);
+    sim.reset_stats();
+    sim.run(&mut workload, measure);
+    let report = sim.finish();
+    (report.rejection_rate, report.backlog_tail)
+}
+
+fn solver_predict(m: u64, s: &Scenario) -> rlb_meanfield::Prediction {
+    let cfg = MfConfig {
+        m,
+        lambda: s.ratio * s.rate as f64,
+        replication: 2,
+        process_rate: s.rate,
+        queue_capacity: Some(s.queue),
+        truncation_depth: s.queue,
+        policy: s.policy,
+        // Fine Euler substeps: the solver is milliseconds either way,
+        // and this keeps discretization error out of the tolerance
+        // budget (at 0.02 it would contribute ~5% on d = 1 rejection).
+        euler_dt: 0.005,
+    };
+    let p = solve_fixpoint(&cfg, &SolveOptions::default());
+    assert!(p.converged, "{}: solver did not converge", s.name);
+    p
+}
+
+fn validate_at(m: usize) {
+    for s in &SCENARIOS {
+        let (engine_rej, engine_tail) = match s.policy {
+            MfPolicy::Greedy => engine_measure(m, s, Greedy::new(), 42),
+            _ => engine_measure(m, s, OneChoice::new(), 42),
+        };
+        let p = solver_predict(m as u64, s);
+        let rej_gap = (p.rejection_rate - engine_rej).abs();
+        eprintln!(
+            "[xval] {} m={m}: rej solver {:.6e} engine {:.6e} gap {:.3e} rel {:.3} linf {:.4}",
+            s.name,
+            p.rejection_rate,
+            engine_rej,
+            rej_gap,
+            if engine_rej > 0.0 {
+                rej_gap / engine_rej
+            } else {
+                f64::NAN
+            },
+            rlb_metrics::linf_distance(&p.backlog_tail, &engine_tail)
+        );
+        assert!(
+            rej_gap <= s.rejection_abs,
+            "{} m={m}: rejection solver {} vs engine {} (|Δ| {} > {})",
+            s.name,
+            p.rejection_rate,
+            engine_rej,
+            rej_gap,
+            s.rejection_abs
+        );
+        if engine_rej > 1e-3 && s.rejection_rel.is_finite() {
+            let rel = rej_gap / engine_rej;
+            assert!(
+                rel <= s.rejection_rel,
+                "{} m={m}: relative rejection error {rel} > {}",
+                s.name,
+                s.rejection_rel
+            );
+        }
+        let linf = linf_distance(&p.backlog_tail, &engine_tail);
+        assert!(
+            linf <= s.tail_linf,
+            "{} m={m}: backlog tail L∞ {linf} > {} (solver {:?} vs engine {:?})",
+            s.name,
+            s.tail_linf,
+            p.backlog_tail,
+            engine_tail
+        );
+    }
+}
+
+#[test]
+fn solver_matches_engine_at_m_4096() {
+    validate_at(4096);
+}
+
+#[test]
+#[ignore = "heavy; run in release via the meanfield CI job"]
+fn solver_matches_engine_at_m_16384() {
+    validate_at(16384);
+}
+
+#[test]
+#[ignore = "heavy; run in release via the meanfield CI job"]
+fn solver_matches_engine_at_m_65536() {
+    validate_at(65536);
+}

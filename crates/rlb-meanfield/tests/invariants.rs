@@ -1,0 +1,155 @@
+//! PCG property sweep over (λ, d, q, g): structural invariants every
+//! solved model must satisfy, checked on deterministic pseudo-random
+//! configurations (the workspace's replacement for proptest).
+
+use rlb_hash::{Pcg64, Rng};
+use rlb_meanfield::{solve_fixpoint, solve_transient, MfConfig, MfPolicy, Phase, SolveOptions};
+use rlb_metrics::linf_distance;
+
+/// Draws a random-but-reasonable model: g ∈ [1, 8], q ∈ [g+1, g+24],
+/// load ratio λ/g ∈ [0.2, 1.4], d ∈ [1, 4].
+fn sample_config(rng: &mut Pcg64) -> MfConfig {
+    let g = 1 + rng.gen_range(8) as u32;
+    let q = g + 1 + rng.gen_range(24) as u32;
+    let ratio = 0.2 + (rng.gen_range(1000) as f64 / 1000.0) * 1.2;
+    let d = 1 + rng.gen_range(4) as u32;
+    let policy = if d == 1 {
+        if rng.gen_range(2) == 0 {
+            MfPolicy::OneChoice
+        } else {
+            MfPolicy::UniformRandom
+        }
+    } else {
+        MfPolicy::Greedy
+    };
+    MfConfig {
+        m: 65536,
+        lambda: ratio * g as f64,
+        replication: d,
+        process_rate: g,
+        queue_capacity: Some(q),
+        truncation_depth: q,
+        policy,
+        euler_dt: 0.05,
+    }
+}
+
+fn opts() -> SolveOptions {
+    SolveOptions {
+        damping: 1.0,
+        tolerance: 1e-10,
+        max_iters: 20_000,
+    }
+}
+
+#[test]
+fn fixpoint_invariants_hold_across_the_parameter_space() {
+    let mut rng = Pcg64::new(0xF1D0, 9);
+    for case in 0..32 {
+        let cfg = sample_config(&mut rng);
+        let p = solve_fixpoint(&cfg, &opts());
+        let tag = format!(
+            "case {case}: λ={:.3} d={} q={:?} g={}",
+            cfg.lambda, cfg.replication, cfg.queue_capacity, cfg.process_rate
+        );
+
+        // Residual below tolerance at convergence.
+        assert!(p.converged, "{tag}: residual {}", p.residual);
+        assert!(p.residual <= 1e-10, "{tag}");
+
+        // Tail vector is a tail vector: s[0] = 1, monotone
+        // non-increasing, within [0, 1].
+        assert!((p.backlog_tail[0] - 1.0).abs() < 1e-12, "{tag}");
+        for w in p.backlog_tail.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "{tag}: tail not monotone {w:?}");
+        }
+        assert!(
+            p.backlog_tail
+                .iter()
+                .all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)),
+            "{tag}"
+        );
+
+        // Conservation, both ways. Arrival split: rejected + accepted
+        // mass account for every arrival.
+        let arrivals = cfg.lambda;
+        let accounted = p.rejection_rate * arrivals + p.throughput;
+        assert!(
+            (accounted - arrivals).abs() < 1e-8 * arrivals.max(1.0),
+            "{tag}: arrivals {arrivals} vs accounted {accounted}"
+        );
+        // Flow balance: at a fixed point the drain completes exactly
+        // what routing accepts (the Euler discretization bounds the
+        // mismatch, not float noise — hence the looser tolerance).
+        assert!(
+            (p.completed - p.throughput).abs() < 1e-6 * arrivals.max(1.0),
+            "{tag}: completed {} vs accepted {}",
+            p.completed,
+            p.throughput
+        );
+
+        // Rates are rates.
+        assert!((0.0..=1.0 + 1e-12).contains(&p.rejection_rate), "{tag}");
+        assert!(p.mean_backlog >= -1e-12, "{tag}");
+        assert!(p.avg_latency >= 0.0, "{tag}");
+        assert!(p.p99_latency <= p.max_latency, "{tag}");
+    }
+}
+
+#[test]
+fn ode_agrees_with_fixpoint_on_stationary_workloads() {
+    let mut rng = Pcg64::new(0xF1D0, 10);
+    let opts = opts();
+    for case in 0..6 {
+        let cfg = sample_config(&mut rng);
+        let fp = solve_fixpoint(&cfg, &opts);
+        let ode = solve_transient(
+            &cfg,
+            &opts,
+            &[Phase {
+                lambda: cfg.lambda,
+                steps: 8192,
+            }],
+        );
+        assert!(fp.converged, "case {case}");
+        let gap = linf_distance(&fp.backlog_tail, &ode.backlog_tail);
+        assert!(
+            gap < 1e-7,
+            "case {case}: ODE vs fixpoint L∞ {gap} (λ={:.3} d={} g={})",
+            cfg.lambda,
+            cfg.replication,
+            cfg.process_rate
+        );
+        // Both accounts of steady-state loss agree.
+        assert!(
+            (fp.rejection_rate - ode.rejection_rate).abs() < 1e-6,
+            "case {case}: rejection {} vs {}",
+            fp.rejection_rate,
+            ode.rejection_rate
+        );
+    }
+}
+
+#[test]
+fn deeper_queues_reject_less() {
+    // Monotonicity in q: the threshold search in E23 relies on it.
+    let mut rng = Pcg64::new(0xF1D0, 11);
+    for _ in 0..4 {
+        let mut cfg = sample_config(&mut rng);
+        cfg.lambda = cfg.process_rate as f64 * 1.1; // overloaded
+        let mut prev = f64::INFINITY;
+        for q in [2u32, 4, 8, 16, 32] {
+            cfg.queue_capacity = Some(q);
+            cfg.truncation_depth = q;
+            let p = solve_fixpoint(&cfg, &opts());
+            assert!(p.converged);
+            assert!(
+                p.rejection_rate <= prev + 1e-9,
+                "rejection not monotone in q: {} then {} at q={q}",
+                prev,
+                p.rejection_rate
+            );
+            prev = p.rejection_rate;
+        }
+    }
+}

@@ -6,6 +6,47 @@
 //! vector grows geometrically on demand; recording is O(1) amortized and
 //! allocation-free once the maximum observed value has been seen.
 
+/// A percentile read that is honest about truncation.
+///
+/// Distributions produced under a hard cap — a queue of capacity `q`, a
+/// solver tail truncated at `q` — pin all deeper mass onto the final
+/// bucket. A plain [`Histogram::quantile`] read on such a histogram
+/// reports the bucket upper bound as if it were an observed value; the
+/// censor-aware accessors return [`TailValue::AtLeast`] instead, so
+/// callers can render `>= q` rather than claiming `q` was seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailValue {
+    /// The rank landed in exactly-observed mass.
+    Exact(u64),
+    /// The rank landed in censored mass: the true value is `>=` this.
+    AtLeast(u64),
+}
+
+impl TailValue {
+    /// The numeric value (a lower bound when censored).
+    #[inline]
+    pub fn value(&self) -> u64 {
+        match *self {
+            TailValue::Exact(v) | TailValue::AtLeast(v) => v,
+        }
+    }
+
+    /// Whether the read landed in censored mass.
+    #[inline]
+    pub fn is_censored(&self) -> bool {
+        matches!(self, TailValue::AtLeast(_))
+    }
+}
+
+impl std::fmt::Display for TailValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TailValue::Exact(v) => write!(f, "{v}"),
+            TailValue::AtLeast(v) => write!(f, ">={v}"),
+        }
+    }
+}
+
 /// An exact histogram over `u64` sample values.
 ///
 /// ```
@@ -26,6 +67,12 @@ pub struct Histogram {
     total: u64,
     sum: u128,
     max: u64,
+    /// Samples recorded via [`Histogram::record_censored_n`]: their true
+    /// value is only known to be `>=` the bucket they sit in.
+    censored: u64,
+    /// Smallest bound any censored sample was recorded at; `None` while
+    /// the histogram is fully exact.
+    censored_from: Option<u64>,
 }
 
 impl Histogram {
@@ -78,12 +125,45 @@ impl Histogram {
         }
     }
 
+    /// Records `n` samples whose true value is only known to be
+    /// `>= bound` — mass truncated at a queue capacity or a solver's
+    /// tail cutoff. The samples are counted at `bound` (so totals,
+    /// means, and `count_above` treat `bound` as a lower bound), and
+    /// the censor-aware reads ([`Histogram::quantile_tail`],
+    /// [`Histogram::max_tail`]) stop reporting `bound` as observed.
+    pub fn record_censored_n(&mut self, bound: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.record_n(bound, n);
+        self.censored = self.censored.saturating_add(n);
+        self.censored_from = Some(match self.censored_from {
+            Some(prev) => prev.min(bound),
+            None => bound,
+        });
+    }
+
+    /// Number of censored samples recorded.
+    #[inline]
+    pub fn censored_count(&self) -> u64 {
+        self.censored
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (v, &c) in other.counts.iter().enumerate() {
             if c > 0 {
                 self.record_n(v as u64, c);
             }
+        }
+        if other.censored > 0 {
+            // The counts above already include the censored samples at
+            // their bounds; carry over only the censor bookkeeping.
+            self.censored = self.censored.saturating_add(other.censored);
+            self.censored_from = match (self.censored_from, other.censored_from) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
         }
     }
 
@@ -114,7 +194,9 @@ impl Histogram {
         self.counts[start..].iter().sum()
     }
 
-    /// Mean of the samples; `None` if empty.
+    /// Mean of the samples; `None` if empty. Censored samples count at
+    /// their bound, so on a censored histogram this is a lower bound on
+    /// the true mean.
     pub fn mean(&self) -> Option<f64> {
         if self.total == 0 {
             None
@@ -124,11 +206,28 @@ impl Histogram {
     }
 
     /// Maximum recorded value; `None` if empty.
+    ///
+    /// On a histogram with censored mass this reports the *bucket*
+    /// maximum, which is not an observed value — use
+    /// [`Histogram::max_tail`] for an honest read.
     pub fn max(&self) -> Option<u64> {
         if self.total == 0 {
             None
         } else {
             Some(self.max)
+        }
+    }
+
+    /// Censor-aware maximum: [`TailValue::AtLeast`] whenever any
+    /// censored sample was recorded (a censored sample's true value is
+    /// unbounded above, so no observed maximum can cap it).
+    pub fn max_tail(&self) -> Option<TailValue> {
+        if self.total == 0 {
+            None
+        } else if self.censored > 0 {
+            Some(TailValue::AtLeast(self.max))
+        } else {
+            Some(TailValue::Exact(self.max))
         }
     }
 
@@ -153,6 +252,24 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Censor-aware `q`-quantile: the same nearest-rank read as
+    /// [`Histogram::quantile`], but ranks landing at or above the lowest
+    /// censored bound return [`TailValue::AtLeast`] — censored samples
+    /// sit at their bound, so any rank in that region is a lower bound
+    /// on the true order statistic, not an observation. Ranks strictly
+    /// below every censored bound are unaffected (censored true values
+    /// can only be larger, so the exact prefix ranking stands).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile_tail(&self, q: f64) -> Option<TailValue> {
+        let v = self.quantile(q)?;
+        match self.censored_from {
+            Some(bound) if v >= bound => Some(TailValue::AtLeast(v)),
+            _ => Some(TailValue::Exact(v)),
+        }
+    }
+
     /// Iterates over `(value, count)` pairs with non-zero count.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts
@@ -168,6 +285,8 @@ impl Histogram {
         self.total = 0;
         self.sum = 0;
         self.max = 0;
+        self.censored = 0;
+        self.censored_from = None;
     }
 }
 
@@ -175,7 +294,9 @@ rlb_json::json_struct!(Histogram {
     counts,
     total,
     sum,
-    max
+    max,
+    censored,
+    censored_from
 });
 
 #[cfg(test)]
@@ -341,6 +462,104 @@ mod tests {
         assert_eq!(big.count(), 1 << 32);
         assert_eq!(big.quantile(0.99), Some(1000));
         assert_eq!(big.mean(), Some(1000.0));
+    }
+
+    #[test]
+    fn censored_top_bucket_is_not_reported_as_observed() {
+        // A saturated capacity-16 queue: 97% of mass observed below the
+        // cap, 3% pinned at the truncation bucket. The plain reads
+        // report 16 as if it were seen; the censor-aware reads do not.
+        let mut h = Histogram::new();
+        h.record_n(2, 970);
+        h.record_censored_n(16, 30);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.censored_count(), 30);
+
+        // Ranks inside the exact prefix are untouched.
+        assert_eq!(h.quantile_tail(0.5), Some(TailValue::Exact(2)));
+        // p99 lands in the pinned final bucket: the true value is only
+        // known to be >= 16.
+        assert_eq!(h.quantile(0.99), Some(16), "plain read says observed");
+        assert_eq!(h.quantile_tail(0.99), Some(TailValue::AtLeast(16)));
+        assert_eq!(h.max_tail(), Some(TailValue::AtLeast(16)));
+        assert!(h.quantile_tail(0.99).unwrap().is_censored());
+        assert_eq!(h.quantile_tail(0.99).unwrap().value(), 16);
+        assert_eq!(format!("{}", h.quantile_tail(0.99).unwrap()), ">=16");
+        assert_eq!(format!("{}", h.quantile_tail(0.5).unwrap()), "2");
+    }
+
+    #[test]
+    fn exact_samples_above_the_censor_bound_are_also_uncertain() {
+        // Censored-at-10 samples could truly exceed the exact 15s, so
+        // any rank landing at or above the bound is a lower bound.
+        let mut h = Histogram::new();
+        h.record_n(1, 10);
+        h.record_censored_n(10, 5);
+        h.record_n(15, 5);
+        assert_eq!(h.quantile_tail(0.25), Some(TailValue::Exact(1)));
+        assert_eq!(h.quantile_tail(0.75), Some(TailValue::AtLeast(10)));
+        assert_eq!(h.quantile_tail(1.0), Some(TailValue::AtLeast(15)));
+        assert_eq!(h.max_tail(), Some(TailValue::AtLeast(15)));
+    }
+
+    #[test]
+    fn uncensored_histogram_tail_reads_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 16] {
+            h.record(v);
+        }
+        assert_eq!(h.censored_count(), 0);
+        assert_eq!(h.quantile_tail(0.99), Some(TailValue::Exact(16)));
+        assert_eq!(h.max_tail(), Some(TailValue::Exact(16)));
+        assert_eq!(h.quantile_tail(0.5), Some(TailValue::Exact(1)));
+    }
+
+    #[test]
+    fn censoring_survives_merge_and_resets_on_clear() {
+        let mut a = Histogram::new();
+        a.record_n(3, 99);
+        let mut b = Histogram::new();
+        b.record_censored_n(8, 1);
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.censored_count(), 1);
+        assert_eq!(a.quantile_tail(1.0), Some(TailValue::AtLeast(8)));
+        assert_eq!(a.max_tail(), Some(TailValue::AtLeast(8)));
+        // Merging a censored histogram into an exact one keeps the
+        // smaller of the two bounds.
+        let mut c = Histogram::new();
+        c.record_censored_n(4, 2);
+        a.merge(&c);
+        assert_eq!(a.censored_count(), 3);
+        // Ranks 100-101 of 102 sit in the bucket-4 censored mass.
+        assert_eq!(a.quantile_tail(0.98), Some(TailValue::AtLeast(4)));
+        assert_eq!(a.quantile_tail(1.0), Some(TailValue::AtLeast(8)));
+
+        a.clear();
+        assert_eq!(a.censored_count(), 0);
+        a.record(2);
+        assert_eq!(a.quantile_tail(1.0), Some(TailValue::Exact(2)));
+    }
+
+    #[test]
+    fn record_censored_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_censored_n(5, 0);
+        assert!(h.is_empty());
+        assert_eq!(h.censored_count(), 0);
+        assert_eq!(h.max_tail(), None);
+        assert_eq!(h.quantile_tail(0.5), None);
+    }
+
+    #[test]
+    fn censored_histogram_roundtrips_through_json() {
+        let mut h = Histogram::new();
+        h.record_n(1, 3);
+        h.record_censored_n(7, 2);
+        let json = rlb_json::to_string(&h);
+        let back: Histogram = rlb_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.quantile_tail(1.0), Some(TailValue::AtLeast(7)));
     }
 
     #[test]
