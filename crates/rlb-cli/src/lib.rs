@@ -446,15 +446,18 @@ pub fn render_text(opts: &CliOptions, report: &RunReport) -> String {
 /// `.`), the workspace root containing `crates/`; `--json [PATH]`
 /// renders the machine-readable report — to stdout when no path
 /// follows, otherwise to the file at PATH (the human-readable summary
-/// stays on stdout).
+/// stays on stdout); `--rule NAME` (repeatable) keeps only findings of
+/// the named rule(s) — the exit status then reflects just those rules.
 ///
 /// # Errors
-/// Returns a message on malformed arguments, an unreadable tree, a
-/// malformed `lint-roots.toml`, or an unwritable `--json` path
-/// (findings are reported in the summary, not as errors).
+/// Returns a message on malformed arguments, an unknown `--rule` name
+/// (listing the known rules), an unreadable tree, a malformed
+/// `lint-roots.toml`, or an unwritable `--json` path (findings are
+/// reported in the summary, not as errors).
 pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
     let mut root = ".".to_string();
     let mut json: Option<Option<String>> = None;
+    let mut rules: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -467,10 +470,26 @@ pub fn run_lint(args: &[String]) -> Result<(String, bool), String> {
                     _ => Some(None),
                 };
             }
+            "--rule" => {
+                let name = it.next().ok_or("--rule requires a rule name")?.clone();
+                let known = rlb_lint::rules::all_rule_names();
+                if !known.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown rule {name:?}; known rules: {}",
+                        known.join(", ")
+                    ));
+                }
+                rules.push(name);
+            }
             other => return Err(format!("unknown lint option {other:?}")),
         }
     }
-    let report = rlb_lint::lint_workspace(std::path::Path::new(&root))?;
+    let mut report = rlb_lint::lint_workspace(std::path::Path::new(&root))?;
+    if !rules.is_empty() {
+        report
+            .findings
+            .retain(|f| rules.iter().any(|r| r == f.rule));
+    }
     let out = match json {
         Some(Some(path)) => {
             std::fs::write(&path, report.to_json())
@@ -849,6 +868,57 @@ mod tests {
         let json = rlb_json::to_string(&report);
         let value = rlb_json::Json::parse(&json).unwrap();
         assert!(value.get("rejection_rate").is_some());
+    }
+
+    #[test]
+    fn lint_rejects_unknown_rule_names_listing_the_known_ones() {
+        // The unknown name is rejected before any filesystem work, and
+        // the message lists every valid rule (the binary exits 2 on
+        // this Err, same as any malformed option).
+        let err = run_lint(&args("--rule no-such-rule")).unwrap_err();
+        assert!(err.contains("unknown rule \"no-such-rule\""), "{err}");
+        for rule in rlb_lint::rules::all_rule_names() {
+            assert!(err.contains(rule), "rule {rule} missing from: {err}");
+        }
+        assert!(run_lint(&args("--rule")).is_err(), "bare --rule must fail");
+    }
+
+    #[test]
+    fn lint_rule_filter_keeps_only_the_named_rules() {
+        let dir = std::env::temp_dir().join("rlb_cli_lint_rule_test");
+        let src_dir = dir.join("crates/seeded/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn nobody_calls_this() -> u32 {\n    1\n}\n",
+        )
+        .unwrap();
+        let root = dir.to_str().unwrap().to_string();
+        // Unfiltered: the dead-pub finding makes the run dirty.
+        let (out, clean) = run_lint(&["--root".to_string(), root.clone()]).unwrap();
+        assert!(!clean && out.contains("dead-pub"), "{out}");
+        // Filtered to a rule with no findings: clean, nothing listed.
+        let (out, clean) = run_lint(&[
+            "--root".to_string(),
+            root.clone(),
+            "--rule".to_string(),
+            "lock-order".to_string(),
+        ])
+        .unwrap();
+        assert!(clean && !out.contains("dead-pub"), "{out}");
+        // Filtered to the firing rule (repeated flag exercises the
+        // repeatable path): still dirty.
+        let (out, clean) = run_lint(&[
+            "--root".to_string(),
+            root,
+            "--rule".to_string(),
+            "lock-order".to_string(),
+            "--rule".to_string(),
+            "dead-pub".to_string(),
+        ])
+        .unwrap();
+        assert!(!clean && out.contains("dead-pub"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

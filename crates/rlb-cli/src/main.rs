@@ -128,13 +128,15 @@ fn main() {
              \x20      [--put-ratio F] [--tenants T] [--tick-micros U] [--max-seconds S] [--jobs J]\n\
              \x20                   drive a running server and report latency/rejection rates;\n\
              \x20                   with --sim-clock run the same co-simulation as serve\n\
-             \x20 lint [--root PATH] [--json [PATH]]\n\
+             \x20 lint [--root PATH] [--json [PATH]] [--rule NAME]...\n\
              \x20                   run the workspace's static-analysis pass (rlb-lint) over\n\
              \x20                   crates/*/src (determinism, trace-guard, panic-discipline,\n\
-             \x20                   lossy-cast, raw-sync, plus call-graph passes: panic-path,\n\
-             \x20                   unchecked-arith, dead-pub, and dead-suppression detection);\n\
+             \x20                   lossy-cast, raw-sync; call-graph passes: panic-path,\n\
+             \x20                   unchecked-arith, dead-pub, dead-suppression detection; flow\n\
+             \x20                   passes: untrusted-input, determinism-flow, lock-order);\n\
              \x20                   --json emits a machine-readable report (to stdout, or to\n\
-             \x20                   PATH with the text summary kept on stdout);\n\
+             \x20                   PATH with the text summary kept on stdout); --rule keeps\n\
+             \x20                   only findings of the named rule(s), repeatable;\n\
              \x20                   exits nonzero on any unsuppressed finding"
         );
         return;

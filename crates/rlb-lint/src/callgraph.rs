@@ -170,6 +170,116 @@ impl CallGraph {
     }
 }
 
+/// Read-only call resolution for the tier-3 passes, which need callee
+/// *identity* at a call site (to apply a function summary) rather than
+/// just the edge set. It rebuilds the same three tables [`build`] uses
+/// internally and applies the same rules — same-owner method first,
+/// then unique name; `Qual::name` by owner then free; bare names with
+/// same-crate shadowing — so its hits are exactly the calls the graph
+/// drew edges for. Ambiguous and unresolved calls return `None`: the
+/// shared false-negative boundary documented on [`CallGraph`].
+pub(crate) struct Resolver<'a> {
+    by_owner_name: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+    method_by_name: BTreeMap<&'a str, Vec<usize>>,
+    free_by_name: BTreeMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Rebuilds the resolution tables over `g`'s non-test nodes.
+    pub(crate) fn new(files: &'a [ParsedFile], g: &CallGraph) -> Self {
+        let mut r = Resolver {
+            by_owner_name: BTreeMap::new(),
+            method_by_name: BTreeMap::new(),
+            free_by_name: BTreeMap::new(),
+        };
+        for (id, n) in g.nodes.iter().enumerate() {
+            if n.in_test {
+                continue;
+            }
+            let f = &files[n.file].items.fns[n.item];
+            match &f.owner {
+                Some(o) => {
+                    r.by_owner_name
+                        .entry((o.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(id);
+                    if f.has_self {
+                        r.method_by_name
+                            .entry(f.name.as_str())
+                            .or_default()
+                            .push(id);
+                    }
+                }
+                None => r.free_by_name.entry(f.name.as_str()).or_default().push(id),
+            }
+        }
+        r
+    }
+
+    /// Resolves a call to `name` preceded by `prev`/`prev2` (the two
+    /// code tokens before the name), made from inside `caller`.
+    pub(crate) fn resolve(
+        &self,
+        g: &CallGraph,
+        caller: usize,
+        files: &[ParsedFile],
+        name: &str,
+        prev: Option<&str>,
+        prev2: Option<&str>,
+    ) -> Option<usize> {
+        let n = &g.nodes[caller];
+        let owner = files[n.file].items.fns[n.item].owner.as_deref();
+        match prev {
+            Some(".") => {
+                if let Some(o) = owner {
+                    if let Some([one]) = self.by_owner_name.get(&(o, name)).map(Vec::as_slice) {
+                        return Some(*one);
+                    }
+                }
+                match self.method_by_name.get(name).map(Vec::as_slice) {
+                    Some([one]) => Some(*one),
+                    _ => None,
+                }
+            }
+            Some("::") => {
+                let qualifier = prev2.unwrap_or("");
+                let looked_up = if qualifier == "Self" {
+                    owner
+                } else {
+                    Some(qualifier)
+                };
+                if let Some(o) = looked_up {
+                    if let Some(c) = self.by_owner_name.get(&(o, name)) {
+                        return match c.as_slice() {
+                            [one] => Some(*one),
+                            _ => None,
+                        };
+                    }
+                }
+                match self.free_by_name.get(name).map(Vec::as_slice) {
+                    Some([one]) => Some(*one),
+                    _ => None,
+                }
+            }
+            _ => match self.free_by_name.get(name).map(Vec::as_slice) {
+                Some([one]) => Some(*one),
+                Some(many) => {
+                    let same: Vec<usize> = many
+                        .iter()
+                        .copied()
+                        .filter(|&c| g.nodes[c].krate == g.nodes[caller].krate)
+                        .collect();
+                    match same.as_slice() {
+                        [one] => Some(*one),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+}
+
 /// Keywords that never produce a value, so an operator right after one
 /// is unary / a type position, not binary arithmetic or indexing.
 const NON_VALUE_KEYWORDS: &[&str] = &[
@@ -179,14 +289,14 @@ const NON_VALUE_KEYWORDS: &[&str] = &[
     "while", "yield",
 ];
 
-fn is_value_ident(text: &str) -> bool {
+pub(crate) fn is_value_ident(text: &str) -> bool {
     !NON_VALUE_KEYWORDS.contains(&text)
 }
 
 /// `Send`, `FnOnce`, `Iterator` … — CamelCase identifiers next to a
 /// `+` are trait bounds (`dyn Fn() + Send`), not arithmetic.
 /// ALL-CAPS constants (`MAX_FRAME_LEN`) stay arithmetic operands.
-fn is_camel_type(text: &str) -> bool {
+pub(crate) fn is_camel_type(text: &str) -> bool {
     text.starts_with(|c: char| c.is_ascii_uppercase())
         && text.chars().any(|c| c.is_ascii_lowercase())
 }

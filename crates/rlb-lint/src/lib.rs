@@ -9,7 +9,7 @@
 //! or an unguarded `sink.on_event(..)` silently breaks both. This crate
 //! guards them statically.
 //!
-//! The analysis is two-phase:
+//! The analysis has three tiers:
 //!
 //! 1. **Per-file rules** ([`rules`]) over a spanned token stream
 //!    ([`token`]) — determinism, trace-guard, panic-discipline,
@@ -21,6 +21,13 @@
 //!    `lint-roots.toml` ([`roots`]), plus a dead-pub-surface sweep
 //!    that counts references from every crate, test, example, and
 //!    binary in the workspace.
+//! 3. **Flow passes** over per-function control-flow graphs ([`cfg`])
+//!    and a worklist taint dataflow with call-graph function
+//!    summaries (`dataflow`): `untrusted-input` (wire-decoded values
+//!    must be validated before allocation/indexing/arithmetic),
+//!    `determinism-flow` (clock-derived values must not reach engine
+//!    state, reports, or trace emissions), and `lock-order` (`locks`:
+//!    cycles in the workspace's acquired-while-holding graph).
 //!
 //! * Suppress a benign finding with `// lint:allow(<rule>)` on the
 //!   same line or the line above — always with a justification comment.
@@ -37,8 +44,11 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod cfg;
+mod dataflow;
 pub mod items;
 pub mod lexer;
+mod locks;
 pub mod passes;
 pub mod roots;
 pub mod rules;
@@ -53,7 +63,7 @@ use std::path::{Path, PathBuf};
 /// Counters from the workspace analysis, for the report footer and the
 /// JSON artifact — they make a "0 findings" run auditable (a lint that
 /// resolved 0 roots or built 0 edges is vacuously green, not clean).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 // field type of `LintReport::stats`. lint:allow(dead-pub)
 pub struct LintStats {
     /// Non-test functions in the call graph.
@@ -70,6 +80,22 @@ pub struct LintStats {
     pub ambiguous_names: usize,
     /// `pub` items checked by the dead-pub-surface pass.
     pub pub_items: usize,
+    /// Tier 3: basic blocks across all per-function CFGs.
+    pub cfg_blocks: usize,
+    /// Tier 3: CFG successor edges.
+    pub cfg_edges: usize,
+    /// Tier 3: raw (pre-suppression) untrusted wire-read sources.
+    pub untrusted_sources: usize,
+    /// Tier 3: raw clock/parallelism sources outside the allow crates.
+    pub clock_sources: usize,
+    /// Tier 3: `.lock()` sites in scope of the lock-order pass.
+    pub lock_sites: usize,
+    /// Tier 3: acquired-while-holding edges (deduped name pairs).
+    pub lock_edges: usize,
+    /// Tier 3: untrusted sources per crate (CI pins rlb-serve > 0).
+    pub untrusted_sources_by_crate: std::collections::BTreeMap<String, usize>,
+    /// Tier 3: lock sites per crate (CI pins rlb-pool > 0).
+    pub lock_sites_by_crate: std::collections::BTreeMap<String, usize>,
 }
 
 /// The outcome of a workspace scan.
@@ -121,6 +147,17 @@ impl LintReport {
              {} ambiguous name(s); {} pub item(s) checked",
             s.fns, s.edges, s.root_fns, s.cone_fns, s.ambiguous_names, s.pub_items
         );
+        let _ = writeln!(
+            out,
+            "rlb-lint: flow: {} CFG block(s), {} edge(s); {} untrusted source(s), \
+             {} clock source(s); {} lock site(s), {} hold edge(s)",
+            s.cfg_blocks,
+            s.cfg_edges,
+            s.untrusted_sources,
+            s.clock_sources,
+            s.lock_sites,
+            s.lock_edges
+        );
         out
     }
 
@@ -156,7 +193,10 @@ impl LintReport {
             out,
             "  \"dead_suppressions\": {},\n  \"stats\": {{\"fns\": {}, \"edges\": {}, \
              \"root_fns\": {}, \"cone_fns\": {}, \"ambiguous_names\": {}, \
-             \"pub_items\": {}}},\n  \"clean\": {}\n}}\n",
+             \"pub_items\": {}, \"cfg_blocks\": {}, \"cfg_edges\": {}, \
+             \"untrusted_sources\": {}, \"clock_sources\": {}, \"lock_sites\": {}, \
+             \"lock_edges\": {}, \"untrusted_sources_by_crate\": {}, \
+             \"lock_sites_by_crate\": {}}},\n  \"clean\": {}\n}}\n",
             self.dead_suppressions(),
             s.fns,
             s.edges,
@@ -164,10 +204,28 @@ impl LintReport {
             s.cone_fns,
             s.ambiguous_names,
             s.pub_items,
+            s.cfg_blocks,
+            s.cfg_edges,
+            s.untrusted_sources,
+            s.clock_sources,
+            s.lock_sites,
+            s.lock_edges,
+            json_count_map(&s.untrusted_sources_by_crate),
+            json_count_map(&s.lock_sites_by_crate),
             self.is_clean()
         );
         out
     }
+}
+
+/// Renders a `name -> count` map as a one-line JSON object (sorted by
+/// key, so CI can grep for `"rlb-serve": <n>` deterministically).
+fn json_count_map(map: &std::collections::BTreeMap<String, usize>) -> String {
+    let body: Vec<String> = map
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+        .collect();
+    format!("{{{}}}", body.join(", "))
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -241,6 +299,10 @@ pub fn lint_files(
     let g = callgraph::build(&linted);
     let reach = passes::cone_passes(&linted, &allows, &g, &manifest, &mut findings);
     let pub_items = passes::dead_pub(&linted, &reference, &allows, &mut findings);
+    // Phase 3: flow passes — CFG-based taint dataflow (untrusted-input,
+    // determinism-flow) and the interprocedural lock-order pass.
+    let taint = dataflow::run(&linted, &allows, &g, &mut findings);
+    let lock_rep = locks::run(&linted, &allows, &g, &mut findings);
     // Unused-suppression audit runs last: every rule above has marked
     // the `lint:allow` entries it consumed.
     for (pf, allow) in linted.iter().zip(&allows) {
@@ -258,6 +320,14 @@ pub fn lint_files(
             cone_fns: reach.cone_fns,
             ambiguous_names: g.ambiguities.len(),
             pub_items,
+            cfg_blocks: taint.cfg_blocks,
+            cfg_edges: taint.cfg_edges,
+            untrusted_sources: taint.untrusted_sources,
+            clock_sources: taint.clock_sources,
+            lock_sites: lock_rep.lock_sites,
+            lock_edges: lock_rep.lock_edges,
+            untrusted_sources_by_crate: taint.untrusted_sources_by_crate,
+            lock_sites_by_crate: lock_rep.lock_sites_by_crate,
         },
     })
 }

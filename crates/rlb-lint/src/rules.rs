@@ -80,11 +80,23 @@ pub(crate) const RULES: &[&str] = &[
     "panic-path",
     "unchecked-arith",
     "dead-pub",
+    "untrusted-input",
+    "determinism-flow",
+    "lock-order",
 ];
+
+/// Every rule name a finding can carry: the suppressible catalog plus
+/// the unsuppressible meta rules. This is the vocabulary `rlb-sim lint
+/// --rule` validates against.
+pub fn all_rule_names() -> Vec<&'static str> {
+    let mut v = RULES.to_vec();
+    v.extend(["unused-suppression", "lint-roots"]);
+    v
+}
 
 /// Crates whose code may read clocks / use ambient hashing: the bench
 /// harness measures wall time by design, and the CLI reports it.
-const DETERMINISM_ALLOW_CRATES: &[&str] = &["rlb-bench", "rlb-cli"];
+pub(crate) const DETERMINISM_ALLOW_CRATES: &[&str] = &["rlb-bench", "rlb-cli"];
 
 /// Files holding hot paths where a panic aborts a simulation mid-step
 /// (engine) or kills a serving connection on attacker-controlled bytes
@@ -113,7 +125,7 @@ const TRACE_GUARD_CRATES: &[&str] = &["rlb-core", "rlb-kv", "rlb-serve", "rlb-lo
 /// shims. Everything else — including the executor — goes through
 /// `rlb_sync`, so building with `--features model` swaps its
 /// primitives for instrumented ones.
-const RAW_SYNC_ALLOW_CRATES: &[&str] = &["rlb-sync", "rlb-check"];
+pub(crate) const RAW_SYNC_ALLOW_CRATES: &[&str] = &["rlb-sync", "rlb-check"];
 
 fn in_lossy_cast_scope(rel_path: &str) -> bool {
     rel_path == "crates/rlb-core/src/stats.rs"

@@ -167,6 +167,201 @@ reason = \"stale exemption\"
 }
 
 #[test]
+fn unvalidated_wire_length_reaching_allocation_is_reported_with_provenance() {
+    // The wire-read helper caps nothing; the caller allocates straight
+    // from the declared length. The finding must carry the whole flow:
+    // source site -> helper return -> binding -> sink.
+    let src = "\
+fn read_len(buf: &[u8]) -> usize {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+}
+pub fn decode_frame(buf: &[u8]) -> Vec<u8> {
+    let declared = read_len(buf);
+    let frame = Vec::with_capacity(declared);
+    frame
+}
+";
+    let report = run(&[("crates/rlb-serve/src/lib.rs", src)], "");
+    let hits = messages(&report, "untrusted-input");
+    assert_eq!(hits.len(), 1, "findings: {}", report.render());
+    assert!(
+        hits[0].contains("reaches an allocation size"),
+        "sink kind missing: {}",
+        hits[0]
+    );
+    assert!(
+        hits[0].contains("wire bytes (`from_le_bytes`"),
+        "source missing: {}",
+        hits[0]
+    );
+    assert!(
+        hits[0].contains("returned by `read_len`") && hits[0].contains("`declared`"),
+        "flow provenance missing: {}",
+        hits[0]
+    );
+}
+
+#[test]
+fn cap_validated_wire_length_is_clean() {
+    // Same shape, but the length is compared against a MAX_* cap
+    // before the allocation: the validator kills the taint.
+    let src = "\
+const MAX_FRAME: usize = 1024;
+fn read_len(buf: &[u8]) -> usize {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
+}
+pub fn decode_frame(buf: &[u8]) -> Option<Vec<u8>> {
+    let declared = read_len(buf);
+    if declared > MAX_FRAME {
+        return None;
+    }
+    let frame = Vec::with_capacity(declared);
+    Some(frame)
+}
+";
+    let report = run(&[("crates/rlb-serve/src/lib.rs", src)], "");
+    assert!(
+        messages(&report, "untrusted-input").is_empty(),
+        "validated flow flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn clock_laundered_through_helpers_into_a_report_field_is_reported() {
+    // `Instant::now` passes through two helpers before landing in a
+    // `…Report` struct literal; the finding must name both hops.
+    let src = "\
+pub struct RunReport {
+    pub elapsed_ms: u64,
+}
+fn sample_ms() -> u64 {
+    let t = std::time::Instant::now().elapsed().as_millis() as u64; // seeded. lint:allow(determinism)
+    t
+}
+fn laundered() -> u64 {
+    sample_ms()
+}
+pub fn finish() -> RunReport {
+    RunReport { elapsed_ms: laundered() }
+}
+";
+    let report = run(&[("crates/seeded/src/lib.rs", src)], "");
+    let hits = messages(&report, "determinism-flow");
+    assert_eq!(hits.len(), 1, "findings: {}", report.render());
+    assert!(
+        hits[0].contains("reaches a report field"),
+        "sink kind missing: {}",
+        hits[0]
+    );
+    assert!(
+        hits[0].contains("clock (`Instant::now`"),
+        "source missing: {}",
+        hits[0]
+    );
+    assert!(
+        hits[0].contains("returned by `sample_ms`") && hits[0].contains("returned by `laundered`"),
+        "hop chain missing: {}",
+        hits[0]
+    );
+}
+
+#[test]
+fn bench_scoped_clock_use_is_exempt_from_determinism_flow() {
+    // rlb-bench owns wall-clock measurement; the identical pattern
+    // there is not a finding.
+    let src = "\
+pub struct RunReport {
+    pub elapsed_ms: u64,
+}
+fn sample_ms() -> u64 {
+    std::time::Instant::now().elapsed().as_millis() as u64
+}
+pub fn finish() -> RunReport {
+    RunReport { elapsed_ms: sample_ms() }
+}
+";
+    let report = run(&[("crates/rlb-bench/src/lib.rs", src)], "");
+    assert!(
+        messages(&report, "determinism-flow").is_empty(),
+        "bench-scoped clock flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
+fn ab_ba_lock_cycle_is_reported_across_a_call_boundary() {
+    // `ab` takes `a` then acquires `b` transitively through a helper;
+    // `ba` takes `b` then `a` directly. That is a deadlock-capable
+    // cycle and both orientations must be reported with evidence.
+    let src = "\
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl S {
+    pub fn ab(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let v = self.take_b();
+        *g + v
+    }
+    fn take_b(&self) -> u32 {
+        let h = self.b.lock().unwrap();
+        *h
+    }
+    pub fn ba(&self) -> u32 {
+        let h = self.b.lock().unwrap();
+        let g = self.a.lock().unwrap();
+        *g + *h
+    }
+}
+";
+    let report = run(&[("crates/seeded/src/lib.rs", src)], "");
+    let hits = messages(&report, "lock-order");
+    assert_eq!(hits.len(), 2, "findings: {}", report.render());
+    assert!(
+        hits.iter().any(|m| m.contains("cycle `a` -> `b`")
+            && m.contains("acquires `b` transitively")
+            && m.contains("`S::take_b`")),
+        "transitive edge missing: {hits:?}"
+    );
+    assert!(
+        hits.iter()
+            .any(|m| m.contains("cycle `b` -> `a`") && m.contains("while holding `b`")),
+        "direct reverse edge missing: {hits:?}"
+    );
+}
+
+#[test]
+fn consistently_ordered_nested_locks_are_clean() {
+    // Two fns both take `a` then `b`: a strict global order, no cycle.
+    let src = "\
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+impl S {
+    pub fn one(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let h = self.b.lock().unwrap();
+        *g + *h
+    }
+    pub fn two(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let h = self.b.lock().unwrap();
+        *g * *h
+    }
+}
+";
+    let report = run(&[("crates/seeded/src/lib.rs", src)], "");
+    assert!(
+        messages(&report, "lock-order").is_empty(),
+        "same-order nesting flagged: {}",
+        report.render()
+    );
+}
+
+#[test]
 fn suppressed_seeded_bug_counts_as_a_used_suppression() {
     let src = "\
 pub fn entry(x: Option<u32>) -> u32 {

@@ -57,3 +57,52 @@ fn call_graph_passes_are_live() {
         s.pub_items
     );
 }
+
+/// Same vacuity guard for the tier-3 flow passes: a clean workspace
+/// only means something if the CFGs were built, the sources were seen,
+/// and the lock sites were scanned. The floors sit well under the
+/// measured values (6181 blocks / 5 untrusted / 4 clock / 28 lock
+/// sites at time of writing) so routine growth doesn't touch them, but
+/// a plumbing regression that silently zeroes a pass fails loudly.
+#[test]
+fn flow_passes_are_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = rlb_lint::lint_workspace(&root).expect("workspace walk");
+    let s = &report.stats;
+    assert!(s.cfg_blocks > 3000, "too few CFG blocks: {}", s.cfg_blocks);
+    assert!(
+        s.cfg_edges > s.cfg_blocks,
+        "CFGs degenerate: {} edges for {} blocks",
+        s.cfg_edges,
+        s.cfg_blocks
+    );
+    assert!(
+        s.untrusted_sources >= 3,
+        "untrusted-input pass sees only {} wire-read sources — rlb-serve unscanned?",
+        s.untrusted_sources
+    );
+    assert!(
+        s.untrusted_sources_by_crate
+            .get("rlb-serve")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "no untrusted sources attributed to rlb-serve: {:?}",
+        s.untrusted_sources_by_crate
+    );
+    assert!(
+        s.clock_sources >= 2,
+        "determinism-flow pass sees only {} clock sources",
+        s.clock_sources
+    );
+    assert!(
+        s.lock_sites >= 10,
+        "lock-order pass sees only {} lock sites",
+        s.lock_sites
+    );
+    assert!(
+        s.lock_sites_by_crate.get("rlb-pool").copied().unwrap_or(0) > 0,
+        "no lock sites attributed to rlb-pool: {:?}",
+        s.lock_sites_by_crate
+    );
+}

@@ -60,6 +60,11 @@ const FRAGMENTS: &[&str] = &[
     "a << 2 >> b",
     "&&x || !y",
     "..=",
+    "'outer: while x { break 'outer; }",
+    "let Some(v) = o else { return; };",
+    "|a, b| a + b",
+    "move || inner(|| 1)",
+    "match g { n if n > 0 => n, _ => 0 }",
     "🦀",
     "\"emoji 🦀 in string\"",
     "// emoji 🦀 in comment\n",
